@@ -1,0 +1,63 @@
+package hack_test
+
+// One benchmark per table/figure of the paper's evaluation: each runs
+// the corresponding experiment end to end at reduced settings, so
+// `go test -bench=.` regenerates every result and reports how long the
+// regeneration takes. The full-size runs are `go run ./cmd/hackbench`.
+
+import (
+	"testing"
+
+	"github.com/hackkv/hack/internal/experiments"
+)
+
+func benchPerf(b *testing.B, fn func(experiments.Settings) (*experiments.Table, error)) {
+	b.Helper()
+	s := experiments.Quick()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchAcc(b *testing.B, fn func(experiments.AccuracySettings) (*experiments.Table, error)) {
+	b.Helper()
+	a := experiments.QuickAccuracy()
+	a.Trials = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1a(b *testing.B)     { benchPerf(b, experiments.Fig1a) }
+func BenchmarkFig1b(b *testing.B)     { benchPerf(b, experiments.Fig1b) }
+func BenchmarkFig1c(b *testing.B)     { benchPerf(b, experiments.Fig1c) }
+func BenchmarkFig1d(b *testing.B)     { benchPerf(b, experiments.Fig1d) }
+func BenchmarkFig2(b *testing.B)      { benchPerf(b, experiments.Fig2) }
+func BenchmarkFig3(b *testing.B)      { benchPerf(b, experiments.Fig3) }
+func BenchmarkFig4(b *testing.B)      { benchPerf(b, experiments.Fig4) }
+func BenchmarkFP48(b *testing.B)      { benchPerf(b, experiments.FP48) }
+func BenchmarkFig9(b *testing.B)      { benchPerf(b, experiments.Fig9) }
+func BenchmarkFig10(b *testing.B)     { benchPerf(b, experiments.Fig10) }
+func BenchmarkTable5(b *testing.B)    { benchPerf(b, experiments.Table5) }
+func BenchmarkFig11(b *testing.B)     { benchPerf(b, experiments.Fig11) }
+func BenchmarkFig12(b *testing.B)     { benchPerf(b, experiments.Fig12) }
+func BenchmarkFig13(b *testing.B)     { benchPerf(b, experiments.Fig13) }
+func BenchmarkTable8JCT(b *testing.B) { benchPerf(b, experiments.Table8JCT) }
+func BenchmarkFig14(b *testing.B)     { benchPerf(b, experiments.Fig14) }
+
+func BenchmarkTable6(b *testing.B)          { benchAcc(b, experiments.Table6) }
+func BenchmarkFidelityLadder(b *testing.B)  { benchAcc(b, experiments.FidelityLadder) }
+func BenchmarkTable7(b *testing.B)          { benchAcc(b, experiments.Table7) }
+func BenchmarkTable8Accuracy(b *testing.B)  { benchAcc(b, experiments.Table8Accuracy) }
+func BenchmarkSEMemory(b *testing.B)        { benchAcc(b, experiments.SEMemory) }
+func BenchmarkLogitDistortion(b *testing.B) { benchAcc(b, experiments.LogitDistortion) }
+func BenchmarkExtINT4(b *testing.B)         { benchPerf(b, experiments.ExtINT4) }
+func BenchmarkCostTable(b *testing.B)       { benchPerf(b, experiments.CostTable) }

@@ -1,0 +1,93 @@
+// Command hackquant inspects the homomorphic quantizer on synthetic
+// data: quantization error, compression rates including the entropy-coded
+// wire format, the Eq. (4) identity, and the dequantization work HACK
+// eliminates.
+//
+//	hackquant -rows 2048 -dh 128 -pi 64 -bits 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/hackkv/hack/internal/compress"
+	"github.com/hackkv/hack/internal/hack"
+	"github.com/hackkv/hack/internal/quant"
+	"github.com/hackkv/hack/internal/tensor"
+)
+
+func main() {
+	var (
+		rows  = flag.Int("rows", 2048, "tokens (rows of K/V)")
+		dh    = flag.Int("dh", 128, "head dimension")
+		pi    = flag.Int("pi", 64, "partition size Π")
+		bits  = flag.Int("bits", 2, "KV code width")
+		qbits = flag.Int("qbits", 8, "Q/P code width")
+		seed  = flag.Int64("seed", 1, "rng seed")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	cfgKV := quant.Config{Bits: *bits, Partition: *pi, Rounding: quant.StochasticRounding, RNG: rng}
+	cfgQ := quant.Config{Bits: *qbits, Partition: *pi, Rounding: quant.StochasticRounding, RNG: rng}
+
+	k := tensor.RandNormal(rng, *rows, *dh, 1)
+	v := tensor.RandNormal(rng, *rows, *dh, 1)
+	q := tensor.RandNormal(rng, 1, *dh, 1)
+
+	kq, err := quant.Quantize(k, quant.AlongCols, cfgKV)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hackquant:", err)
+		os.Exit(1)
+	}
+	vq, err := quant.Quantize(v, quant.AlongRows, cfgKV)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hackquant:", err)
+		os.Exit(1)
+	}
+	qq, err := quant.Quantize(q, quant.AlongCols, cfgQ)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hackquant:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("K/V: %d tokens x d_h=%d, INT%d codes, Π=%d; Q: INT%d\n",
+		*rows, *dh, *bits, *pi, *qbits)
+
+	// Reconstruction error.
+	fmt.Printf("K reconstruction rel error: %.4f\n", tensor.RelFrobenius(kq.Dequantize(), k))
+	fmt.Printf("V reconstruction rel error: %.4f\n", tensor.RelFrobenius(vq.Dequantize(), v))
+
+	// Sizes: FP16 vs packed vs entropy-coded.
+	fp16Bytes := 2 * 2 * (*rows) * (*dh)
+	packed := kq.Size(false).Total() + vq.Size(false).Total()
+	resident := kq.Size(true).Total() + vq.Size(true).Total()
+	fmt.Printf("FP16 size      %10d bytes\n", fp16Bytes)
+	fmt.Printf("packed (wire)  %10d bytes (%.1f%% compression)\n",
+		packed, 100*(1-float64(packed)/float64(fp16Bytes)))
+	fmt.Printf("resident (+SE) %10d bytes\n", resident)
+	ratioK, err := compress.MeasureRatio(compress.EntropyCodec{}, kq)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hackquant:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("entropy-coded K codes: %.3fx of packed (CacheGen-style)\n", ratioK)
+
+	// The Eq. (4) identity: homomorphic product vs dequantize-then-multiply.
+	hom, ops := hack.MatMulTransB(qq, kq, hack.DefaultOptions())
+	ref := tensor.MatMulTransB(qq.Dequantize(), kq.Dequantize())
+	fmt.Printf("homomorphic q·Kᵀ vs dequantized: max diff %.2e (algebraically identical)\n",
+		tensor.MaxAbsDiff(hom, ref))
+	fmt.Printf("homomorphic q·Kᵀ vs exact:       rel err  %.4f\n",
+		tensor.RelFrobenius(hom, tensor.MatMulTransB(q, k)))
+	fmt.Printf("int MACs %d, approx flops %d (%.2f%% of matmul)\n",
+		ops.IntMACs, ops.ApproxFlops, 100*float64(ops.ApproxFlops)/float64(ops.IntMACs))
+
+	// The per-iteration work HACK eliminates.
+	dequantOps := hack.DequantKVOps(*dh, *rows)
+	approxOps := hack.DecodeApproxOpsSE(*dh, *rows)
+	fmt.Printf("per decode step per head: dequant %d ops vs SE approximation %d ops (%.0fx less)\n",
+		dequantOps, approxOps, float64(dequantOps)/float64(approxOps))
+}

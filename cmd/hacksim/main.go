@@ -1,0 +1,112 @@
+// Command hacksim runs one disaggregated-serving simulation and prints
+// the per-request JCT decomposition summary.
+//
+//	hacksim -model L -gpu A10G -dataset Cocktail -method HACK -rps 0.5 -n 200
+//
+// Methods: Baseline, CacheGen, KVQuant, HACK, HACK/SE, HACK/RQE,
+// HACK32, HACK128, FP4, FP6, FP8.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hackkv/hack/internal/cluster"
+	"github.com/hackkv/hack/internal/model"
+	"github.com/hackkv/hack/internal/sim"
+	"github.com/hackkv/hack/internal/workload"
+)
+
+func main() {
+	var (
+		modelTag = flag.String("model", "L", "model tag: M, P, Y, L, F")
+		gpu      = flag.String("gpu", "A10G", "prefill GPU: A10G, V100, T4, L4, A100")
+		dsName   = flag.String("dataset", "Cocktail", "dataset: IMDb, arXiv, Cocktail, HumanEval")
+		method   = flag.String("method", "HACK", "serving method")
+		rps      = flag.Float64("rps", 0.5, "request rate (requests/second)")
+		n        = flag.Int("n", 200, "number of requests")
+		seed     = flag.Int64("seed", 42, "trace seed")
+		prefillN = flag.Int("prefill", 5, "prefill replicas")
+		decodeN  = flag.Int("decode", 4, "decode replicas")
+		maxBatch = flag.Int("batch", 256, "max decode batch per replica")
+		pipeline = flag.Bool("pipeline", false, "overlap transfer with prefill")
+		traceOut = flag.String("trace-out", "", "record the generated trace to this JSON file")
+		traceIn  = flag.String("trace-in", "", "replay a trace recorded with -trace-out (overrides -rps/-n/-seed)")
+	)
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "hacksim:", err)
+		os.Exit(1)
+	}
+	spec, err := model.ByShortName(*modelTag)
+	if err != nil {
+		die(err)
+	}
+	in, err := cluster.ByGPUName(*gpu)
+	if err != nil {
+		die(err)
+	}
+	ds, err := workload.ByName(*dsName)
+	if err != nil {
+		die(err)
+	}
+	ds = ds.CappedTo(spec.MaxContext)
+	m, err := cluster.MethodByName(*method)
+	if err != nil {
+		die(err)
+	}
+	cm, err := cluster.NewCostModel(spec, in, cluster.A100(), cluster.DefaultCostParams())
+	if err != nil {
+		die(err)
+	}
+	var reqs []workload.Request
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			die(err)
+		}
+		reqs, err = workload.LoadTrace(f)
+		f.Close()
+		if err != nil {
+			die(err)
+		}
+	} else {
+		reqs, err = workload.Trace(ds, *rps, *n, *seed)
+		if err != nil {
+			die(err)
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				die(err)
+			}
+			if err := workload.SaveTrace(f, ds.Name, *rps, *seed, reqs); err != nil {
+				f.Close()
+				die(err)
+			}
+			if err := f.Close(); err != nil {
+				die(err)
+			}
+		}
+	}
+	res, err := sim.Run(sim.Config{
+		CM: cm, Method: m,
+		PrefillReplicas: *prefillN, DecodeReplicas: *decodeN,
+		MaxBatch: *maxBatch, MemCapFrac: 0.95, Pipeline: *pipeline,
+	}, reqs)
+	if err != nil {
+		die(err)
+	}
+
+	fmt.Printf("%s | %s | %s | %d requests\n", cm, ds.Name, m.Name, len(reqs))
+	fmt.Printf("avg JCT %.2fs   p50 %.2fs   p99 %.2fs\n", res.AvgJCT(), res.P50JCT(), res.P99JCT())
+	at := res.AvgTimes()
+	fmt.Printf("avg times: queue %.2fs  prefill %.2fs  quant %.3fs  comm %.2fs  dequant/approx %.3fs  decode %.2fs (kv mem %.2fs)\n",
+		at.Queue, at.Prefill, at.Quant, at.Comm, at.Overhead, at.Decode, at.KVMem)
+	r := res.AvgRatios()
+	fmt.Printf("avg ratios: prefill %.1f%%  quant %.2f%%  comm %.1f%%  dequant/approx %.1f%%  decode %.1f%% (kv mem %.1f%%)\n",
+		100*r.Prefill, 100*r.Quant, 100*r.Comm, 100*r.Overhead, 100*r.Decode, 100*r.KVMem)
+	fmt.Printf("peak decode memory %.1f%%   swapped requests %d\n", 100*res.PeakMemFrac, res.SwappedCount)
+}

@@ -1,0 +1,14 @@
+// Package hack is a from-scratch Go reproduction of "HACK: Homomorphic
+// Acceleration via Compression of the Key-Value Cache for Disaggregated
+// LLM Inference" (SIGCOMM 2025).
+//
+// The implementation lives under internal/: the homomorphic-quantization
+// core (internal/hack), its substrates (quantizer, KV caches, attention
+// backends, a numeric transformer, wire protocol, cluster cost model,
+// discrete-event simulator) and the experiment runners that regenerate
+// every table and figure of the paper's evaluation. See README.md for a
+// tour, DESIGN.md for the system inventory, and EXPERIMENTS.md for
+// paper-vs-measured results. Executables: cmd/hackbench (all
+// experiments), cmd/hacksim (one simulation), cmd/hackquant (quantizer
+// inspector); runnable examples live under examples/.
+package hack

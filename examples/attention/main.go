@@ -1,0 +1,99 @@
+// Attention backends side by side: prefill a long context on one
+// attention head, run decode steps, and compare every method's output
+// fidelity, cache footprint, wire size and per-step work — the §5
+// mechanics in miniature.
+//
+//	go run ./examples/attention
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/hackkv/hack/internal/attention"
+	"github.com/hackkv/hack/internal/quant"
+	"github.com/hackkv/hack/internal/tensor"
+)
+
+func main() {
+	const (
+		dh    = 128
+		l     = 768
+		steps = 16
+	)
+	rng := rand.New(rand.NewSource(11))
+	q := tensor.RandNormal(rng, l, dh, 1)
+	k := tensor.RandNormal(rng, l, dh, 1)
+	v := tensor.RandNormal(rng, l, dh, 1)
+
+	cg, err := attention.NewDequant(attention.DequantConfig{
+		MethodName: "CacheGen", Pi: 96, KVBits: 2,
+		Rounding: quant.StochasticRounding, Seed: 3, WireFactor: 0.9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hk, err := attention.NewHACK(attention.DefaultHACKConfig(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	backends := []attention.Backend{attention.ExactBackend{}, attention.FP16Backend{}, cg, hk}
+
+	type state struct {
+		head  attention.Head
+		total attention.Stats
+	}
+	states := map[string]*state{}
+	var refOut []*tensor.Matrix
+
+	// Prefill every backend with the same context.
+	for _, b := range backends {
+		h, err := b.NewHead(dh)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, _, err := h.Prefill(q.Clone(), k.Clone(), v.Clone()); err != nil {
+			log.Fatal(err)
+		}
+		states[b.Name()] = &state{head: h}
+	}
+
+	// Decode steps with identical inputs; collect the exact outputs as
+	// the reference.
+	errSum := map[string]float64{}
+	for i := 0; i < steps; i++ {
+		dq := tensor.RandNormal(rng, 1, dh, 1)
+		dk := tensor.RandNormal(rng, 1, dh, 1)
+		dv := tensor.RandNormal(rng, 1, dh, 1)
+		for _, b := range backends {
+			st := states[b.Name()]
+			out, stats, err := st.head.Decode(dq.Clone(), dk.Clone(), dv.Clone())
+			if err != nil {
+				log.Fatal(err)
+			}
+			st.total.Add(stats)
+			if b.Name() == "Exact" {
+				refOut = append(refOut, out)
+			} else {
+				errSum[b.Name()] += tensor.RelFrobenius(out, refOut[i]) / steps
+			}
+		}
+	}
+
+	fmt.Printf("%-9s %10s %12s %12s %12s %12s %10s\n",
+		"method", "rel error", "cache bytes", "wire bytes", "int MACs", "dequant ops", "approx ops")
+	for _, b := range backends {
+		st := states[b.Name()]
+		name := b.Name()
+		relerr := "-"
+		if name != "Exact" {
+			relerr = fmt.Sprintf("%.4f", errSum[name])
+		}
+		fmt.Printf("%-9s %10s %12d %12d %12d %12d %10d\n",
+			name, relerr, st.head.CacheUsage().Total(), st.head.WireSize(),
+			st.total.IntOps, st.total.DequantOps, st.total.ApproxOps)
+	}
+	fmt.Println("\nHACK: zero dequantization, ~7x smaller cache and wire than FP16;")
+	fmt.Println("the dequant baselines repeat a full-cache dequantization every step.")
+}

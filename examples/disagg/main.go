@@ -1,0 +1,56 @@
+// Disaggregated serving comparison: simulate the paper's default
+// deployment (Llama-3.1 70B, A10G prefill pool, A100 decode pool,
+// Cocktail workload) under all four methods and print the Fig. 9/10-style
+// summary.
+//
+//	go run ./examples/disagg
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/hackkv/hack/internal/cluster"
+	"github.com/hackkv/hack/internal/model"
+	"github.com/hackkv/hack/internal/sim"
+	"github.com/hackkv/hack/internal/workload"
+)
+
+func main() {
+	cm, err := cluster.NewCostModel(model.Llama70B(), cluster.A10G(), cluster.A100(),
+		cluster.DefaultCostParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cm)
+
+	reqs, err := workload.Trace(workload.Cocktail(), 0.6, 150, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d Cocktail requests (avg prompt %.0f tokens) at 0.6 RPS\n\n",
+		len(reqs), workload.MeanInputLen(reqs))
+
+	fmt.Printf("%-9s %8s %9s %8s %9s %14s %8s %9s %6s\n",
+		"method", "avg JCT", "prefill", "comm", "dequant", "/approx decode", "peak mem", "swapped", "vs base")
+	var baseJCT float64
+	for _, m := range cluster.EvaluatedMethods() {
+		res, err := sim.Run(sim.Config{
+			CM: cm, Method: m,
+			PrefillReplicas: 5, DecodeReplicas: 4,
+			MaxBatch: 256, MemCapFrac: 0.95,
+		}, reqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if m.Name == "Baseline" {
+			baseJCT = res.AvgJCT()
+		}
+		at := res.AvgTimes()
+		fmt.Printf("%-9s %7.1fs %8.1fs %7.1fs %8.2fs %13.1fs %7.0f%% %9d %5.0f%%\n",
+			m.Name, res.AvgJCT(), at.Prefill+at.Queue, at.Comm, at.Overhead, at.Decode,
+			100*res.PeakMemFrac, res.SwappedCount, 100*(1-res.AvgJCT()/baseJCT))
+	}
+	fmt.Println("\nHACK wins by cutting KV transfer ~7x, skipping per-step dequantization")
+	fmt.Println("(paying only the tiny Eq. (4) correction) and running attention on INT8.")
+}

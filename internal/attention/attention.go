@@ -1,0 +1,512 @@
+// Package attention implements the self-attention backends compared in
+// the paper's evaluation, all operating per head on real numbers:
+//
+//   - Exact: float32 attention with a float32 cache — the numeric
+//     reference that accuracy is measured against.
+//   - FP16: the disaggregation baseline. KV is stored and transmitted in
+//     FP16; computation happens on the FP16-rounded values.
+//   - Dequant: the CacheGen/KVQuant family. KV is quantized per token at
+//     2 bits; every use first dequantizes the whole cache back to FP16
+//     (the overhead HACK eliminates).
+//   - HACK: homomorphic quantization (§5). Q and P are quantized to
+//     INT8, K and V to INT2; Q·Kᵀ and P·V run directly on quantized data
+//     via package hack, with summation elimination and requantization
+//     elimination individually toggleable for the §7.4 ablations.
+//
+// Each backend mirrors the paper's fused attn_prefill / attn_decode
+// kernels (§6) as a Prefill and a Decode method, and reports Stats — the
+// op and byte tallies that the performance model prices.
+package attention
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/hackkv/hack/internal/fp16"
+	"github.com/hackkv/hack/internal/hack"
+	"github.com/hackkv/hack/internal/kvcache"
+	"github.com/hackkv/hack/internal/quant"
+	"github.com/hackkv/hack/internal/tensor"
+)
+
+// Stats tallies the work one attention call performed. All counts are
+// cumulative over the call and additive across calls.
+type Stats struct {
+	// FloatOps counts FP16-class floating-point operations (matmuls on
+	// unquantized data, softmax, scaling, the FP16 tail of V).
+	FloatOps int64
+	// IntOps counts integer multiply-accumulate operations executed on
+	// quantized codes (the INT8-tensor-core work).
+	IntOps int64
+	// QuantOps counts quantization work (performed once per token).
+	QuantOps int64
+	// DequantOps counts KV dequantization work (the per-iteration
+	// baseline overhead).
+	DequantOps int64
+	// ApproxOps counts Eq. (4) approximation work (HACK only).
+	ApproxOps int64
+	// SumOps counts Σb′ recomputation work (HACK without SE only).
+	SumOps int64
+	// RequantOps counts V-tail requantization work (HACK without RQE).
+	RequantOps int64
+	// KVBytesRead counts bytes loaded from the KV cache.
+	KVBytesRead int64
+}
+
+// Add accumulates s2 into s.
+func (s *Stats) Add(s2 Stats) {
+	s.FloatOps += s2.FloatOps
+	s.IntOps += s2.IntOps
+	s.QuantOps += s2.QuantOps
+	s.DequantOps += s2.DequantOps
+	s.ApproxOps += s2.ApproxOps
+	s.SumOps += s2.SumOps
+	s.RequantOps += s2.RequantOps
+	s.KVBytesRead += s2.KVBytesRead
+}
+
+// Head is the per-sequence, per-attention-head state of a backend. Calls
+// must alternate a single Prefill followed by zero or more Decodes.
+type Head interface {
+	// Prefill runs causal self-attention over the prompt's q, k, v
+	// (each L×d_h), fills the KV cache, and returns the attention
+	// output (L×d_h).
+	Prefill(q, k, v *tensor.Matrix) (*tensor.Matrix, Stats, error)
+	// Decode runs one autoregressive step: q, k, v are 1×d_h; k and v
+	// are appended to the cache and the output is 1×d_h.
+	Decode(q, k, v *tensor.Matrix) (*tensor.Matrix, Stats, error)
+	// Len returns the number of cached tokens.
+	Len() int
+	// CacheUsage reports the cache's resident memory.
+	CacheUsage() kvcache.Usage
+	// WireSize reports the bytes needed to ship the cache from a
+	// prefill to a decode instance.
+	WireSize() int
+}
+
+// Backend constructs per-head attention state.
+type Backend interface {
+	// Name identifies the method in experiment output.
+	Name() string
+	// NewHead returns fresh per-sequence state for one head of width
+	// headDim.
+	NewHead(headDim int) (Head, error)
+}
+
+// scaledScores computes S = q·kᵀ/√d_h in float32.
+func scaledScores(q, k *tensor.Matrix) *tensor.Matrix {
+	s := tensor.MatMulTransB(q, k)
+	return s.Scale(float32(1 / math.Sqrt(float64(q.Cols))))
+}
+
+// softmaxOps estimates the floating-point cost of a row-wise softmax
+// (exp ≈ 4 ops, plus max/sum/divide passes).
+func softmaxOps(rows, cols int) int64 { return 7 * int64(rows) * int64(cols) }
+
+// ---------------------------------------------------------------------
+// Exact float32 reference.
+
+// ExactBackend computes attention in float32 with an unrounded cache. It
+// is the accuracy reference: every other backend's error is measured
+// against its generations.
+type ExactBackend struct{}
+
+// Name implements Backend.
+func (ExactBackend) Name() string { return "Exact" }
+
+// NewHead implements Backend.
+func (ExactBackend) NewHead(headDim int) (Head, error) {
+	if headDim <= 0 {
+		return nil, fmt.Errorf("attention: head dim %d", headDim)
+	}
+	return &exactHead{k: tensor.New(0, headDim), v: tensor.New(0, headDim)}, nil
+}
+
+type exactHead struct{ k, v *tensor.Matrix }
+
+func (h *exactHead) Prefill(q, k, v *tensor.Matrix) (*tensor.Matrix, Stats, error) {
+	var st Stats
+	h.k = tensor.AppendRows(h.k, k)
+	h.v = tensor.AppendRows(h.v, v)
+	s := scaledScores(q, h.k)
+	tensor.CausalMask(s, 0)
+	tensor.Softmax(s)
+	out := tensor.MatMul(s, h.v)
+	st.FloatOps = 4*int64(q.Rows)*int64(q.Cols)*int64(h.k.Rows) + softmaxOps(s.Rows, s.Cols)
+	return out, st, nil
+}
+
+func (h *exactHead) Decode(q, k, v *tensor.Matrix) (*tensor.Matrix, Stats, error) {
+	var st Stats
+	h.k = tensor.AppendRows(h.k, k)
+	h.v = tensor.AppendRows(h.v, v)
+	s := scaledScores(q, h.k)
+	tensor.Softmax(s)
+	out := tensor.MatMul(s, h.v)
+	st.FloatOps = 4*int64(q.Cols)*int64(h.k.Rows) + softmaxOps(1, s.Cols)
+	st.KVBytesRead = 4 * int64(len(h.k.Data)+len(h.v.Data))
+	return out, st, nil
+}
+
+func (h *exactHead) Len() int { return h.k.Rows }
+
+func (h *exactHead) CacheUsage() kvcache.Usage {
+	return kvcache.Usage{FP16Bytes: 4 * (len(h.k.Data) + len(h.v.Data))} // float32, reported as raw bytes
+}
+
+func (h *exactHead) WireSize() int { return 4 * (len(h.k.Data) + len(h.v.Data)) }
+
+// ---------------------------------------------------------------------
+// FP16 baseline.
+
+// FP16Backend is the disaggregated-inference baseline: FP16 KV storage
+// and transmission, computation on the rounded values, no quantization.
+type FP16Backend struct{}
+
+// Name implements Backend.
+func (FP16Backend) Name() string { return "Baseline" }
+
+// NewHead implements Backend.
+func (FP16Backend) NewHead(headDim int) (Head, error) {
+	if headDim <= 0 {
+		return nil, fmt.Errorf("attention: head dim %d", headDim)
+	}
+	return &fp16Head{c: kvcache.NewFP16(headDim)}, nil
+}
+
+type fp16Head struct{ c *kvcache.FP16Cache }
+
+func (h *fp16Head) Prefill(q, k, v *tensor.Matrix) (*tensor.Matrix, Stats, error) {
+	var st Stats
+	if err := h.c.Append(k, v); err != nil {
+		return nil, st, err
+	}
+	qr := q.Clone()
+	fp16.RoundSlice(qr.Data)
+	s := scaledScores(qr, h.c.K)
+	tensor.CausalMask(s, 0)
+	tensor.Softmax(s)
+	out := tensor.MatMul(s, h.c.V)
+	st.FloatOps = 4*int64(q.Rows)*int64(q.Cols)*int64(h.c.Len()) + softmaxOps(s.Rows, s.Cols)
+	return out, st, nil
+}
+
+func (h *fp16Head) Decode(q, k, v *tensor.Matrix) (*tensor.Matrix, Stats, error) {
+	var st Stats
+	if err := h.c.Append(k, v); err != nil {
+		return nil, st, err
+	}
+	qr := q.Clone()
+	fp16.RoundSlice(qr.Data)
+	s := scaledScores(qr, h.c.K)
+	tensor.Softmax(s)
+	out := tensor.MatMul(s, h.c.V)
+	st.FloatOps = 4*int64(q.Cols)*int64(h.c.Len()) + softmaxOps(1, s.Cols)
+	st.KVBytesRead = int64(h.c.Usage().Total())
+	return out, st, nil
+}
+
+func (h *fp16Head) Len() int                  { return h.c.Len() }
+func (h *fp16Head) CacheUsage() kvcache.Usage { return h.c.Usage() }
+func (h *fp16Head) WireSize() int             { return h.c.WireSize() }
+
+// ---------------------------------------------------------------------
+// Dequantize-before-compute family (CacheGen / KVQuant).
+
+// DequantConfig parameterizes a dequantize-before-compute backend. The
+// two published systems are modeled as per-token 2-bit asymmetric
+// quantizers with different effective group sizes (see package compress
+// for the wire encodings); both pay a full KV dequantization on every
+// attention call.
+type DequantConfig struct {
+	// MethodName labels the backend ("CacheGen", "KVQuant", ...).
+	MethodName string
+	// Pi is the quantization group size along the head dimension.
+	Pi int
+	// KVBits is the code width (2 in the paper).
+	KVBits int
+	// Rounding and Seed configure the quantizer; each head derives its
+	// own deterministic RNG from Seed.
+	Rounding quant.Rounding
+	Seed     int64
+	// WireFactor scales the wire size relative to raw packed codes,
+	// modeling CacheGen's entropy-coded bitstream (< 1) versus plain
+	// packing (1). Resident cache size is unaffected.
+	WireFactor float64
+}
+
+// DequantBackend implements Backend for the dequantize family.
+type DequantBackend struct{ cfg DequantConfig }
+
+// NewDequant validates the configuration and returns the backend.
+func NewDequant(cfg DequantConfig) (*DequantBackend, error) {
+	if cfg.MethodName == "" {
+		return nil, fmt.Errorf("attention: dequant backend needs a name")
+	}
+	if cfg.WireFactor <= 0 || cfg.WireFactor > 1 {
+		return nil, fmt.Errorf("attention: wire factor %v out of (0,1]", cfg.WireFactor)
+	}
+	if cfg.Pi <= 0 || cfg.KVBits < 1 || cfg.KVBits > 8 {
+		return nil, fmt.Errorf("attention: dequant pi=%d bits=%d", cfg.Pi, cfg.KVBits)
+	}
+	return &DequantBackend{cfg: cfg}, nil
+}
+
+// Name implements Backend.
+func (b *DequantBackend) Name() string { return b.cfg.MethodName }
+
+// NewHead implements Backend.
+func (b *DequantBackend) NewHead(headDim int) (Head, error) {
+	rng := rand.New(rand.NewSource(b.cfg.Seed))
+	c, err := kvcache.NewTokenQuant(kvcache.Config{
+		HeadDim: headDim, Pi: b.cfg.Pi, KVBits: b.cfg.KVBits,
+		Rounding: b.cfg.Rounding, RNG: rng,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &dequantHead{cfg: b.cfg, c: c}, nil
+}
+
+type dequantHead struct {
+	cfg DequantConfig
+	c   *kvcache.TokenQuantCache
+}
+
+func (h *dequantHead) Prefill(q, k, v *tensor.Matrix) (*tensor.Matrix, Stats, error) {
+	var st Stats
+	if err := h.c.Append(k, v); err != nil {
+		return nil, st, err
+	}
+	st.QuantOps = 2 * int64(k.Rows) * int64(k.Cols) * 2
+	dk, dv := h.c.DequantizeKV()
+	st.DequantOps = 4 * int64(dk.Rows) * int64(dk.Cols)
+	qr := q.Clone()
+	fp16.RoundSlice(qr.Data)
+	s := scaledScores(qr, dk)
+	tensor.CausalMask(s, 0)
+	tensor.Softmax(s)
+	out := tensor.MatMul(s, dv)
+	st.FloatOps = 4*int64(q.Rows)*int64(q.Cols)*int64(dk.Rows) + softmaxOps(s.Rows, s.Cols)
+	return out, st, nil
+}
+
+func (h *dequantHead) Decode(q, k, v *tensor.Matrix) (*tensor.Matrix, Stats, error) {
+	var st Stats
+	if err := h.c.Append(k, v); err != nil {
+		return nil, st, err
+	}
+	st.QuantOps = 2 * int64(k.Cols) * 2
+	// The defining cost: the whole cache is dequantized every step.
+	dk, dv := h.c.DequantizeKV()
+	st.DequantOps = 4 * int64(dk.Rows) * int64(dk.Cols)
+	qr := q.Clone()
+	fp16.RoundSlice(qr.Data)
+	s := scaledScores(qr, dk)
+	tensor.Softmax(s)
+	out := tensor.MatMul(s, dv)
+	st.FloatOps = 4*int64(q.Cols)*int64(dk.Rows) + softmaxOps(1, s.Cols)
+	st.KVBytesRead = int64(h.c.Usage().Total())
+	return out, st, nil
+}
+
+func (h *dequantHead) Len() int                  { return h.c.Len() }
+func (h *dequantHead) CacheUsage() kvcache.Usage { return h.c.Usage() }
+
+func (h *dequantHead) WireSize() int {
+	return int(math.Ceil(float64(h.c.WireSize()) * h.cfg.WireFactor))
+}
+
+// ---------------------------------------------------------------------
+// HACK.
+
+// HACKConfig parameterizes the homomorphic backend.
+type HACKConfig struct {
+	// Pi is the quantization partition size Π (32/64/128 in §7.5).
+	Pi int
+	// QBits is the Q and P precision (8 in the paper).
+	QBits int
+	// KVBits is the K and V precision (2 in the paper).
+	KVBits int
+	// SummationElimination caches Σb′ (§5.3); disabling it yields the
+	// HACK/SE ablation.
+	SummationElimination bool
+	// RequantizationElimination keeps the trailing V block in FP16
+	// (§5.3); disabling it yields the HACK/RQE ablation.
+	RequantizationElimination bool
+	// Rounding and Seed configure the quantizers.
+	Rounding quant.Rounding
+	Seed     int64
+	// NameOverride replaces the derived method name when non-empty.
+	NameOverride string
+	// EvictBudgetTokens enables heavy-hitter KV eviction (the §9
+	// future-work combination): when the cache exceeds this many
+	// tokens, the coldest complete Π-token block is dropped. 0 disables
+	// eviction.
+	EvictBudgetTokens int
+	// EvictProtectBlocks shields the most recent N quantized V blocks
+	// from eviction (the recency window).
+	EvictProtectBlocks int
+}
+
+// DefaultHACKConfig returns the paper's shipping configuration:
+// Π=64, INT8 Q/P, INT2 KV, SE and RQE enabled, stochastic rounding.
+func DefaultHACKConfig(seed int64) HACKConfig {
+	return HACKConfig{
+		Pi: 64, QBits: 8, KVBits: 2,
+		SummationElimination:      true,
+		RequantizationElimination: true,
+		Rounding:                  quant.StochasticRounding,
+		Seed:                      seed,
+	}
+}
+
+// HACKBackend implements Backend using homomorphic quantization.
+type HACKBackend struct{ cfg HACKConfig }
+
+// NewHACK validates the configuration and returns the backend.
+func NewHACK(cfg HACKConfig) (*HACKBackend, error) {
+	if cfg.Pi <= 0 {
+		return nil, fmt.Errorf("attention: hack pi %d", cfg.Pi)
+	}
+	if cfg.QBits < 1 || cfg.QBits > 8 || cfg.KVBits < 1 || cfg.KVBits > 8 {
+		return nil, fmt.Errorf("attention: hack bits q=%d kv=%d", cfg.QBits, cfg.KVBits)
+	}
+	return &HACKBackend{cfg: cfg}, nil
+}
+
+// Name implements Backend.
+func (b *HACKBackend) Name() string {
+	if b.cfg.NameOverride != "" {
+		return b.cfg.NameOverride
+	}
+	name := "HACK"
+	if !b.cfg.SummationElimination {
+		name += "/SE"
+	}
+	if !b.cfg.RequantizationElimination {
+		name += "/RQE"
+	}
+	return name
+}
+
+// NewHead implements Backend.
+func (b *HACKBackend) NewHead(headDim int) (Head, error) {
+	rng := rand.New(rand.NewSource(b.cfg.Seed))
+	c, err := kvcache.New(kvcache.Config{
+		HeadDim: headDim, Pi: b.cfg.Pi, KVBits: b.cfg.KVBits,
+		Rounding: b.cfg.Rounding, RNG: rng,
+		RQE: b.cfg.RequantizationElimination,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &hackHead{cfg: b.cfg, c: c, rng: rng}, nil
+}
+
+type hackHead struct {
+	cfg HACKConfig
+	c   *kvcache.Cache
+	rng *rand.Rand
+	// scores accumulates each cached token's received attention mass
+	// for the eviction policy; Evictions counts dropped blocks.
+	scores    []float64
+	Evictions int
+}
+
+func (h *hackHead) qCfg() quant.Config {
+	return quant.Config{Bits: h.cfg.QBits, Partition: h.cfg.Pi, Rounding: h.cfg.Rounding, RNG: h.rng}
+}
+
+func (h *hackHead) opts() hack.Options {
+	return hack.Options{ReuseSums: h.cfg.SummationElimination}
+}
+
+// attend computes softmax(q·Kᵀ/√d)·V against the cache for the given
+// query rows; maskOffset >= 0 applies the causal mask (prefill),
+// maskOffset < 0 skips it (decode attends to everything).
+func (h *hackHead) attend(q *tensor.Matrix, maskOffset int, st *Stats) (*tensor.Matrix, error) {
+	dh := q.Cols
+	qq, err := quant.Quantize(q, quant.AlongCols, h.qCfg())
+	if err != nil {
+		return nil, err
+	}
+	st.QuantOps += 2 * int64(q.Rows) * int64(dh)
+
+	// ① homomorphic Q·Kᵀ on quantized data.
+	s, ops := hack.MatMulTransB(qq, h.c.K, h.opts())
+	st.IntOps += ops.IntMACs
+	st.ApproxOps += ops.ApproxFlops
+	st.SumOps += ops.SumRecomputeOps
+	s.Scale(float32(1 / math.Sqrt(float64(dh))))
+	st.FloatOps += int64(s.Rows) * int64(s.Cols)
+	if maskOffset >= 0 {
+		tensor.CausalMask(s, maskOffset)
+	}
+	tensor.Softmax(s)
+	st.FloatOps += softmaxOps(s.Rows, s.Cols)
+	h.accumulateScores(s)
+
+	// ② homomorphic P·V: quantized part against VFull, FP16 (or
+	// requantized) tail separately.
+	nFull := h.c.VFull.Rows
+	out := tensor.New(q.Rows, dh)
+	if nFull > 0 {
+		pFull := s.SliceCols(0, nFull)
+		pq, err := quant.Quantize(pFull, quant.AlongCols, h.qCfg())
+		if err != nil {
+			return nil, err
+		}
+		st.QuantOps += 2 * int64(pFull.Rows) * int64(nFull)
+		o, ops := hack.MatMul(pq, h.c.VFull, h.opts())
+		st.IntOps += ops.IntMACs
+		st.ApproxOps += ops.ApproxFlops
+		st.SumOps += ops.SumRecomputeOps
+		out.Add(o)
+	}
+	tail := h.c.TailMatrix()
+	if tail.Rows > 0 {
+		pTail := s.SliceCols(nFull, nFull+tail.Rows)
+		out.Add(tensor.MatMul(pTail, tail))
+		st.FloatOps += 2 * int64(q.Rows) * int64(tail.Rows) * int64(dh)
+		if !h.cfg.RequantizationElimination {
+			// The ablation pays a dequantization of the partial block
+			// to form the matrix we just multiplied.
+			st.RequantOps += 2 * int64(tail.Rows) * int64(dh)
+		}
+	}
+	return out, nil
+}
+
+func (h *hackHead) Prefill(q, k, v *tensor.Matrix) (*tensor.Matrix, Stats, error) {
+	var st Stats
+	if err := h.c.AppendPrefill(k, v); err != nil {
+		return nil, st, err
+	}
+	st.QuantOps += 2 * 2 * int64(k.Rows) * int64(k.Cols) // K and V quantization
+	before := h.c.RequantOps
+	out, err := h.attend(q, 0, &st)
+	st.RequantOps += h.c.RequantOps - before
+	return out, st, err
+}
+
+func (h *hackHead) Decode(q, k, v *tensor.Matrix) (*tensor.Matrix, Stats, error) {
+	var st Stats
+	before := h.c.RequantOps
+	if err := h.c.AppendToken(k.Row(0), v.Row(0)); err != nil {
+		return nil, st, err
+	}
+	st.QuantOps += 2 * 2 * int64(k.Cols)
+	out, err := h.attend(q, -1, &st)
+	st.RequantOps += h.c.RequantOps - before
+	st.KVBytesRead = int64(h.c.Usage().Total())
+	if err == nil {
+		err = h.maybeEvict()
+	}
+	return out, st, err
+}
+
+func (h *hackHead) Len() int                  { return h.c.Len() }
+func (h *hackHead) CacheUsage() kvcache.Usage { return h.c.Usage() }
+func (h *hackHead) WireSize() int             { return h.c.WireSize() }

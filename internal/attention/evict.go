@@ -1,0 +1,63 @@
+package attention
+
+// KV eviction composed with homomorphic quantization — the §9 future-work
+// direction. The policy is heavy-hitter style (H2O/Scissorhands): every
+// attention call accumulates each cached token's received probability
+// mass; when the cache exceeds its budget, the *complete quantized block*
+// (Π tokens) with the least accumulated mass is dropped. Block
+// granularity is what makes eviction compose with HACK's layouts: K rows
+// are per-token partitions and V can only shed aligned Π-row groups
+// without requantizing the remainder; the FP16 tail (most recent tokens)
+// is never evicted.
+
+import "github.com/hackkv/hack/internal/tensor"
+
+// accumulateScores folds one attention-probability matrix into the
+// per-token mass tracker (column j of p is token j's received mass).
+func (h *hackHead) accumulateScores(p *tensor.Matrix) {
+	if h.cfg.EvictBudgetTokens <= 0 {
+		return
+	}
+	for len(h.scores) < p.Cols {
+		h.scores = append(h.scores, 0)
+	}
+	for i := 0; i < p.Rows; i++ {
+		row := p.Row(i)
+		for j, v := range row {
+			h.scores[j] += float64(v)
+		}
+	}
+}
+
+// maybeEvict drops cold blocks until the cache fits its budget. Only
+// complete quantized V blocks outside the protected recency window are
+// candidates.
+func (h *hackHead) maybeEvict() error {
+	if h.cfg.EvictBudgetTokens <= 0 {
+		return nil
+	}
+	for h.c.Len() > h.cfg.EvictBudgetTokens {
+		nb := h.c.VFull.NBlocks
+		candidates := nb - h.cfg.EvictProtectBlocks
+		if candidates <= 0 {
+			return nil // nothing evictable yet
+		}
+		pi := h.cfg.Pi
+		best, bestMass := -1, 0.0
+		for b := 0; b < candidates; b++ {
+			var mass float64
+			for i := b * pi; i < (b+1)*pi && i < len(h.scores); i++ {
+				mass += h.scores[i]
+			}
+			if best < 0 || mass < bestMass {
+				best, bestMass = b, mass
+			}
+		}
+		if err := h.c.EvictBlock(best); err != nil {
+			return err
+		}
+		h.scores = append(h.scores[:best*pi], h.scores[(best+1)*pi:]...)
+		h.Evictions++
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package attention
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/hackkv/hack/internal/tensor"
+)
+
+const evictDH = 32
+
+func newEvictingHead(t *testing.T, budget, protect int) *hackHead {
+	t.Helper()
+	cfg := DefaultHACKConfig(3)
+	cfg.Pi = 16
+	cfg.EvictBudgetTokens = budget
+	cfg.EvictProtectBlocks = protect
+	b, err := NewHACK(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := b.NewHead(evictDH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h.(*hackHead)
+}
+
+func TestEvictionKeepsCacheWithinBudget(t *testing.T) {
+	h := newEvictingHead(t, 64, 1)
+	rng := rand.New(rand.NewSource(1))
+	q := tensor.RandNormal(rng, 80, evictDH, 1)
+	k := tensor.RandNormal(rng, 80, evictDH, 1)
+	v := tensor.RandNormal(rng, 80, evictDH, 1)
+	if _, _, err := h.Prefill(q, k, v); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		dq := tensor.RandNormal(rng, 1, evictDH, 1)
+		dk := tensor.RandNormal(rng, 1, evictDH, 1)
+		dv := tensor.RandNormal(rng, 1, evictDH, 1)
+		if _, _, err := h.Decode(dq, dk, dv); err != nil {
+			t.Fatal(err)
+		}
+		// Budget may be exceeded only by what the protected window and
+		// the unevictable tail pin in place (< budget + 2Π here).
+		if h.Len() > 64+2*16 {
+			t.Fatalf("step %d: cache %d tokens far above budget", i, h.Len())
+		}
+	}
+	if h.Evictions == 0 {
+		t.Error("no blocks were evicted")
+	}
+	// K and V stay consistent after evictions.
+	if h.c.K.Rows != h.c.VFull.Rows+h.c.TailLen() {
+		t.Errorf("K rows %d != V rows %d + tail %d", h.c.K.Rows, h.c.VFull.Rows, h.c.TailLen())
+	}
+}
+
+func TestEvictionDisabledByDefault(t *testing.T) {
+	b, err := NewHACK(DefaultHACKConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := b.NewHead(evictDH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := head.(*hackHead)
+	rng := rand.New(rand.NewSource(2))
+	if _, _, err := h.Prefill(tensor.RandNormal(rng, 200, evictDH, 1),
+		tensor.RandNormal(rng, 200, evictDH, 1), tensor.RandNormal(rng, 200, evictDH, 1)); err != nil {
+		t.Fatal(err)
+	}
+	one := tensor.New(1, evictDH)
+	if _, _, err := h.Decode(one, one, one); err != nil {
+		t.Fatal(err)
+	}
+	if h.Evictions != 0 || h.Len() != 201 {
+		t.Errorf("eviction ran while disabled: %d evictions, %d tokens", h.Evictions, h.Len())
+	}
+	if h.scores != nil {
+		t.Error("score tracking active while eviction disabled")
+	}
+}
+
+// The policy must prefer cold blocks: tokens that received near-zero
+// attention mass get evicted before heavy hitters.
+func TestEvictionPrefersColdBlocks(t *testing.T) {
+	h := newEvictingHead(t, 48, 0)
+	rng := rand.New(rand.NewSource(5))
+	// Prefill 64 tokens = 4 blocks of 16. Make block 1's keys point away
+	// from every query (cold) by giving them large negative projection.
+	k := tensor.RandNormal(rng, 64, evictDH, 0.3)
+	for i := 16; i < 32; i++ {
+		for j := 0; j < evictDH; j++ {
+			k.Set(i, j, -4) // consistently anti-aligned with positive queries
+		}
+	}
+	q := tensor.RandUniform(rng, 64, evictDH, 0.5, 1.5) // positive queries
+	v := tensor.RandNormal(rng, 64, evictDH, 1)
+	if _, _, err := h.Prefill(q, k, v); err != nil {
+		t.Fatal(err)
+	}
+	// One decode step pushes 65 > 48: one block must go, and it should
+	// be the cold block (index 1), leaving blocks 0,2,3.
+	dq := tensor.RandUniform(rng, 1, evictDH, 0.5, 1.5)
+	dk := tensor.RandNormal(rng, 1, evictDH, 0.3)
+	dv := tensor.RandNormal(rng, 1, evictDH, 1)
+	if _, _, err := h.Decode(dq, dk, dv); err != nil {
+		t.Fatal(err)
+	}
+	if h.Evictions == 0 {
+		t.Fatal("expected an eviction")
+	}
+	// The cold block's K rows were all -4; check they are gone by
+	// dequantizing K and looking for any strongly negative row.
+	kd := h.c.K.Dequantize()
+	for i := 0; i < kd.Rows; i++ {
+		if kd.At(i, 0) < -3 && kd.At(i, 1) < -3 {
+			t.Fatalf("cold block survived eviction at row %d", i)
+		}
+	}
+}
+
+// Eviction bounds memory: with a budget, cache usage plateaus while the
+// unevicted head keeps growing.
+func TestEvictionBoundsMemory(t *testing.T) {
+	bounded := newEvictingHead(t, 96, 1)
+	unbounded := newEvictingHead(t, 0, 0)
+	rng := rand.New(rand.NewSource(6))
+	q := tensor.RandNormal(rng, 96, evictDH, 1)
+	k := tensor.RandNormal(rng, 96, evictDH, 1)
+	v := tensor.RandNormal(rng, 96, evictDH, 1)
+	if _, _, err := bounded.Prefill(q.Clone(), k.Clone(), v.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := unbounded.Prefill(q, k, v); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 120; i++ {
+		dq := tensor.RandNormal(rng, 1, evictDH, 1)
+		dk := tensor.RandNormal(rng, 1, evictDH, 1)
+		dv := tensor.RandNormal(rng, 1, evictDH, 1)
+		if _, _, err := bounded.Decode(dq.Clone(), dk.Clone(), dv.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := unbounded.Decode(dq, dk, dv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bounded.CacheUsage().Total() >= unbounded.CacheUsage().Total()/2 {
+		t.Errorf("bounded cache %d not well below unbounded %d",
+			bounded.CacheUsage().Total(), unbounded.CacheUsage().Total())
+	}
+}

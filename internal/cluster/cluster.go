@@ -1,0 +1,125 @@
+// Package cluster models the hardware side of the evaluation: the AWS
+// GPU instances of Table 2, the tensor/pipeline parallelism degrees of
+// Table 3, and the analytic cost model that prices compute, KV transfer,
+// memory access, (de)quantization and the Eq. (4) approximation on that
+// hardware.
+//
+// Substitution note (DESIGN.md §3): instead of real GPUs, each instance
+// carries published throughput numbers (dense FP16 tensor TFLOPS, INT8
+// TOPS, HBM bandwidth, NIC bandwidth). Every JCT component in the paper
+// is throughput-bound, so the component *ratios* — which the figures are
+// about — depend only on these relative numbers. An efficiency factor
+// derates peak throughput to a realistic sustained fraction.
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/hackkv/hack/internal/model"
+)
+
+// GPU describes one accelerator's sustained-relevant capabilities.
+type GPU struct {
+	Name string
+	// FP16TFLOPS is peak dense FP16 tensor throughput.
+	FP16TFLOPS float64
+	// INT8TOPS is peak INT8 tensor throughput; 0 means the GPU cannot
+	// run INT8 tensor-core matmuls (V100), forcing FP16 fallback — the
+	// reason HACK's prefill gains vanish on V100 (§7.2).
+	INT8TOPS float64
+	// MemGiB is HBM capacity; MemBWGBs its bandwidth in GB/s.
+	MemGiB   float64
+	MemBWGBs float64
+}
+
+// Instance describes one cloud instance type (Table 2).
+type Instance struct {
+	Name string
+	// GPUName tags the accelerator for display (figures key on it).
+	GPUName string
+	GPU     GPU
+	NumGPUs int
+	// NetGbps is the instance NIC bandwidth.
+	NetGbps float64
+	// PricePerHour is the on-demand us-east-1 price in USD, used for
+	// the cost-effectiveness accounting that motivates disaggregation
+	// (§1: cheap prefill GPUs cost 10-20x less than A100s).
+	PricePerHour float64
+}
+
+// TotalMemGiB returns the instance's aggregate GPU memory.
+func (i Instance) TotalMemGiB() float64 { return float64(i.NumGPUs) * i.GPU.MemGiB }
+
+// Table 2 instances. Throughputs are the public spec-sheet numbers for
+// each accelerator (dense, no sparsity).
+
+// A10G returns the g5.12xlarge instance (4×A10G, 40 Gbps).
+func A10G() Instance {
+	return Instance{Name: "g5.12xlarge", GPUName: "A10G", NumGPUs: 4, NetGbps: 40, PricePerHour: 5.672,
+		GPU: GPU{Name: "A10G", FP16TFLOPS: 125, INT8TOPS: 250, MemGiB: 24, MemBWGBs: 600}}
+}
+
+// V100 returns the p3.8xlarge instance (4×V100, 10 Gbps). V100 tensor
+// cores predate INT8 matmul support.
+func V100() Instance {
+	return Instance{Name: "p3.8xlarge", GPUName: "V100", NumGPUs: 4, NetGbps: 10, PricePerHour: 12.24,
+		GPU: GPU{Name: "V100", FP16TFLOPS: 112, INT8TOPS: 0, MemGiB: 16, MemBWGBs: 900}}
+}
+
+// T4 returns the g4dn.12xlarge instance (4×T4, 50 Gbps).
+func T4() Instance {
+	return Instance{Name: "g4dn.12xlarge", GPUName: "T4", NumGPUs: 4, NetGbps: 50, PricePerHour: 3.912,
+		GPU: GPU{Name: "T4", FP16TFLOPS: 65, INT8TOPS: 130, MemGiB: 16, MemBWGBs: 300}}
+}
+
+// L4 returns the g6.12xlarge instance (4×L4, 40 Gbps).
+func L4() Instance {
+	return Instance{Name: "g6.12xlarge", GPUName: "L4", NumGPUs: 4, NetGbps: 40, PricePerHour: 4.602,
+		GPU: GPU{Name: "L4", FP16TFLOPS: 121, INT8TOPS: 242, MemGiB: 24, MemBWGBs: 300}}
+}
+
+// A100 returns the p4de.24xlarge instance (8×A100-80GB, 400 Gbps).
+func A100() Instance {
+	return Instance{Name: "p4de.24xlarge", GPUName: "A100", NumGPUs: 8, NetGbps: 400, PricePerHour: 40.966,
+		GPU: GPU{Name: "A100", FP16TFLOPS: 312, INT8TOPS: 624, MemGiB: 80, MemBWGBs: 2039}}
+}
+
+// PrefillInstances returns the five prefill instance types in the
+// paper's A10G/V100/T4/L4/A100 presentation order.
+func PrefillInstances() []Instance {
+	return []Instance{A10G(), V100(), T4(), L4(), A100()}
+}
+
+// ByGPUName resolves an instance by accelerator tag.
+func ByGPUName(name string) (Instance, error) {
+	for _, in := range append(PrefillInstances(), A100()) {
+		if in.GPUName == name {
+			return in, nil
+		}
+	}
+	return Instance{}, fmt.Errorf("cluster: unknown GPU %q", name)
+}
+
+// Parallelism is a (TP, PP) degree pair from Table 3.
+type Parallelism struct{ TP, PP int }
+
+// GPUsPerReplica returns how many GPUs one model replica occupies.
+func (p Parallelism) GPUsPerReplica() int { return p.TP * p.PP }
+
+// ParallelismFor returns the Table 3 TP/PP degrees for a model on a GPU
+// class. GPU classes are keyed by accelerator name.
+func ParallelismFor(spec model.Spec, gpuName string) (Parallelism, error) {
+	type key struct{ model, gpu string }
+	table := map[key]Parallelism{
+		{"M", "A10G"}: {4, 1}, {"M", "L4"}: {4, 1}, {"M", "V100"}: {4, 1}, {"M", "T4"}: {4, 1}, {"M", "A100"}: {1, 1},
+		{"P", "A10G"}: {2, 2}, {"P", "L4"}: {2, 2}, {"P", "V100"}: {2, 2}, {"P", "T4"}: {2, 2}, {"P", "A100"}: {1, 1},
+		{"Y", "A10G"}: {4, 2}, {"Y", "L4"}: {4, 2}, {"Y", "V100"}: {4, 2}, {"Y", "T4"}: {4, 2}, {"Y", "A100"}: {4, 1},
+		{"L", "A10G"}: {4, 2}, {"L", "L4"}: {4, 2}, {"L", "V100"}: {4, 4}, {"L", "T4"}: {4, 4}, {"L", "A100"}: {4, 1},
+		{"F", "A10G"}: {4, 5}, {"F", "L4"}: {4, 5}, {"F", "V100"}: {4, 8}, {"F", "T4"}: {4, 8}, {"F", "A100"}: {4, 2},
+	}
+	p, ok := table[key{spec.ShortName, gpuName}]
+	if !ok {
+		return Parallelism{}, fmt.Errorf("cluster: no TP/PP entry for model %s on %s", spec.ShortName, gpuName)
+	}
+	return p, nil
+}

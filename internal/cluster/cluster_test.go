@@ -1,0 +1,338 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/hackkv/hack/internal/model"
+)
+
+func TestInstanceCatalog(t *testing.T) {
+	ins := PrefillInstances()
+	if len(ins) != 5 {
+		t.Fatalf("%d prefill instances, want 5", len(ins))
+	}
+	// Table 2 checks.
+	for _, tc := range []struct {
+		gpu  string
+		gbps float64
+		mem  float64
+	}{
+		{"A10G", 40, 96}, {"V100", 10, 64}, {"T4", 50, 64}, {"L4", 40, 96}, {"A100", 400, 640},
+	} {
+		in, err := ByGPUName(tc.gpu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.NetGbps != tc.gbps {
+			t.Errorf("%s bandwidth %v, want %v", tc.gpu, in.NetGbps, tc.gbps)
+		}
+		if in.TotalMemGiB() != tc.mem {
+			t.Errorf("%s memory %v, want %v", tc.gpu, in.TotalMemGiB(), tc.mem)
+		}
+	}
+	if _, err := ByGPUName("H100"); err == nil {
+		t.Error("unknown GPU accepted")
+	}
+	// V100 predates INT8 tensor cores (§7.2).
+	if V100().GPU.INT8TOPS != 0 {
+		t.Error("V100 must not support INT8 matmul")
+	}
+	if A10G().GPU.INT8TOPS <= A10G().GPU.FP16TFLOPS {
+		t.Error("INT8 should be faster than FP16 on A10G")
+	}
+}
+
+func TestParallelismTable(t *testing.T) {
+	// Spot-check Table 3 entries.
+	p, err := ParallelismFor(model.Llama70B(), "V100")
+	if err != nil || p.TP != 4 || p.PP != 4 {
+		t.Errorf("L on V100 = %+v, %v; want TP4 PP4", p, err)
+	}
+	p, _ = ParallelismFor(model.Mistral7B(), "A100")
+	if p.TP != 1 || p.PP != 1 {
+		t.Errorf("M on A100 = %+v, want no TP/PP", p)
+	}
+	p, _ = ParallelismFor(model.Falcon180B(), "A100")
+	if p.GPUsPerReplica() != 8 {
+		t.Errorf("F on A100 occupies %d GPUs, want 8", p.GPUsPerReplica())
+	}
+	if _, err := ParallelismFor(model.Toy(), "A10G"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestMethodProfiles(t *testing.T) {
+	b := Baseline()
+	if b.WireFraction != 1 || b.Dequant || b.Homomorphic {
+		t.Errorf("baseline profile wrong: %+v", b)
+	}
+	cg, kq, hk := CacheGen(), KVQuant(), DefaultHACK()
+	// All quantized methods compress KV to ~14–16% of FP16 (≈85%
+	// compression, §2.2).
+	for _, m := range []Method{cg, kq, hk} {
+		if m.WireFraction < 0.10 || m.WireFraction > 0.17 {
+			t.Errorf("%s wire fraction %.3f outside the ~86%%-compression band", m.Name, m.WireFraction)
+		}
+		if !m.QuantizesKV {
+			t.Errorf("%s must quantize", m.Name)
+		}
+	}
+	// CacheGen's entropy coding beats KVQuant's raw packing on the wire.
+	if cg.WireFraction >= kq.WireFraction {
+		t.Error("CacheGen wire fraction should be below KVQuant")
+	}
+	// Only the baselines dequantize; only HACK is homomorphic.
+	if !cg.Dequant || !kq.Dequant || hk.Dequant {
+		t.Error("dequant flags wrong")
+	}
+	if !hk.Homomorphic || cg.Homomorphic {
+		t.Error("homomorphic flags wrong")
+	}
+	// HACK stores slightly more than the plain 2-bit methods (SE sums +
+	// FP16 tail), mirroring Table 5's +0.6–2.9%.
+	if hk.ResidentFraction <= kq.ResidentFraction {
+		t.Error("HACK resident fraction should exceed KVQuant")
+	}
+	if hk.ResidentFraction > kq.ResidentFraction*1.2 {
+		t.Error("HACK resident overhead implausibly large")
+	}
+	if len(EvaluatedMethods()) != 4 {
+		t.Error("EvaluatedMethods should list the four headline methods")
+	}
+}
+
+func TestHACKAblationProfiles(t *testing.T) {
+	if HACK(64, false, true).Name != "HACK/SE" || HACK(64, true, false).Name != "HACK/RQE" {
+		t.Error("ablation names wrong")
+	}
+	// Π=128 sums need INT16 (§6), so SE costs more per element there.
+	over128 := HACK(128, true, true).ResidentFraction - twoBitFraction(128)
+	over64 := HACK(64, true, true).ResidentFraction - twoBitFraction(64)
+	if over128 <= over64-0.004 {
+		t.Errorf("Π=128 SE overhead %.4f should not be far below Π=64's %.4f", over128, over64)
+	}
+}
+
+func TestFPFormat(t *testing.T) {
+	for _, bits := range []int{4, 6, 8} {
+		m, err := FPFormat(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.WireFraction != float64(bits)/16 {
+			t.Errorf("FP%d wire fraction %.3f", bits, m.WireFraction)
+		}
+		if !m.Dequant {
+			t.Errorf("FP%d must pay conversion", bits)
+		}
+	}
+	if _, err := FPFormat(5); err == nil {
+		t.Error("FP5 accepted")
+	}
+	// FP formats compress far less than 2-bit methods (§3's point).
+	fp4, _ := FPFormat(4)
+	if fp4.WireFraction <= DefaultHACK().WireFraction {
+		t.Error("FP4 should still transfer more than HACK")
+	}
+}
+
+func newTestCM(t *testing.T, prefill Instance) *CostModel {
+	t.Helper()
+	cm, err := NewCostModel(model.Llama70B(), prefill, A100(), DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm
+}
+
+func TestCostModelBasics(t *testing.T) {
+	cm := newTestCM(t, A10G())
+	const l = 16200 // Cocktail-scale prompt
+
+	// Wire bytes: baseline FP16 ≈ 42.5 GB for 16.2K tokens of Llama-70B
+	// (full multi-head KV; see the model package's sizing note).
+	base := cm.WireBytes(Baseline(), l)
+	if base < 40e9 || base > 45e9 {
+		t.Errorf("baseline wire bytes %.2e, want ≈42.5 GB", base)
+	}
+	hack := cm.WireBytes(DefaultHACK(), l)
+	if r := hack / base; r < 0.10 || r > 0.17 {
+		t.Errorf("HACK/baseline wire ratio %.3f", r)
+	}
+
+	// Transfer at 40 Gbps: seconds-scale for the baseline.
+	tt := cm.TransferTime(Baseline(), l, cm.LinkGbps())
+	if tt < 5 || tt > 20 {
+		t.Errorf("baseline transfer %.1fs at 40 Gbps, want 5–20s", tt)
+	}
+	if cm.TransferTime(DefaultHACK(), l, cm.LinkGbps()) >= tt/5 {
+		t.Error("HACK transfer should be >5x faster")
+	}
+	if cm.TransferTime(Baseline(), l, 0) != 0 {
+		t.Error("zero-bandwidth transfer should be 0")
+	}
+
+	// Prefill: seconds-scale on 8×A10G, HACK faster than baseline.
+	pBase, _ := cm.PrefillTimes(Baseline(), l)
+	pHack, q := cm.PrefillTimes(DefaultHACK(), l)
+	if pBase < 2 || pBase > 60 {
+		t.Errorf("baseline prefill %.1fs implausible", pBase)
+	}
+	if pHack >= pBase {
+		t.Errorf("HACK prefill %.2fs not below baseline %.2fs", pHack, pBase)
+	}
+	if q <= 0 || q > pBase/5 {
+		t.Errorf("quant time %.3fs should be small but positive", q)
+	}
+
+	// Swap through CPU is slower than the A10G link.
+	if cm.SwapTime(Baseline(), l) <= 0 {
+		t.Error("swap time must be positive")
+	}
+	if cm.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+// On V100 (no INT8) HACK's prefill gain disappears — the §7.2 result.
+func TestV100NoPrefillGain(t *testing.T) {
+	cm := newTestCM(t, V100())
+	const l = 16200
+	pBase, _ := cm.PrefillTimes(Baseline(), l)
+	pHack, _ := cm.PrefillTimes(DefaultHACK(), l)
+	if pHack < pBase*0.999 {
+		t.Errorf("V100 HACK prefill %.2fs below baseline %.2fs; INT8 fallback missing", pHack, pBase)
+	}
+}
+
+func TestDecodeStepShape(t *testing.T) {
+	cm := newTestCM(t, A10G())
+	batch := []int{16000, 16200, 16400, 16600}
+
+	dBase, kvBase, ovBase := cm.DecodeStep(Baseline(), batch)
+	if dBase <= 0 || kvBase <= 0 {
+		t.Fatalf("baseline decode %v kv %v", dBase, kvBase)
+	}
+	if ovBase != 0 {
+		t.Errorf("baseline overhead %v, want 0", ovBase)
+	}
+
+	dCG, kvCG, ovCG := cm.DecodeStep(CacheGen(), batch)
+	// Quantized residency shrinks KV memory-access time, though the
+	// dequantize-first methods re-read part of the materialized FP16
+	// (DequantRereadFrac), so the reduction is partial.
+	if kvCG >= kvBase {
+		t.Errorf("CacheGen KV time %.4f not below baseline %.4f", kvCG, kvBase)
+	}
+	// But dequantization overhead is substantial — the paper's central
+	// observation 2 (up to ~38%% of JCT).
+	if ovCG <= 0 {
+		t.Error("CacheGen must pay dequantization")
+	}
+	_ = dCG
+
+	dHK, kvHK, ovHK := cm.DecodeStep(DefaultHACK(), batch)
+	// HACK's approximation overhead is tiny relative to dequantization
+	// (§7.2: 1.5–3.2%% vs 17–30%%).
+	if ovHK <= 0 || ovHK > ovCG/5 {
+		t.Errorf("HACK approx %.4f vs CacheGen dequant %.4f: want ≥5x cheaper", ovHK, ovCG)
+	}
+	if kvHK >= kvBase/4 {
+		t.Errorf("HACK KV time %.4f not well below baseline", kvHK)
+	}
+	// HACK decode compute ≤ dequant methods' (INT8 attention).
+	if dHK > dCG*1.01 {
+		t.Errorf("HACK decode %.4f above CacheGen %.4f", dHK, dCG)
+	}
+
+	// Ablations: no SE and no RQE both cost extra overhead.
+	_, _, ovNoSE := cm.DecodeStep(HACK(64, false, true), batch)
+	if ovNoSE <= ovHK {
+		t.Error("HACK/SE should pay more overhead than HACK")
+	}
+	_, _, ovNoRQE := cm.DecodeStep(HACK(64, true, false), batch)
+	if ovNoRQE <= ovHK {
+		t.Error("HACK/RQE should pay more overhead than HACK")
+	}
+
+	// Empty batch: all zero.
+	if d, k, o := cm.DecodeStep(Baseline(), nil); d != 0 || k != 0 || o != 0 {
+		t.Error("empty batch should cost nothing")
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	cm := newTestCM(t, A10G())
+	cap := cm.DecodeReplicaCapacityBytes()
+	// Llama-70B on A100 TP4: 4×80 GiB replica.
+	if cap != 4*80*float64(1<<30) {
+		t.Errorf("replica capacity %.2e", cap)
+	}
+	// Weights alone take ~141 GB.
+	empty := cm.DecodeMemoryBytes(Baseline(), nil)
+	if empty < 140e9 || empty > 160e9 {
+		t.Errorf("empty memory %.2e, want weights+activations ≈ 150 GB", empty)
+	}
+	// A 16K-token baseline request adds ≈42 GB; quantized ≈6.6 GB.
+	one := cm.DecodeMemoryBytes(Baseline(), []int{16200}) - empty
+	oneQ := cm.DecodeMemoryBytes(DefaultHACK(), []int{16200}) - empty
+	if one < 40e9 || one > 45e9 {
+		t.Errorf("per-request baseline KV %.2e", one)
+	}
+	if oneQ > one/5 {
+		t.Errorf("quantized KV %.2e not well below baseline %.2e", oneQ, one)
+	}
+}
+
+func TestNewCostModelErrors(t *testing.T) {
+	if _, err := NewCostModel(model.Toy(), A10G(), A100(), DefaultCostParams()); err == nil {
+		t.Error("model without TP/PP entry accepted")
+	}
+}
+
+func TestMethodByName(t *testing.T) {
+	for _, name := range []string{"Baseline", "cachegen", "KVQuant", "HACK",
+		"hack/se", "HACK/RQE", "HACK32", "HACK128", "HACK-INT4", "FP4", "FP6", "FP8"} {
+		m, err := MethodByName(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if m.Name == "" {
+			t.Errorf("%s: empty method", name)
+		}
+	}
+	if _, err := MethodByName("nope"); err == nil {
+		t.Error("unknown method accepted")
+	}
+	m, _ := MethodByName("HACK-INT4")
+	if !m.INT4Compute {
+		t.Error("INT4 flag lost")
+	}
+}
+
+func TestINT4FasterPrefill(t *testing.T) {
+	cm := newTestCM(t, A10G())
+	p8, _ := cm.PrefillTimes(DefaultHACK(), 16200)
+	p4, _ := cm.PrefillTimes(HACKINT4(), 16200)
+	if p4 >= p8 {
+		t.Errorf("INT4 prefill %.2fs not below INT8's %.2fs", p4, p8)
+	}
+	// On V100 neither runs on integer tensor cores: identical.
+	cmV := newTestCM(t, V100())
+	v8, _ := cmV.PrefillTimes(DefaultHACK(), 16200)
+	v4, _ := cmV.PrefillTimes(HACKINT4(), 16200)
+	if v4 != v8 {
+		t.Errorf("V100 INT4 %.2fs != INT8 %.2fs; should be identical without integer cores", v4, v8)
+	}
+}
+
+func TestInstancePricing(t *testing.T) {
+	// §1: cheap prefill GPUs cost ~10x less than A100 instances.
+	a100 := A100().PricePerHour
+	for _, in := range []Instance{A10G(), T4(), L4()} {
+		if in.PricePerHour <= 0 || in.PricePerHour > a100/5 {
+			t.Errorf("%s price $%.2f/h out of the cheap-GPU band vs A100 $%.2f/h",
+				in.GPUName, in.PricePerHour, a100)
+		}
+	}
+}

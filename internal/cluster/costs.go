@@ -1,0 +1,356 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/hackkv/hack/internal/model"
+)
+
+// CostParams are the calibration knobs of the analytic performance
+// model. Defaults are set so the baseline's JCT decomposition matches
+// the paper's Fig. 1 ratios and the quantization methods' dequantization
+// share matches Figs. 2–4; see EXPERIMENTS.md for the calibration notes.
+type CostParams struct {
+	// ComputeEff derates peak tensor throughput to a sustained value.
+	ComputeEff float64
+	// MemEff derates peak HBM bandwidth.
+	MemEff float64
+	// KVAccessEff further derates bandwidth for KV-cache reads: paged
+	// attention gathers scattered blocks, sustaining less than the
+	// sequential streaming rate weights enjoy. Calibrated against the
+	// paper's 16.3–33.1% KV memory-access share of JCT (§2.1).
+	KVAccessEff float64
+	// NetEff derates NIC bandwidth.
+	NetEff float64
+	// QuantOpsPerElem prices the one-time KV quantization pass in
+	// vector ops per element (CacheGen's entropy coding and KVQuant's
+	// grouping make this far more than a bare round; calibrated to the
+	// paper's 1.25–2.91% quantization share of JCT).
+	QuantOpsPerElem float64
+	// VectorFrac is CUDA-core (vector) throughput as a fraction of
+	// tensor throughput; element-wise work (softmax, quantization, the
+	// Eq. (4) correction) runs there.
+	VectorFrac float64
+	// DequantTraffic scales the per-iteration KV dequantization cost as
+	// a multiple of one full-bandwidth FP16 KV pass (reading codes,
+	// widening, writing FP16 for the attention kernel to consume).
+	// Calibrated against the paper's measured 17–38% dequantization
+	// share of JCT.
+	DequantTraffic float64
+	// DequantRereadFrac is the fraction of the materialized FP16 KV the
+	// attention kernel re-reads from HBM after dequantization. HACK
+	// reads the 2-bit codes directly and pays none of this — the
+	// mechanism behind its 11–34% decode-time advantage over CacheGen
+	// and KVQuant (§7.2).
+	DequantRereadFrac float64
+	// ActivationGiB reserves per-replica GPU memory for activations.
+	ActivationGiB float64
+	// CPUSwapGBs is host↔GPU staging bandwidth for the §4 CPU-memory
+	// swap path.
+	CPUSwapGBs float64
+	// PerLayerOverheadUS adds a fixed per-iteration scheduling/kernel
+	// launch overhead per layer, in microseconds.
+	PerLayerOverheadUS float64
+	// ApproxLaunchUS adds the per-layer launch cost of HACK's
+	// approximation kernels during decode, in microseconds per
+	// iteration. Calibrated against the paper's 1.5–3.2% approximation
+	// share of JCT.
+	ApproxLaunchUS float64
+	// DequantLaunchUS adds the per-layer launch cost of the baselines'
+	// dequantization kernels during decode, in microseconds per
+	// iteration. Together with DequantTraffic it is calibrated against
+	// the paper's 17–38% dequantization share of JCT.
+	DequantLaunchUS float64
+	// SELaunchUS and RQELaunchUS price the extra per-layer kernel
+	// launches of the two HACK ablations, charged per request per
+	// iteration (the ablated passes run per sequence). The launch terms
+	// dominate on short sequences (many concurrent requests), the
+	// traffic terms on long ones — reproducing §7.4's asymmetry.
+	SELaunchUS, RQELaunchUS float64
+}
+
+// DefaultCostParams returns the calibrated defaults.
+func DefaultCostParams() CostParams {
+	return CostParams{
+		ComputeEff:         0.45,
+		MemEff:             0.40,
+		KVAccessEff:        0.5,
+		NetEff:             0.80,
+		QuantOpsPerElem:    80,
+		VectorFrac:         1.0 / 8.0,
+		DequantTraffic:     1.2,
+		DequantRereadFrac:  0.2,
+		ActivationGiB:      12,
+		CPUSwapGBs:         16,
+		PerLayerOverheadUS: 25,
+		ApproxLaunchUS:     10,
+		DequantLaunchUS:    60,
+		SELaunchUS:         5,
+		RQELaunchUS:        10,
+	}
+}
+
+// CostModel prices one (model, prefill instance, decode instance)
+// deployment.
+type CostModel struct {
+	Params  CostParams
+	Spec    model.Spec
+	Prefill Instance
+	Decode  Instance
+	// PrefillPar / DecodePar are the Table 3 parallelism degrees for
+	// each side.
+	PrefillPar, DecodePar Parallelism
+}
+
+// NewCostModel assembles a cost model with Table 3 parallelism looked up
+// automatically.
+func NewCostModel(spec model.Spec, prefill, decode Instance, p CostParams) (*CostModel, error) {
+	pp, err := ParallelismFor(spec, prefill.GPUName)
+	if err != nil {
+		return nil, err
+	}
+	dp, err := ParallelismFor(spec, decode.GPUName)
+	if err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &CostModel{Params: p, Spec: spec, Prefill: prefill, Decode: decode,
+		PrefillPar: pp, DecodePar: dp}, nil
+}
+
+// tensorFLOPS returns a replica's sustained tensor throughput in FLOP/s
+// for FP16 work. Pipeline stages process different layers; a single
+// request's latency sees only TP-wide parallelism at a time, but the
+// whole replica is busy across the pipeline, so throughput-style costs
+// use TP×PP and latency adds a pipeline-fill term handled by callers via
+// PerLayerOverheadUS.
+func (c *CostModel) tensorFLOPS(in Instance, par Parallelism) float64 {
+	return float64(par.TP*par.PP) * in.GPU.FP16TFLOPS * 1e12 * c.Params.ComputeEff
+}
+
+// int8OPS returns sustained INT8 throughput, or 0 when unsupported.
+func (c *CostModel) int8OPS(in Instance, par Parallelism) float64 {
+	return float64(par.TP*par.PP) * in.GPU.INT8TOPS * 1e12 * c.Params.ComputeEff
+}
+
+// quantOPS returns the integer-matmul throughput available to a method:
+// INT8 rate normally, doubled for the INT4-compute variant (Ampere
+// tensor cores run INT4 at 2x INT8), 0 when the GPU has no integer
+// tensor cores at all.
+func (c *CostModel) quantOPS(m Method, in Instance, par Parallelism) float64 {
+	ops := c.int8OPS(in, par)
+	if m.INT4Compute {
+		ops *= 2
+	}
+	return ops
+}
+
+// vectorFLOPS returns sustained CUDA-core throughput.
+func (c *CostModel) vectorFLOPS(in Instance, par Parallelism) float64 {
+	return c.tensorFLOPS(in, par) * c.Params.VectorFrac
+}
+
+// memBW returns a replica's sustained aggregate HBM bandwidth in B/s.
+// Only the TP group holds any one layer's data, but PP stages stream
+// their own layers concurrently, so steady-state decode sees TP×PP.
+func (c *CostModel) memBW(in Instance, par Parallelism) float64 {
+	return float64(par.TP*par.PP) * in.GPU.MemBWGBs * 1e9 * c.Params.MemEff
+}
+
+// KVBytesFP16 returns the FP16 KV footprint of l tokens.
+func (c *CostModel) KVBytesFP16(l int) float64 {
+	return float64(c.Spec.KVBytesPerTokenFP16()) * float64(l)
+}
+
+// WireBytes returns the prefill→decode transfer size for method m at
+// context length l.
+func (c *CostModel) WireBytes(m Method, l int) float64 {
+	return c.KVBytesFP16(l) * m.WireFraction
+}
+
+// ResidentKVBytes returns the decode-side cache footprint.
+func (c *CostModel) ResidentKVBytes(m Method, l int) float64 {
+	return c.KVBytesFP16(l) * m.ResidentFraction
+}
+
+// PrefillTimes returns the prefill computation time and the KV
+// quantization time for a prompt of l tokens.
+func (c *CostModel) PrefillTimes(m Method, l int) (compute, quant float64) {
+	flops := c.tensorFLOPS(c.Prefill, c.PrefillPar)
+	total := float64(c.Spec.PrefillFLOPs(l))
+	attn := float64(c.Spec.AttnFLOPsPrefill(l)) / 2 // causal masking halves it
+	linear := total - float64(c.Spec.AttnFLOPsPrefill(l))
+	compute = (linear + attn) / flops
+
+	if m.Homomorphic {
+		speed := c.quantOPS(m, c.Prefill, c.PrefillPar)
+		if speed > 0 {
+			// KV matmuls run on INT8 tensor cores. The Eq. (4)
+			// correction (9MN per block, i.e. 9/(2Π) of the matmul
+			// ops) is fused into the matmul epilogue as in the
+			// paper's Triton kernels, so it prices at tensor rate.
+			approx := attn * 9.0 / (2.0 * float64(m.Pi))
+			compute = linear/flops + (attn+approx)/speed
+		}
+		// Without INT8 support (V100) the quantized matmul falls back
+		// to FP16 rate: no prefill gain (§7.2).
+	} else if m.AttnSpeedup > 1 {
+		compute = linear/flops + attn/(flops*m.AttnSpeedup)
+	}
+
+	if m.QuantizesKV {
+		// One pass over the prompt's KV (and Q/P for HACK), priced per
+		// element (see CostParams.QuantOpsPerElem).
+		elems := c.KVBytesFP16(l) / 2
+		quant = elems * c.Params.QuantOpsPerElem / c.vectorFLOPS(c.Prefill, c.PrefillPar)
+	}
+	// Pipeline-fill / launch overhead.
+	compute += float64(c.Spec.Layers) * c.Params.PerLayerOverheadUS * 1e-6
+	return compute, quant
+}
+
+// DecodeStep prices one decode iteration for a batch of requests whose
+// current context lengths are given. It returns the iteration's decode
+// time (weights + compute), the KV memory-access time, and the
+// dequantization-or-approximation overhead — the three buckets the
+// paper's JCT decomposition separates.
+func (c *CostModel) DecodeStep(m Method, contextLens []int) (decode, kvMem, overhead float64) {
+	if len(contextLens) == 0 {
+		return 0, 0, 0
+	}
+	flops := c.tensorFLOPS(c.Decode, c.DecodePar)
+	bw := c.memBW(c.Decode, c.DecodePar)
+	batch := float64(len(contextLens))
+
+	// Weight streaming (once per iteration) vs dense compute for the
+	// whole batch: the bigger bound wins.
+	weightTime := float64(c.Spec.WeightBytesFP16()) / bw
+	linear := 2 * float64(c.Spec.Params) * batch / flops
+	decode = weightTime
+	if linear > decode {
+		decode = linear
+	}
+	decode += float64(c.Spec.Layers) * c.Params.PerLayerOverheadUS * 1e-6
+
+	int8 := c.quantOPS(m, c.Decode, c.DecodePar)
+	for _, l := range contextLens {
+		// Memory access for the KV cache read (scattered, so below the
+		// streaming rate); dequantize-first methods additionally re-read
+		// part of the materialized FP16 KV.
+		kvBW := bw * c.Params.KVAccessEff
+		kvMem += c.ResidentKVBytes(m, l) / kvBW
+		if m.Dequant {
+			kvMem += c.KVBytesFP16(l) * c.Params.DequantRereadFrac / kvBW
+		}
+		// Attention matmul compute.
+		attnF := float64(c.Spec.AttnFLOPsDecode(l))
+		switch {
+		case m.Homomorphic && int8 > 0:
+			decode += attnF / int8
+		default:
+			decode += attnF / (flops * m.AttnSpeedup)
+		}
+		// Per-iteration overhead bucket.
+		switch {
+		case m.Dequant:
+			// Dequantizing the whole cache costs roughly one extra
+			// FP16-sized pass over the KV data (see CostParams).
+			overhead += c.KVBytesFP16(l) * c.Params.DequantTraffic / bw
+		case m.Homomorphic:
+			perHead := float64(10 * (c.Spec.HeadDim + l))
+			ops := perHead * float64(c.Spec.Layers) * float64(c.Spec.Heads)
+			overhead += ops / c.vectorFLOPS(c.Decode, c.DecodePar)
+			if !m.SE {
+				// Recomputing Σb′ re-reads the whole quantized cache
+				// and sums it, with its own kernel launches — per
+				// request, every iteration (§5.3's 2·d_h·L term).
+				sumOps := float64(2*c.Spec.HeadDim*l) * float64(c.Spec.Layers) * float64(c.Spec.Heads)
+				overhead += c.ResidentKVBytes(m, l)/bw +
+					sumOps/c.vectorFLOPS(c.Decode, c.DecodePar) +
+					float64(c.Spec.Layers)*c.Params.SELaunchUS*1e-6
+			}
+			if !m.RQE {
+				// Requantizing the trailing V block: dequantize +
+				// requantize ~Π/2 tokens × d_h × kv heads × layers,
+				// ~8 vector ops per element plus a launch per layer,
+				// per request, every iteration.
+				elems := float64(m.Pi) / 2 * float64(c.Spec.HeadDim) *
+					float64(c.Spec.KVHeads) * float64(c.Spec.Layers)
+				overhead += elems*8/c.vectorFLOPS(c.Decode, c.DecodePar) +
+					float64(c.Spec.Layers)*c.Params.RQELaunchUS*1e-6
+			} else {
+				// RQE's FP16 tail matmul (≤Π tokens) is priced inside
+				// the attention term at FP16 rate; its share is
+				// Π/(2l) of the matmul, significant only for short
+				// sequences (§7.2's reduced short-sequence gains).
+				tailFrac := float64(m.Pi) / 2 / float64(maxInt(l, m.Pi))
+				decode += attnF * tailFrac / flops
+			}
+		}
+	}
+	// Per-iteration kernel-launch overheads of the method's extra
+	// passes (once per iteration, not per request).
+	switch {
+	case m.Dequant:
+		overhead += float64(c.Spec.Layers) * c.Params.DequantLaunchUS * 1e-6
+	case m.Homomorphic:
+		overhead += float64(c.Spec.Layers) * c.Params.ApproxLaunchUS * 1e-6
+	}
+	return decode, kvMem, overhead
+}
+
+// DecodeMemoryBytes returns the decode replica's memory demand for a set
+// of context lengths: weights + KV + activation reservation.
+func (c *CostModel) DecodeMemoryBytes(m Method, contextLens []int) float64 {
+	total := float64(c.Spec.WeightBytesFP16()) + c.Params.ActivationGiB*float64(1<<30)
+	for _, l := range contextLens {
+		total += c.ResidentKVBytes(m, l)
+	}
+	return total
+}
+
+// DecodeReplicaCapacityBytes returns the GPU memory available to one
+// decode replica (its TP×PP share of the instance).
+func (c *CostModel) DecodeReplicaCapacityBytes() float64 {
+	gpus := float64(c.DecodePar.GPUsPerReplica())
+	return gpus * c.Decode.GPU.MemGiB * float64(1<<30)
+}
+
+// TransferTime returns the KV transfer time at the given share of link
+// bandwidth (Gbps).
+func (c *CostModel) TransferTime(m Method, l int, shareGbps float64) float64 {
+	if shareGbps <= 0 {
+		return 0
+	}
+	return c.WireBytes(m, l) * 8 / (shareGbps * 1e9 * c.Params.NetEff)
+}
+
+// LinkGbps returns the bottleneck link bandwidth between the prefill and
+// decode instances.
+func (c *CostModel) LinkGbps() float64 {
+	if c.Prefill.NetGbps < c.Decode.NetGbps {
+		return c.Prefill.NetGbps
+	}
+	return c.Decode.NetGbps
+}
+
+// SwapTime returns the time to stage KV through CPU memory (one hop).
+func (c *CostModel) SwapTime(m Method, l int) float64 {
+	return c.WireBytes(m, l) / (c.Params.CPUSwapGBs * 1e9)
+}
+
+// String summarizes the deployment.
+func (c *CostModel) String() string {
+	return fmt.Sprintf("%s: prefill %s (TP%d,PP%d) → decode %s (TP%d,PP%d)",
+		c.Spec.Name, c.Prefill.GPUName, c.PrefillPar.TP, c.PrefillPar.PP,
+		c.Decode.GPUName, c.DecodePar.TP, c.DecodePar.PP)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

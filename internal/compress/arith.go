@@ -1,0 +1,251 @@
+// Package compress implements the KV bitstream codecs of the comparison
+// systems: a CacheGen-style entropy-coded format (adaptive arithmetic
+// coding over quantized code symbols, which are heavily skewed toward
+// central codes for Gaussian-distributed KV values) and the raw packed
+// format used by KVQuant-style quantizers. The codecs give the wire-size
+// numbers that the transfer model prices.
+package compress
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Arithmetic coding with 32-bit registers and an adaptive order-0
+// frequency model, after Witten/Neal/Cleary (CACM 1987). Symbols are
+// b-bit quantization codes, so the alphabet is at most 256.
+
+const (
+	codeBits  = 32
+	topValue  = (uint64(1) << codeBits) - 1
+	firstQtr  = topValue/4 + 1
+	halfValue = 2 * firstQtr
+	thirdQtr  = 3 * firstQtr
+	maxTotal  = uint64(1) << 29 // rescale threshold for frequency counts
+)
+
+// freqModel is an adaptive order-0 model over nsym symbols.
+type freqModel struct {
+	freq []uint64
+	cum  []uint64 // cum[i] = Σ freq[j<i]; cum[nsym] = total
+}
+
+func newFreqModel(nsym int) *freqModel {
+	m := &freqModel{freq: make([]uint64, nsym), cum: make([]uint64, nsym+1)}
+	for i := range m.freq {
+		m.freq[i] = 1
+	}
+	m.rebuild()
+	return m
+}
+
+func (m *freqModel) rebuild() {
+	var c uint64
+	for i, f := range m.freq {
+		m.cum[i] = c
+		c += f
+	}
+	m.cum[len(m.freq)] = c
+}
+
+func (m *freqModel) total() uint64 { return m.cum[len(m.freq)] }
+
+func (m *freqModel) update(sym int) {
+	m.freq[sym] += 32
+	if m.total()+32 >= maxTotal {
+		for i := range m.freq {
+			m.freq[i] = (m.freq[i] + 1) / 2
+		}
+	}
+	m.rebuild()
+}
+
+// bitWriter emits single bits into a byte slice, MSB first.
+type bitWriter struct {
+	buf  []byte
+	cur  byte
+	nbit int
+}
+
+func (w *bitWriter) writeBit(b int) {
+	w.cur = w.cur<<1 | byte(b)
+	w.nbit++
+	if w.nbit == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nbit = 0, 0
+	}
+}
+
+func (w *bitWriter) flush() []byte {
+	for w.nbit != 0 {
+		w.writeBit(0)
+	}
+	return w.buf
+}
+
+// bitReader consumes bits MSB first; reads past the end return zeros,
+// which is the standard arithmetic-decoder convention.
+type bitReader struct {
+	buf  []byte
+	pos  int
+	cur  byte
+	nbit int
+}
+
+func (r *bitReader) readBit() int {
+	if r.nbit == 0 {
+		if r.pos < len(r.buf) {
+			r.cur = r.buf[r.pos]
+			r.pos++
+		} else {
+			r.cur = 0
+		}
+		r.nbit = 8
+	}
+	b := int(r.cur >> 7)
+	r.cur <<= 1
+	r.nbit--
+	return b
+}
+
+// encoder carries arithmetic-coder state.
+type encoder struct {
+	low, high uint64
+	pending   int
+	w         bitWriter
+}
+
+func (e *encoder) emit(bit int) {
+	e.w.writeBit(bit)
+	for ; e.pending > 0; e.pending-- {
+		e.w.writeBit(1 - bit)
+	}
+}
+
+func (e *encoder) encode(m *freqModel, sym int) {
+	total := m.total()
+	span := e.high - e.low + 1
+	e.high = e.low + span*m.cum[sym+1]/total - 1
+	e.low = e.low + span*m.cum[sym]/total
+	for {
+		switch {
+		case e.high < halfValue:
+			e.emit(0)
+		case e.low >= halfValue:
+			e.emit(1)
+			e.low -= halfValue
+			e.high -= halfValue
+		case e.low >= firstQtr && e.high < thirdQtr:
+			e.pending++
+			e.low -= firstQtr
+			e.high -= firstQtr
+		default:
+			return
+		}
+		e.low <<= 1
+		e.high = e.high<<1 | 1
+	}
+}
+
+func (e *encoder) finish() []byte {
+	e.pending++
+	if e.low < firstQtr {
+		e.emit(0)
+	} else {
+		e.emit(1)
+	}
+	return e.w.flush()
+}
+
+// decoder mirrors encoder.
+type decoder struct {
+	low, high, value uint64
+	r                bitReader
+}
+
+func newDecoder(data []byte) *decoder {
+	d := &decoder{high: topValue, r: bitReader{buf: data}}
+	for i := 0; i < codeBits; i++ {
+		d.value = d.value<<1 | uint64(d.r.readBit())
+	}
+	return d
+}
+
+func (d *decoder) decode(m *freqModel) int {
+	total := m.total()
+	span := d.high - d.low + 1
+	target := ((d.value-d.low+1)*total - 1) / span
+	// Binary search the cumulative table.
+	lo, hi := 0, len(m.freq)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if m.cum[mid] <= target {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	sym := lo
+	d.high = d.low + span*m.cum[sym+1]/total - 1
+	d.low = d.low + span*m.cum[sym]/total
+	for {
+		switch {
+		case d.high < halfValue:
+			// nothing
+		case d.low >= halfValue:
+			d.value -= halfValue
+			d.low -= halfValue
+			d.high -= halfValue
+		case d.low >= firstQtr && d.high < thirdQtr:
+			d.value -= firstQtr
+			d.low -= firstQtr
+			d.high -= firstQtr
+		default:
+			return sym
+		}
+		d.low <<= 1
+		d.high = d.high<<1 | 1
+		d.value = d.value<<1 | uint64(d.r.readBit())
+	}
+}
+
+// EntropyEncode compresses b-bit code symbols with adaptive arithmetic
+// coding. Quantized KV codes are far from uniform (central codes
+// dominate for bell-shaped value distributions), so this typically beats
+// raw packing — the effect CacheGen exploits.
+func EntropyEncode(codes []uint8, bits int) ([]byte, error) {
+	if bits < 1 || bits > 8 {
+		return nil, fmt.Errorf("compress: bits %d out of range", bits)
+	}
+	nsym := 1 << bits
+	m := newFreqModel(nsym)
+	e := &encoder{high: topValue}
+	for _, c := range codes {
+		if int(c) >= nsym {
+			return nil, fmt.Errorf("compress: code %d exceeds %d-bit alphabet", c, bits)
+		}
+		e.encode(m, int(c))
+		m.update(int(c))
+	}
+	return e.finish(), nil
+}
+
+// EntropyDecode reverses EntropyEncode for n symbols.
+func EntropyDecode(data []byte, n, bits int) ([]uint8, error) {
+	if bits < 1 || bits > 8 {
+		return nil, fmt.Errorf("compress: bits %d out of range", bits)
+	}
+	if n < 0 {
+		return nil, errors.New("compress: negative symbol count")
+	}
+	nsym := 1 << bits
+	m := newFreqModel(nsym)
+	d := newDecoder(data)
+	out := make([]uint8, n)
+	for i := range out {
+		sym := d.decode(m)
+		out[i] = uint8(sym)
+		m.update(sym)
+	}
+	return out, nil
+}

@@ -1,0 +1,68 @@
+package compress
+
+import (
+	"fmt"
+
+	"github.com/hackkv/hack/internal/quant"
+)
+
+// Codec turns quantization codes into a wire payload and back. The two
+// baselines and HACK all ship 2-bit codes; they differ in how the
+// bitstream is encoded.
+type Codec interface {
+	// Name identifies the codec.
+	Name() string
+	// Encode serializes b-bit codes into a wire payload.
+	Encode(codes []uint8, bits int) ([]byte, error)
+	// Decode recovers n codes from a payload.
+	Decode(data []byte, n, bits int) ([]uint8, error)
+}
+
+// RawCodec bit-packs codes with no entropy coding — the KVQuant-style
+// and HACK wire format.
+type RawCodec struct{}
+
+// Name implements Codec.
+func (RawCodec) Name() string { return "raw" }
+
+// Encode implements Codec.
+func (RawCodec) Encode(codes []uint8, bits int) ([]byte, error) {
+	return quant.Pack(codes, bits)
+}
+
+// Decode implements Codec.
+func (RawCodec) Decode(data []byte, n, bits int) ([]uint8, error) {
+	return quant.Unpack(data, n, bits)
+}
+
+// EntropyCodec arithmetic-codes the symbol stream — the CacheGen-style
+// format that exploits the skew of quantized KV code distributions.
+type EntropyCodec struct{}
+
+// Name implements Codec.
+func (EntropyCodec) Name() string { return "entropy" }
+
+// Encode implements Codec.
+func (EntropyCodec) Encode(codes []uint8, bits int) ([]byte, error) {
+	return EntropyEncode(codes, bits)
+}
+
+// Decode implements Codec.
+func (EntropyCodec) Decode(data []byte, n, bits int) ([]uint8, error) {
+	return EntropyDecode(data, n, bits)
+}
+
+// MeasureRatio encodes the tensor's codes with the codec and returns
+// payload bytes divided by raw packed bytes. Ratios below 1 mean the
+// codec compresses beyond plain bit packing.
+func MeasureRatio(c Codec, t *quant.Tensor) (float64, error) {
+	raw := quant.PackedBytes(len(t.Codes), t.Bits)
+	if raw == 0 {
+		return 0, fmt.Errorf("compress: empty tensor")
+	}
+	enc, err := c.Encode(t.Codes, t.Bits)
+	if err != nil {
+		return 0, err
+	}
+	return float64(len(enc)) / float64(raw), nil
+}

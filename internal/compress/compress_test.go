@@ -1,0 +1,197 @@
+package compress
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/hackkv/hack/internal/quant"
+	"github.com/hackkv/hack/internal/tensor"
+)
+
+func TestEntropyRoundTripSmall(t *testing.T) {
+	codes := []uint8{0, 1, 2, 3, 3, 3, 2, 1, 0, 0, 1, 2}
+	enc, err := EntropyEncode(codes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := EntropyDecode(enc, len(codes), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, codes) {
+		t.Fatalf("round trip: got %v, want %v", dec, codes)
+	}
+}
+
+func TestEntropyRoundTripEmpty(t *testing.T) {
+	enc, err := EntropyEncode(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := EntropyDecode(enc, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 0 {
+		t.Fatalf("decoded %d symbols from empty stream", len(dec))
+	}
+}
+
+func TestEntropyRoundTripProperty(t *testing.T) {
+	f := func(raw []byte, w8 uint8) bool {
+		w := int(w8%8) + 1
+		codes := make([]uint8, len(raw))
+		for i, b := range raw {
+			codes[i] = b & uint8(1<<w-1)
+		}
+		enc, err := EntropyEncode(codes, w)
+		if err != nil {
+			return false
+		}
+		dec, err := EntropyDecode(enc, len(codes), w)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(dec, codes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntropyRoundTripLongSkewed(t *testing.T) {
+	// Heavily skewed stream, like real quantized KV codes.
+	rng := rand.New(rand.NewSource(1))
+	codes := make([]uint8, 50000)
+	for i := range codes {
+		r := rng.Float64()
+		switch {
+		case r < 0.45:
+			codes[i] = 1
+		case r < 0.85:
+			codes[i] = 2
+		case r < 0.95:
+			codes[i] = 0
+		default:
+			codes[i] = 3
+		}
+	}
+	enc, err := EntropyEncode(codes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := EntropyDecode(enc, len(codes), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, codes) {
+		t.Fatal("long skewed stream corrupted")
+	}
+	// The skewed distribution has entropy ≈ 1.7 bits < 2, so the coder
+	// must beat raw packing.
+	raw := quant.PackedBytes(len(codes), 2)
+	if len(enc) >= raw {
+		t.Errorf("entropy %d bytes >= raw %d bytes on skewed data", len(enc), raw)
+	}
+}
+
+func TestEntropyErrors(t *testing.T) {
+	if _, err := EntropyEncode([]uint8{4}, 2); err == nil {
+		t.Error("out-of-alphabet code accepted")
+	}
+	if _, err := EntropyEncode(nil, 0); err == nil {
+		t.Error("bits=0 accepted")
+	}
+	if _, err := EntropyDecode(nil, -1, 2); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := EntropyDecode(nil, 0, 9); err == nil {
+		t.Error("bits=9 accepted")
+	}
+}
+
+func TestCodecsOnRealKV(t *testing.T) {
+	// Quantize a Gaussian KV block and check both codecs round-trip and
+	// that the entropy codec compresses it below raw packing (the
+	// CacheGen effect: 2-bit codes of bell-shaped data are skewed).
+	rng := rand.New(rand.NewSource(2))
+	k := tensor.RandNormal(rng, 1024, 128, 1)
+	qt := quant.MustQuantize(k, quant.AlongCols, quant.Config{
+		Bits: 2, Partition: 64, Rounding: quant.StochasticRounding, RNG: rng,
+	})
+	for _, c := range []Codec{RawCodec{}, EntropyCodec{}} {
+		enc, err := c.Encode(qt.Codes, qt.Bits)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		dec, err := c.Decode(enc, len(qt.Codes), qt.Bits)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if !bytes.Equal(dec, qt.Codes) {
+			t.Fatalf("%s: round trip corrupted", c.Name())
+		}
+	}
+	ratio, err := MeasureRatio(EntropyCodec{}, qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio >= 1.0 {
+		t.Errorf("entropy ratio %.3f on Gaussian KV, want < 1", ratio)
+	}
+	rawRatio, err := MeasureRatio(RawCodec{}, qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rawRatio != 1.0 {
+		t.Errorf("raw ratio %.3f, want exactly 1", rawRatio)
+	}
+}
+
+func TestMeasureRatioEmpty(t *testing.T) {
+	if _, err := MeasureRatio(RawCodec{}, quant.Empty(quant.AlongCols, 4, 2, 4)); err == nil {
+		t.Error("empty tensor accepted")
+	}
+}
+
+func TestCodecNames(t *testing.T) {
+	if (RawCodec{}).Name() != "raw" || (EntropyCodec{}).Name() != "entropy" {
+		t.Error("codec names wrong")
+	}
+}
+
+func BenchmarkEntropyEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	codes := make([]uint8, 64*1024)
+	for i := range codes {
+		codes[i] = uint8(rng.Intn(3) + rng.Intn(2)) // skewed
+	}
+	b.SetBytes(int64(len(codes)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EntropyEncode(codes, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEntropyDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	codes := make([]uint8, 64*1024)
+	for i := range codes {
+		codes[i] = uint8(rng.Intn(4))
+	}
+	enc, err := EntropyEncode(codes, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(codes)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EntropyDecode(enc, len(codes), 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,377 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parsePct reads a "12.3%" cell.
+func parsePct(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimPrefix(cell, "+"), "%"), 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", cell, err)
+	}
+	return v
+}
+
+// parseSecs reads a "12.3s" cell.
+func parseSecs(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "s"), 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestTablePrinting(t *testing.T) {
+	tb := &Table{ID: "X", Title: "demo", Header: []string{"a", "bb"}, Notes: "n"}
+	tb.AddRow("1", "2")
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== X: demo ==", "a", "bb", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPoolSizing(t *testing.T) {
+	if _, err := prefillInstanceCount("H100"); err == nil {
+		t.Error("unknown GPU accepted")
+	}
+	n, _ := prefillInstanceCount("A10G")
+	if n != 10 {
+		t.Errorf("A10G pool %d, want 10", n)
+	}
+}
+
+func TestFig1aShape(t *testing.T) {
+	tb, err := Fig1a(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(tb.Rows))
+	}
+	comm := map[string]float64{}
+	for _, row := range tb.Rows {
+		comm[row[0]] = parsePct(t, row[2])
+	}
+	// A100's fat NIC gives it the smallest comm share; V100's thin one
+	// the largest (Fig. 1a / 1d case i).
+	for gpu, c := range comm {
+		if gpu == "A100" {
+			continue
+		}
+		if comm["A100"] >= c {
+			t.Errorf("A100 comm %.1f%% not below %s's %.1f%%", comm["A100"], gpu, c)
+		}
+	}
+	if comm["V100"] <= comm["T4"] {
+		t.Errorf("V100 comm %.1f%% should top T4's %.1f%%", comm["V100"], comm["T4"])
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	tb, err := Fig9(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		ds := row[0]
+		base := parseSecs(t, row[1])
+		hack := parseSecs(t, row[4])
+		if hack >= base {
+			t.Errorf("%s: HACK %.1fs not below baseline %.1fs", ds, hack, base)
+		}
+		// Long-sequence datasets see the largest improvements.
+		if ds == "Cocktail" {
+			if imp := 1 - hack/base; imp < 0.30 {
+				t.Errorf("Cocktail improvement %.2f, want > 0.30", imp)
+			}
+		}
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	tb, err := Table5(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var basePeak, hackPeak float64
+	for _, row := range tb.Rows {
+		if row[0] == "Baseline" {
+			basePeak = parsePct(t, row[3]) // Cocktail column
+		}
+		if row[0] == "HACK" {
+			hackPeak = parsePct(t, row[3])
+		}
+	}
+	if basePeak < 80 {
+		t.Errorf("baseline Cocktail peak %.1f%%, want memory saturation", basePeak)
+	}
+	if hackPeak > basePeak-20 {
+		t.Errorf("HACK peak %.1f%% not well below baseline %.1f%%", hackPeak, basePeak)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	s := Quick()
+	tb, err := Fig12(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	impBase := map[string]float64{}
+	impCG := map[string]float64{}
+	for _, row := range tb.Rows {
+		impBase[row[0]] = parsePct(t, row[5])
+		impCG[row[0]] = parsePct(t, row[6])
+	}
+	// V100: biggest gain over baseline, smallest over CacheGen (§7.2).
+	for gpu := range impBase {
+		if gpu == "V100" {
+			continue
+		}
+		if impBase["V100"] <= impBase[gpu] {
+			t.Errorf("V100 baseline gain %.1f%% not above %s's %.1f%%", impBase["V100"], gpu, impBase[gpu])
+		}
+		if impCG["V100"] >= impCG[gpu] {
+			t.Errorf("V100 CacheGen gain %.1f%% not below %s's %.1f%%", impCG["V100"], gpu, impCG[gpu])
+		}
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	tb, err := Fig13(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := map[string][2]float64{}
+	for _, row := range tb.Rows {
+		loss[row[0]] = [2]float64{parsePct(t, row[4]), parsePct(t, row[5])}
+	}
+	// Long sequences: SE loss > RQE loss. Short: RQE loss > SE loss.
+	if loss["Cocktail"][0] <= loss["Cocktail"][1] {
+		t.Errorf("Cocktail: SE loss %.1f%% should exceed RQE loss %.1f%%",
+			loss["Cocktail"][0], loss["Cocktail"][1])
+	}
+	if loss["IMDb"][1] <= loss["IMDb"][0] {
+		t.Errorf("IMDb: RQE loss %.1f%% should exceed SE loss %.1f%%",
+			loss["IMDb"][1], loss["IMDb"][0])
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	tb, err := Fig14(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(tb.Rows))
+	}
+	baseP1 := parseSecs(t, tb.Rows[0][1])
+	baseP8 := parseSecs(t, tb.Rows[3][1])
+	hackP1 := parseSecs(t, tb.Rows[0][4])
+	hackP8 := parseSecs(t, tb.Rows[3][4])
+	baseGrowth := baseP8/baseP1 - 1
+	hackGrowth := hackP8/hackP1 - 1
+	if baseGrowth < 0.30 {
+		t.Errorf("baseline growth %.2f from p=1 to p=8, want large (paper: 1.27)", baseGrowth)
+	}
+	if hackGrowth >= baseGrowth/2 {
+		t.Errorf("HACK growth %.2f should be far below baseline's %.2f", hackGrowth, baseGrowth)
+	}
+}
+
+func TestFig1dShape(t *testing.T) {
+	tb, err := Fig1d(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		lo := parsePct(t, row[1])
+		hi := parsePct(t, row[len(row)-1])
+		if hi < lo-1 { // comm ratio should not shrink with load
+			t.Errorf("%s: comm ratio fell from %.1f%% to %.1f%% with load", row[0], lo, hi)
+		}
+	}
+}
+
+func TestFP48Shape(t *testing.T) {
+	tb, err := FP48(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 15 {
+		t.Fatalf("%d rows, want 15", len(tb.Rows))
+	}
+	// FP8 transfers twice FP4's bytes: comm ratio should not be lower
+	// on the same instance.
+	comm := map[string]float64{}
+	for _, row := range tb.Rows {
+		comm[row[0]] = parsePct(t, row[1])
+	}
+	if comm["FP8/V100"] < comm["FP4/V100"] {
+		t.Errorf("FP8 comm %.1f%% below FP4's %.1f%% on V100", comm["FP8/V100"], comm["FP4/V100"])
+	}
+}
+
+func TestFidelityLadderOrdering(t *testing.T) {
+	a := QuickAccuracy()
+	a.Trials = 3 // 12 probe draws
+	tb, err := FidelityLadder(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := map[string]float64{}
+	for _, row := range tb.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs[row[0]] = v
+	}
+	if errs["Baseline"] > 0.01 {
+		t.Errorf("baseline error %.4f, want ~0", errs["Baseline"])
+	}
+	if errs["HACK (Π=32)"] >= errs["HACK (Π=128)"] {
+		t.Errorf("Π=32 error %.3f not below Π=128's %.3f", errs["HACK (Π=32)"], errs["HACK (Π=128)"])
+	}
+	// The dequant baselines sit between the extremes.
+	for _, m := range []string{"CacheGen", "KVQuant"} {
+		if errs[m] <= errs["HACK (Π=32)"] {
+			t.Errorf("%s error %.3f below Π=32's %.3f", m, errs[m], errs["HACK (Π=32)"])
+		}
+	}
+}
+
+func TestTable6Runs(t *testing.T) {
+	a := QuickAccuracy()
+	a.Trials = 1
+	tb, err := Table6(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(tb.Rows))
+	}
+	// Baseline row must be ~perfect against the exact reference.
+	if !strings.HasPrefix(tb.Rows[0][1], "100.0%") {
+		t.Errorf("baseline IMDb cell %q, want 100%%", tb.Rows[0][1])
+	}
+}
+
+func TestTable7Mechanism(t *testing.T) {
+	a := QuickAccuracy()
+	a.Trials = 1
+	tb, err := Table7(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		rqe, _ := strconv.ParseFloat(row[1], 64)
+		abl, _ := strconv.ParseFloat(row[2], 64)
+		if abl <= rqe*5 {
+			t.Errorf("%s: ablation error %.4f not well above RQE's %.4f", row[0], abl, rqe)
+		}
+	}
+}
+
+func TestSEMemoryBands(t *testing.T) {
+	tb, err := SEMemory(QuickAccuracy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := parsePct(t, tb.Rows[0][2])
+	if sums < 2 || sums > 8 {
+		t.Errorf("SE sum fraction %.1f%%, want ~5%% of quantized KV (§6)", sums)
+	}
+}
+
+func TestExtINT4Shape(t *testing.T) {
+	tb, err := ExtINT4(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		gain := parsePct(t, row[3])
+		if gain < -1 {
+			t.Errorf("%s: INT4 slower than INT8 by %.1f%%", row[0], -gain)
+		}
+		if gain > 40 {
+			t.Errorf("%s: INT4 gain %.1f%% implausibly large", row[0], gain)
+		}
+	}
+}
+
+func TestCostTableShape(t *testing.T) {
+	tb, err := CostTable(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		base, _ := strconv.ParseFloat(strings.TrimPrefix(row[2], "$"), 64)
+		hack, _ := strconv.ParseFloat(strings.TrimPrefix(row[5], "$"), 64)
+		if hack >= base {
+			t.Errorf("%s: HACK cost $%.2f not below baseline $%.2f", row[0], hack, base)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.AddRow("1", "x,y") // embedded comma must be quoted
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"x,y\"\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+// The distortion instrument must order the extremes correctly even at
+// tiny trial counts: baseline ≈ 0, and Π=32 below Π=128.
+func TestLogitDistortionOrdering(t *testing.T) {
+	a := QuickAccuracy()
+	a.Trials = 2
+	tb, err := LogitDistortion(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := map[string]float64{}
+	for _, row := range tb.Rows {
+		var mean float64
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mean += v / float64(len(row)-1)
+		}
+		d[row[0]] = mean
+	}
+	if d["Baseline"] > 0.01 {
+		t.Errorf("baseline distortion %.4f, want ~0", d["Baseline"])
+	}
+	if d["HACK (Π=32)"] >= d["HACK (Π=128)"] {
+		t.Errorf("Π=32 distortion %.3f not below Π=128's %.3f", d["HACK (Π=32)"], d["HACK (Π=128)"])
+	}
+	for name, v := range d {
+		if name != "Baseline" && (v < 0.005 || v > 3) {
+			t.Errorf("%s distortion %.4f out of plausible band", name, v)
+		}
+	}
+}

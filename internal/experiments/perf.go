@@ -1,0 +1,422 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/hackkv/hack/internal/cluster"
+	"github.com/hackkv/hack/internal/model"
+	"github.com/hackkv/hack/internal/sim"
+	"github.com/hackkv/hack/internal/workload"
+)
+
+// Fig1a reproduces Fig. 1(a): baseline time ratios (prefill / comm /
+// decode) for Llama-3.1 70B + Cocktail across prefill instances.
+func Fig1a(s Settings) (*Table, error) {
+	t := &Table{ID: "Fig 1a", Title: "baseline time ratios by prefill GPU (Llama-70B, Cocktail)",
+		Header: []string{"GPU", "Prefill", "Comm", "Decode", "KVMemAcc", "AvgJCT"}}
+	for _, in := range cluster.PrefillInstances() {
+		d, err := newDeployment(model.Llama70B(), in, s)
+		if err != nil {
+			return nil, err
+		}
+		res, err := d.runScenario(s, cluster.Baseline(), workload.Cocktail(), false)
+		if err != nil {
+			return nil, err
+		}
+		r := res.AvgRatios()
+		t.AddRow(in.GPUName, pct(r.Prefill), pct(r.Comm), pct(r.Decode+r.Overhead+r.Quant),
+			pct(r.KVMem), secs(res.AvgJCT()))
+	}
+	t.Notes = "paper: A100 comm 3.7%, others 19.1–23.5%; prefill 19.7–41.4%; decode 43.1–82.5%"
+	return t, nil
+}
+
+// Fig1b reproduces Fig. 1(b): baseline ratios across models (Cocktail;
+// arXiv capped to 2K for Falcon-180B).
+func Fig1b(s Settings) (*Table, error) {
+	t := &Table{ID: "Fig 1b", Title: "baseline time ratios by model (A10G prefill)",
+		Header: []string{"Model", "Prefill", "Comm", "Decode", "AvgJCT"}}
+	for _, spec := range model.Catalog() {
+		d, err := newDeployment(spec, cluster.A10G(), s)
+		if err != nil {
+			return nil, err
+		}
+		res, err := d.runScenario(s, cluster.Baseline(), datasetFor(spec), false)
+		if err != nil {
+			return nil, err
+		}
+		r := res.AvgRatios()
+		t.AddRow(modelLabel(spec), pct(r.Prefill), pct(r.Comm),
+			pct(r.Decode+r.Overhead+r.Quant), secs(res.AvgJCT()))
+	}
+	t.Notes = "paper: comm 11.8% (F-arXiv) / 18.7–25.3% (others); prefill 17.6–45.6%; decode 39.8–81.7%"
+	return t, nil
+}
+
+// Fig1c reproduces Fig. 1(c): baseline ratios across datasets for
+// Llama-70B on A10G.
+func Fig1c(s Settings) (*Table, error) {
+	t := &Table{ID: "Fig 1c", Title: "baseline time ratios by dataset (Llama-70B, A10G)",
+		Header: []string{"Dataset", "Prefill", "Comm", "Decode", "AvgJCT"}}
+	d, err := newDeployment(model.Llama70B(), cluster.A10G(), s)
+	if err != nil {
+		return nil, err
+	}
+	for _, ds := range workload.Datasets() {
+		res, err := d.runScenario(s, cluster.Baseline(), ds, false)
+		if err != nil {
+			return nil, err
+		}
+		r := res.AvgRatios()
+		t.AddRow(ds.Name, pct(r.Prefill), pct(r.Comm), pct(r.Decode+r.Overhead+r.Quant), secs(res.AvgJCT()))
+	}
+	t.Notes = "paper: comm 9.5–21.9%; prefill 13.6–37.1%; decode 54.8–83.3%"
+	return t, nil
+}
+
+// Fig1d reproduces Fig. 1(d): average communication ratio with
+// pipelining as load grows, per prefill instance. The paper sweeps
+// absolute RPS 0.06–0.18 on its testbed; we sweep the same fractions of
+// each deployment's baseline capacity.
+func Fig1d(s Settings) (*Table, error) {
+	fracs := []float64{0.4, 0.7, 1.0, 1.25}
+	header := []string{"GPU"}
+	for _, f := range fracs {
+		header = append(header, fmt.Sprintf("load %.0f%%", 100*f))
+	}
+	t := &Table{ID: "Fig 1d", Title: "comm ratio with pipelining vs load (Llama-70B, Cocktail)",
+		Header: header}
+	for _, in := range cluster.PrefillInstances() {
+		d, err := newDeployment(model.Llama70B(), in, s)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{in.GPUName}
+		for _, f := range fracs {
+			ls := s
+			ls.LoadFrac = f
+			res, err := d.runScenario(ls, cluster.Baseline(), workload.Cocktail(), true)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, pct(res.AvgRatios().Comm))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = "paper: V100 21.4→39.2% (case i); A10G/T4/L4 3.3–4.1→18.7–23.5% (case ii); A100 1.4→3.7%"
+	return t, nil
+}
+
+// decompRunner renders the Fig. 2/3/4 decomposition (prefill / comm /
+// dequant / decode) for one quantization method across a dimension.
+func decompRow(t *Table, label string, res *sim.Result) {
+	r := res.AvgRatios()
+	t.AddRow(label, pct(r.Prefill), pct(r.Comm), pct(r.Overhead),
+		pct(r.Decode+r.Quant), secs(res.AvgJCT()))
+}
+
+// Fig2 reproduces Fig. 2: CacheGen and KVQuant decomposition across
+// prefill instances (Llama-70B, Cocktail).
+func Fig2(s Settings) (*Table, error) {
+	t := &Table{ID: "Fig 2", Title: "KV-quantization methods across prefill instances (Llama-70B, Cocktail)",
+		Header: []string{"Method/GPU", "Prefill", "Comm", "Dequant", "Decode", "AvgJCT"}}
+	for _, m := range []cluster.Method{cluster.CacheGen(), cluster.KVQuant()} {
+		for _, in := range cluster.PrefillInstances() {
+			d, err := newDeployment(model.Llama70B(), in, s)
+			if err != nil {
+				return nil, err
+			}
+			res, err := d.runScenario(s, m, workload.Cocktail(), false)
+			if err != nil {
+				return nil, err
+			}
+			decompRow(t, m.Name+"/"+in.GPUName, res)
+		}
+	}
+	t.Notes = "paper: dequant 26.4–37.9% on non-A100 instances; comm reduced by 3.1–34.1 points vs Fig 1a"
+	return t, nil
+}
+
+// Fig3 reproduces Fig. 3: the same decomposition across models.
+func Fig3(s Settings) (*Table, error) {
+	t := &Table{ID: "Fig 3", Title: "KV-quantization methods across models (A10G prefill)",
+		Header: []string{"Method/Model", "Prefill", "Comm", "Dequant", "Decode", "AvgJCT"}}
+	for _, m := range []cluster.Method{cluster.CacheGen(), cluster.KVQuant()} {
+		for _, spec := range model.Catalog() {
+			d, err := newDeployment(spec, cluster.A10G(), s)
+			if err != nil {
+				return nil, err
+			}
+			res, err := d.runScenario(s, m, datasetFor(spec), false)
+			if err != nil {
+				return nil, err
+			}
+			decompRow(t, m.Name+"/"+modelLabel(spec), res)
+		}
+	}
+	t.Notes = "paper: dequant 18.2–30.8% across models"
+	return t, nil
+}
+
+// Fig4 reproduces Fig. 4: the same decomposition across datasets.
+func Fig4(s Settings) (*Table, error) {
+	t := &Table{ID: "Fig 4", Title: "KV-quantization methods across datasets (Llama-70B, A10G)",
+		Header: []string{"Method/Dataset", "Prefill", "Comm", "Dequant", "Decode", "AvgJCT"}}
+	d, err := newDeployment(model.Llama70B(), cluster.A10G(), s)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range []cluster.Method{cluster.CacheGen(), cluster.KVQuant()} {
+		for _, ds := range workload.Datasets() {
+			res, err := d.runScenario(s, m, ds, false)
+			if err != nil {
+				return nil, err
+			}
+			decompRow(t, m.Name+"/"+ds.Name, res)
+		}
+	}
+	t.Notes = "paper: dequant 17.2–30.4%; long-sequence dequant time 12.4–24.9x the short-sequence one"
+	return t, nil
+}
+
+// FP48 reproduces the §3 simulation: communication and KV memory-access
+// ratios for FP4/FP6/FP8 KV formats (Llama-70B, Cocktail, per instance).
+func FP48(s Settings) (*Table, error) {
+	t := &Table{ID: "§3", Title: "FP4/6/8 KV formats (Llama-70B, Cocktail)",
+		Header: []string{"Format/GPU", "Comm", "KVMemAcc", "AvgJCT"}}
+	for _, bits := range []int{4, 6, 8} {
+		m, err := cluster.FPFormat(bits)
+		if err != nil {
+			return nil, err
+		}
+		for _, in := range cluster.PrefillInstances() {
+			d, err := newDeployment(model.Llama70B(), in, s)
+			if err != nil {
+				return nil, err
+			}
+			res, err := d.runScenario(s, m, workload.Cocktail(), false)
+			if err != nil {
+				return nil, err
+			}
+			r := res.AvgRatios()
+			t.AddRow(fmt.Sprintf("FP%d/%s", bits, in.GPUName), pct(r.Comm), pct(r.KVMem), secs(res.AvgJCT()))
+		}
+	}
+	t.Notes = "paper: comm up to 24.3% (FP4), 32.3% (FP6), 37.5% (FP8); KV mem access 10.7–19.4%"
+	return t, nil
+}
+
+// Fig9 reproduces Fig. 9: average JCT of the four methods across
+// datasets (Llama-70B, A10G prefill).
+func Fig9(s Settings) (*Table, error) {
+	t := &Table{ID: "Fig 9", Title: "average JCT by method and dataset (Llama-70B, A10G)",
+		Header: []string{"Dataset", "Baseline", "CacheGen", "KVQuant", "HACK", "HACK vs Base", "HACK vs CG"}}
+	d, err := newDeployment(model.Llama70B(), cluster.A10G(), s)
+	if err != nil {
+		return nil, err
+	}
+	for _, ds := range workload.Datasets() {
+		jct := map[string]float64{}
+		for _, m := range cluster.EvaluatedMethods() {
+			res, err := d.runScenario(s, m, ds, false)
+			if err != nil {
+				return nil, err
+			}
+			jct[m.Name] = res.AvgJCT()
+		}
+		t.AddRow(ds.Name, secs(jct["Baseline"]), secs(jct["CacheGen"]), secs(jct["KVQuant"]), secs(jct["HACK"]),
+			pct(1-jct["HACK"]/jct["Baseline"]), pct(1-jct["HACK"]/jct["CacheGen"]))
+	}
+	t.Notes = "paper: HACK vs baseline 38.6/55.3/61.6/40.1%; vs CacheGen 19.2/36.8/41.5/22.5% (IMDb/arXiv/Cocktail/HumanEval)"
+	return t, nil
+}
+
+// Fig10 reproduces Fig. 10: the JCT decomposition behind Fig. 9.
+func Fig10(s Settings) (*Table, error) {
+	t := &Table{ID: "Fig 10", Title: "JCT decomposition by method and dataset (Llama-70B, A10G)",
+		Header: []string{"Dataset/Method", "Prefill", "Quant", "Comm", "Dequant/Approx", "Decode", "AvgJCT"}}
+	d, err := newDeployment(model.Llama70B(), cluster.A10G(), s)
+	if err != nil {
+		return nil, err
+	}
+	for _, ds := range workload.Datasets() {
+		for _, m := range cluster.EvaluatedMethods() {
+			res, err := d.runScenario(s, m, ds, false)
+			if err != nil {
+				return nil, err
+			}
+			at := res.AvgTimes()
+			t.AddRow(ds.Name+"/"+m.Name, secs(at.Prefill+at.Queue), fmt.Sprintf("%.2fs", at.Quant),
+				secs(at.Comm), fmt.Sprintf("%.2fs", at.Overhead), secs(at.Decode), secs(res.AvgJCT()))
+		}
+	}
+	t.Notes = "paper: quant 1.25–2.91% of JCT; KV transfer cut 80.6–85.4%; HACK approx 1.53–3.18% vs dequant 17.2–30.4%"
+	return t, nil
+}
+
+// Table5 reproduces Table 5: peak decode-instance GPU memory usage.
+func Table5(s Settings) (*Table, error) {
+	t := &Table{ID: "Table 5", Title: "peak decode GPU memory usage (Llama-70B, A10G prefill)",
+		Header: []string{"Method", "IMDb", "arXiv", "Cocktail", "HumanEval"}}
+	d, err := newDeployment(model.Llama70B(), cluster.A10G(), s)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range cluster.EvaluatedMethods() {
+		row := []string{m.Name}
+		for _, ds := range workload.Datasets() {
+			res, err := d.runScenario(s, m, ds, false)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, pct(res.PeakMemFrac))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = "paper: baseline 65.3/83.1/93.7/68.9%; CacheGen 49.6/56.2/61.3/50.8%; KVQuant ~1pt lower; HACK +0.6–2.9pt over those"
+	return t, nil
+}
+
+// Fig11 reproduces Fig. 11: average JCT by method across models.
+func Fig11(s Settings) (*Table, error) {
+	t := &Table{ID: "Fig 11", Title: "average JCT by method and model (A10G prefill, Cocktail/arXiv)",
+		Header: []string{"Model", "Baseline", "CacheGen", "KVQuant", "HACK", "HACK vs Base", "HACK vs CG"}}
+	for _, spec := range model.Catalog() {
+		d, err := newDeployment(spec, cluster.A10G(), s)
+		if err != nil {
+			return nil, err
+		}
+		jct := map[string]float64{}
+		for _, m := range cluster.EvaluatedMethods() {
+			res, err := d.runScenario(s, m, datasetFor(spec), false)
+			if err != nil {
+				return nil, err
+			}
+			jct[m.Name] = res.AvgJCT()
+		}
+		t.AddRow(modelLabel(spec), secs(jct["Baseline"]), secs(jct["CacheGen"]), secs(jct["KVQuant"]), secs(jct["HACK"]),
+			pct(1-jct["HACK"]/jct["Baseline"]), pct(1-jct["HACK"]/jct["CacheGen"]))
+	}
+	t.Notes = "paper: HACK vs baseline 54.6/57.2/58.7/61.6/53.3%; vs CacheGen 42.4/39.1/44.8/41.5/31.7% (M/P/Y/L/F-arXiv)"
+	return t, nil
+}
+
+// Fig12 reproduces Fig. 12: average JCT by method across prefill
+// instances (Llama-70B, Cocktail).
+func Fig12(s Settings) (*Table, error) {
+	t := &Table{ID: "Fig 12", Title: "average JCT by method and prefill instance (Llama-70B, Cocktail)",
+		Header: []string{"GPU", "Baseline", "CacheGen", "KVQuant", "HACK", "HACK vs Base", "HACK vs CG"}}
+	for _, in := range cluster.PrefillInstances() {
+		d, err := newDeployment(model.Llama70B(), in, s)
+		if err != nil {
+			return nil, err
+		}
+		jct := map[string]float64{}
+		for _, m := range cluster.EvaluatedMethods() {
+			res, err := d.runScenario(s, m, workload.Cocktail(), false)
+			if err != nil {
+				return nil, err
+			}
+			jct[m.Name] = res.AvgJCT()
+		}
+		t.AddRow(in.GPUName, secs(jct["Baseline"]), secs(jct["CacheGen"]), secs(jct["KVQuant"]), secs(jct["HACK"]),
+			pct(1-jct["HACK"]/jct["Baseline"]), pct(1-jct["HACK"]/jct["CacheGen"]))
+	}
+	t.Notes = "paper: HACK vs baseline 61.6/70.9/62.1/59.3/60.5%; vs CacheGen 41.5/37.4/43.1/45.3/48.5% (A10G/V100/T4/L4/A100); V100's CG gap is smallest (no INT8)"
+	return t, nil
+}
+
+// Fig13 reproduces Fig. 13: the SE/RQE ablation JCTs across datasets.
+func Fig13(s Settings) (*Table, error) {
+	t := &Table{ID: "Fig 13", Title: "ablations: HACK vs HACK/SE vs HACK/RQE (Llama-70B, A10G)",
+		Header: []string{"Dataset", "HACK", "HACK/SE", "HACK/RQE", "SE loss", "RQE loss"}}
+	d, err := newDeployment(model.Llama70B(), cluster.A10G(), s)
+	if err != nil {
+		return nil, err
+	}
+	methods := []cluster.Method{
+		cluster.HACK(64, true, true), cluster.HACK(64, false, true), cluster.HACK(64, true, false),
+	}
+	for _, ds := range workload.Datasets() {
+		jct := map[string]float64{}
+		for _, m := range methods {
+			res, err := d.runScenario(s, m, ds, false)
+			if err != nil {
+				return nil, err
+			}
+			jct[m.Name] = res.AvgJCT()
+		}
+		t.AddRow(ds.Name, secs(jct["HACK"]), secs(jct["HACK/SE"]), secs(jct["HACK/RQE"]),
+			pct(jct["HACK/SE"]/jct["HACK"]-1), pct(jct["HACK/RQE"]/jct["HACK"]-1))
+	}
+	t.Notes = "paper: SE loss 13.8–15.3% (short) / 22.1–25.9% (long); RQE loss 17.8–21.7% (short) / 0.09–1.2% (long)"
+	return t, nil
+}
+
+// Table8JCT reproduces Table 8's JCT column: the average-JCT increase of
+// Π=32 and Π=64 relative to Π=128 across datasets.
+func Table8JCT(s Settings) (*Table, error) {
+	t := &Table{ID: "Table 8 (JCT)", Title: "partition-size sensitivity: JCT increase vs Π=128 (Llama-70B, A10G)",
+		Header: []string{"Π", "IMDb", "arXiv", "Cocktail", "HumanEval"}}
+	d, err := newDeployment(model.Llama70B(), cluster.A10G(), s)
+	if err != nil {
+		return nil, err
+	}
+	ref := map[string]float64{}
+	for _, ds := range workload.Datasets() {
+		res, err := d.runScenario(s, cluster.HACK(128, true, true), ds, false)
+		if err != nil {
+			return nil, err
+		}
+		ref[ds.Name] = res.AvgJCT()
+	}
+	for _, pi := range []int{32, 64} {
+		row := []string{fmt.Sprintf("Π=%d", pi)}
+		for _, ds := range workload.Datasets() {
+			res, err := d.runScenario(s, cluster.HACK(pi, true, true), ds, false)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, pct(res.AvgJCT()/ref[ds.Name]-1))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = "paper: Π=32 +13.8–28%; Π=64 +5.1–9.2%"
+	return t, nil
+}
+
+// Fig14 reproduces Fig. 14: scalability with the prefill:decode replica
+// ratio p. One decode replica (half a p4de: 4 GPUs, 200 Gbps); p prefill
+// replicas on A10G; RPS = 0.02·p.
+func Fig14(s Settings) (*Table, error) {
+	t := &Table{ID: "Fig 14", Title: "scalability: average JCT vs p (Llama-70B, Cocktail, RPS=0.02p)",
+		Header: []string{"p", "Baseline", "CacheGen", "KVQuant", "HACK"}}
+	cm, err := cluster.NewCostModel(model.Llama70B(), cluster.A10G(), cluster.A100(), s.Params)
+	if err != nil {
+		return nil, err
+	}
+	baseJCT := map[string]float64{}
+	for _, p := range []int{1, 2, 4, 8} {
+		reqs, err := workload.Trace(workload.Cocktail(), 0.02*float64(p), s.Requests, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%d", p)}
+		for _, m := range cluster.EvaluatedMethods() {
+			res, err := sim.Run(sim.Config{
+				CM: cm, Method: m, PrefillReplicas: p, DecodeReplicas: 1,
+				MaxBatch: s.MaxBatch, MemCapFrac: s.MemCapFrac,
+			}, reqs)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, secs(res.AvgJCT()))
+			if p == 1 {
+				baseJCT[m.Name] = res.AvgJCT()
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = "paper: baseline JCT grows 127% from p=1 to p=8; CacheGen/KVQuant/HACK only 31–43%"
+	return t, nil
+}

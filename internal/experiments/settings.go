@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/hackkv/hack/internal/cluster"
+	"github.com/hackkv/hack/internal/model"
+	"github.com/hackkv/hack/internal/sim"
+	"github.com/hackkv/hack/internal/workload"
+)
+
+// Settings hold the shared experiment parameters.
+type Settings struct {
+	// Params is the calibrated cost model (see EXPERIMENTS.md).
+	Params cluster.CostParams
+	// Requests is the trace length per simulation run.
+	Requests int
+	// Seed fixes all randomness.
+	Seed int64
+	// MaxBatch caps a decode replica's concurrent batch.
+	MaxBatch int
+	// MemCapFrac is the usable decode-memory fraction.
+	MemCapFrac float64
+	// LoadFrac drives each scenario at this fraction of the baseline's
+	// estimated capacity — the paper runs at "maximum processing
+	// capacity", i.e. close to 1.
+	LoadFrac float64
+}
+
+// Default returns the full-size settings used by cmd/hackbench.
+func Default() Settings {
+	return Settings{
+		Params:     cluster.DefaultCostParams(),
+		Requests:   200,
+		Seed:       42,
+		MaxBatch:   256,
+		MemCapFrac: 0.95,
+		LoadFrac:   0.85,
+	}
+}
+
+// Quick returns reduced-size settings for tests.
+func Quick() Settings {
+	s := Default()
+	s.Requests = 60
+	return s
+}
+
+// prefillInstanceCount returns the paper's §7.1 pool sizes: ten
+// g5.12xlarge (A10G), sixteen p3.8xlarge (V100), sixteen g4dn.12xlarge
+// (T4), ten g6.12xlarge (L4) or two p4de.24xlarge (A100) for prefill.
+func prefillInstanceCount(gpuName string) (int, error) {
+	switch gpuName {
+	case "A10G", "L4":
+		return 10, nil
+	case "V100", "T4":
+		return 16, nil
+	case "A100":
+		return 2, nil
+	}
+	return 0, fmt.Errorf("experiments: no pool size for %s", gpuName)
+}
+
+// deployment sizes a scenario: pool replica counts from the paper's
+// instance counts and Table 3 parallelism.
+type deployment struct {
+	cm                *cluster.CostModel
+	prefillN, decodeN int
+}
+
+// newDeployment builds the cost model and replica counts for a scenario.
+func newDeployment(spec model.Spec, prefill cluster.Instance, s Settings) (*deployment, error) {
+	cm, err := cluster.NewCostModel(spec, prefill, cluster.A100(), s.Params)
+	if err != nil {
+		return nil, err
+	}
+	nInst, err := prefillInstanceCount(prefill.GPUName)
+	if err != nil {
+		return nil, err
+	}
+	prefillGPUs := nInst * prefill.NumGPUs
+	prefillN := prefillGPUs / cm.PrefillPar.GPUsPerReplica()
+	if prefillN < 1 {
+		prefillN = 1
+	}
+	// Two p4de.24xlarge for decode (§7.1).
+	decodeGPUs := 2 * cluster.A100().NumGPUs
+	decodeN := decodeGPUs / cm.DecodePar.GPUsPerReplica()
+	if decodeN < 1 {
+		decodeN = 1
+	}
+	return &deployment{cm: cm, prefillN: prefillN, decodeN: decodeN}, nil
+}
+
+// baselineCapacity estimates the deployment's sustainable request rate
+// under the FP16 baseline: the minimum of the prefill-, decode-,
+// network- and memory-bound rates at the dataset's average lengths.
+func (d *deployment) baselineCapacity(ds workload.Dataset) float64 {
+	m := cluster.Baseline()
+	avgIn, avgOut := ds.Input.Avg, ds.Output.Avg
+
+	pf, q := d.cm.PrefillTimes(m, avgIn)
+	prefillCap := float64(d.prefillN) / (pf + q)
+
+	// Decode: memory-limited batch per replica, then rate at that batch.
+	capB := d.cm.DecodeReplicaCapacityBytes() * 0.95
+	base := d.cm.DecodeMemoryBytes(m, nil)
+	perReq := d.cm.ResidentKVBytes(m, avgIn+avgOut)
+	slots := int((capB - base) / perReq)
+	if slots < 1 {
+		slots = 1
+	}
+	lens := make([]int, slots)
+	for i := range lens {
+		lens[i] = avgIn + avgOut/2
+	}
+	dec, kv, ov := d.cm.DecodeStep(m, lens)
+	residence := float64(avgOut) * (dec + kv + ov)
+	decodeCap := float64(d.decodeN) * float64(slots) / residence
+
+	// Network: aggregate ingress vs per-request wire bytes.
+	aggGbps := float64(d.prefillN) * d.cm.Prefill.NetGbps
+	if total := 2 * cluster.A100().NetGbps; total < aggGbps {
+		aggGbps = total
+	}
+	netCap := aggGbps * 1e9 / 8 * d.cm.Params.NetEff / d.cm.WireBytes(m, avgIn)
+
+	cap := prefillCap
+	if decodeCap < cap {
+		cap = decodeCap
+	}
+	if netCap < cap {
+		cap = netCap
+	}
+	return cap
+}
+
+// runScenario simulates one (method, dataset) point at LoadFrac of the
+// baseline capacity.
+func (d *deployment) runScenario(s Settings, m cluster.Method, ds workload.Dataset, pipeline bool) (*sim.Result, error) {
+	rps := d.baselineCapacity(ds) * s.LoadFrac
+	reqs, err := workload.Trace(ds, rps, s.Requests, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(sim.Config{
+		CM: d.cm, Method: m,
+		PrefillReplicas: d.prefillN, DecodeReplicas: d.decodeN,
+		MaxBatch: s.MaxBatch, MemCapFrac: s.MemCapFrac, Pipeline: pipeline,
+	}, reqs)
+}
+
+// datasetFor pairs a model with its evaluation dataset: Cocktail, except
+// Falcon-180B which is capped to 2K context and paired with arXiv (§7.1).
+func datasetFor(spec model.Spec) workload.Dataset {
+	if spec.ShortName == "F" {
+		return workload.ArXiv().CappedTo(spec.MaxContext)
+	}
+	return workload.Cocktail()
+}
+
+// modelLabel renders the paper's model tags (F-arXiv for Falcon).
+func modelLabel(spec model.Spec) string {
+	if spec.ShortName == "F" {
+		return "F-arXiv"
+	}
+	return spec.ShortName
+}

@@ -1,0 +1,40 @@
+package hack
+
+// Analytic operation-count formulas from §5.2 and §5.3 of the paper.
+// The performance model (internal/cluster) prices these against each
+// instance's INT8 and FP16 throughput; the numeric kernels in this
+// package report measured tallies so tests can cross-check the formulas.
+
+// IntMatMulOps returns the integer operation count of the quantized
+// matmul C′ = A′·B′ for an M×Z by Z×N product: 2·M·Z·N.
+func IntMatMulOps(m, z, n int) int64 { return 2 * int64(m) * int64(z) * int64(n) }
+
+// ApproxOps returns the cost of approximating C′ into C per Eq. (4)
+// without summation elimination: 9MN + MZ + NZ.
+func ApproxOps(m, z, n int) int64 {
+	return 9*int64(m)*int64(n) + int64(m)*int64(z) + int64(n)*int64(z)
+}
+
+// ApproxOpsSE returns the Eq. (4) approximation cost when the Σ b′ column
+// sums are cached (summation elimination): 9MN + MZ.
+func ApproxOpsSE(m, z, n int) int64 {
+	return 9*int64(m)*int64(n) + int64(m)*int64(z)
+}
+
+// DecodeApproxOpsSE returns the total approximation cost of one decode
+// iteration with SE across both attention matmuls (Q·Kᵀ with M=1, Z=d_h,
+// N=L and P·V with M=1, Z=L, N=d_h): 10·(d_h + L), the §5.3 result.
+func DecodeApproxOpsSE(dh, lkv int) int64 {
+	return ApproxOpsSE(1, dh, lkv) + ApproxOpsSE(1, lkv, dh)
+}
+
+// DecodeApproxOps is DecodeApproxOpsSE without summation elimination:
+// 10·(d_h + L) + 2·d_h·L, the HACK/SE ablation cost.
+func DecodeApproxOps(dh, lkv int) int64 {
+	return ApproxOps(1, dh, lkv) + ApproxOps(1, lkv, dh)
+}
+
+// DequantKVOps returns the per-iteration cost of dequantizing the full K
+// and V for one head in the baseline quantization methods: 2·d_h·L for
+// each of K and V, totaling 4·d_h·L (§5.3).
+func DequantKVOps(dh, lkv int) int64 { return 4 * int64(dh) * int64(lkv) }

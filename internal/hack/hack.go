@@ -1,0 +1,214 @@
+// Package hack implements the paper's primary contribution: homomorphic
+// quantization for matrix multiplication (§5.2, Eq. 4).
+//
+// For C = A·B with A and B quantized per partition (min m, scale s), the
+// integer product C′ = A′·B′ is computed directly on the quantized codes
+// — on GPUs this runs on INT8 tensor cores; here it runs on uint8 codes
+// with int32 accumulation — and is then transformed into an approximation
+// of C:
+//
+//	Σ_z a_iz·b_zj ≈ s_ai·s_bj·Σ_z a′_iz·b′_zj   (quantized matmul)
+//	             + m_bj·s_ai·Σ_z a′_iz          (cached row sums of A′)
+//	             + m_ai·s_bj·Σ_z b′_zj          (cached col sums of B′ — SE)
+//	             + Z·m_ai·m_bj
+//
+// applied per partition block (Fig. 6b) and summed across blocks. The
+// inputs are never dequantized; that is the entire point.
+//
+// The package also exposes the op-count formulas of §5.2/§5.3 used by the
+// performance model, and an Ops accumulator that the numeric kernels fill
+// in so benchmarks can cross-check the analytic counts.
+package hack
+
+import (
+	"fmt"
+
+	"github.com/hackkv/hack/internal/quant"
+	"github.com/hackkv/hack/internal/tensor"
+)
+
+// Options control the homomorphic multiplication.
+type Options struct {
+	// ReuseSums applies summation elimination (§5.3): the per-partition
+	// integer column sums Σ b′ cached on the quantized tensor are used
+	// directly. When false (the HACK/SE ablation) the sums are
+	// recomputed from the codes on every call and charged to Ops.
+	ReuseSums bool
+}
+
+// DefaultOptions enables every HACK optimization.
+func DefaultOptions() Options { return Options{ReuseSums: true} }
+
+// Ops tallies the work performed by a homomorphic multiplication, split
+// the way the paper's cost analysis splits it.
+type Ops struct {
+	// IntMACs counts integer multiply-accumulates in the quantized
+	// matmul C′ = A′·B′ (2·M·Z·N operations counting mul+add).
+	IntMACs int64
+	// ApproxFlops counts floating-point operations in the Eq. (4)
+	// correction terms.
+	ApproxFlops int64
+	// SumRecomputeOps counts integer additions spent recomputing Σ b′
+	// when summation elimination is disabled.
+	SumRecomputeOps int64
+}
+
+// Add accumulates o2 into o.
+func (o *Ops) Add(o2 Ops) {
+	o.IntMACs += o2.IntMACs
+	o.ApproxFlops += o2.ApproxFlops
+	o.SumRecomputeOps += o2.SumRecomputeOps
+}
+
+// MatMul computes the homomorphic-quantized product of a (M×Z, quantized
+// along columns) and b (Z×N, quantized along rows). The partition sizes
+// must match so the blocks of the two operands align on the inner
+// dimension. It returns the approximated real-valued product and the op
+// tally.
+func MatMul(a, b *quant.Tensor, opt Options) (*tensor.Matrix, Ops) {
+	if a.Axis != quant.AlongCols || b.Axis != quant.AlongRows {
+		panic(fmt.Sprintf("hack: MatMul needs A along-cols × B along-rows, got %v × %v", a.Axis, b.Axis))
+	}
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("hack: inner dims %d != %d", a.Cols, b.Rows))
+	}
+	if a.Pi != b.Pi {
+		panic(fmt.Sprintf("hack: partition sizes %d != %d", a.Pi, b.Pi))
+	}
+	m, z, n := a.Rows, a.Cols, b.Cols
+	out := tensor.New(m, n)
+	var ops Ops
+	if z == 0 {
+		return out, ops
+	}
+
+	bSums := b.Sums
+	if !opt.ReuseSums {
+		bSums = recomputeColSums(b)
+		ops.SumRecomputeOps += int64(z) * int64(n)
+	}
+
+	nb := a.NBlocks
+	for g := 0; g < nb; g++ {
+		lo, hi := a.BlockRange(g)
+		blockLen := float32(hi - lo)
+		for i := 0; i < m; i++ {
+			ma, sa := a.Meta(i, g)
+			aSum := float32(a.Sum(i, g))
+			aRow := a.Codes[i*z+lo : i*z+hi]
+			oRow := out.Row(i)
+			for j := 0; j < n; j++ {
+				mb, sb := b.Meta(j, g)
+				// Integer dot product over the block — the part GPUs
+				// accelerate with INT8 tensor cores.
+				var acc int32
+				for k, av := range aRow {
+					acc += int32(av) * int32(b.Codes[(lo+k)*n+j])
+				}
+				bSum := float32(bSums[j*nb+g])
+				// Eq. (4) correction terms.
+				oRow[j] += sa*sb*float32(acc) +
+					mb*sa*aSum +
+					ma*sb*bSum +
+					blockLen*ma*mb
+			}
+		}
+		ops.IntMACs += 2 * int64(m) * int64(hi-lo) * int64(n)
+	}
+	// Approximation flop count per the §5.2 analysis: 9MN per block pair
+	// plus the A row sums (MZ); the B column sums (NZ) are either cached
+	// (SE) or counted above as SumRecomputeOps.
+	ops.ApproxFlops = int64(nb)*9*int64(m)*int64(n) + int64(m)*int64(z)
+	return out, ops
+}
+
+// MatMulTransB computes the homomorphic product A·Bᵀ where bT holds B
+// row-major with shape N×Z quantized along columns — the natural layout
+// for Q·Kᵀ with K stored token-major. Partition blocks align on the
+// shared inner dimension Z.
+func MatMulTransB(a, bT *quant.Tensor, opt Options) (*tensor.Matrix, Ops) {
+	if a.Axis != quant.AlongCols || bT.Axis != quant.AlongCols {
+		panic(fmt.Sprintf("hack: MatMulTransB needs both operands along-cols, got %v × %v", a.Axis, bT.Axis))
+	}
+	if a.Cols != bT.Cols {
+		panic(fmt.Sprintf("hack: inner dims %d != %d", a.Cols, bT.Cols))
+	}
+	if a.Pi != bT.Pi {
+		panic(fmt.Sprintf("hack: partition sizes %d != %d", a.Pi, bT.Pi))
+	}
+	m, z, n := a.Rows, a.Cols, bT.Rows
+	out := tensor.New(m, n)
+	var ops Ops
+	if z == 0 {
+		return out, ops
+	}
+
+	bSums := bT.Sums
+	if !opt.ReuseSums {
+		bSums = recomputeRowSums(bT)
+		ops.SumRecomputeOps += int64(z) * int64(n)
+	}
+
+	nb := a.NBlocks
+	for g := 0; g < nb; g++ {
+		lo, hi := a.BlockRange(g)
+		blockLen := float32(hi - lo)
+		for i := 0; i < m; i++ {
+			ma, sa := a.Meta(i, g)
+			aSum := float32(a.Sum(i, g))
+			aRow := a.Codes[i*z+lo : i*z+hi]
+			oRow := out.Row(i)
+			for j := 0; j < n; j++ {
+				mb, sb := bT.Meta(j, g)
+				bRow := bT.Codes[j*z+lo : j*z+hi]
+				var acc int32
+				for k, av := range aRow {
+					acc += int32(av) * int32(bRow[k])
+				}
+				bSum := float32(bSums[j*nb+g])
+				oRow[j] += sa*sb*float32(acc) +
+					mb*sa*aSum +
+					ma*sb*bSum +
+					blockLen*ma*mb
+			}
+		}
+		ops.IntMACs += 2 * int64(m) * int64(hi-lo) * int64(n)
+	}
+	ops.ApproxFlops = int64(nb)*9*int64(m)*int64(n) + int64(m)*int64(z)
+	return out, ops
+}
+
+// recomputeColSums rebuilds the per-(column, block) code sums of an
+// along-rows tensor, the work SE avoids.
+func recomputeColSums(b *quant.Tensor) []int32 {
+	sums := make([]int32, len(b.Sums))
+	nb := b.NBlocks
+	for g := 0; g < nb; g++ {
+		lo, hi := b.BlockRange(g)
+		for z := lo; z < hi; z++ {
+			row := b.Codes[z*b.Cols : (z+1)*b.Cols]
+			for j, c := range row {
+				sums[j*nb+g] += int32(c)
+			}
+		}
+	}
+	return sums
+}
+
+// recomputeRowSums rebuilds the per-(row, block) code sums of an
+// along-cols tensor.
+func recomputeRowSums(bT *quant.Tensor) []int32 {
+	sums := make([]int32, len(bT.Sums))
+	nb := bT.NBlocks
+	for j := 0; j < bT.Rows; j++ {
+		for g := 0; g < nb; g++ {
+			lo, hi := bT.BlockRange(g)
+			var s int32
+			for _, c := range bT.Codes[j*bT.Cols+lo : j*bT.Cols+hi] {
+				s += int32(c)
+			}
+			sums[j*nb+g] = s
+		}
+	}
+	return sums
+}

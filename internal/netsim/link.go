@@ -1,0 +1,124 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// SharedLink models a receiver NIC whose bandwidth is processor-shared
+// among concurrent transfers: with n transfers in flight each progresses
+// at capacity/n, which is how concurrent NCCL streams into one decode
+// instance behave at the paper's scale. The discrete-event simulator
+// drives it with Start / AdvanceTo / NextCompletion.
+type SharedLink struct {
+	capacityBps float64
+	perCapBps   float64
+	now         float64
+	transfers   map[int]*transfer
+	nextID      int
+}
+
+type transfer struct {
+	remaining float64 // bytes
+}
+
+// NewSharedLink creates a link with the given aggregate capacity in
+// bytes/second. Each individual transfer is additionally capped at
+// perTransferCapBps (the sender's NIC); pass 0 for no per-transfer cap.
+func NewSharedLink(capacityBps, perTransferCapBps float64) (*SharedLink, error) {
+	if capacityBps <= 0 {
+		return nil, fmt.Errorf("netsim: link capacity %v", capacityBps)
+	}
+	if perTransferCapBps < 0 {
+		return nil, fmt.Errorf("netsim: per-transfer cap %v", perTransferCapBps)
+	}
+	if perTransferCapBps == 0 || perTransferCapBps > capacityBps {
+		perTransferCapBps = capacityBps
+	}
+	return &SharedLink{capacityBps: capacityBps, perCapBps: perTransferCapBps,
+		transfers: map[int]*transfer{}}, nil
+}
+
+// rate returns the current per-transfer rate: fair share, capped by the
+// sender NIC.
+func (l *SharedLink) rate() float64 {
+	r := l.capacityBps / float64(len(l.transfers))
+	if r > l.perCapBps {
+		r = l.perCapBps
+	}
+	return r
+}
+
+// Active returns the number of in-flight transfers.
+func (l *SharedLink) Active() int { return len(l.transfers) }
+
+// Now returns the link's internal clock.
+func (l *SharedLink) Now() float64 { return l.now }
+
+// AdvanceTo moves the clock forward, progressing all transfers at their
+// fair share. Completions are not removed here; callers poll
+// NextCompletion and call Finish.
+func (l *SharedLink) AdvanceTo(t float64) error {
+	if t < l.now {
+		return fmt.Errorf("netsim: time went backwards %.6f -> %.6f", l.now, t)
+	}
+	if len(l.transfers) > 0 {
+		rate := l.rate()
+		elapsed := t - l.now
+		for _, tr := range l.transfers {
+			tr.remaining -= rate * elapsed
+			if tr.remaining < 0 {
+				tr.remaining = 0
+			}
+		}
+	}
+	l.now = t
+	return nil
+}
+
+// Start begins a transfer of the given size at the current clock and
+// returns its handle.
+func (l *SharedLink) Start(bytes float64) (int, error) {
+	if bytes < 0 {
+		return 0, fmt.Errorf("netsim: negative transfer %v", bytes)
+	}
+	id := l.nextID
+	l.nextID++
+	l.transfers[id] = &transfer{remaining: bytes}
+	return id, nil
+}
+
+// NextCompletion returns the id and absolute time of the next transfer
+// to finish under fair sharing, assuming no further arrivals. ok is
+// false when the link is idle.
+func (l *SharedLink) NextCompletion() (id int, at float64, ok bool) {
+	if len(l.transfers) == 0 {
+		return 0, 0, false
+	}
+	minRemaining := math.Inf(1)
+	for tid, tr := range l.transfers {
+		if tr.remaining < minRemaining || (tr.remaining == minRemaining && tid < id) {
+			minRemaining = tr.remaining
+			id = tid
+		}
+	}
+	return id, l.now + minRemaining/l.rate(), true
+}
+
+// Finish removes a completed (or cancelled) transfer.
+func (l *SharedLink) Finish(id int) error {
+	if _, ok := l.transfers[id]; !ok {
+		return fmt.Errorf("netsim: unknown transfer %d", id)
+	}
+	delete(l.transfers, id)
+	return nil
+}
+
+// Remaining reports a transfer's remaining bytes.
+func (l *SharedLink) Remaining(id int) (float64, error) {
+	tr, ok := l.transfers[id]
+	if !ok {
+		return 0, fmt.Errorf("netsim: unknown transfer %d", id)
+	}
+	return tr.remaining, nil
+}

@@ -1,0 +1,347 @@
+package netsim
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"net"
+	"testing"
+	"testing/quick"
+
+	"github.com/hackkv/hack/internal/quant"
+	"github.com/hackkv/hack/internal/tensor"
+)
+
+func buildFrame(t *testing.T, seed int64) *KVFrame {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cfg := quant.Config{Bits: 2, Partition: 16, Rounding: quant.StochasticRounding, RNG: rng}
+	k := quant.MustQuantize(tensor.RandNormal(rng, 40, 32, 1), quant.AlongCols, cfg)
+	v := quant.MustQuantize(tensor.RandNormal(rng, 32, 32, 1), quant.AlongRows, cfg)
+	tail := make([]float32, 5*32)
+	for i := range tail {
+		tail[i] = float32(rng.NormFloat64())
+	}
+	f, err := FrameFromTensors(77, 3, 9, 12345, k, v, tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func framesEqual(a, b *KVFrame) bool {
+	if a.RequestID != b.RequestID || a.Layer != b.Layer || a.Head != b.Head ||
+		a.FirstToken != b.FirstToken || a.Bits != b.Bits || a.Pi != b.Pi ||
+		a.KRows != b.KRows || a.Cols != b.Cols || a.VRows != b.VRows || a.TailRows != b.TailRows {
+		return false
+	}
+	if !bytes.Equal(a.KCodes, b.KCodes) || !bytes.Equal(a.VCodes, b.VCodes) {
+		return false
+	}
+	for i := range a.KMin {
+		if a.KMin[i] != b.KMin[i] || a.KScale[i] != b.KScale[i] {
+			return false
+		}
+	}
+	for i := range a.VMin {
+		if a.VMin[i] != b.VMin[i] || a.VScale[i] != b.VScale[i] {
+			return false
+		}
+	}
+	for i := range a.Tail {
+		if a.Tail[i] != b.Tail[i] {
+			return false
+		}
+	}
+	return len(a.KMin) == len(b.KMin) && len(a.VMin) == len(b.VMin) && len(a.Tail) == len(b.Tail)
+}
+
+func TestFrameRoundTripBuffer(t *testing.T) {
+	f := buildFrame(t, 1)
+	var buf bytes.Buffer
+	n, err := f.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	var g KVFrame
+	m, err := g.ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != n {
+		t.Errorf("ReadFrom consumed %d bytes, want %d", m, n)
+	}
+	if !framesEqual(f, &g) {
+		t.Error("round trip mismatch")
+	}
+}
+
+// The protocol must work over a real byte stream: drive it through
+// net.Pipe with a concurrent writer, as a prefill→decode connection
+// would.
+func TestFrameOverNetPipe(t *testing.T) {
+	client, server := net.Pipe()
+	f := buildFrame(t, 2)
+	errc := make(chan error, 1)
+	go func() {
+		defer client.Close()
+		_, err := f.WriteTo(client)
+		errc <- err
+	}()
+	var g KVFrame
+	if _, err := g.ReadFrom(server); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if !framesEqual(f, &g) {
+		t.Error("net.Pipe round trip mismatch")
+	}
+}
+
+func TestFrameCorruptionDetected(t *testing.T) {
+	f := buildFrame(t, 3)
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Flip a payload byte: checksum must catch it.
+	bad := append([]byte(nil), raw...)
+	bad[20] ^= 0xFF
+	var g KVFrame
+	if _, err := g.ReadFrom(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupted payload accepted")
+	}
+
+	// Bad magic.
+	bad2 := append([]byte(nil), raw...)
+	bad2[0] = 0
+	if _, err := g.ReadFrom(bytes.NewReader(bad2)); err == nil {
+		t.Error("bad magic accepted")
+	}
+
+	// Truncated stream.
+	if _, err := g.ReadFrom(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Error("truncated frame accepted")
+	}
+}
+
+func TestFrameFromTensorsErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cfg2 := quant.Config{Bits: 2, Partition: 16, Rounding: quant.NearestRounding}
+	cfg4 := quant.Config{Bits: 4, Partition: 16, Rounding: quant.NearestRounding}
+	k := quant.MustQuantize(tensor.RandNormal(rng, 8, 16, 1), quant.AlongCols, cfg2)
+	vBad := quant.MustQuantize(tensor.RandNormal(rng, 8, 16, 1), quant.AlongRows, cfg4)
+	if _, err := FrameFromTensors(1, 0, 0, 0, k, vBad, nil); err == nil {
+		t.Error("bit mismatch accepted")
+	}
+	v := quant.MustQuantize(tensor.RandNormal(rng, 8, 16, 1), quant.AlongRows, cfg2)
+	if _, err := FrameFromTensors(1, 0, 0, 0, k, v, make([]float32, 3)); err == nil {
+		t.Error("ragged tail accepted")
+	}
+}
+
+func TestFrameWireSizeTracksQuantizedPayload(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := quant.Config{Bits: 2, Partition: 64, Rounding: quant.StochasticRounding, RNG: rng}
+	const l, dh = 1024, 128
+	k := quant.MustQuantize(tensor.RandNormal(rng, l, dh, 1), quant.AlongCols, cfg)
+	v := quant.MustQuantize(tensor.RandNormal(rng, l, dh, 1), quant.AlongRows, cfg)
+	f, err := FrameFromTensors(1, 0, 0, 0, k, v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := f.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wire size ≈ codes + metadata: well under FP16 (4·l·d_h bytes) and
+	// only a few percent above the raw quantized payload.
+	fp16Size := int64(4 * l * dh)
+	payload := int64(k.Size(false).Total() + v.Size(false).Total())
+	if n > fp16Size/5 {
+		t.Errorf("frame %d bytes too close to FP16 %d", n, fp16Size)
+	}
+	if n < payload || n > payload+payload/10 {
+		t.Errorf("frame %d bytes vs quantized payload %d: framing overhead out of band", n, payload)
+	}
+}
+
+func TestSharedLinkSingleTransfer(t *testing.T) {
+	l, err := NewSharedLink(100, 0) // 100 B/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := l.Start(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cid, at, ok := l.NextCompletion()
+	if !ok || cid != id || math.Abs(at-5) > 1e-9 {
+		t.Fatalf("completion %d at %v, want %d at 5", cid, at, id)
+	}
+	if err := l.AdvanceTo(at); err != nil {
+		t.Fatal(err)
+	}
+	if rem, _ := l.Remaining(id); rem != 0 {
+		t.Errorf("remaining %v after completion time", rem)
+	}
+	if err := l.Finish(id); err != nil {
+		t.Fatal(err)
+	}
+	if l.Active() != 0 {
+		t.Error("transfer not removed")
+	}
+}
+
+// Two equal transfers share the link: each takes twice as long; after
+// one finishes, the survivor speeds up. Classic processor sharing.
+func TestSharedLinkFairSharing(t *testing.T) {
+	l, _ := NewSharedLink(100, 0)
+	a, _ := l.Start(300)
+	if err := l.AdvanceTo(1); err != nil { // a alone for 1s: 100 B done
+		t.Fatal(err)
+	}
+	b, _ := l.Start(300)
+	// a has 200 left, b 300; shared rate 50 B/s each → a finishes at
+	// t=1+4=5; then b has 300−200=100 left at full rate → t=6.
+	cid, at, _ := l.NextCompletion()
+	if cid != a || math.Abs(at-5) > 1e-9 {
+		t.Fatalf("first completion %d at %v, want %d at 5", cid, at, a)
+	}
+	l.AdvanceTo(at)
+	l.Finish(a)
+	cid, at, _ = l.NextCompletion()
+	if cid != b || math.Abs(at-6) > 1e-9 {
+		t.Fatalf("second completion %d at %v, want %d at 6", cid, at, b)
+	}
+}
+
+// A single transfer cannot exceed the sender cap even when it has the
+// link to itself; with many transfers the aggregate capacity binds.
+func TestSharedLinkPerTransferCap(t *testing.T) {
+	l, err := NewSharedLink(100, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := l.Start(50)
+	_, at, _ := l.NextCompletion()
+	if math.Abs(at-2) > 1e-9 { // 50 B at 25 B/s, not 100 B/s
+		t.Fatalf("capped completion at %v, want 2", at)
+	}
+	// Six concurrent transfers: fair share 100/6 < cap 25.
+	for i := 0; i < 5; i++ {
+		l.Start(50)
+	}
+	_, at, _ = l.NextCompletion()
+	want := 50 / (100.0 / 6.0)
+	if math.Abs(at-want) > 1e-9 {
+		t.Fatalf("shared completion at %v, want %v", at, want)
+	}
+	_ = a
+}
+
+func TestSharedLinkErrors(t *testing.T) {
+	if _, err := NewSharedLink(0, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewSharedLink(10, -1); err == nil {
+		t.Error("negative per-transfer cap accepted")
+	}
+	l, _ := NewSharedLink(10, 0)
+	if _, err := l.Start(-1); err == nil {
+		t.Error("negative size accepted")
+	}
+	if err := l.Finish(99); err == nil {
+		t.Error("unknown finish accepted")
+	}
+	if _, err := l.Remaining(99); err == nil {
+		t.Error("unknown remaining accepted")
+	}
+	l.AdvanceTo(5)
+	if err := l.AdvanceTo(1); err == nil {
+		t.Error("time reversal accepted")
+	}
+	if _, _, ok := l.NextCompletion(); ok {
+		t.Error("idle link reported a completion")
+	}
+}
+
+// Conservation property: total bytes delivered equals total bytes
+// started, regardless of the arrival pattern.
+func TestSharedLinkConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l, _ := NewSharedLink(1000, 0)
+		var started float64
+		active := map[int]bool{}
+		for step := 0; step < 40; step++ {
+			if rng.Float64() < 0.6 || len(active) == 0 {
+				size := 10 + rng.Float64()*500
+				id, err := l.Start(size)
+				if err != nil {
+					return false
+				}
+				started += size
+				active[id] = true
+			} else {
+				id, at, ok := l.NextCompletion()
+				if !ok {
+					continue
+				}
+				if err := l.AdvanceTo(at); err != nil {
+					return false
+				}
+				if rem, _ := l.Remaining(id); math.Abs(rem) > 1e-6 {
+					return false
+				}
+				l.Finish(id)
+				delete(active, id)
+			}
+		}
+		// Drain.
+		for len(active) > 0 {
+			id, at, ok := l.NextCompletion()
+			if !ok {
+				return false
+			}
+			l.AdvanceTo(at)
+			l.Finish(id)
+			delete(active, id)
+		}
+		// Everything delivered: elapsed × capacity ≥ started (equality
+		// when the link never idles; ≥ due to idle gaps).
+		return l.Now()*1000 >= started-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFrameWrite(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := quant.Config{Bits: 2, Partition: 64, Rounding: quant.StochasticRounding, RNG: rng}
+	k := quant.MustQuantize(tensor.RandNormal(rng, 2048, 128, 1), quant.AlongCols, cfg)
+	v := quant.MustQuantize(tensor.RandNormal(rng, 2048, 128, 1), quant.AlongRows, cfg)
+	f, err := FrameFromTensors(1, 0, 0, 0, k, v, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if _, err := f.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}

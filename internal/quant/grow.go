@@ -1,0 +1,73 @@
+package quant
+
+import "fmt"
+
+// AppendRows appends the rows of src to t. Both tensors must be quantized
+// along columns with identical column count, bit width and partition
+// size. This is how K grows during decode: each new token's partitions
+// lie along the fixed head dimension, so existing metadata never changes
+// (§5.3) and the new vectors simply append.
+func (t *Tensor) AppendRows(src *Tensor) error {
+	if t.Axis != AlongCols || src.Axis != AlongCols {
+		return fmt.Errorf("quant: AppendRows requires along-cols tensors")
+	}
+	if t.Cols != src.Cols || t.Bits != src.Bits || t.Pi != src.Pi {
+		return fmt.Errorf("quant: AppendRows layout mismatch (%d,%d,%d) vs (%d,%d,%d)",
+			t.Cols, t.Bits, t.Pi, src.Cols, src.Bits, src.Pi)
+	}
+	if t.Rows == 0 {
+		t.NBlocks = src.NBlocks
+	} else if t.NBlocks != src.NBlocks {
+		return fmt.Errorf("quant: AppendRows block count %d != %d", t.NBlocks, src.NBlocks)
+	}
+	t.Codes = append(t.Codes, src.Codes...)
+	t.Min = append(t.Min, src.Min...)
+	t.Scale = append(t.Scale, src.Scale...)
+	t.Sums = append(t.Sums, src.Sums...)
+	t.Rows += src.Rows
+	return nil
+}
+
+// AppendRowBlocks appends the rows of src to t where both are quantized
+// along rows (the V layout). t must currently hold a whole number of
+// partitions (Rows divisible by Π) so that src's partition blocks land on
+// aligned boundaries — this is exactly the state requantization
+// elimination maintains: the trailing partial block lives outside the
+// quantized cache until it fills. Per-column metadata is re-interleaved
+// to account for the increased block count.
+func (t *Tensor) AppendRowBlocks(src *Tensor) error {
+	if t.Axis != AlongRows || src.Axis != AlongRows {
+		return fmt.Errorf("quant: AppendRowBlocks requires along-rows tensors")
+	}
+	if t.Cols != src.Cols || t.Bits != src.Bits || t.Pi != src.Pi {
+		return fmt.Errorf("quant: AppendRowBlocks layout mismatch")
+	}
+	if t.Rows%t.Pi != 0 {
+		return fmt.Errorf("quant: AppendRowBlocks on ragged tensor (%d rows, Π=%d)", t.Rows, t.Pi)
+	}
+	oldBlocks, addBlocks := t.NBlocks, src.NBlocks
+	newBlocks := oldBlocks + addBlocks
+	nvec := t.Cols
+	min := make([]float32, nvec*newBlocks)
+	scale := make([]float32, nvec*newBlocks)
+	sums := make([]int32, nvec*newBlocks)
+	for v := 0; v < nvec; v++ {
+		copy(min[v*newBlocks:], t.Min[v*oldBlocks:(v+1)*oldBlocks])
+		copy(scale[v*newBlocks:], t.Scale[v*oldBlocks:(v+1)*oldBlocks])
+		copy(sums[v*newBlocks:], t.Sums[v*oldBlocks:(v+1)*oldBlocks])
+		copy(min[v*newBlocks+oldBlocks:], src.Min[v*addBlocks:(v+1)*addBlocks])
+		copy(scale[v*newBlocks+oldBlocks:], src.Scale[v*addBlocks:(v+1)*addBlocks])
+		copy(sums[v*newBlocks+oldBlocks:], src.Sums[v*addBlocks:(v+1)*addBlocks])
+	}
+	t.Min, t.Scale, t.Sums = min, scale, sums
+	t.Codes = append(t.Codes, src.Codes...)
+	t.Rows += src.Rows
+	t.NBlocks = newBlocks
+	return nil
+}
+
+// Empty returns an empty quantized tensor with the given layout, ready to
+// be grown with AppendRows or AppendRowBlocks.
+func Empty(axis Axis, cols, bits, pi int) *Tensor {
+	return &Tensor{Cols: cols, Axis: axis, Bits: bits, Pi: pi}
+}

@@ -1,0 +1,118 @@
+package quant
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/hackkv/hack/internal/tensor"
+)
+
+// Growing K token-by-token must produce the identical tensor to
+// quantizing the whole matrix at once: each token's partitions are
+// independent along the head dimension.
+func TestAppendRowsMatchesBulk(t *testing.T) {
+	dh, pi := 32, 16
+	cfg := cfgNearest(2, pi)
+	rng := rand.New(rand.NewSource(1))
+	full := tensor.RandNormal(rng, 10, dh, 1)
+
+	bulk := MustQuantize(full, AlongCols, cfg)
+
+	grown := Empty(AlongCols, dh, 2, pi)
+	for i := 0; i < full.Rows; i++ {
+		row := tensor.FromSlice(1, dh, full.Row(i))
+		if err := grown.AppendRows(MustQuantize(row, AlongCols, cfg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if grown.Rows != bulk.Rows {
+		t.Fatalf("rows %d != %d", grown.Rows, bulk.Rows)
+	}
+	for i := range bulk.Codes {
+		if grown.Codes[i] != bulk.Codes[i] {
+			t.Fatalf("code %d differs", i)
+		}
+	}
+	for i := range bulk.Min {
+		if grown.Min[i] != bulk.Min[i] || grown.Scale[i] != bulk.Scale[i] || grown.Sums[i] != bulk.Sums[i] {
+			t.Fatalf("metadata %d differs", i)
+		}
+	}
+}
+
+func TestAppendRowsErrors(t *testing.T) {
+	a := Empty(AlongCols, 8, 2, 8)
+	if err := a.AppendRows(Empty(AlongRows, 8, 2, 8)); err == nil {
+		t.Error("axis mismatch accepted")
+	}
+	if err := a.AppendRows(Empty(AlongCols, 4, 2, 8)); err == nil {
+		t.Error("cols mismatch accepted")
+	}
+	if err := a.AppendRows(Empty(AlongCols, 8, 4, 8)); err == nil {
+		t.Error("bits mismatch accepted")
+	}
+}
+
+// Growing V block-by-block must match quantizing the whole matrix at
+// once when the row count is a multiple of Π.
+func TestAppendRowBlocksMatchesBulk(t *testing.T) {
+	dh, pi := 8, 4
+	cfg := cfgNearest(2, pi)
+	rng := rand.New(rand.NewSource(2))
+	full := tensor.RandNormal(rng, 3*pi, dh, 1)
+
+	bulk := MustQuantize(full, AlongRows, cfg)
+
+	grown := Empty(AlongRows, dh, 2, pi)
+	for b := 0; b < 3; b++ {
+		blk := full.SliceRows(b*pi, (b+1)*pi)
+		if err := grown.AppendRowBlocks(MustQuantize(blk, AlongRows, cfg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if grown.Rows != bulk.Rows || grown.NBlocks != bulk.NBlocks {
+		t.Fatalf("shape %d/%d vs %d/%d", grown.Rows, grown.NBlocks, bulk.Rows, bulk.NBlocks)
+	}
+	for i := range bulk.Codes {
+		if grown.Codes[i] != bulk.Codes[i] {
+			t.Fatalf("code %d differs", i)
+		}
+	}
+	for i := range bulk.Min {
+		if grown.Min[i] != bulk.Min[i] || grown.Scale[i] != bulk.Scale[i] || grown.Sums[i] != bulk.Sums[i] {
+			t.Fatalf("metadata %d differs: min %v/%v scale %v/%v sum %v/%v",
+				i, grown.Min[i], bulk.Min[i], grown.Scale[i], bulk.Scale[i], grown.Sums[i], bulk.Sums[i])
+		}
+	}
+	// The grown tensor must dequantize identically too.
+	if d := tensor.MaxAbsDiff(grown.Dequantize(), bulk.Dequantize()); d != 0 {
+		t.Errorf("dequantized mismatch %v", d)
+	}
+}
+
+func TestAppendRowBlocksRaggedRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ragged := MustQuantize(tensor.RandNormal(rng, 6, 4, 1), AlongRows, cfgNearest(2, 4))
+	blk := MustQuantize(tensor.RandNormal(rng, 4, 4, 1), AlongRows, cfgNearest(2, 4))
+	if err := ragged.AppendRowBlocks(blk); err == nil {
+		t.Error("ragged destination accepted")
+	}
+	if err := blk.Clone().AppendRowBlocks(Empty(AlongCols, 4, 2, 4)); err == nil {
+		t.Error("axis mismatch accepted")
+	}
+}
+
+func TestEmptyGrowFromZero(t *testing.T) {
+	e := Empty(AlongRows, 4, 2, 4)
+	rng := rand.New(rand.NewSource(4))
+	blk := MustQuantize(tensor.RandNormal(rng, 4, 4, 1), AlongRows, cfgNearest(2, 4))
+	if err := e.AppendRowBlocks(blk); err != nil {
+		t.Fatal(err)
+	}
+	if e.Rows != 4 || e.NBlocks != 1 {
+		t.Errorf("grown empty = %d rows, %d blocks", e.Rows, e.NBlocks)
+	}
+	if d := tensor.MaxAbsDiff(e.Dequantize(), blk.Dequantize()); d != 0 {
+		t.Errorf("dequantized mismatch %v", d)
+	}
+}

@@ -1,0 +1,124 @@
+package quant
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Pack tightly bit-packs codes at the given width (1..8 bits per code)
+// into a byte slice, little-endian within each byte. This is the wire and
+// cache format; compute always happens on the widened INT8 codes (§6).
+func Pack(codes []uint8, bitWidth int) ([]byte, error) {
+	if bitWidth < 1 || bitWidth > 8 {
+		return nil, fmt.Errorf("quant: pack width %d out of range", bitWidth)
+	}
+	out := make([]byte, PackedBytes(len(codes), bitWidth))
+	mask := uint8(1<<bitWidth - 1)
+	bitPos := 0
+	for _, c := range codes {
+		c &= mask
+		byteIdx := bitPos >> 3
+		off := bitPos & 7
+		out[byteIdx] |= c << off
+		if spill := off + bitWidth - 8; spill > 0 {
+			out[byteIdx+1] |= c >> (bitWidth - spill)
+		}
+		bitPos += bitWidth
+	}
+	return out, nil
+}
+
+// Unpack reverses Pack, producing n codes of the given width.
+func Unpack(packed []byte, n, bitWidth int) ([]uint8, error) {
+	if bitWidth < 1 || bitWidth > 8 {
+		return nil, fmt.Errorf("quant: unpack width %d out of range", bitWidth)
+	}
+	if need := PackedBytes(n, bitWidth); len(packed) < need {
+		return nil, fmt.Errorf("quant: packed buffer %d bytes, need %d", len(packed), need)
+	}
+	out := make([]uint8, n)
+	mask := uint8(1<<bitWidth - 1)
+	bitPos := 0
+	for i := range out {
+		byteIdx := bitPos >> 3
+		off := bitPos & 7
+		v := packed[byteIdx] >> off
+		if spill := off + bitWidth - 8; spill > 0 {
+			v |= packed[byteIdx+1] << (bitWidth - spill)
+		}
+		out[i] = v & mask
+		bitPos += bitWidth
+	}
+	return out, nil
+}
+
+// PackedBytes returns the number of bytes needed to pack n codes of the
+// given bit width.
+func PackedBytes(n, bitWidth int) int { return (n*bitWidth + 7) / 8 }
+
+// SumBits returns the number of bits required to store a partition code
+// sum for b-bit quantization with partition size pi: b + ⌈log2 Π⌉ (§5.3).
+func SumBits(b, pi int) int {
+	if pi <= 1 {
+		return b
+	}
+	return b + bits.Len(uint(pi-1))
+}
+
+// SumStorageBytes returns the bytes used per stored sum after the memory
+// alignment rule of §6: sums needing more than 8 bits are stored as
+// INT16, otherwise one byte.
+func SumStorageBytes(b, pi int) int {
+	if SumBits(b, pi) > 8 {
+		return 2
+	}
+	return 1
+}
+
+// SizeReport breaks down the storage footprint of a quantized tensor.
+type SizeReport struct {
+	// CodeBytes is the bit-packed code payload.
+	CodeBytes int
+	// MetaBytes covers the FP16 min and scale per (vector, block).
+	MetaBytes int
+	// SumBytes covers the summation-elimination cache (INT8/INT16 per
+	// (vector, block), per the alignment rule).
+	SumBytes int
+}
+
+// Total returns the full footprint in bytes.
+func (s SizeReport) Total() int { return s.CodeBytes + s.MetaBytes + s.SumBytes }
+
+// Size reports the packed storage footprint of t. withSums selects
+// whether the SE cache is included (it is stored on decode instances but
+// is optional on the wire, since the receiver can recompute it once).
+func (t *Tensor) Size(withSums bool) SizeReport {
+	r := SizeReport{
+		CodeBytes: PackedBytes(len(t.Codes), t.Bits),
+		MetaBytes: 2 * 2 * len(t.Min), // FP16 min + FP16 scale
+	}
+	if withSums {
+		r.SumBytes = SumStorageBytes(t.Bits, t.Pi) * len(t.Sums)
+	}
+	return r
+}
+
+// CompressionRatio returns 1 − quantized/original, where original is the
+// FP16 footprint of the same matrix. The paper quotes ≈86% for 2-bit
+// quantization including metadata.
+func (t *Tensor) CompressionRatio() float64 {
+	orig := 2 * t.Rows * t.Cols
+	if orig == 0 {
+		return 0
+	}
+	return 1 - float64(t.Size(false).Total())/float64(orig)
+}
+
+// PackCodes returns t's codes in the bit-packed wire format.
+func (t *Tensor) PackCodes() []byte {
+	p, err := Pack(t.Codes, t.Bits)
+	if err != nil {
+		panic(err) // t.Bits was validated at construction
+	}
+	return p
+}

@@ -1,0 +1,319 @@
+// Package quant implements the asymmetric b-bit stochastic quantizer of
+// HACK (§5.2): each row (or column) of a matrix is split into partitions
+// of Π elements; every partition stores its minimum m and scale
+// s = (max−min)/(2^b−1) and each value x is encoded as
+// round((x−m)/s) where round is unbiased stochastic rounding.
+//
+// The same quantizer also serves the dequantize-before-compute baselines
+// (CacheGen/KVQuant style), which call Dequantize on the stored codes
+// every decode iteration; HACK instead feeds the raw codes to the
+// homomorphic matmul in package hack.
+//
+// Codes are held one-per-byte (INT8) for computation — mirroring the
+// paper's Triton constraint that the GPU computes on INT8 — and can be
+// bit-packed with Pack for wire transfer and cache-size accounting.
+package quant
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/hackkv/hack/internal/fp16"
+	"github.com/hackkv/hack/internal/tensor"
+)
+
+// Axis selects which way partitions run through the matrix.
+type Axis int
+
+const (
+	// AlongCols partitions each row along the column axis. Q and K use
+	// this layout: their quantization partitions lie along the head
+	// dimension, which is fixed, so appended tokens form new partitions
+	// of their own (§5.3).
+	AlongCols Axis = iota
+	// AlongRows partitions each column along the row axis. V uses this
+	// layout: its partitions lie along the sequence dimension, which
+	// grows by one row per decode step — the reason requantization
+	// elimination exists.
+	AlongRows
+)
+
+func (a Axis) String() string {
+	if a == AlongCols {
+		return "along-cols"
+	}
+	return "along-rows"
+}
+
+// Rounding selects how fractional quantization steps are resolved.
+type Rounding int
+
+const (
+	// StochasticRounding rounds x down with probability ⌈x⌉−x and up
+	// otherwise, making the quantization error zero-mean (§5.2).
+	StochasticRounding Rounding = iota
+	// NearestRounding rounds to the nearest integer; deterministic,
+	// used by tests and by the KVQuant-style baseline.
+	NearestRounding
+)
+
+// Config parameterizes a quantization pass.
+type Config struct {
+	// Bits per code: 2 for KV, 8 for Q and P in HACK. Must be 1..8.
+	Bits int
+	// Partition is Π, the number of elements per partition. The paper
+	// requires a multiple of 16 for GPU efficiency; we only require >0
+	// but the shipped configurations use 32/64/128.
+	Partition int
+	// Rounding mode; stochastic by default.
+	Rounding Rounding
+	// RNG drives stochastic rounding. May be nil for NearestRounding.
+	RNG *rand.Rand
+}
+
+func (c Config) validate() error {
+	if c.Bits < 1 || c.Bits > 8 {
+		return fmt.Errorf("quant: bits %d out of range [1,8]", c.Bits)
+	}
+	if c.Partition <= 0 {
+		return fmt.Errorf("quant: partition size %d must be positive", c.Partition)
+	}
+	if c.Rounding == StochasticRounding && c.RNG == nil {
+		return fmt.Errorf("quant: stochastic rounding requires an RNG")
+	}
+	return nil
+}
+
+// Levels returns the number of representable code values, 2^bits.
+func (c Config) Levels() int { return 1 << c.Bits }
+
+// Tensor is a quantized matrix: INT8 codes plus per-partition metadata.
+type Tensor struct {
+	Rows, Cols int
+	Axis       Axis
+	Bits       int
+	Pi         int
+	// NBlocks is the number of partitions per vector (per row for
+	// AlongCols, per column for AlongRows).
+	NBlocks int
+	// Codes holds one code per element in the source matrix's row-major
+	// order, widened to a byte each (the INT8 compute format).
+	Codes []uint8
+	// Min and Scale hold the per-(vector, block) dequantization
+	// metadata, already rounded through FP16 as the paper stores them.
+	Min, Scale []float32
+	// Sums holds Σ codes per (vector, block) — the summation-elimination
+	// cache of §5.3. Kept in int32 here; the wire/cache format models
+	// them as INT16 (§6).
+	Sums []int32
+}
+
+// numVectors returns the number of quantization vectors.
+func (t *Tensor) numVectors() int {
+	if t.Axis == AlongCols {
+		return t.Rows
+	}
+	return t.Cols
+}
+
+// axisLen returns the length of the partitioned axis.
+func (t *Tensor) axisLen() int {
+	if t.Axis == AlongCols {
+		return t.Cols
+	}
+	return t.Rows
+}
+
+// metaIndex returns the index into Min/Scale/Sums for vector v, block b.
+func (t *Tensor) metaIndex(v, b int) int { return v*t.NBlocks + b }
+
+// Meta returns the (min, scale) pair for vector v, block b.
+func (t *Tensor) Meta(v, b int) (min, scale float32) {
+	i := t.metaIndex(v, b)
+	return t.Min[i], t.Scale[i]
+}
+
+// Sum returns the cached code sum for vector v, block b.
+func (t *Tensor) Sum(v, b int) int32 { return t.Sums[t.metaIndex(v, b)] }
+
+// Code returns the code of element (i, j) in the source matrix layout.
+func (t *Tensor) Code(i, j int) uint8 { return t.Codes[i*t.Cols+j] }
+
+// BlockRange returns the element range [lo, hi) along the partitioned
+// axis covered by block b.
+func (t *Tensor) BlockRange(b int) (lo, hi int) {
+	lo = b * t.Pi
+	hi = lo + t.Pi
+	if n := t.axisLen(); hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// Quantize encodes m along the given axis. The returned tensor owns all
+// its storage.
+func Quantize(m *tensor.Matrix, axis Axis, cfg Config) (*Tensor, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	axisLen := m.Cols
+	nvec := m.Rows
+	if axis == AlongRows {
+		axisLen = m.Rows
+		nvec = m.Cols
+	}
+	nblocks := (axisLen + cfg.Partition - 1) / cfg.Partition
+	if axisLen == 0 {
+		nblocks = 0
+	}
+	t := &Tensor{
+		Rows: m.Rows, Cols: m.Cols,
+		Axis: axis, Bits: cfg.Bits, Pi: cfg.Partition, NBlocks: nblocks,
+		Codes: make([]uint8, m.Rows*m.Cols),
+		Min:   make([]float32, nvec*nblocks),
+		Scale: make([]float32, nvec*nblocks),
+		Sums:  make([]int32, nvec*nblocks),
+	}
+	for v := 0; v < nvec; v++ {
+		for b := 0; b < nblocks; b++ {
+			quantizeBlock(t, m, v, b, cfg)
+		}
+	}
+	return t, nil
+}
+
+// MustQuantize is Quantize for static configurations known to be valid;
+// it panics on error.
+func MustQuantize(m *tensor.Matrix, axis Axis, cfg Config) *Tensor {
+	t, err := Quantize(m, axis, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// quantizeBlock encodes one (vector, block) partition.
+func quantizeBlock(t *Tensor, m *tensor.Matrix, v, b int, cfg Config) {
+	lo, hi := t.BlockRange(b)
+	minV := float32(math.Inf(1))
+	maxV := float32(math.Inf(-1))
+	forEach(t, m, v, lo, hi, func(_ int, x float32) {
+		if x < minV {
+			minV = x
+		}
+		if x > maxV {
+			maxV = x
+		}
+	})
+	levels := float32(int32(1)<<cfg.Bits) - 1
+	scale := (maxV - minV) / levels
+	// The paper stores m and s in FP16 (§6); round them the same way so
+	// that prefill and decode instances agree bit-for-bit.
+	minV = fp16.Round(minV)
+	scale = fp16.Round(scale)
+	mi := t.metaIndex(v, b)
+	t.Min[mi] = minV
+	t.Scale[mi] = scale
+
+	var sum int32
+	maxCode := float64(levels)
+	forEach(t, m, v, lo, hi, func(idx int, x float32) {
+		var code uint8
+		if scale > 0 {
+			q := float64(x-minV) / float64(scale)
+			if q < 0 {
+				q = 0
+			}
+			if q > maxCode {
+				q = maxCode
+			}
+			code = roundCode(q, cfg)
+		}
+		t.Codes[idx] = code
+		sum += int32(code)
+	})
+	t.Sums[mi] = sum
+}
+
+// forEach visits the elements of vector v in [lo, hi) along the
+// partitioned axis, passing the flat index into Codes and the value.
+func forEach(t *Tensor, m *tensor.Matrix, v, lo, hi int, f func(idx int, x float32)) {
+	if t.Axis == AlongCols {
+		base := v * t.Cols
+		row := m.Row(v)
+		for j := lo; j < hi; j++ {
+			f(base+j, row[j])
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		f(i*t.Cols+v, m.At(i, v))
+	}
+}
+
+// roundCode resolves the fractional code q per the rounding mode, then
+// clamps to the code range.
+func roundCode(q float64, cfg Config) uint8 {
+	var r float64
+	switch cfg.Rounding {
+	case NearestRounding:
+		r = math.Round(q)
+	default:
+		fl := math.Floor(q)
+		frac := q - fl
+		if frac > 0 && cfg.RNG.Float64() < frac {
+			fl++
+		}
+		r = fl
+	}
+	max := float64(int(1)<<cfg.Bits - 1)
+	if r < 0 {
+		r = 0
+	}
+	if r > max {
+		r = max
+	}
+	return uint8(r)
+}
+
+// Dequantize reconstructs the matrix as s·code + m per element. This is
+// the operation HACK avoids and the baselines pay every decode iteration.
+func (t *Tensor) Dequantize() *tensor.Matrix {
+	m := tensor.New(t.Rows, t.Cols)
+	nvec := t.numVectors()
+	for v := 0; v < nvec; v++ {
+		for b := 0; b < t.NBlocks; b++ {
+			lo, hi := t.BlockRange(b)
+			mi := t.metaIndex(v, b)
+			minV, scale := t.Min[mi], t.Scale[mi]
+			if t.Axis == AlongCols {
+				base := v * t.Cols
+				row := m.Row(v)
+				for j := lo; j < hi; j++ {
+					row[j] = scale*float32(t.Codes[base+j]) + minV
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					m.Data[i*t.Cols+v] = scale*float32(t.Codes[i*t.Cols+v]) + minV
+				}
+			}
+		}
+	}
+	return m
+}
+
+// DequantOps returns the floating-point operation count of Dequantize
+// (one multiply and one add per element), the 2·elements cost quoted in
+// §5.3.
+func (t *Tensor) DequantOps() int64 { return 2 * int64(t.Rows) * int64(t.Cols) }
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := *t
+	c.Codes = append([]uint8(nil), t.Codes...)
+	c.Min = append([]float32(nil), t.Min...)
+	c.Scale = append([]float32(nil), t.Scale...)
+	c.Sums = append([]int32(nil), t.Sums...)
+	return &c
+}

@@ -1,0 +1,62 @@
+package quant
+
+import "fmt"
+
+// RemoveRows deletes rows [lo, hi) from an along-cols tensor (the K
+// layout: one quantization vector per row), shifting later rows down.
+// Metadata moves with its vectors; nothing is requantized. This is the
+// primitive behind KV eviction (§9): dropping a token's K never disturbs
+// other tokens' partitions because K partitions lie along the fixed head
+// dimension.
+func (t *Tensor) RemoveRows(lo, hi int) error {
+	if t.Axis != AlongCols {
+		return fmt.Errorf("quant: RemoveRows requires an along-cols tensor")
+	}
+	if lo < 0 || hi > t.Rows || lo >= hi {
+		return fmt.Errorf("quant: RemoveRows range [%d,%d) of %d rows", lo, hi, t.Rows)
+	}
+	t.Codes = append(t.Codes[:lo*t.Cols], t.Codes[hi*t.Cols:]...)
+	nb := t.NBlocks
+	t.Min = append(t.Min[:lo*nb], t.Min[hi*nb:]...)
+	t.Scale = append(t.Scale[:lo*nb], t.Scale[hi*nb:]...)
+	t.Sums = append(t.Sums[:lo*nb], t.Sums[hi*nb:]...)
+	t.Rows -= hi - lo
+	return nil
+}
+
+// RemoveRowBlock deletes partition block b (Π whole rows) from an
+// along-rows tensor (the V layout). Only whole-block removal keeps the
+// remaining partitions aligned — the reason block granularity is the
+// natural eviction unit for HACK's V cache.
+func (t *Tensor) RemoveRowBlock(b int) error {
+	if t.Axis != AlongRows {
+		return fmt.Errorf("quant: RemoveRowBlock requires an along-rows tensor")
+	}
+	if b < 0 || b >= t.NBlocks {
+		return fmt.Errorf("quant: block %d of %d", b, t.NBlocks)
+	}
+	lo, hi := t.BlockRange(b)
+	if hi-lo != t.Pi {
+		return fmt.Errorf("quant: block %d is ragged (%d rows); only full blocks are evictable", b, hi-lo)
+	}
+	t.Codes = append(t.Codes[:lo*t.Cols], t.Codes[hi*t.Cols:]...)
+	oldNB := t.NBlocks
+	newNB := oldNB - 1
+	min := make([]float32, t.Cols*newNB)
+	scale := make([]float32, t.Cols*newNB)
+	sums := make([]int32, t.Cols*newNB)
+	for v := 0; v < t.Cols; v++ {
+		src := v * oldNB
+		dst := v * newNB
+		copy(min[dst:], t.Min[src:src+b])
+		copy(scale[dst:], t.Scale[src:src+b])
+		copy(sums[dst:], t.Sums[src:src+b])
+		copy(min[dst+b:], t.Min[src+b+1:src+oldNB])
+		copy(scale[dst+b:], t.Scale[src+b+1:src+oldNB])
+		copy(sums[dst+b:], t.Sums[src+b+1:src+oldNB])
+	}
+	t.Min, t.Scale, t.Sums = min, scale, sums
+	t.Rows -= t.Pi
+	t.NBlocks = newNB
+	return nil
+}

@@ -1,0 +1,132 @@
+package quant
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/hackkv/hack/internal/tensor"
+)
+
+func TestRemoveRowsMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := tensor.RandNormal(rng, 10, 8, 1)
+	full := MustQuantize(m, AlongCols, cfgNearest(2, 4))
+	if err := full.RemoveRows(3, 6); err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild from the matrix with those rows deleted: must match
+	// exactly (per-row partitions are independent).
+	kept := tensor.New(0, 8)
+	for i := 0; i < 10; i++ {
+		if i >= 3 && i < 6 {
+			continue
+		}
+		kept = tensor.AppendRows(kept, tensor.FromSlice(1, 8, m.Row(i)))
+	}
+	want := MustQuantize(kept, AlongCols, cfgNearest(2, 4))
+	if full.Rows != 7 {
+		t.Fatalf("rows %d", full.Rows)
+	}
+	for i := range want.Codes {
+		if full.Codes[i] != want.Codes[i] {
+			t.Fatalf("code %d differs", i)
+		}
+	}
+	for i := range want.Min {
+		if full.Min[i] != want.Min[i] || full.Sums[i] != want.Sums[i] {
+			t.Fatalf("metadata %d differs", i)
+		}
+	}
+}
+
+func TestRemoveRowsErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	k := MustQuantize(tensor.RandNormal(rng, 4, 8, 1), AlongCols, cfgNearest(2, 4))
+	if err := k.RemoveRows(2, 2); err == nil {
+		t.Error("empty range accepted")
+	}
+	if err := k.RemoveRows(-1, 2); err == nil {
+		t.Error("negative lo accepted")
+	}
+	if err := k.RemoveRows(0, 5); err == nil {
+		t.Error("out-of-range hi accepted")
+	}
+	v := MustQuantize(tensor.RandNormal(rng, 4, 8, 1), AlongRows, cfgNearest(2, 4))
+	if err := v.RemoveRows(0, 1); err == nil {
+		t.Error("along-rows tensor accepted")
+	}
+}
+
+func TestRemoveRowBlockMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := tensor.RandNormal(rng, 12, 6, 1) // 3 blocks of 4
+	v := MustQuantize(m, AlongRows, cfgNearest(2, 4))
+	if err := v.RemoveRowBlock(1); err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild from rows 0-3 and 8-11.
+	kept := tensor.New(0, 6)
+	kept = tensor.AppendRows(kept, m.SliceRows(0, 4))
+	kept = tensor.AppendRows(kept, m.SliceRows(8, 12))
+	want := MustQuantize(kept, AlongRows, cfgNearest(2, 4))
+	if v.Rows != 8 || v.NBlocks != 2 {
+		t.Fatalf("shape %d rows %d blocks", v.Rows, v.NBlocks)
+	}
+	for i := range want.Codes {
+		if v.Codes[i] != want.Codes[i] {
+			t.Fatalf("code %d differs", i)
+		}
+	}
+	for i := range want.Min {
+		if v.Min[i] != want.Min[i] || v.Scale[i] != want.Scale[i] || v.Sums[i] != want.Sums[i] {
+			t.Fatalf("metadata %d differs", i)
+		}
+	}
+	if d := tensor.MaxAbsDiff(v.Dequantize(), want.Dequantize()); d != 0 {
+		t.Errorf("dequantized mismatch %v", d)
+	}
+}
+
+func TestRemoveRowBlockErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	v := MustQuantize(tensor.RandNormal(rng, 10, 6, 1), AlongRows, cfgNearest(2, 4)) // ragged last block
+	if err := v.RemoveRowBlock(2); err == nil {
+		t.Error("ragged block accepted for eviction")
+	}
+	if err := v.RemoveRowBlock(5); err == nil {
+		t.Error("out-of-range block accepted")
+	}
+	k := MustQuantize(tensor.RandNormal(rng, 8, 6, 1), AlongCols, cfgNearest(2, 4))
+	if err := k.RemoveRowBlock(0); err == nil {
+		t.Error("along-cols tensor accepted")
+	}
+}
+
+// After removing a block, the homomorphic product over the survivor must
+// equal the product computed on a freshly-built tensor — eviction leaves
+// a fully consistent cache.
+func TestRemoveThenMultiplyConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := tensor.RandNormal(rng, 12, 6, 1)
+	v := MustQuantize(m, AlongRows, cfgNearest(2, 4))
+	if err := v.RemoveRowBlock(0); err != nil {
+		t.Fatal(err)
+	}
+	d := v.Dequantize()
+	if d.Rows != 8 {
+		t.Fatalf("dequantized rows %d", d.Rows)
+	}
+	// Sums invariant still holds per surviving block.
+	for col := 0; col < v.Cols; col++ {
+		for b := 0; b < v.NBlocks; b++ {
+			lo, hi := v.BlockRange(b)
+			var want int32
+			for i := lo; i < hi; i++ {
+				want += int32(v.Code(i, col))
+			}
+			if v.Sum(col, b) != want {
+				t.Fatalf("sum invariant broken at col %d block %d", col, b)
+			}
+		}
+	}
+}

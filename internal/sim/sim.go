@@ -1,0 +1,552 @@
+// Package sim is the discrete-event simulator of the disaggregated
+// serving cluster: prefill replicas with shortest-queue scheduling,
+// processor-shared transfer links into decode replicas, continuous-
+// batching decode loops, memory-pressure admission with CPU swap (§4),
+// and optional prefill/transfer pipelining (§2.1).
+//
+// Each simulated request records the paper's JCT decomposition — prefill,
+// quantization, communication, dequantization-or-approximation, decode —
+// plus the KV memory-access sub-bucket and peak decode memory, which is
+// everything Figs. 1–4, 9–14 and Table 5 report.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"github.com/hackkv/hack/internal/cluster"
+	"github.com/hackkv/hack/internal/netsim"
+	"github.com/hackkv/hack/internal/workload"
+)
+
+// Config describes one simulated deployment.
+type Config struct {
+	// CM prices everything (model, instances, parallelism).
+	CM *cluster.CostModel
+	// Method is the serving method under test.
+	Method cluster.Method
+	// PrefillReplicas and DecodeReplicas count model replicas on each
+	// side (the paper sizes pools so the sides have similar capacity).
+	PrefillReplicas, DecodeReplicas int
+	// MaxBatch caps a decode replica's concurrent batch.
+	MaxBatch int
+	// Pipeline overlaps KV transfer with prefill computation when the
+	// target decode replica has memory at prefill start (§2.1).
+	Pipeline bool
+	// MemCapFrac is the usable fraction of decode replica memory.
+	MemCapFrac float64
+	// Scheduler selects the prefill-replica assignment policy; the
+	// zero value is the paper's shortest-token-queue scheduler.
+	Scheduler Scheduler
+}
+
+// Scheduler is a prefill request-placement policy.
+type Scheduler int
+
+const (
+	// ShortestQueue assigns each arrival to the replica with the fewest
+	// queued tokens — the paper's policy (§7.1).
+	ShortestQueue Scheduler = iota
+	// RoundRobin cycles through replicas regardless of load.
+	RoundRobin
+	// FewestRequests assigns to the replica with the fewest queued
+	// requests, ignoring their lengths.
+	FewestRequests
+)
+
+func (s Scheduler) String() string {
+	switch s {
+	case RoundRobin:
+		return "round-robin"
+	case FewestRequests:
+		return "fewest-requests"
+	default:
+		return "shortest-queue"
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.CM == nil {
+		return fmt.Errorf("sim: nil cost model")
+	}
+	if c.PrefillReplicas <= 0 || c.DecodeReplicas <= 0 {
+		return fmt.Errorf("sim: replicas %d/%d", c.PrefillReplicas, c.DecodeReplicas)
+	}
+	if c.MaxBatch <= 0 {
+		return fmt.Errorf("sim: max batch %d", c.MaxBatch)
+	}
+	if c.MemCapFrac <= 0 || c.MemCapFrac > 1 {
+		return fmt.Errorf("sim: mem cap %v", c.MemCapFrac)
+	}
+	return nil
+}
+
+// RequestStats is one request's timeline decomposition. Queue + Prefill
+// + Quant + Comm + Decode + Overhead ≈ JCT (up to one iteration of
+// batch-join slack); KVMem is a sub-bucket of Decode.
+type RequestStats struct {
+	ID            int
+	Arrival, Done float64
+	Queue         float64 // prefill queue wait
+	Prefill       float64 // prefill computation
+	Quant         float64 // KV quantization at prefill
+	Comm          float64 // exposed transfer + swap + admission wait
+	Overhead      float64 // dequantization (baselines) or approximation (HACK)
+	Decode        float64 // decode iterations minus Overhead
+	KVMem         float64 // KV memory-access share inside Decode
+	Swapped       bool    // went through the CPU-swap path
+	InputLen      int
+	OutputLen     int
+}
+
+// JCT returns the request's job completion time.
+func (r RequestStats) JCT() float64 { return r.Done - r.Arrival }
+
+// Result aggregates one simulation run.
+type Result struct {
+	Requests []RequestStats
+	// PeakMemFrac is the highest memory utilization any decode replica
+	// reached (Table 5's metric).
+	PeakMemFrac float64
+	// SwappedCount counts requests that took the CPU-swap path.
+	SwappedCount int
+}
+
+// request tracks in-flight state.
+type request struct {
+	workload.Request
+	stats      RequestStats
+	generated  int
+	memReserve float64
+	prefillEnd float64
+	readyAt    float64 // parked-in-CPU requests become admissible here
+}
+
+// decodeTokens returns how many decode iterations the request needs (the
+// first output token comes from prefill).
+func (r *request) decodeTokens() int {
+	n := r.OutputLen - 1
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+type prefillReplica struct {
+	queue      []*request
+	busy       bool
+	queuedToks int
+}
+
+type decodeReplica struct {
+	batch    []*request
+	pending  []*request
+	usedMem  float64
+	link     *netsim.SharedLink
+	linkVer  int
+	iterBusy bool
+	inflight map[int]*request
+}
+
+const (
+	evArrival = iota
+	evPrefillDone
+	evStartTransfer
+	evTransferDone
+	evReady
+	evIterDone
+	evRetry
+)
+
+type event struct {
+	at      float64
+	kind    int
+	seq     int
+	req     *request
+	replica int
+	ver     int
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+type sim struct {
+	cfg      Config
+	events   eventQueue
+	rrNext   int
+	seq      int
+	now      float64
+	prefills []*prefillReplica
+	decodes  []*decodeReplica
+	peakMem  float64
+	swapWait []*request
+	done     int
+	results  []RequestStats
+}
+
+// Run simulates the trace and returns per-request decompositions.
+func Run(cfg Config, reqs []workload.Request) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("sim: empty trace")
+	}
+	s := &sim{cfg: cfg}
+	for i := 0; i < cfg.PrefillReplicas; i++ {
+		s.prefills = append(s.prefills, &prefillReplica{})
+	}
+	// A decode replica's aggregate ingress is its GPU share of the
+	// instance NIC; each individual transfer is additionally capped by
+	// the sending prefill instance's NIC.
+	decodeGPUs := cfg.CM.DecodePar.GPUsPerReplica()
+	shareGbps := cfg.CM.Decode.NetGbps * float64(decodeGPUs) / float64(cfg.CM.Decode.NumGPUs)
+	toBps := func(gbps float64) float64 { return gbps * 1e9 / 8 * cfg.CM.Params.NetEff }
+	for i := 0; i < cfg.DecodeReplicas; i++ {
+		link, err := netsim.NewSharedLink(toBps(shareGbps), toBps(cfg.CM.Prefill.NetGbps))
+		if err != nil {
+			return nil, err
+		}
+		s.decodes = append(s.decodes, &decodeReplica{link: link, inflight: map[int]*request{}})
+	}
+	for i := range reqs {
+		r := &request{Request: reqs[i]}
+		r.stats = RequestStats{ID: reqs[i].ID, Arrival: reqs[i].ArrivalS,
+			InputLen: reqs[i].InputLen, OutputLen: reqs[i].OutputLen}
+		s.push(&event{at: reqs[i].ArrivalS, kind: evArrival, req: r})
+	}
+
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*event)
+		if e.at < s.now-1e-9 {
+			return nil, fmt.Errorf("sim: time reversal %.6f -> %.6f", s.now, e.at)
+		}
+		if e.at > s.now {
+			s.now = e.at
+		}
+		switch e.kind {
+		case evArrival:
+			s.onArrival(e.req)
+		case evPrefillDone:
+			s.onPrefillDone(e.req, e.replica)
+		case evStartTransfer:
+			s.onStartTransfer(e.req, e.replica)
+		case evTransferDone:
+			s.onTransferDone(e.replica, e.ver)
+		case evReady:
+			s.onReady(e.req, e.replica)
+		case evIterDone:
+			s.onIterDone(e.replica)
+		case evRetry:
+			s.retrySwapped()
+		}
+	}
+	if s.done != len(reqs) {
+		return nil, fmt.Errorf("sim: %d of %d requests completed", s.done, len(reqs))
+	}
+	res := &Result{Requests: s.results, PeakMemFrac: s.peakMem}
+	for _, r := range s.results {
+		if r.Swapped {
+			res.SwappedCount++
+		}
+	}
+	return res, nil
+}
+
+func (s *sim) push(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+// onArrival assigns the request to a prefill replica per the configured
+// scheduler (shortest token queue by default, the paper's policy).
+func (s *sim) onArrival(r *request) {
+	var best int
+	switch s.cfg.Scheduler {
+	case RoundRobin:
+		best = s.rrNext % len(s.prefills)
+		s.rrNext++
+	case FewestRequests:
+		bestN := math.MaxInt
+		for i, p := range s.prefills {
+			n := len(p.queue)
+			if p.busy {
+				n++
+			}
+			if n < bestN {
+				best, bestN = i, n
+			}
+		}
+	default:
+		bestToks := math.MaxInt
+		for i, p := range s.prefills {
+			if p.queuedToks < bestToks {
+				best, bestToks = i, p.queuedToks
+			}
+		}
+	}
+	p := s.prefills[best]
+	p.queue = append(p.queue, r)
+	p.queuedToks += r.InputLen
+	if !p.busy {
+		s.startPrefill(best)
+	}
+}
+
+func (s *sim) startPrefill(pi int) {
+	p := s.prefills[pi]
+	if p.busy || len(p.queue) == 0 {
+		return
+	}
+	r := p.queue[0]
+	p.queue = p.queue[1:]
+	p.busy = true
+	r.stats.Queue = s.now - r.stats.Arrival
+	compute, quant := s.cfg.CM.PrefillTimes(s.cfg.Method, r.InputLen)
+	r.stats.Prefill = compute
+	r.stats.Quant = quant
+	r.prefillEnd = s.now + compute + quant
+
+	if s.cfg.Pipeline {
+		// Overlap transfer with prefill when a decode replica can take
+		// the request right now.
+		if di, ok := s.pickDecode(r); ok {
+			s.reserve(r, di)
+			s.onStartTransfer(r, di)
+		}
+	}
+	s.push(&event{at: r.prefillEnd, kind: evPrefillDone, req: r, replica: pi})
+}
+
+// pickDecode returns the decode replica with the most free memory that
+// fits the request.
+func (s *sim) pickDecode(r *request) (int, bool) {
+	need := s.cfg.CM.ResidentKVBytes(s.cfg.Method, r.InputLen+r.OutputLen)
+	capB := s.cfg.CM.DecodeReplicaCapacityBytes() * s.cfg.MemCapFrac
+	baseMem := s.cfg.CM.DecodeMemoryBytes(s.cfg.Method, nil)
+	best, bestFree := -1, 0.0
+	for i, d := range s.decodes {
+		if len(d.batch)+len(d.pending)+d.link.Active() >= s.cfg.MaxBatch {
+			continue
+		}
+		free := capB - baseMem - d.usedMem
+		if free >= need && free > bestFree {
+			best, bestFree = i, free
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// reserve claims decode memory for the request.
+func (s *sim) reserve(r *request, di int) {
+	d := s.decodes[di]
+	r.memReserve = s.cfg.CM.ResidentKVBytes(s.cfg.Method, r.InputLen+r.OutputLen)
+	d.usedMem += r.memReserve
+	s.noteMem(di)
+}
+
+// onStartTransfer begins the KV transfer on the replica's shared link.
+func (s *sim) onStartTransfer(r *request, di int) {
+	d := s.decodes[di]
+	if err := d.link.AdvanceTo(s.now); err != nil {
+		panic(err)
+	}
+	id, err := d.link.Start(s.cfg.CM.WireBytes(s.cfg.Method, r.InputLen))
+	if err != nil {
+		panic(err)
+	}
+	d.inflight[id] = r
+	s.rescheduleLink(di)
+}
+
+// rescheduleLink re-arms the next transfer-completion event after the
+// link's transfer set changed.
+func (s *sim) rescheduleLink(di int) {
+	d := s.decodes[di]
+	d.linkVer++
+	if _, at, ok := d.link.NextCompletion(); ok {
+		s.push(&event{at: at, kind: evTransferDone, replica: di, ver: d.linkVer})
+	}
+}
+
+func (s *sim) onPrefillDone(r *request, pi int) {
+	p := s.prefills[pi]
+	p.busy = false
+	p.queuedToks -= r.InputLen
+	s.startPrefill(pi)
+
+	if r.memReserve > 0 {
+		return // pipelined: transfer in flight or complete
+	}
+	if di, ok := s.pickDecode(r); ok {
+		s.reserve(r, di)
+		s.onStartTransfer(r, di)
+		return
+	}
+	// No decode replica has memory: swap KV to prefill CPU memory and
+	// wait (§4). The swap write must finish before the request becomes
+	// admissible; the read back is paid before the transfer.
+	r.stats.Swapped = true
+	r.readyAt = s.now + s.cfg.CM.SwapTime(s.cfg.Method, r.InputLen)
+	s.swapWait = append(s.swapWait, r)
+	// Guarantee a retry once the swap write completes, even if no
+	// decode completion happens in between.
+	s.push(&event{at: r.readyAt, kind: evRetry})
+}
+
+func (s *sim) onTransferDone(di, ver int) {
+	d := s.decodes[di]
+	if ver != d.linkVer {
+		return // stale: link membership changed since scheduling
+	}
+	id, at, ok := d.link.NextCompletion()
+	if !ok {
+		return
+	}
+	if at > s.now+1e-9 {
+		// Floating-point slack: re-arm at the computed time.
+		s.push(&event{at: at, kind: evTransferDone, replica: di, ver: ver})
+		return
+	}
+	if err := d.link.AdvanceTo(s.now); err != nil {
+		panic(err)
+	}
+	r := d.inflight[id]
+	if err := d.link.Finish(id); err != nil {
+		panic(err)
+	}
+	delete(d.inflight, id)
+
+	// Exposed communication: everything between prefill completion and
+	// transfer completion (admission waits, swap hops, the transfer
+	// itself). Pipelined transfers that finish during prefill expose
+	// nothing.
+	readyAt := s.now
+	if readyAt < r.prefillEnd {
+		readyAt = r.prefillEnd
+	}
+	r.stats.Comm = readyAt - r.prefillEnd
+	s.rescheduleLink(di)
+	if readyAt > s.now {
+		s.push(&event{at: readyAt, kind: evReady, req: r, replica: di})
+		return
+	}
+	s.onReady(r, di)
+}
+
+func (s *sim) onReady(r *request, di int) {
+	d := s.decodes[di]
+	if r.decodeTokens() == 0 {
+		// Single-token outputs finish with prefill's token.
+		r.stats.Done = s.now
+		d.usedMem -= r.memReserve
+		s.results = append(s.results, r.stats)
+		s.done++
+		s.retrySwapped()
+		return
+	}
+	d.pending = append(d.pending, r)
+	if !d.iterBusy {
+		s.startIteration(di)
+	}
+}
+
+// startIteration admits pending requests and runs one decode iteration.
+func (s *sim) startIteration(di int) {
+	d := s.decodes[di]
+	if len(d.pending) > 0 {
+		d.batch = append(d.batch, d.pending...)
+		d.pending = nil
+	}
+	if len(d.batch) == 0 {
+		d.iterBusy = false
+		return
+	}
+	d.iterBusy = true
+	lens := make([]int, len(d.batch))
+	for i, r := range d.batch {
+		lens[i] = r.InputLen + r.generated
+	}
+	decode, kvMem, overhead := s.cfg.CM.DecodeStep(s.cfg.Method, lens)
+	iter := decode + kvMem + overhead
+	for _, r := range d.batch {
+		r.stats.Decode += decode + kvMem
+		r.stats.KVMem += kvMem
+		r.stats.Overhead += overhead
+	}
+	s.push(&event{at: s.now + iter, kind: evIterDone, replica: di})
+}
+
+func (s *sim) onIterDone(di int) {
+	d := s.decodes[di]
+	remaining := d.batch[:0]
+	freed := false
+	for _, r := range d.batch {
+		r.generated++
+		if r.generated >= r.decodeTokens() {
+			r.stats.Done = s.now
+			d.usedMem -= r.memReserve
+			s.results = append(s.results, r.stats)
+			s.done++
+			freed = true
+		} else {
+			remaining = append(remaining, r)
+		}
+	}
+	d.batch = remaining
+	if freed {
+		s.retrySwapped()
+	}
+	s.startIteration(di)
+}
+
+// retrySwapped re-attempts admission for requests parked in CPU memory
+// whose swap write has completed, oldest first. The read back costs
+// another swap hop before the transfer starts.
+func (s *sim) retrySwapped() {
+	kept := s.swapWait[:0]
+	for _, r := range s.swapWait {
+		if s.now >= r.readyAt {
+			if di, ok := s.pickDecode(r); ok {
+				s.reserve(r, di)
+				start := s.now + s.cfg.CM.SwapTime(s.cfg.Method, r.InputLen)
+				s.push(&event{at: start, kind: evStartTransfer, req: r, replica: di})
+				continue
+			}
+		}
+		kept = append(kept, r)
+	}
+	s.swapWait = kept
+}
+
+// noteMem records peak memory utilization.
+func (s *sim) noteMem(di int) {
+	d := s.decodes[di]
+	used := s.cfg.CM.DecodeMemoryBytes(s.cfg.Method, nil) + d.usedMem
+	frac := used / s.cfg.CM.DecodeReplicaCapacityBytes()
+	if frac > s.peakMem {
+		s.peakMem = frac
+	}
+}

@@ -1,0 +1,393 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/hackkv/hack/internal/cluster"
+	"github.com/hackkv/hack/internal/model"
+	"github.com/hackkv/hack/internal/workload"
+)
+
+func testCM(t *testing.T, prefill cluster.Instance) *cluster.CostModel {
+	t.Helper()
+	cm, err := cluster.NewCostModel(model.Llama70B(), prefill, cluster.A100(), cluster.DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm
+}
+
+func baseCfg(cm *cluster.CostModel, m cluster.Method) Config {
+	return Config{CM: cm, Method: m, PrefillReplicas: 5, DecodeReplicas: 4,
+		MaxBatch: 32, MemCapFrac: 0.95}
+}
+
+func run(t *testing.T, cfg Config, ds workload.Dataset, rps float64, n int) *Result {
+	t.Helper()
+	reqs, err := workload.Trace(ds, rps, n, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestConfigValidation(t *testing.T) {
+	cm := testCM(t, cluster.A10G())
+	good := baseCfg(cm, cluster.Baseline())
+	bad := []Config{
+		{},
+		{CM: cm, PrefillReplicas: 0, DecodeReplicas: 1, MaxBatch: 1, MemCapFrac: 0.9},
+		{CM: cm, PrefillReplicas: 1, DecodeReplicas: 0, MaxBatch: 1, MemCapFrac: 0.9},
+		{CM: cm, PrefillReplicas: 1, DecodeReplicas: 1, MaxBatch: 0, MemCapFrac: 0.9},
+		{CM: cm, PrefillReplicas: 1, DecodeReplicas: 1, MaxBatch: 1, MemCapFrac: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	if _, err := Run(good, nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestAllRequestsCompleteAndBucketsSum(t *testing.T) {
+	cm := testCM(t, cluster.A10G())
+	res := run(t, baseCfg(cm, cluster.Baseline()), workload.Cocktail(), 0.4, 80)
+	if len(res.Requests) != 80 {
+		t.Fatalf("completed %d of 80", len(res.Requests))
+	}
+	for _, r := range res.Requests {
+		if r.Done <= r.Arrival {
+			t.Fatalf("req %d: done %.3f <= arrival %.3f", r.ID, r.Done, r.Arrival)
+		}
+		sum := r.Queue + r.Prefill + r.Quant + r.Comm + r.Decode + r.Overhead
+		jct := r.JCT()
+		// Buckets cover JCT up to batch-join slack (at most a couple of
+		// iterations, << 10% of these multi-second JCTs).
+		if sum > jct*1.001+1e-6 {
+			t.Fatalf("req %d: buckets %.4f exceed JCT %.4f", r.ID, sum, jct)
+		}
+		if sum < jct*0.80 {
+			t.Fatalf("req %d: buckets %.4f cover only %.0f%% of JCT %.4f",
+				r.ID, sum, 100*sum/jct, jct)
+		}
+		if r.KVMem > r.Decode+1e-9 {
+			t.Fatalf("req %d: KVMem %.4f exceeds Decode %.4f", r.ID, r.KVMem, r.Decode)
+		}
+	}
+	if res.PeakMemFrac <= 0 || res.PeakMemFrac > 1 {
+		t.Errorf("peak mem %.3f out of (0,1]", res.PeakMemFrac)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cm := testCM(t, cluster.A10G())
+	a := run(t, baseCfg(cm, cluster.DefaultHACK()), workload.ArXiv(), 1.0, 60)
+	b := run(t, baseCfg(cm, cluster.DefaultHACK()), workload.ArXiv(), 1.0, 60)
+	if a.AvgJCT() != b.AvgJCT() || a.PeakMemFrac != b.PeakMemFrac {
+		t.Error("simulation not deterministic")
+	}
+}
+
+// The headline result: on long-sequence workloads HACK < CacheGen ≈
+// KVQuant < Baseline in average JCT (Fig. 9).
+func TestMethodOrderingOnLongSequences(t *testing.T) {
+	cm := testCM(t, cluster.A10G())
+	jct := map[string]float64{}
+	for _, m := range cluster.EvaluatedMethods() {
+		res := run(t, baseCfg(cm, m), workload.Cocktail(), 0.5, 100)
+		jct[m.Name] = res.AvgJCT()
+	}
+	if !(jct["HACK"] < jct["CacheGen"] && jct["CacheGen"] < jct["Baseline"]) {
+		t.Errorf("ordering violated: %v", jct)
+	}
+	if !(jct["HACK"] < jct["KVQuant"] && jct["KVQuant"] < jct["Baseline"]) {
+		t.Errorf("ordering violated: %v", jct)
+	}
+	// HACK's improvement over the baseline should be substantial
+	// (paper: 61.6% on Cocktail; the shape requirement is >25%).
+	if imp := 1 - jct["HACK"]/jct["Baseline"]; imp < 0.25 {
+		t.Errorf("HACK improvement over baseline only %.1f%%", 100*imp)
+	}
+}
+
+// JCT decomposition shape (Figs. 1, 10): baseline has a large comm share
+// on a 40 Gbps instance; quantized methods crush comm; only dequant
+// methods pay overhead; HACK's overhead is far smaller.
+func TestDecompositionShape(t *testing.T) {
+	cm := testCM(t, cluster.A10G())
+	base := run(t, baseCfg(cm, cluster.Baseline()), workload.Cocktail(), 0.6, 100).AvgRatios()
+	cg := run(t, baseCfg(cm, cluster.CacheGen()), workload.Cocktail(), 0.6, 100).AvgRatios()
+	hk := run(t, baseCfg(cm, cluster.DefaultHACK()), workload.Cocktail(), 0.6, 100).AvgRatios()
+
+	if base.Comm < 0.20 {
+		t.Errorf("baseline comm ratio %.2f, want substantial on 40 Gbps", base.Comm)
+	}
+	if base.Overhead != 0 {
+		t.Errorf("baseline overhead ratio %.3f, want 0", base.Overhead)
+	}
+	if cg.Comm > base.Comm/2 {
+		t.Errorf("CacheGen comm %.3f not well below baseline %.3f", cg.Comm, base.Comm)
+	}
+	if cg.Overhead < 0.10 || cg.Overhead > 0.45 {
+		t.Errorf("CacheGen dequant share %.3f outside the paper's band", cg.Overhead)
+	}
+	if hk.Overhead > 0.05 {
+		t.Errorf("HACK approximation share %.3f, want ≤5%%", hk.Overhead)
+	}
+	if hk.Overhead >= cg.Overhead/3 {
+		t.Errorf("HACK overhead %.3f not ≪ CacheGen %.3f", hk.Overhead, cg.Overhead)
+	}
+}
+
+// Peak decode memory (Table 5): the baseline saturates its replicas
+// while the quantized methods stay far below; HACK's per-request
+// footprint slightly exceeds the plain 2-bit methods' (SE sums + tail),
+// though faster completions can offset it at the fleet level.
+func TestPeakMemoryOrdering(t *testing.T) {
+	cm := testCM(t, cluster.A10G())
+	peak := map[string]float64{}
+	for _, m := range cluster.EvaluatedMethods() {
+		peak[m.Name] = run(t, baseCfg(cm, m), workload.Cocktail(), 0.6, 100).PeakMemFrac
+	}
+	if peak["Baseline"] < 0.85 {
+		t.Errorf("baseline peak %.2f, want memory saturation (Table 5: 93.7%%)", peak["Baseline"])
+	}
+	if peak["Baseline"] < peak["CacheGen"]+0.2 {
+		t.Errorf("baseline peak %.2f not well above CacheGen %.2f", peak["Baseline"], peak["CacheGen"])
+	}
+	if peak["HACK"] < peak["KVQuant"]*0.9 || peak["HACK"] > peak["KVQuant"]*1.1 {
+		t.Errorf("HACK peak %.3f should be within 10%% of KVQuant %.3f", peak["HACK"], peak["KVQuant"])
+	}
+}
+
+// V100: no INT8, 10 Gbps. HACK's edge over CacheGen shrinks (no prefill
+// acceleration) but its edge over the baseline is the largest of all
+// instances (§7.2 / Fig. 12).
+func TestV100Behavior(t *testing.T) {
+	impBase := map[string]float64{}
+	impCG := map[string]float64{}
+	for _, in := range []cluster.Instance{cluster.A10G(), cluster.V100()} {
+		cm := testCM(t, in)
+		cfg := baseCfg(cm, cluster.Baseline())
+		if in.GPUName == "V100" {
+			cfg.PrefillReplicas = 4
+		}
+		rps := 0.5
+		if in.GPUName == "V100" {
+			rps = 0.15 // 10 Gbps cannot sustain more
+		}
+		base := run(t, cfg, workload.Cocktail(), rps, 80).AvgJCT()
+		cfg.Method = cluster.CacheGen()
+		cg := run(t, cfg, workload.Cocktail(), rps, 80).AvgJCT()
+		cfg.Method = cluster.DefaultHACK()
+		hk := run(t, cfg, workload.Cocktail(), rps, 80).AvgJCT()
+		impBase[in.GPUName] = 1 - hk/base
+		impCG[in.GPUName] = 1 - hk/cg
+	}
+	if impBase["V100"] <= impBase["A10G"] {
+		t.Errorf("HACK-vs-baseline improvement on V100 %.2f should exceed A10G %.2f",
+			impBase["V100"], impBase["A10G"])
+	}
+	if impCG["V100"] >= impCG["A10G"] {
+		t.Errorf("HACK-vs-CacheGen improvement on V100 %.2f should trail A10G %.2f",
+			impCG["V100"], impCG["A10G"])
+	}
+}
+
+// Ablations (Fig. 13): removing SE or RQE increases JCT.
+func TestAblationJCT(t *testing.T) {
+	cm := testCM(t, cluster.A10G())
+	full := run(t, baseCfg(cm, cluster.HACK(64, true, true)), workload.Cocktail(), 0.5, 80).AvgJCT()
+	noSE := run(t, baseCfg(cm, cluster.HACK(64, false, true)), workload.Cocktail(), 0.5, 80).AvgJCT()
+	noRQE := run(t, baseCfg(cm, cluster.HACK(64, true, false)), workload.Cocktail(), 0.5, 80).AvgJCT()
+	if noSE <= full {
+		t.Errorf("HACK/SE JCT %.2f not above HACK %.2f", noSE, full)
+	}
+	if noRQE < full*0.999 {
+		t.Errorf("HACK/RQE JCT %.2f below HACK %.2f", noRQE, full)
+	}
+	// SE matters more than RQE on long sequences (§7.4).
+	if noSE-full <= noRQE-full {
+		t.Errorf("on long sequences SE loss (%.2f) should exceed RQE loss (%.2f)",
+			noSE-full, noRQE-full)
+	}
+
+	// On short sequences the ordering flips: requantization's per-
+	// iteration launches (amplified by the large concurrent batch)
+	// outweigh the small Σb′ recompute (§7.4).
+	fullS := run(t, baseCfg(cm, cluster.HACK(64, true, true)), workload.IMDb(), 8, 150).AvgJCT()
+	noSES := run(t, baseCfg(cm, cluster.HACK(64, false, true)), workload.IMDb(), 8, 150).AvgJCT()
+	noRQES := run(t, baseCfg(cm, cluster.HACK(64, true, false)), workload.IMDb(), 8, 150).AvgJCT()
+	if noRQES-fullS <= noSES-fullS {
+		t.Errorf("on short sequences RQE loss (%.3f) should exceed SE loss (%.3f)",
+			noRQES-fullS, noSES-fullS)
+	}
+}
+
+// Pipelining (Fig. 1d): at light load it hides most of the baseline's
+// communication; under heavy load memory pressure forces the swap path
+// and the benefit collapses.
+func TestPipeliningShape(t *testing.T) {
+	cm := testCM(t, cluster.A10G())
+	cfg := baseCfg(cm, cluster.Baseline())
+	cfg.Pipeline = true
+
+	light := run(t, cfg, workload.Cocktail(), 0.10, 80)
+	heavy := run(t, cfg, workload.Cocktail(), 0.65, 80)
+	lr, hr := light.AvgRatios(), heavy.AvgRatios()
+	// At our calibration the A10G transfer takes ~1.9x the prefill
+	// time, so light-load pipelining can only hide about half of it
+	// (the paper's case (i)); the hidden share is asserted against the
+	// unpipelined run below.
+	if lr.Comm > 0.32 {
+		t.Errorf("pipelined light-load comm ratio %.3f, want at least half hidden", lr.Comm)
+	}
+	if hr.Comm < lr.Comm {
+		t.Errorf("comm ratio should grow with load: %.3f -> %.3f", lr.Comm, hr.Comm)
+	}
+	if heavy.SwappedCount == 0 {
+		t.Error("heavy load should trigger CPU swaps")
+	}
+
+	// Without pipelining, even light load exposes the transfer.
+	cfg.Pipeline = false
+	noPipe := run(t, cfg, workload.Cocktail(), 0.10, 80)
+	if noPipe.AvgRatios().Comm <= lr.Comm {
+		t.Errorf("pipelining did not reduce comm: %.3f vs %.3f", noPipe.AvgRatios().Comm, lr.Comm)
+	}
+}
+
+func TestSingleTokenOutputs(t *testing.T) {
+	cm := testCM(t, cluster.A10G())
+	reqs := []workload.Request{
+		{ID: 0, ArrivalS: 0.1, InputLen: 500, OutputLen: 1},
+		{ID: 1, ArrivalS: 0.2, InputLen: 500, OutputLen: 2},
+	}
+	res, err := Run(baseCfg(cm, cluster.Baseline()), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Requests) != 2 {
+		t.Fatalf("completed %d of 2", len(res.Requests))
+	}
+	for _, r := range res.Requests {
+		if r.ID == 0 && r.Decode != 0 {
+			t.Errorf("single-token request accrued decode time %.4f", r.Decode)
+		}
+	}
+}
+
+// Property: any small random trace completes, buckets stay non-negative,
+// and JCT ≥ pure service time.
+func TestSimProperty(t *testing.T) {
+	cm := testCM(t, cluster.A10G())
+	f := func(seed int64, n8, rps8 uint8) bool {
+		n := int(n8)%30 + 1
+		rps := 0.05 + float64(rps8%50)/50.0
+		reqs, err := workload.Trace(workload.ArXiv(), rps, n, seed)
+		if err != nil {
+			return false
+		}
+		res, err := Run(baseCfg(cm, cluster.DefaultHACK()), reqs)
+		if err != nil || len(res.Requests) != n {
+			return false
+		}
+		for _, r := range res.Requests {
+			if r.Queue < 0 || r.Prefill <= 0 || r.Comm < 0 || r.Decode < 0 || r.Overhead < 0 {
+				return false
+			}
+			if r.JCT() < r.Prefill {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	r := &Result{Requests: []RequestStats{
+		{Arrival: 0, Done: 10, Queue: 1, Prefill: 2, Quant: 1, Comm: 2, Decode: 3, Overhead: 1, KVMem: 1},
+		{Arrival: 0, Done: 20, Queue: 2, Prefill: 4, Quant: 2, Comm: 4, Decode: 6, Overhead: 2, KVMem: 2},
+	}}
+	if got := r.AvgJCT(); got != 15 {
+		t.Errorf("AvgJCT = %v", got)
+	}
+	at := r.AvgTimes()
+	if at.Prefill != 3 || at.Decode != 4.5 {
+		t.Errorf("AvgTimes = %+v", at)
+	}
+	ra := r.AvgRatios()
+	// Ratios: prefill bucket folds the queue in.
+	want := (3.0/10 + 6.0/20) / 2
+	if math.Abs(ra.Prefill-want) > 1e-9 {
+		t.Errorf("Prefill ratio %v, want %v", ra.Prefill, want)
+	}
+	total := ra.Prefill + ra.Quant + ra.Comm + ra.Decode + ra.Overhead
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("ratios sum to %v, want 1", total)
+	}
+	if r.P50JCT() != 15 || r.P99JCT() < 15 {
+		t.Errorf("percentiles %v %v", r.P50JCT(), r.P99JCT())
+	}
+	empty := &Result{}
+	if empty.AvgJCT() != 0 || empty.AvgRatios().Comm != 0 {
+		t.Error("empty result aggregates should be zero")
+	}
+}
+
+func BenchmarkSimCocktail(b *testing.B) {
+	cm, err := cluster.NewCostModel(model.Llama70B(), cluster.A10G(), cluster.A100(), cluster.DefaultCostParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs, err := workload.Trace(workload.Cocktail(), 0.5, 200, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{CM: cm, Method: cluster.DefaultHACK(), PrefillReplicas: 5,
+		DecodeReplicas: 4, MaxBatch: 32, MemCapFrac: 0.95}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSchedulerVariants(t *testing.T) {
+	cm := testCM(t, cluster.A10G())
+	jct := map[Scheduler]float64{}
+	for _, sched := range []Scheduler{ShortestQueue, RoundRobin, FewestRequests} {
+		cfg := baseCfg(cm, cluster.DefaultHACK())
+		cfg.Scheduler = sched
+		res := run(t, cfg, workload.Cocktail(), 0.6, 120)
+		if len(res.Requests) != 120 {
+			t.Fatalf("%v: %d completed", sched, len(res.Requests))
+		}
+		jct[sched] = res.AvgJCT()
+	}
+	// Shortest-token-queue must not lose to round-robin on a
+	// heavy-tailed length distribution (the reason the paper uses it).
+	if jct[ShortestQueue] > jct[RoundRobin]*1.05 {
+		t.Errorf("shortest-queue %.2fs worse than round-robin %.2fs", jct[ShortestQueue], jct[RoundRobin])
+	}
+	if ShortestQueue.String() != "shortest-queue" || RoundRobin.String() != "round-robin" ||
+		FewestRequests.String() != "fewest-requests" {
+		t.Error("scheduler names wrong")
+	}
+}

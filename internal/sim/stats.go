@@ -1,0 +1,77 @@
+package sim
+
+import "github.com/hackkv/hack/internal/metrics"
+
+// Ratios is the paper's average-time-ratio presentation: for each
+// component, mean over requests of component_i / JCT_i (the Fig. 1–4
+// formula).
+type Ratios struct {
+	Queue, Prefill, Quant, Comm, Overhead, Decode, KVMem float64
+}
+
+// AvgJCT returns the mean job completion time in seconds.
+func (r *Result) AvgJCT() float64 {
+	xs := make([]float64, len(r.Requests))
+	for i, q := range r.Requests {
+		xs[i] = q.JCT()
+	}
+	return metrics.Mean(xs)
+}
+
+// AvgTimes returns the mean of each decomposition bucket in seconds.
+func (r *Result) AvgTimes() RequestStats {
+	var out RequestStats
+	n := float64(len(r.Requests))
+	if n == 0 {
+		return out
+	}
+	for _, q := range r.Requests {
+		out.Queue += q.Queue / n
+		out.Prefill += q.Prefill / n
+		out.Quant += q.Quant / n
+		out.Comm += q.Comm / n
+		out.Overhead += q.Overhead / n
+		out.Decode += q.Decode / n
+		out.KVMem += q.KVMem / n
+	}
+	return out
+}
+
+// AvgRatios returns the paper's average time ratios, with the prefill
+// queue folded into the prefill bucket (the paper's decomposition is
+// exhaustive over JCT).
+func (r *Result) AvgRatios() Ratios {
+	var out Ratios
+	n := float64(len(r.Requests))
+	if n == 0 {
+		return out
+	}
+	for _, q := range r.Requests {
+		jct := q.JCT()
+		if jct <= 0 {
+			continue
+		}
+		out.Queue += q.Queue / jct / n
+		out.Prefill += (q.Prefill + q.Queue) / jct / n
+		out.Quant += q.Quant / jct / n
+		out.Comm += q.Comm / jct / n
+		out.Overhead += q.Overhead / jct / n
+		out.Decode += q.Decode / jct / n
+		out.KVMem += q.KVMem / jct / n
+	}
+	return out
+}
+
+// P50JCT and P99JCT return JCT percentiles.
+func (r *Result) P50JCT() float64 { return r.jctPercentile(0.50) }
+
+// P99JCT returns the 99th-percentile JCT.
+func (r *Result) P99JCT() float64 { return r.jctPercentile(0.99) }
+
+func (r *Result) jctPercentile(p float64) float64 {
+	xs := make([]float64, len(r.Requests))
+	for i, q := range r.Requests {
+		xs[i] = q.JCT()
+	}
+	return metrics.Percentile(xs, p)
+}

@@ -1,0 +1,282 @@
+// Package tensor provides the dense row-major matrix type used throughout
+// the HACK reproduction, together with the reference floating-point
+// kernels (matmul, softmax, transpose) that the quantized paths are
+// validated against.
+//
+// All higher-precision computation in this repository uses float32 as the
+// stand-in for the paper's FP16/FP32 mix; FP16 storage effects are applied
+// explicitly via the fp16 package where the paper stores or transmits
+// half-precision data.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix of float32 values.
+type Matrix struct {
+	Rows, Cols int
+	// Data holds Rows*Cols values; element (i, j) is Data[i*Cols+j].
+	Data []float32
+}
+
+// New allocates a zero matrix with the given shape. It panics if either
+// dimension is negative.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows x cols matrix. It panics if
+// len(data) != rows*cols.
+func FromSlice(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d does not match %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// SliceRows returns a view of rows [lo, hi) sharing storage with m.
+func (m *Matrix) SliceRows(lo, hi int) *Matrix {
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(fmt.Sprintf("tensor: row slice [%d:%d) out of range for %d rows", lo, hi, m.Rows))
+	}
+	return &Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
+// SliceCols returns a copy of columns [lo, hi) of m. Column slices cannot
+// share row-major storage, so this always copies.
+func (m *Matrix) SliceCols(lo, hi int) *Matrix {
+	if lo < 0 || hi > m.Cols || lo > hi {
+		panic(fmt.Sprintf("tensor: col slice [%d:%d) out of range for %d cols", lo, hi, m.Cols))
+	}
+	out := New(m.Rows, hi-lo)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i)[lo:hi])
+	}
+	return out
+}
+
+// AppendRows appends the rows of b to m, returning a matrix that may reuse
+// m's storage. The column counts must match; m may be nil or empty.
+func AppendRows(m, b *Matrix) *Matrix {
+	if m == nil || m.Rows == 0 {
+		out := New(b.Rows, b.Cols)
+		copy(out.Data, b.Data)
+		return out
+	}
+	if m.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: AppendRows cols %d != %d", m.Cols, b.Cols))
+	}
+	m.Data = append(m.Data, b.Data...)
+	m.Rows += b.Rows
+	return m
+}
+
+// Transpose returns mᵀ as a new matrix.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// MatMul computes a × b with float32 accumulation, the reference kernel
+// the quantized paths approximate. It panics on a shape mismatch.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for z, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(z)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB computes a × bᵀ, the natural layout for QKᵀ where K is
+// stored token-major.
+func MatMulTransB(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulT shape %dx%d × (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var acc float32
+			for z := range arow {
+				acc += arow[z] * brow[z]
+			}
+			orow[j] = acc
+		}
+	}
+	return out
+}
+
+// Scale multiplies every element of m by s in place and returns m.
+func (m *Matrix) Scale(s float32) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// Add adds b to m element-wise in place and returns m.
+func (m *Matrix) Add(b *Matrix) *Matrix {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: add shape %dx%d + %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	for i, v := range b.Data {
+		m.Data[i] += v
+	}
+	return m
+}
+
+// Softmax applies the row-wise softmax of Eq. (3) in place and returns m.
+// Each row is shifted by its maximum before exponentiation for numerical
+// stability, matching production attention kernels.
+func Softmax(m *Matrix) *Matrix {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		maxv := float32(math.Inf(-1))
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float32
+		for j, v := range row {
+			e := float32(math.Exp(float64(v - maxv)))
+			row[j] = e
+			sum += e
+		}
+		if sum == 0 {
+			continue
+		}
+		inv := 1 / sum
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	return m
+}
+
+// CausalMask sets entries above the main diagonal offset to -inf so that
+// token i attends only to tokens 0..i+offset. offset is the number of
+// cached tokens preceding the first row's token (0 during prefill).
+func CausalMask(m *Matrix, offset int) *Matrix {
+	negInf := float32(math.Inf(-1))
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := i + offset + 1; j < m.Cols; j++ {
+			row[j] = negInf
+		}
+	}
+	return m
+}
+
+// RandNormal fills a new rows x cols matrix with N(0, stddev²) values from
+// the given source. A seeded source makes experiments reproducible.
+func RandNormal(rng *rand.Rand, rows, cols int, stddev float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64() * stddev)
+	}
+	return m
+}
+
+// RandUniform fills a new rows x cols matrix with Uniform[lo, hi) values.
+func RandUniform(rng *rand.Rand, rows, cols int, lo, hi float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(lo + rng.Float64()*(hi-lo))
+	}
+	return m
+}
+
+// MaxAbsDiff returns the maximum absolute element-wise difference between
+// a and b. It panics on shape mismatch.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("tensor: MaxAbsDiff shape mismatch")
+	}
+	var max float64
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i] - b.Data[i]))
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// RelFrobenius returns ‖a−b‖_F / ‖b‖_F, the relative Frobenius-norm error
+// of a against reference b. Returns 0 when both are zero.
+func RelFrobenius(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("tensor: RelFrobenius shape mismatch")
+	}
+	var num, den float64
+	for i := range a.Data {
+		d := float64(a.Data[i] - b.Data[i])
+		num += d * d
+		den += float64(b.Data[i]) * float64(b.Data[i])
+	}
+	if den == 0 {
+		if num == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Sqrt(num / den)
+}
+
+// MeanAbs returns the mean absolute value of the elements of m, or 0 for
+// an empty matrix.
+func MeanAbs(m *Matrix) float64 {
+	if len(m.Data) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range m.Data {
+		s += math.Abs(float64(v))
+	}
+	return s / float64(len(m.Data))
+}

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// traceFile is the on-disk trace format: a small header for provenance
+// plus the request list, so experiment traces can be recorded once and
+// replayed across methods or shared between machines.
+type traceFile struct {
+	Version  int       `json:"version"`
+	Dataset  string    `json:"dataset"`
+	RPS      float64   `json:"rps"`
+	Seed     int64     `json:"seed"`
+	Requests []Request `json:"requests"`
+}
+
+const traceVersion = 1
+
+// SaveTrace writes a trace with its generation parameters as JSON.
+func SaveTrace(w io.Writer, dataset string, rps float64, seed int64, reqs []Request) error {
+	if len(reqs) == 0 {
+		return fmt.Errorf("workload: empty trace")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{
+		Version: traceVersion, Dataset: dataset, RPS: rps, Seed: seed, Requests: reqs,
+	})
+}
+
+// LoadTrace reads a trace written by SaveTrace, validating version and
+// request invariants (monotone arrivals, positive lengths).
+func LoadTrace(r io.Reader) ([]Request, error) {
+	var tf traceFile
+	if err := json.NewDecoder(r).Decode(&tf); err != nil {
+		return nil, fmt.Errorf("workload: decoding trace: %w", err)
+	}
+	if tf.Version != traceVersion {
+		return nil, fmt.Errorf("workload: trace version %d, want %d", tf.Version, traceVersion)
+	}
+	if len(tf.Requests) == 0 {
+		return nil, fmt.Errorf("workload: trace has no requests")
+	}
+	prev := -1.0
+	for i, q := range tf.Requests {
+		if q.ArrivalS <= prev {
+			return nil, fmt.Errorf("workload: request %d arrival %.3f not after %.3f", i, q.ArrivalS, prev)
+		}
+		if q.InputLen <= 0 || q.OutputLen <= 0 {
+			return nil, fmt.Errorf("workload: request %d has lengths %d/%d", i, q.InputLen, q.OutputLen)
+		}
+		prev = q.ArrivalS
+	}
+	return tf.Requests, nil
+}

@@ -1,0 +1,182 @@
+// Package workload generates the request traces of the evaluation. Each
+// dataset matches Table 4's input/output length statistics (min, average,
+// max); per the substitution rule, the actual text content is irrelevant
+// to the JCT experiments — only the length distributions and the Poisson
+// arrival process matter — while the numeric accuracy experiments use
+// scaled-down lengths from the same shapes.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LengthDist describes a bounded skewed length distribution with a given
+// mean: a log-normal shape truncated to [Min, Max], bias-corrected so the
+// sample mean tracks Avg.
+type LengthDist struct {
+	Min, Avg, Max int
+}
+
+// Validate checks ordering.
+func (d LengthDist) Validate() error {
+	if d.Min <= 0 || d.Min > d.Avg || d.Avg > d.Max {
+		return fmt.Errorf("workload: bad length dist %+v", d)
+	}
+	return nil
+}
+
+// Sample draws one length. The underlying draw is log-normal with σ
+// chosen from the spread of the distribution, then truncated; repeated
+// rejection keeps the sample inside [Min, Max].
+func (d LengthDist) Sample(rng *rand.Rand) int {
+	if d.Min == d.Max {
+		return d.Min
+	}
+	mu := math.Log(float64(d.Avg))
+	// Spread heuristic: ~95% of mass within [Min, Max].
+	sigma := math.Log(float64(d.Max)/float64(d.Min)) / 4
+	if sigma <= 0 {
+		return d.Avg
+	}
+	// mean of lognormal = exp(mu + sigma²/2); correct mu so the mean
+	// lands on Avg before truncation.
+	mu -= sigma * sigma / 2
+	for i := 0; i < 64; i++ {
+		v := int(math.Exp(mu + sigma*rng.NormFloat64()))
+		if v >= d.Min && v <= d.Max {
+			return v
+		}
+	}
+	return d.Avg
+}
+
+// Dataset is one evaluation workload (a Table 4 row).
+type Dataset struct {
+	Name string
+	// Input and Output are the prompt and generation length
+	// distributions.
+	Input, Output LengthDist
+	// LongSequence marks the datasets the paper calls long-sequence
+	// (arXiv, Cocktail).
+	LongSequence bool
+	// Metric names the accuracy metric the paper uses for it.
+	Metric string
+}
+
+// Table 4 rows.
+
+// IMDb returns the IMDb genre-classification workload.
+func IMDb() Dataset {
+	return Dataset{Name: "IMDb",
+		Input:  LengthDist{Min: 106, Avg: 315, Max: 821},
+		Output: LengthDist{Min: 16, Avg: 37, Max: 87},
+		Metric: "classification accuracy"}
+}
+
+// ArXiv returns the arXiv summarization workload.
+func ArXiv() Dataset {
+	return Dataset{Name: "arXiv",
+		Input:        LengthDist{Min: 1600, Avg: 6300, Max: 14100},
+		Output:       LengthDist{Min: 29, Avg: 243, Max: 464},
+		LongSequence: true,
+		Metric:       "ROUGE-1"}
+}
+
+// Cocktail returns the Cocktail IR workload — the paper's default.
+func Cocktail() Dataset {
+	return Dataset{Name: "Cocktail",
+		Input:        LengthDist{Min: 9400, Avg: 16200, Max: 28800},
+		Output:       LengthDist{Min: 44, Avg: 159, Max: 246},
+		LongSequence: true,
+		Metric:       "retrieval accuracy"}
+}
+
+// HumanEval returns the HumanEval code-completion workload.
+func HumanEval() Dataset {
+	return Dataset{Name: "HumanEval",
+		Input:  LengthDist{Min: 75, Avg: 204, Max: 697},
+		Output: LengthDist{Min: 11, Avg: 139, Max: 552},
+		Metric: "edit similarity"}
+}
+
+// Datasets returns the four workloads in the paper's presentation order.
+func Datasets() []Dataset {
+	return []Dataset{IMDb(), ArXiv(), Cocktail(), HumanEval()}
+}
+
+// ByName resolves a dataset.
+func ByName(name string) (Dataset, error) {
+	for _, d := range Datasets() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("workload: unknown dataset %q", name)
+}
+
+// CappedTo clamps the dataset's input lengths to a model context window
+// (Falcon-180B's 2K cap in the paper).
+func (d Dataset) CappedTo(maxContext int) Dataset {
+	out := d
+	clamp := func(v int) int {
+		if v > maxContext {
+			return maxContext
+		}
+		return v
+	}
+	out.Input.Min = clamp(out.Input.Min)
+	out.Input.Avg = clamp(out.Input.Avg)
+	out.Input.Max = clamp(out.Input.Max)
+	return out
+}
+
+// Request is one inference job in a trace.
+type Request struct {
+	ID int
+	// ArrivalS is the arrival time in seconds from trace start.
+	ArrivalS float64
+	// InputLen and OutputLen are the prompt and generation lengths.
+	InputLen, OutputLen int
+}
+
+// Trace generates n requests with Poisson arrivals at the given rate
+// (requests per second), drawing lengths from the dataset. The trace is
+// deterministic in (dataset, rps, n, seed).
+func Trace(d Dataset, rps float64, n int, seed int64) ([]Request, error) {
+	if err := d.Input.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Output.Validate(); err != nil {
+		return nil, err
+	}
+	if rps <= 0 || n <= 0 {
+		return nil, fmt.Errorf("workload: rps %v n %d", rps, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]Request, n)
+	t := 0.0
+	for i := range reqs {
+		t += rng.ExpFloat64() / rps
+		reqs[i] = Request{
+			ID:        i,
+			ArrivalS:  t,
+			InputLen:  d.Input.Sample(rng),
+			OutputLen: d.Output.Sample(rng),
+		}
+	}
+	return reqs, nil
+}
+
+// MeanInputLen returns the average prompt length of a trace.
+func MeanInputLen(reqs []Request) float64 {
+	if len(reqs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range reqs {
+		s += float64(r.InputLen)
+	}
+	return s / float64(len(reqs))
+}

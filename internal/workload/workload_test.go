@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable4Rows(t *testing.T) {
+	ds := Datasets()
+	if len(ds) != 4 {
+		t.Fatalf("%d datasets, want 4", len(ds))
+	}
+	// Spot-check Table 4 values.
+	if c := Cocktail(); c.Input.Avg != 16200 || c.Output.Avg != 159 || !c.LongSequence {
+		t.Errorf("Cocktail row wrong: %+v", c)
+	}
+	if h := HumanEval(); h.Input.Min != 75 || h.Output.Max != 552 || h.LongSequence {
+		t.Errorf("HumanEval row wrong: %+v", h)
+	}
+	for _, d := range ds {
+		if err := d.Input.Validate(); err != nil {
+			t.Errorf("%s input: %v", d.Name, err)
+		}
+		if err := d.Output.Validate(); err != nil {
+			t.Errorf("%s output: %v", d.Name, err)
+		}
+		if d.Metric == "" {
+			t.Errorf("%s has no metric", d.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, err := ByName("arXiv")
+	if err != nil || d.Input.Avg != 6300 {
+		t.Errorf("ByName(arXiv) = %+v, %v", d, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestLengthDistValidate(t *testing.T) {
+	if err := (LengthDist{Min: 0, Avg: 5, Max: 10}).Validate(); err == nil {
+		t.Error("min=0 accepted")
+	}
+	if err := (LengthDist{Min: 6, Avg: 5, Max: 10}).Validate(); err == nil {
+		t.Error("min>avg accepted")
+	}
+	if err := (LengthDist{Min: 1, Avg: 50, Max: 10}).Validate(); err == nil {
+		t.Error("avg>max accepted")
+	}
+}
+
+func TestSampleBoundsAndMean(t *testing.T) {
+	for _, d := range Datasets() {
+		rng := rand.New(rand.NewSource(1))
+		const n = 20000
+		var sum float64
+		for i := 0; i < n; i++ {
+			v := d.Input.Sample(rng)
+			if v < d.Input.Min || v > d.Input.Max {
+				t.Fatalf("%s: sample %d out of [%d,%d]", d.Name, v, d.Input.Min, d.Input.Max)
+			}
+			sum += float64(v)
+		}
+		mean := sum / n
+		// Truncation biases the mean somewhat; stay within 20%.
+		if math.Abs(mean-float64(d.Input.Avg)) > 0.2*float64(d.Input.Avg) {
+			t.Errorf("%s: sample mean %.0f vs Table 4 avg %d", d.Name, mean, d.Input.Avg)
+		}
+	}
+}
+
+func TestSampleDegenerate(t *testing.T) {
+	d := LengthDist{Min: 7, Avg: 7, Max: 7}
+	if v := d.Sample(rand.New(rand.NewSource(1))); v != 7 {
+		t.Errorf("degenerate sample = %d", v)
+	}
+}
+
+func TestCappedTo(t *testing.T) {
+	capped := Cocktail().CappedTo(2048)
+	if capped.Input.Max != 2048 || capped.Input.Avg != 2048 || capped.Input.Min != 2048 {
+		t.Errorf("capping wrong: %+v", capped.Input)
+	}
+	// Output lengths untouched.
+	if capped.Output != Cocktail().Output {
+		t.Error("capping altered outputs")
+	}
+	// No-op cap.
+	if IMDb().CappedTo(100000).Input != IMDb().Input {
+		t.Error("no-op cap altered inputs")
+	}
+}
+
+func TestTraceDeterminism(t *testing.T) {
+	a, err := Trace(Cocktail(), 0.1, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Trace(Cocktail(), 0.1, 50, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("trace not deterministic")
+		}
+	}
+	c, _ := Trace(Cocktail(), 0.1, 50, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical traces")
+	}
+}
+
+func TestTraceArrivalsPoisson(t *testing.T) {
+	const rps = 0.5
+	reqs, err := Trace(IMDb(), rps, 5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arrivals strictly increasing.
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].ArrivalS <= reqs[i-1].ArrivalS {
+			t.Fatal("arrivals not increasing")
+		}
+	}
+	// Mean inter-arrival ≈ 1/rps.
+	mean := reqs[len(reqs)-1].ArrivalS / float64(len(reqs))
+	if math.Abs(mean-1/rps) > 0.1/rps {
+		t.Errorf("mean inter-arrival %.3f, want ≈ %.3f", mean, 1/rps)
+	}
+	// IDs sequential.
+	if reqs[0].ID != 0 || reqs[4999].ID != 4999 {
+		t.Error("IDs not sequential")
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	if _, err := Trace(Cocktail(), 0, 10, 1); err == nil {
+		t.Error("rps=0 accepted")
+	}
+	if _, err := Trace(Cocktail(), 0.1, 0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	bad := Cocktail()
+	bad.Input.Min = 0
+	if _, err := Trace(bad, 0.1, 10, 1); err == nil {
+		t.Error("invalid dist accepted")
+	}
+}
+
+func TestTraceProperty(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		n := int(n8)%100 + 1
+		reqs, err := Trace(ArXiv(), 0.2, n, seed)
+		if err != nil || len(reqs) != n {
+			return false
+		}
+		for _, r := range reqs {
+			if r.InputLen < 1600 || r.InputLen > 14100 || r.OutputLen < 29 || r.OutputLen > 464 {
+				return false
+			}
+			if r.ArrivalS <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanInputLen(t *testing.T) {
+	if MeanInputLen(nil) != 0 {
+		t.Error("empty trace mean not 0")
+	}
+	reqs := []Request{{InputLen: 10}, {InputLen: 30}}
+	if MeanInputLen(reqs) != 20 {
+		t.Error("mean wrong")
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	reqs, err := Trace(ArXiv(), 0.5, 25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveTrace(&buf, "arXiv", 0.5, 3, reqs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(reqs) {
+		t.Fatalf("round trip %d != %d requests", len(back), len(reqs))
+	}
+	for i := range reqs {
+		if back[i] != reqs[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func TestTraceFileValidation(t *testing.T) {
+	if err := SaveTrace(io.Discard, "x", 1, 1, nil); err == nil {
+		t.Error("empty trace saved")
+	}
+	if _, err := LoadTrace(strings.NewReader("{")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := LoadTrace(strings.NewReader(`{"version":99,"requests":[{"ID":0,"ArrivalS":1,"InputLen":5,"OutputLen":5}]}`)); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := LoadTrace(strings.NewReader(`{"version":1,"requests":[]}`)); err == nil {
+		t.Error("empty request list accepted")
+	}
+	if _, err := LoadTrace(strings.NewReader(`{"version":1,"requests":[{"ID":0,"ArrivalS":2,"InputLen":5,"OutputLen":5},{"ID":1,"ArrivalS":1,"InputLen":5,"OutputLen":5}]}`)); err == nil {
+		t.Error("non-monotone arrivals accepted")
+	}
+	if _, err := LoadTrace(strings.NewReader(`{"version":1,"requests":[{"ID":0,"ArrivalS":1,"InputLen":0,"OutputLen":5}]}`)); err == nil {
+		t.Error("zero input length accepted")
+	}
+}
