@@ -1,8 +1,7 @@
 // Command hackbench regenerates the paper's tables and figures. With no
-// arguments it runs every experiment; otherwise each argument selects one
-// (fig1a fig1b fig1c fig1d fig2 fig3 fig4 fp48 fig9 fig10 table5 fig11
-// fig12 fig13 table8 fig14 table6 fidelity table7 table8acc mem74
-// distortion int4 cost).
+// arguments it runs every experiment; otherwise each argument selects
+// one by ID (hack.Experiments enumerates them; an unknown ID exits 2
+// listing the valid spellings).
 //
 //	hackbench            # everything, full settings
 //	hackbench -quick     # everything, reduced trace/trial counts
@@ -14,9 +13,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
 
-	"github.com/hackkv/hack/internal/experiments"
+	"github.com/hackkv/hack"
 )
 
 func main() {
@@ -24,80 +22,33 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	flag.Parse()
 
-	s := experiments.Default()
-	a := experiments.DefaultAccuracy()
-	if *quick {
-		s = experiments.Quick()
-		a = experiments.QuickAccuracy()
-	}
-
-	type runner struct {
-		id string
-		fn func() (*experiments.Table, error)
-	}
-	perf := func(f func(experiments.Settings) (*experiments.Table, error)) func() (*experiments.Table, error) {
-		return func() (*experiments.Table, error) { return f(s) }
-	}
-	acc := func(f func(experiments.AccuracySettings) (*experiments.Table, error)) func() (*experiments.Table, error) {
-		return func() (*experiments.Table, error) { return f(a) }
-	}
-	runners := []runner{
-		{"fig1a", perf(experiments.Fig1a)},
-		{"fig1b", perf(experiments.Fig1b)},
-		{"fig1c", perf(experiments.Fig1c)},
-		{"fig1d", perf(experiments.Fig1d)},
-		{"fig2", perf(experiments.Fig2)},
-		{"fig3", perf(experiments.Fig3)},
-		{"fig4", perf(experiments.Fig4)},
-		{"fp48", perf(experiments.FP48)},
-		{"fig9", perf(experiments.Fig9)},
-		{"fig10", perf(experiments.Fig10)},
-		{"table5", perf(experiments.Table5)},
-		{"fig11", perf(experiments.Fig11)},
-		{"fig12", perf(experiments.Fig12)},
-		{"fig13", perf(experiments.Fig13)},
-		{"table8", perf(experiments.Table8JCT)},
-		{"fig14", perf(experiments.Fig14)},
-		{"fidelity", acc(experiments.FidelityLadder)},
-		{"table6", acc(experiments.Table6)},
-		{"table7", acc(experiments.Table7)},
-		{"table8acc", acc(experiments.Table8Accuracy)},
-		{"mem74", acc(experiments.SEMemory)},
-		{"distortion", acc(experiments.LogitDistortion)},
-		{"int4", perf(experiments.ExtINT4)},
-		{"cost", perf(experiments.CostTable)},
-	}
-
+	// Validate selections up front: an unknown experiment ID is a usage
+	// error listing the valid IDs.
 	selected := map[string]bool{}
 	for _, arg := range flag.Args() {
-		selected[strings.ToLower(arg)] = true
-	}
-	known := map[string]bool{}
-	for _, r := range runners {
-		known[r.id] = true
-	}
-	for id := range selected {
-		if !known[id] {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+		id, err := hack.ExperimentNamed(arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hackbench:", err)
 			os.Exit(2)
 		}
+		selected[id] = true
 	}
 
 	failed := false
-	for _, r := range runners {
-		if len(selected) > 0 && !selected[r.id] {
+	for _, id := range hack.Experiments() {
+		if len(selected) > 0 && !selected[id] {
 			continue
 		}
-		tb, err := r.fn()
+		tb, err := hack.RunExperiment(id, *quick)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", r.id, err)
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			failed = true
 			continue
 		}
 		tb.Fprint(os.Stdout)
 		if *csvDir != "" {
-			if err := writeCSV(*csvDir, r.id, tb); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", r.id, err)
+			if err := writeCSV(*csvDir, id, tb); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 				failed = true
 			}
 		}
@@ -108,7 +59,7 @@ func main() {
 }
 
 // writeCSV stores one table under dir/<id>.csv.
-func writeCSV(dir, id string, tb *experiments.Table) error {
+func writeCSV(dir, id string, tb *hack.ResultTable) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}

@@ -12,10 +12,7 @@ import (
 	"math/rand"
 	"os"
 
-	"github.com/hackkv/hack/internal/compress"
-	"github.com/hackkv/hack/internal/hack"
-	"github.com/hackkv/hack/internal/quant"
-	"github.com/hackkv/hack/internal/tensor"
+	"github.com/hackkv/hack"
 )
 
 func main() {
@@ -30,24 +27,24 @@ func main() {
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
-	cfgKV := quant.Config{Bits: *bits, Partition: *pi, Rounding: quant.StochasticRounding, RNG: rng}
-	cfgQ := quant.Config{Bits: *qbits, Partition: *pi, Rounding: quant.StochasticRounding, RNG: rng}
+	cfgKV := hack.QuantConfig{Bits: *bits, Partition: *pi, Rounding: hack.StochasticRounding, RNG: rng}
+	cfgQ := hack.QuantConfig{Bits: *qbits, Partition: *pi, Rounding: hack.StochasticRounding, RNG: rng}
 
-	k := tensor.RandNormal(rng, *rows, *dh, 1)
-	v := tensor.RandNormal(rng, *rows, *dh, 1)
-	q := tensor.RandNormal(rng, 1, *dh, 1)
+	k := hack.RandNormal(rng, *rows, *dh, 1)
+	v := hack.RandNormal(rng, *rows, *dh, 1)
+	q := hack.RandNormal(rng, 1, *dh, 1)
 
-	kq, err := quant.Quantize(k, quant.AlongCols, cfgKV)
+	kq, err := hack.Quantize(k, hack.AlongCols, cfgKV)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hackquant:", err)
 		os.Exit(1)
 	}
-	vq, err := quant.Quantize(v, quant.AlongRows, cfgKV)
+	vq, err := hack.Quantize(v, hack.AlongRows, cfgKV)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hackquant:", err)
 		os.Exit(1)
 	}
-	qq, err := quant.Quantize(q, quant.AlongCols, cfgQ)
+	qq, err := hack.Quantize(q, hack.AlongCols, cfgQ)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hackquant:", err)
 		os.Exit(1)
@@ -57,8 +54,8 @@ func main() {
 		*rows, *dh, *bits, *pi, *qbits)
 
 	// Reconstruction error.
-	fmt.Printf("K reconstruction rel error: %.4f\n", tensor.RelFrobenius(kq.Dequantize(), k))
-	fmt.Printf("V reconstruction rel error: %.4f\n", tensor.RelFrobenius(vq.Dequantize(), v))
+	fmt.Printf("K reconstruction rel error: %.4f\n", hack.RelError(kq.Dequantize(), k))
+	fmt.Printf("V reconstruction rel error: %.4f\n", hack.RelError(vq.Dequantize(), v))
 
 	// Sizes: FP16 vs packed vs entropy-coded.
 	fp16Bytes := 2 * 2 * (*rows) * (*dh)
@@ -68,7 +65,7 @@ func main() {
 	fmt.Printf("packed (wire)  %10d bytes (%.1f%% compression)\n",
 		packed, 100*(1-float64(packed)/float64(fp16Bytes)))
 	fmt.Printf("resident (+SE) %10d bytes\n", resident)
-	ratioK, err := compress.MeasureRatio(compress.EntropyCodec{}, kq)
+	ratioK, err := hack.EntropyRatio(kq)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hackquant:", err)
 		os.Exit(1)
@@ -76,12 +73,12 @@ func main() {
 	fmt.Printf("entropy-coded K codes: %.3fx of packed (CacheGen-style)\n", ratioK)
 
 	// The Eq. (4) identity: homomorphic product vs dequantize-then-multiply.
-	hom, ops := hack.MatMulTransB(qq, kq, hack.DefaultOptions())
-	ref := tensor.MatMulTransB(qq.Dequantize(), kq.Dequantize())
+	hom, ops := hack.MatMulTransB(qq, kq, hack.DefaultMatMulOptions())
+	ref := hack.ExactMatMulTransB(qq.Dequantize(), kq.Dequantize())
 	fmt.Printf("homomorphic q·Kᵀ vs dequantized: max diff %.2e (algebraically identical)\n",
-		tensor.MaxAbsDiff(hom, ref))
+		hack.MaxAbsDiff(hom, ref))
 	fmt.Printf("homomorphic q·Kᵀ vs exact:       rel err  %.4f\n",
-		tensor.RelFrobenius(hom, tensor.MatMulTransB(q, k)))
+		hack.RelError(hom, hack.ExactMatMulTransB(q, k)))
 	fmt.Printf("int MACs %d, approx flops %d (%.2f%% of matmul)\n",
 		ops.IntMACs, ops.ApproxFlops, 100*float64(ops.ApproxFlops)/float64(ops.IntMACs))
 

@@ -3,19 +3,17 @@
 //
 //	hacksim -model L -gpu A10G -dataset Cocktail -method HACK -rps 0.5 -n 200
 //
-// Methods: Baseline, CacheGen, KVQuant, HACK, HACK/SE, HACK/RQE,
-// HACK32, HACK128, FP4, FP6, FP8.
+// Run with -h for the flag list; unknown -model/-gpu/-dataset/-method
+// values exit with status 2 and list the valid names.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"github.com/hackkv/hack/internal/cluster"
-	"github.com/hackkv/hack/internal/model"
-	"github.com/hackkv/hack/internal/sim"
-	"github.com/hackkv/hack/internal/workload"
+	"github.com/hackkv/hack"
 )
 
 func main() {
@@ -31,6 +29,7 @@ func main() {
 		decodeN  = flag.Int("decode", 4, "decode replicas")
 		maxBatch = flag.Int("batch", 256, "max decode batch per replica")
 		pipeline = flag.Bool("pipeline", false, "overlap transfer with prefill")
+		stream   = flag.Bool("stream", false, "print each request's stats as it completes")
 		traceOut = flag.String("trace-out", "", "record the generated trace to this JSON file")
 		traceIn  = flag.String("trace-in", "", "replay a trace recorded with -trace-out (overrides -rps/-n/-seed)")
 	)
@@ -40,67 +39,80 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hacksim:", err)
 		os.Exit(1)
 	}
-	spec, err := model.ByShortName(*modelTag)
+	// Flag-style usage errors: report the valid names and exit 2.
+	usage := func(err error) {
+		fmt.Fprintln(os.Stderr, "hacksim:", err)
+		os.Exit(2)
+	}
+	if _, err := hack.ModelNamed(*modelTag); err != nil {
+		usage(err)
+	}
+	if _, err := hack.GPUNamed(*gpu); err != nil {
+		usage(err)
+	}
+	if _, err := hack.DatasetNamed(*dsName); err != nil {
+		usage(err)
+	}
+	if _, err := hack.MethodNamed(*method); err != nil {
+		usage(err)
+	}
+
+	opts := []hack.Option{
+		hack.WithModel(*modelTag),
+		hack.WithGPU(*gpu),
+		hack.WithMethod(*method),
+		hack.WithReplicas(*prefillN, *decodeN),
+		hack.WithMaxBatch(*maxBatch),
+		hack.WithPipeline(*pipeline),
+	}
+	if *stream {
+		opts = append(opts, hack.WithStream(func(r hack.RequestStats) {
+			fmt.Printf("req %3d done at %7.2fs  jct %6.2fs  (queue %.2fs prefill %.2fs comm %.2fs decode %.2fs)\n",
+				r.ID, r.Done, r.JCT(), r.Queue, r.Prefill, r.Comm, r.Decode)
+		}))
+	}
+	eng, err := hack.New(opts...)
 	if err != nil {
 		die(err)
 	}
-	in, err := cluster.ByGPUName(*gpu)
-	if err != nil {
-		die(err)
-	}
-	ds, err := workload.ByName(*dsName)
-	if err != nil {
-		die(err)
-	}
-	ds = ds.CappedTo(spec.MaxContext)
-	m, err := cluster.MethodByName(*method)
-	if err != nil {
-		die(err)
-	}
-	cm, err := cluster.NewCostModel(spec, in, cluster.A100(), cluster.DefaultCostParams())
-	if err != nil {
-		die(err)
-	}
-	var reqs []workload.Request
+
+	w := hack.Workload{Dataset: *dsName, RPS: *rps, Requests: *n, Seed: *seed}
 	if *traceIn != "" {
 		f, err := os.Open(*traceIn)
 		if err != nil {
 			die(err)
 		}
-		reqs, err = workload.LoadTrace(f)
+		reqs, err := hack.LoadTrace(f)
 		f.Close()
 		if err != nil {
 			die(err)
 		}
-	} else {
-		reqs, err = workload.Trace(ds, *rps, *n, *seed)
+		w = hack.Workload{Trace: reqs}
+	} else if *traceOut != "" {
+		reqs, err := eng.Trace(w)
 		if err != nil {
 			die(err)
 		}
-		if *traceOut != "" {
-			f, err := os.Create(*traceOut)
-			if err != nil {
-				die(err)
-			}
-			if err := workload.SaveTrace(f, ds.Name, *rps, *seed, reqs); err != nil {
-				f.Close()
-				die(err)
-			}
-			if err := f.Close(); err != nil {
-				die(err)
-			}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			die(err)
 		}
+		if err := hack.SaveTrace(f, *dsName, *rps, *seed, reqs); err != nil {
+			f.Close()
+			die(err)
+		}
+		if err := f.Close(); err != nil {
+			die(err)
+		}
+		w = hack.Workload{Trace: reqs}
 	}
-	res, err := sim.Run(sim.Config{
-		CM: cm, Method: m,
-		PrefillReplicas: *prefillN, DecodeReplicas: *decodeN,
-		MaxBatch: *maxBatch, MemCapFrac: 0.95, Pipeline: *pipeline,
-	}, reqs)
+
+	res, err := eng.Run(context.Background(), w)
 	if err != nil {
 		die(err)
 	}
 
-	fmt.Printf("%s | %s | %s | %d requests\n", cm, ds.Name, m.Name, len(reqs))
+	fmt.Printf("%s | %s | %d requests\n", eng, *dsName, len(res.Requests))
 	fmt.Printf("avg JCT %.2fs   p50 %.2fs   p99 %.2fs\n", res.AvgJCT(), res.P50JCT(), res.P99JCT())
 	at := res.AvgTimes()
 	fmt.Printf("avg times: queue %.2fs  prefill %.2fs  quant %.3fs  comm %.2fs  dequant/approx %.3fs  decode %.2fs (kv mem %.2fs)\n",

@@ -1,14 +1,65 @@
-// Package hack is a from-scratch Go reproduction of "HACK: Homomorphic
-// Acceleration via Compression of the Key-Value Cache for Disaggregated
-// LLM Inference" (SIGCOMM 2025).
+// Package hack is the public API of a from-scratch Go reproduction of
+// "HACK: Homomorphic Acceleration via Compression of the Key-Value
+// Cache for Disaggregated LLM Inference" (SIGCOMM 2025).
 //
-// The implementation lives under internal/: the homomorphic-quantization
-// core (internal/hack), its substrates (quantizer, KV caches, attention
-// backends, a numeric transformer, wire protocol, cluster cost model,
-// discrete-event simulator) and the experiment runners that regenerate
-// every table and figure of the paper's evaluation. See README.md for a
-// tour, DESIGN.md for the system inventory, and EXPERIMENTS.md for
-// paper-vs-measured results. Executables: cmd/hackbench (all
-// experiments), cmd/hacksim (one simulation), cmd/hackquant (quantizer
-// inspector); runnable examples live under examples/.
+// # Engine
+//
+// Engine simulates a disaggregated prefill/decode serving cluster.
+// Build one with New and functional options, then Run a Workload:
+//
+//	eng, err := hack.New(
+//		hack.WithModel("L"),            // Llama-3.1 70B
+//		hack.WithGPU("A10G"),           // prefill instance pool
+//		hack.WithMethod("HACK"),        // serving method
+//		hack.WithReplicas(5, 4),        // prefill x decode replicas
+//		hack.WithPipeline(true),        // overlap transfer with prefill
+//	)
+//	res, err := eng.Run(ctx, hack.Workload{
+//		Dataset: "Cocktail", RPS: 0.5, Requests: 200, Seed: 42,
+//	})
+//
+// Run honors ctx cancellation and, with WithStream, invokes a callback
+// as each simulated request completes. The Result carries every
+// request's JCT decomposition (queue, prefill, quantization,
+// communication, dequantization-or-approximation, decode) plus the
+// AvgJCT / P50JCT / P99JCT / AvgTimes / AvgRatios aggregations the
+// paper's figures report. Further options: WithDecodeGPU, WithMaxBatch,
+// WithMemCapFrac, WithScheduler, WithCostParams, WithModelSpec,
+// WithMethodProfile.
+//
+// # Registries
+//
+// Every serving method, dataset, GPU instance, model and experiment is
+// a named registry entry; Methods, Datasets, GPUs, Models and
+// Experiments enumerate the names, and MethodNamed, DatasetNamed,
+// GPUNamed, ModelNamed and ExperimentNamed resolve them
+// (case-insensitive; unknown names return an error listing the valid
+// spellings). RunExperiment regenerates any paper table or figure by
+// ID. Adding an entry is one Register call in the defining internal
+// package — no switch statements.
+//
+// # Homomorphic kernel
+//
+// The paper's core primitive is exported directly: Quantize encodes a
+// Matrix with the asymmetric b-bit stochastic quantizer (§5.2), and
+// MatMul / MatMulTransB compute products on the quantized codes via the
+// Eq. (4) correction without ever dequantizing, returning the result
+// and an Ops work tally:
+//
+//	kq, _ := hack.Quantize(k, hack.AlongCols, hack.QuantConfig{
+//		Bits: 2, Partition: 64, Rounding: hack.StochasticRounding, RNG: rng,
+//	})
+//	scores, ops := hack.MatMulTransB(qq, kq, hack.DefaultMatMulOptions())
+//
+// # Numeric toolkit
+//
+// The accuracy-experiment substrate is exported for library use: the
+// per-head attention backends (ExactAttention, FP16Attention,
+// NewDequantAttention, NewHACKAttention), the seeded numeric
+// Transformer they plug into, the quantized KVCache with SE and RQE,
+// the KVFrame wire format, and the Rouge1 / EditSimilarity metrics.
+//
+// Executables: cmd/hackbench (all experiments), cmd/hacksim (one
+// simulation), cmd/hackquant (quantizer inspector); runnable examples
+// live under examples/. See README.md for a quickstart.
 package hack

@@ -11,9 +11,7 @@ import (
 	"log"
 	"math/rand"
 
-	"github.com/hackkv/hack/internal/attention"
-	"github.com/hackkv/hack/internal/quant"
-	"github.com/hackkv/hack/internal/tensor"
+	"github.com/hackkv/hack"
 )
 
 func main() {
@@ -23,29 +21,29 @@ func main() {
 		steps = 16
 	)
 	rng := rand.New(rand.NewSource(11))
-	q := tensor.RandNormal(rng, l, dh, 1)
-	k := tensor.RandNormal(rng, l, dh, 1)
-	v := tensor.RandNormal(rng, l, dh, 1)
+	q := hack.RandNormal(rng, l, dh, 1)
+	k := hack.RandNormal(rng, l, dh, 1)
+	v := hack.RandNormal(rng, l, dh, 1)
 
-	cg, err := attention.NewDequant(attention.DequantConfig{
+	cg, err := hack.NewDequantAttention(hack.DequantAttentionConfig{
 		MethodName: "CacheGen", Pi: 96, KVBits: 2,
-		Rounding: quant.StochasticRounding, Seed: 3, WireFactor: 0.9,
+		Rounding: hack.StochasticRounding, Seed: 3, WireFactor: 0.9,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	hk, err := attention.NewHACK(attention.DefaultHACKConfig(3))
+	hk, err := hack.NewHACKAttention(hack.DefaultHACKAttentionConfig(3))
 	if err != nil {
 		log.Fatal(err)
 	}
-	backends := []attention.Backend{attention.ExactBackend{}, attention.FP16Backend{}, cg, hk}
+	backends := []hack.AttentionBackend{hack.ExactAttention{}, hack.FP16Attention{}, cg, hk}
 
 	type state struct {
-		head  attention.Head
-		total attention.Stats
+		head  hack.AttentionHead
+		total hack.AttentionStats
 	}
 	states := map[string]*state{}
-	var refOut []*tensor.Matrix
+	var refOut []*hack.Matrix
 
 	// Prefill every backend with the same context.
 	for _, b := range backends {
@@ -63,9 +61,9 @@ func main() {
 	// the reference.
 	errSum := map[string]float64{}
 	for i := 0; i < steps; i++ {
-		dq := tensor.RandNormal(rng, 1, dh, 1)
-		dk := tensor.RandNormal(rng, 1, dh, 1)
-		dv := tensor.RandNormal(rng, 1, dh, 1)
+		dq := hack.RandNormal(rng, 1, dh, 1)
+		dk := hack.RandNormal(rng, 1, dh, 1)
+		dv := hack.RandNormal(rng, 1, dh, 1)
 		for _, b := range backends {
 			st := states[b.Name()]
 			out, stats, err := st.head.Decode(dq.Clone(), dk.Clone(), dv.Clone())
@@ -76,7 +74,7 @@ func main() {
 			if b.Name() == "Exact" {
 				refOut = append(refOut, out)
 			} else {
-				errSum[b.Name()] += tensor.RelFrobenius(out, refOut[i]) / steps
+				errSum[b.Name()] += hack.RelError(out, refOut[i]) / steps
 			}
 		}
 	}

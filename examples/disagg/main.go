@@ -7,39 +7,36 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"github.com/hackkv/hack/internal/cluster"
-	"github.com/hackkv/hack/internal/model"
-	"github.com/hackkv/hack/internal/sim"
-	"github.com/hackkv/hack/internal/workload"
+	"github.com/hackkv/hack"
 )
 
 func main() {
-	cm, err := cluster.NewCostModel(model.Llama70B(), cluster.A10G(), cluster.A100(),
-		cluster.DefaultCostParams())
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println(cm)
-
-	reqs, err := workload.Trace(workload.Cocktail(), 0.6, 150, 42)
+	// One shared trace so every method serves identical requests.
+	reqs, err := hack.GenerateTrace("Cocktail", 0.6, 150, 42)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("workload: %d Cocktail requests (avg prompt %.0f tokens) at 0.6 RPS\n\n",
-		len(reqs), workload.MeanInputLen(reqs))
+		len(reqs), hack.MeanInputLen(reqs))
 
 	fmt.Printf("%-9s %8s %9s %8s %9s %14s %8s %9s %6s\n",
 		"method", "avg JCT", "prefill", "comm", "dequant", "/approx decode", "peak mem", "swapped", "vs base")
 	var baseJCT float64
-	for _, m := range cluster.EvaluatedMethods() {
-		res, err := sim.Run(sim.Config{
-			CM: cm, Method: m,
-			PrefillReplicas: 5, DecodeReplicas: 4,
-			MaxBatch: 256, MemCapFrac: 0.95,
-		}, reqs)
+	for _, m := range hack.EvaluatedMethods() {
+		eng, err := hack.New(
+			hack.WithModel("L"),
+			hack.WithGPU("A10G"),
+			hack.WithMethodProfile(m),
+			hack.WithReplicas(5, 4),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := eng.Run(context.Background(), hack.Workload{Trace: reqs})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -13,9 +13,7 @@ import (
 	"log"
 	"math/rand"
 
-	"github.com/hackkv/hack/internal/hack"
-	"github.com/hackkv/hack/internal/quant"
-	"github.com/hackkv/hack/internal/tensor"
+	"github.com/hackkv/hack"
 )
 
 func main() {
@@ -27,18 +25,18 @@ func main() {
 	rng := rand.New(rand.NewSource(7))
 
 	// A decode-step query against a cache of keys.
-	q := tensor.RandNormal(rng, 1, dh, 1)
-	k := tensor.RandNormal(rng, l, dh, 1)
+	q := hack.RandNormal(rng, 1, dh, 1)
+	k := hack.RandNormal(rng, l, dh, 1)
 
 	// Quantize: Q at INT8, K at INT2, partitions of Π along d_h (§5.3).
-	qq, err := quant.Quantize(q, quant.AlongCols, quant.Config{
-		Bits: 8, Partition: pi, Rounding: quant.StochasticRounding, RNG: rng,
+	qq, err := hack.Quantize(q, hack.AlongCols, hack.QuantConfig{
+		Bits: 8, Partition: pi, Rounding: hack.StochasticRounding, RNG: rng,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	kq, err := quant.Quantize(k, quant.AlongCols, quant.Config{
-		Bits: 2, Partition: pi, Rounding: quant.StochasticRounding, RNG: rng,
+	kq, err := hack.Quantize(k, hack.AlongCols, hack.QuantConfig{
+		Bits: 2, Partition: pi, Rounding: hack.StochasticRounding, RNG: rng,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -48,19 +46,19 @@ func main() {
 
 	// Homomorphic product: computed directly on the codes, never
 	// dequantized.
-	scores, ops := hack.MatMulTransB(qq, kq, hack.DefaultOptions())
+	scores, ops := hack.MatMulTransB(qq, kq, hack.DefaultMatMulOptions())
 
 	// It is algebraically the same value dequantize-then-multiply
 	// produces...
-	viaDequant := tensor.MatMulTransB(qq.Dequantize(), kq.Dequantize())
+	viaDequant := hack.ExactMatMulTransB(qq.Dequantize(), kq.Dequantize())
 	fmt.Printf("homomorphic vs dequantized: max diff %.2e\n",
-		tensor.MaxAbsDiff(scores, viaDequant))
+		hack.MaxAbsDiff(scores, viaDequant))
 
 	// ...but costs integer MACs plus a tiny correction instead of a full
 	// dequantization pass per step.
-	exact := tensor.MatMulTransB(q, k)
+	exact := hack.ExactMatMulTransB(q, k)
 	fmt.Printf("relative error vs exact FP32: %.3f (2-bit K)\n",
-		tensor.RelFrobenius(scores, exact))
+		hack.RelError(scores, exact))
 	fmt.Printf("work: %d INT8 MACs + %d correction flops; dequantization would add %d flops every step\n",
 		ops.IntMACs, ops.ApproxFlops, hack.DequantKVOps(dh, l))
 }

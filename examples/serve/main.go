@@ -1,0 +1,87 @@
+// Serving through the public Engine API: configure a deployment with
+// functional options, stream per-request completions as the simulation
+// progresses, enforce a deadline through context cancellation, and sweep
+// the registries to compare every serving method on the same trace.
+//
+//	go run ./examples/serve
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/hackkv/hack"
+)
+
+func main() {
+	// The registries enumerate everything the library can serve.
+	fmt.Printf("methods:  %v\n", hack.Methods())
+	fmt.Printf("datasets: %v\n", hack.Datasets())
+	fmt.Printf("GPUs:     %v\n", hack.GPUs())
+	fmt.Printf("models:   %v\n\n", hack.Models())
+
+	// A deployment with a streaming callback: the first completions
+	// arrive while the simulation is still running.
+	streamed := 0
+	eng, err := hack.New(
+		hack.WithModel("L"),
+		hack.WithGPU("A10G"),
+		hack.WithMethod("HACK"),
+		hack.WithReplicas(5, 4),
+		hack.WithPipeline(true),
+		hack.WithStream(func(r hack.RequestStats) {
+			if streamed < 3 {
+				fmt.Printf("  streamed: req %2d  jct %5.2fs  (prefill %.2fs, comm %.2fs, decode %.2fs)\n",
+					r.ID, r.JCT(), r.Prefill, r.Comm, r.Decode)
+			}
+			streamed++
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(eng)
+
+	w := hack.Workload{Dataset: "Cocktail", RPS: 0.5, Requests: 80, Seed: 42}
+	res, err := eng.Run(context.Background(), w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  ... %d more; avg JCT %.2fs, p99 %.2fs\n\n",
+		streamed-3, res.AvgJCT(), res.P99JCT())
+
+	// Context cancellation: a one-microsecond deadline aborts the run
+	// between simulator events.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	if _, err := eng.Run(ctx, w); err != nil {
+		fmt.Printf("deadline run: %v\n\n", err)
+	}
+
+	// Sweep the method registry over one shared trace.
+	reqs, err := eng.Trace(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-9s %8s %8s\n", "method", "avg JCT", "p99")
+	for _, name := range []string{"Baseline", "CacheGen", "KVQuant", "HACK"} {
+		me, err := hack.New(
+			hack.WithModel("L"),
+			hack.WithGPU("A10G"),
+			hack.WithMethod(name),
+			hack.WithReplicas(5, 4),
+			hack.WithPipeline(true),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := me.Run(context.Background(), hack.Workload{Trace: reqs})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s %7.2fs %7.2fs\n", name, res.AvgJCT(), res.P99JCT())
+	}
+}

@@ -1,8 +1,8 @@
 // End-to-end "summarization" on the numeric transformer: prefill an
 // arXiv-length prompt, generate with the exact reference and with each
 // serving method, score the outputs (ROUGE-1 against the reference), and
-// ship one head's actual quantized KV cache through the netsim wire
-// protocol — the full Fig. 5 workflow in one program.
+// ship one head's actual quantized KV cache through the wire protocol —
+// the full Fig. 5 workflow in one program.
 //
 //	go run ./examples/summarize
 package main
@@ -13,19 +13,13 @@ import (
 	"log"
 	"math/rand"
 
-	"github.com/hackkv/hack/internal/attention"
-	"github.com/hackkv/hack/internal/kvcache"
-	"github.com/hackkv/hack/internal/metrics"
-	"github.com/hackkv/hack/internal/model"
-	"github.com/hackkv/hack/internal/netsim"
-	"github.com/hackkv/hack/internal/quant"
-	"github.com/hackkv/hack/internal/tensor"
+	"github.com/hackkv/hack"
 )
 
 func main() {
-	spec := model.Spec{Name: "demo", ShortName: "D", Layers: 2, Hidden: 128,
+	spec := hack.ModelSpec{Name: "demo", ShortName: "D", Layers: 2, Hidden: 128,
 		Heads: 1, KVHeads: 1, HeadDim: 128, MLPDim: 256, Vocab: 128, MaxContext: 1 << 20}
-	m, err := model.NewTransformer(spec, 21)
+	m, err := hack.NewTransformer(spec, 21)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +31,7 @@ func main() {
 	const maxNew = 32
 
 	// Reference generation with exact arithmetic.
-	ref, err := m.NewSession(attention.ExactBackend{})
+	ref, err := m.NewSession(hack.ExactAttention{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,14 +41,14 @@ func main() {
 	}
 	fmt.Printf("document: %d tokens; reference summary: %d tokens\n\n", len(prompt), len(refOut))
 
-	cg, err := attention.NewDequant(attention.DequantConfig{
+	cg, err := hack.NewDequantAttention(hack.DequantAttentionConfig{
 		MethodName: "CacheGen", Pi: 96, KVBits: 2,
-		Rounding: quant.StochasticRounding, Seed: 5, WireFactor: 0.9,
+		Rounding: hack.StochasticRounding, Seed: 5, WireFactor: 0.9,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	hk, err := attention.NewHACK(attention.DefaultHACKConfig(5))
+	hk, err := hack.NewHACKAttention(hack.DefaultHACKAttentionConfig(5))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,7 +59,7 @@ func main() {
 	// flipped token sends free generation down a different trajectory,
 	// so agreement is the informative number (see EXPERIMENTS.md).
 	fmt.Printf("%-9s %10s %8s %12s %12s\n", "method", "agreement", "ROUGE-1", "cache bytes", "wire bytes")
-	for _, b := range []attention.Backend{attention.FP16Backend{}, cg, hk} {
+	for _, b := range []hack.AttentionBackend{hack.FP16Attention{}, cg, hk} {
 		// Teacher-forced agreement.
 		tf, err := m.NewSession(b)
 		if err != nil {
@@ -100,21 +94,24 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-9s %9.0f%% %8.3f %12d %12d\n", b.Name(), 100*agreement,
-			metrics.Rouge1(out, refOut), sess.CacheUsageTotal(), sess.WireSizeTotal())
+			hack.Rouge1(out, refOut), sess.CacheUsageTotal(), sess.WireSizeTotal())
 	}
 
 	// Ship a quantized KV cache through the wire protocol, as the
 	// prefill instance would (⑦ in Fig. 5).
-	cache := kvcache.MustNew(kvcache.Config{
+	cache, err := hack.NewKVCache(hack.KVCacheConfig{
 		HeadDim: spec.HeadDim, Pi: 64, KVBits: 2,
-		Rounding: quant.StochasticRounding, RNG: rng, RQE: true,
+		Rounding: hack.StochasticRounding, RNG: rng, RQE: true,
 	})
-	k := tensor.RandNormal(rng, len(prompt), spec.HeadDim, 1)
-	v := tensor.RandNormal(rng, len(prompt), spec.HeadDim, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := hack.RandNormal(rng, len(prompt), spec.HeadDim, 1)
+	v := hack.RandNormal(rng, len(prompt), spec.HeadDim, 1)
 	if err := cache.AppendPrefill(k, v); err != nil {
 		log.Fatal(err)
 	}
-	frame, err := netsim.FrameFromTensors(1, 0, 0, refOut[0], cache.K, cache.VFull, cache.VTail.Data)
+	frame, err := hack.FrameFromTensors(1, 0, 0, refOut[0], cache.K, cache.VFull, cache.VTail.Data)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -123,7 +120,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var recv netsim.KVFrame
+	var recv hack.KVFrame
 	if _, err := recv.ReadFrom(&wire); err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,298 @@
+package hack_test
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/hackkv/hack"
+	"github.com/hackkv/hack/internal/cluster"
+	"github.com/hackkv/hack/internal/model"
+	"github.com/hackkv/hack/internal/sim"
+	"github.com/hackkv/hack/internal/workload"
+)
+
+// TestEngineRunMatchesSim asserts the public facade is a zero-cost
+// veneer: Engine.Run produces byte-identical Result stats to driving
+// internal/sim directly with the same configuration and trace.
+func TestEngineRunMatchesSim(t *testing.T) {
+	reqs, err := hack.GenerateTrace("Cocktail", 0.5, 40, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := hack.New(
+		hack.WithModel("L"),
+		hack.WithGPU("A10G"),
+		hack.WithMethod("HACK"),
+		hack.WithReplicas(5, 4),
+		hack.WithPipeline(true),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Run(context.Background(), hack.Workload{Trace: reqs})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cm, err := cluster.NewCostModel(model.Llama70B(), cluster.A10G(), cluster.A100(),
+		cluster.DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.Run(sim.Config{
+		CM: cm, Method: cluster.DefaultHACK(),
+		PrefillReplicas: 5, DecodeReplicas: 4,
+		MaxBatch: 256, MemCapFrac: 0.95, Pipeline: true,
+	}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(got.Requests, want.Requests) {
+		t.Error("Engine.Run request stats differ from sim.Run")
+	}
+	if got.PeakMemFrac != want.PeakMemFrac || got.SwappedCount != want.SwappedCount {
+		t.Errorf("Engine.Run aggregates (%v, %d) differ from sim.Run (%v, %d)",
+			got.PeakMemFrac, got.SwappedCount, want.PeakMemFrac, want.SwappedCount)
+	}
+}
+
+// TestEngineTraceMatchesWorkload asserts generated traces match the
+// internal generator, including the model-context capping.
+func TestEngineTraceMatchesWorkload(t *testing.T) {
+	eng, err := hack.New(hack.WithModel("F"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Trace(hack.Workload{Dataset: "arXiv", RPS: 0.5, Requests: 25, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := workload.ByName("arXiv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := workload.Trace(ds.CappedTo(model.Falcon180B().MaxContext), 0.5, 25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("Engine.Trace differs from workload.Trace with capped dataset")
+	}
+}
+
+// runSmall simulates a short trace on a configured engine.
+func runSmall(t *testing.T, w hack.Workload, opts ...hack.Option) *hack.Result {
+	t.Helper()
+	eng, err := hack.New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Requests) != w.Requests {
+		t.Fatalf("%d results, want %d", len(res.Requests), w.Requests)
+	}
+	return res
+}
+
+func smallWorkload() hack.Workload {
+	return hack.Workload{Dataset: "Cocktail", RPS: 0.4, Requests: 10, Seed: 1}
+}
+
+// TestEveryMethodSimulates drives each method registry entry end to end.
+func TestEveryMethodSimulates(t *testing.T) {
+	for _, name := range hack.Methods() {
+		t.Run(name, func(t *testing.T) {
+			m, err := hack.MethodNamed(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Name == "" {
+				t.Fatal("empty method profile")
+			}
+			runSmall(t, smallWorkload(), hack.WithMethod(name))
+		})
+	}
+}
+
+// TestEveryDatasetSimulates drives each dataset registry entry.
+func TestEveryDatasetSimulates(t *testing.T) {
+	for _, name := range hack.Datasets() {
+		t.Run(name, func(t *testing.T) {
+			ds, err := hack.DatasetNamed(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ds.Name == "" {
+				t.Fatal("empty dataset")
+			}
+			w := smallWorkload()
+			w.Dataset = name
+			runSmall(t, w)
+		})
+	}
+}
+
+// TestEveryGPUSimulates drives each GPU registry entry as the prefill
+// pool.
+func TestEveryGPUSimulates(t *testing.T) {
+	for _, name := range hack.GPUs() {
+		t.Run(name, func(t *testing.T) {
+			in, err := hack.GPUNamed(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if in.PoolInstances <= 0 {
+				t.Errorf("%s has no prefill pool size", name)
+			}
+			runSmall(t, smallWorkload(), hack.WithGPU(name))
+		})
+	}
+}
+
+// TestEveryModelSimulates drives each catalog model.
+func TestEveryModelSimulates(t *testing.T) {
+	for _, name := range hack.Models() {
+		t.Run(name, func(t *testing.T) {
+			spec, err := hack.ModelNamed(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := spec.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			runSmall(t, smallWorkload(), hack.WithModel(name))
+		})
+	}
+}
+
+// TestLegacySpellingsResolve pins the pre-registry CLI spellings: every
+// name the old switch-based MethodByName / workload.ByName /
+// cluster.ByGPUName / model.ByShortName accepted must still resolve.
+func TestLegacySpellingsResolve(t *testing.T) {
+	for _, name := range []string{"Baseline", "CacheGen", "KVQuant", "HACK",
+		"HACK/SE", "HACK/RQE", "HACK32", "HACK128", "HACK-INT4", "FP4", "FP6", "FP8",
+		"baseline", "cachegen", "kvquant", "hack", "hack/se", "hack-int4", "fp8"} {
+		if _, err := hack.MethodNamed(name); err != nil {
+			t.Errorf("method %q: %v", name, err)
+		}
+	}
+	for _, name := range []string{"IMDb", "arXiv", "Cocktail", "HumanEval"} {
+		if _, err := hack.DatasetNamed(name); err != nil {
+			t.Errorf("dataset %q: %v", name, err)
+		}
+	}
+	for _, name := range []string{"A10G", "V100", "T4", "L4", "A100"} {
+		if _, err := hack.GPUNamed(name); err != nil {
+			t.Errorf("GPU %q: %v", name, err)
+		}
+	}
+	for _, name := range []string{"M", "P", "Y", "L", "F", "Llama-3.1 70B"} {
+		if _, err := hack.ModelNamed(name); err != nil {
+			t.Errorf("model %q: %v", name, err)
+		}
+	}
+}
+
+// TestUnknownNamesListValid asserts unknown-name errors enumerate the
+// valid spellings — the registry behavior the CLI usage errors rely on.
+func TestUnknownNamesListValid(t *testing.T) {
+	if _, err := hack.MethodNamed("nope"); err == nil ||
+		!strings.Contains(err.Error(), "valid:") || !strings.Contains(err.Error(), "CacheGen") {
+		t.Errorf("method error does not list valid names: %v", err)
+	}
+	if _, err := hack.DatasetNamed("nope"); err == nil || !strings.Contains(err.Error(), "Cocktail") {
+		t.Errorf("dataset error does not list valid names: %v", err)
+	}
+	if _, err := hack.GPUNamed("H100"); err == nil || !strings.Contains(err.Error(), "A10G") {
+		t.Errorf("GPU error does not list valid names: %v", err)
+	}
+	if _, err := hack.ModelNamed("Z"); err == nil || !strings.Contains(err.Error(), "valid:") {
+		t.Errorf("model error does not list valid names: %v", err)
+	}
+	if _, err := hack.ExperimentNamed("fig99"); err == nil || !strings.Contains(err.Error(), "fig9") {
+		t.Errorf("experiment error does not list valid names: %v", err)
+	}
+	if _, err := hack.New(hack.WithMethod("nope")); err == nil {
+		t.Error("New accepted unknown method")
+	}
+}
+
+// TestStreamingCallback asserts Run streams exactly the stats it
+// returns, in completion order.
+func TestStreamingCallback(t *testing.T) {
+	var streamed []hack.RequestStats
+	eng, err := hack.New(hack.WithStream(func(r hack.RequestStats) {
+		streamed = append(streamed, r)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), smallWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(streamed, res.Requests) {
+		t.Errorf("streamed %d stats, result has %d; contents differ", len(streamed), len(res.Requests))
+	}
+}
+
+// TestRunCancellation asserts a canceled context aborts the simulation.
+func TestRunCancellation(t *testing.T) {
+	eng, err := hack.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Run(ctx, smallWorkload()); err == nil {
+		t.Error("canceled run succeeded")
+	}
+}
+
+// TestEngineOptionValidation covers the non-registry option errors.
+func TestEngineOptionValidation(t *testing.T) {
+	bad := []hack.Option{
+		hack.WithReplicas(0, 4),
+		hack.WithMaxBatch(0),
+		hack.WithMemCapFrac(0),
+		hack.WithMemCapFrac(1.5),
+	}
+	for i, opt := range bad {
+		if _, err := hack.New(opt); err == nil {
+			t.Errorf("option %d accepted invalid value", i)
+		}
+	}
+	// A custom model without a Table 3 parallelism entry fails at New.
+	if _, err := hack.New(hack.WithModelSpec(hack.ModelSpec{
+		Name: "toy", ShortName: "T", Layers: 2, Hidden: 64,
+		Heads: 2, KVHeads: 2, HeadDim: 32, MLPDim: 128, Vocab: 128, MaxContext: 4096,
+	})); err == nil {
+		t.Error("model without parallelism entry accepted")
+	}
+}
+
+// TestExperimentRegistry pins the experiment catalog and runs the
+// cheapest entry through the public runner.
+func TestExperimentRegistry(t *testing.T) {
+	ids := hack.Experiments()
+	if len(ids) != 24 {
+		t.Errorf("%d experiments, want 24", len(ids))
+	}
+	if ids[0] != "fig1a" || ids[len(ids)-1] != "cost" {
+		t.Errorf("unexpected experiment order: %v", ids)
+	}
+	tb, err := hack.RunExperiment("cost", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Error("cost experiment returned no rows")
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/hackkv/hack
+
+go 1.22

@@ -45,6 +45,11 @@ type Instance struct {
 	// the cost-effectiveness accounting that motivates disaggregation
 	// (§1: cheap prefill GPUs cost 10-20x less than A100s).
 	PricePerHour float64
+	// PoolInstances is the paper's §7.1 prefill pool size for this
+	// instance type: ten g5.12xlarge (A10G), sixteen p3.8xlarge (V100),
+	// sixteen g4dn.12xlarge (T4), ten g6.12xlarge (L4), two
+	// p4de.24xlarge (A100).
+	PoolInstances int
 }
 
 // TotalMemGiB returns the instance's aggregate GPU memory.
@@ -56,32 +61,37 @@ func (i Instance) TotalMemGiB() float64 { return float64(i.NumGPUs) * i.GPU.MemG
 // A10G returns the g5.12xlarge instance (4×A10G, 40 Gbps).
 func A10G() Instance {
 	return Instance{Name: "g5.12xlarge", GPUName: "A10G", NumGPUs: 4, NetGbps: 40, PricePerHour: 5.672,
-		GPU: GPU{Name: "A10G", FP16TFLOPS: 125, INT8TOPS: 250, MemGiB: 24, MemBWGBs: 600}}
+		PoolInstances: 10,
+		GPU:           GPU{Name: "A10G", FP16TFLOPS: 125, INT8TOPS: 250, MemGiB: 24, MemBWGBs: 600}}
 }
 
 // V100 returns the p3.8xlarge instance (4×V100, 10 Gbps). V100 tensor
 // cores predate INT8 matmul support.
 func V100() Instance {
 	return Instance{Name: "p3.8xlarge", GPUName: "V100", NumGPUs: 4, NetGbps: 10, PricePerHour: 12.24,
-		GPU: GPU{Name: "V100", FP16TFLOPS: 112, INT8TOPS: 0, MemGiB: 16, MemBWGBs: 900}}
+		PoolInstances: 16,
+		GPU:           GPU{Name: "V100", FP16TFLOPS: 112, INT8TOPS: 0, MemGiB: 16, MemBWGBs: 900}}
 }
 
 // T4 returns the g4dn.12xlarge instance (4×T4, 50 Gbps).
 func T4() Instance {
 	return Instance{Name: "g4dn.12xlarge", GPUName: "T4", NumGPUs: 4, NetGbps: 50, PricePerHour: 3.912,
-		GPU: GPU{Name: "T4", FP16TFLOPS: 65, INT8TOPS: 130, MemGiB: 16, MemBWGBs: 300}}
+		PoolInstances: 16,
+		GPU:           GPU{Name: "T4", FP16TFLOPS: 65, INT8TOPS: 130, MemGiB: 16, MemBWGBs: 300}}
 }
 
 // L4 returns the g6.12xlarge instance (4×L4, 40 Gbps).
 func L4() Instance {
 	return Instance{Name: "g6.12xlarge", GPUName: "L4", NumGPUs: 4, NetGbps: 40, PricePerHour: 4.602,
-		GPU: GPU{Name: "L4", FP16TFLOPS: 121, INT8TOPS: 242, MemGiB: 24, MemBWGBs: 300}}
+		PoolInstances: 10,
+		GPU:           GPU{Name: "L4", FP16TFLOPS: 121, INT8TOPS: 242, MemGiB: 24, MemBWGBs: 300}}
 }
 
 // A100 returns the p4de.24xlarge instance (8×A100-80GB, 400 Gbps).
 func A100() Instance {
 	return Instance{Name: "p4de.24xlarge", GPUName: "A100", NumGPUs: 8, NetGbps: 400, PricePerHour: 40.966,
-		GPU: GPU{Name: "A100", FP16TFLOPS: 312, INT8TOPS: 624, MemGiB: 80, MemBWGBs: 2039}}
+		PoolInstances: 2,
+		GPU:           GPU{Name: "A100", FP16TFLOPS: 312, INT8TOPS: 624, MemGiB: 80, MemBWGBs: 2039}}
 }
 
 // PrefillInstances returns the five prefill instance types in the
@@ -90,15 +100,9 @@ func PrefillInstances() []Instance {
 	return []Instance{A10G(), V100(), T4(), L4(), A100()}
 }
 
-// ByGPUName resolves an instance by accelerator tag.
-func ByGPUName(name string) (Instance, error) {
-	for _, in := range append(PrefillInstances(), A100()) {
-		if in.GPUName == name {
-			return in, nil
-		}
-	}
-	return Instance{}, fmt.Errorf("cluster: unknown GPU %q", name)
-}
+// ByGPUName resolves an instance by accelerator tag through the GPU
+// registry (case-insensitive; unknown names list the valid tags).
+func ByGPUName(name string) (Instance, error) { return GPURegistry.Lookup(name) }
 
 // Parallelism is a (TP, PP) degree pair from Table 3.
 type Parallelism struct{ TP, PP int }

@@ -1,9 +1,6 @@
 package cluster
 
-import (
-	"fmt"
-	"strings"
-)
+import "fmt"
 
 // Method is the serving-method profile the cost model prices: how KV is
 // represented on the wire and in cache, and which per-iteration overhead
@@ -138,33 +135,5 @@ func EvaluatedMethods() []Method {
 
 // MethodByName resolves a method profile from its CLI spelling:
 // Baseline, CacheGen, KVQuant, HACK, HACK/SE, HACK/RQE, HACK32, HACK128,
-// HACK-INT4, FP4, FP6, FP8 (case-insensitive).
-func MethodByName(name string) (Method, error) {
-	switch strings.ToUpper(name) {
-	case "BASELINE":
-		return Baseline(), nil
-	case "CACHEGEN":
-		return CacheGen(), nil
-	case "KVQUANT":
-		return KVQuant(), nil
-	case "HACK":
-		return DefaultHACK(), nil
-	case "HACK/SE":
-		return HACK(64, false, true), nil
-	case "HACK/RQE":
-		return HACK(64, true, false), nil
-	case "HACK32":
-		return HACK(32, true, true), nil
-	case "HACK128":
-		return HACK(128, true, true), nil
-	case "HACK-INT4":
-		return HACKINT4(), nil
-	case "FP4":
-		return FPFormat(4)
-	case "FP6":
-		return FPFormat(6)
-	case "FP8":
-		return FPFormat(8)
-	}
-	return Method{}, fmt.Errorf("cluster: unknown method %q", name)
-}
+// HACK-INT4, FP4, FP6, FP8 (case-insensitive, via MethodRegistry).
+func MethodByName(name string) (Method, error) { return MethodRegistry.Lookup(name) }

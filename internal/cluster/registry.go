@@ -1,0 +1,35 @@
+package cluster
+
+import "github.com/hackkv/hack/internal/registry"
+
+// MethodRegistry resolves serving-method profiles by name. Entries
+// self-register below; adding a method is one Register call next to its
+// constructor, with no switch statement to extend. Registration order is
+// the paper's presentation order.
+var MethodRegistry = registry.New[Method]("method")
+
+// GPURegistry resolves cloud instances by accelerator tag.
+var GPURegistry = registry.New[Instance]("GPU")
+
+func init() {
+	MethodRegistry.Register("Baseline", Baseline())
+	MethodRegistry.Register("CacheGen", CacheGen())
+	MethodRegistry.Register("KVQuant", KVQuant())
+	MethodRegistry.Register("HACK", DefaultHACK())
+	MethodRegistry.Register("HACK/SE", HACK(64, false, true))
+	MethodRegistry.Register("HACK/RQE", HACK(64, true, false))
+	MethodRegistry.Register("HACK32", HACK(32, true, true))
+	MethodRegistry.Register("HACK128", HACK(128, true, true))
+	MethodRegistry.Register("HACK-INT4", HACKINT4())
+	for _, bits := range []int{4, 6, 8} {
+		m, err := FPFormat(bits)
+		if err != nil {
+			panic(err)
+		}
+		MethodRegistry.Register(m.Name, m)
+	}
+
+	for _, in := range []Instance{A10G(), V100(), T4(), L4(), A100()} {
+		GPURegistry.Register(in.GPUName, in)
+	}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import "github.com/hackkv/hack/internal/registry"
+
+// Experiment is one runnable regeneration of a paper table or figure.
+type Experiment struct {
+	// ID is the CLI spelling (fig9, table5, ...).
+	ID string
+	// Run produces the experiment's table; performance experiments read
+	// s, accuracy experiments read a.
+	Run func(s Settings, a AccuracySettings) (*Table, error)
+}
+
+// Registry resolves experiments by ID. Registration order is
+// cmd/hackbench's presentation order, which follows the paper.
+var Registry = registry.New[Experiment]("experiment")
+
+// perf adapts a performance experiment to the registry signature.
+func perf(fn func(Settings) (*Table, error)) func(Settings, AccuracySettings) (*Table, error) {
+	return func(s Settings, _ AccuracySettings) (*Table, error) { return fn(s) }
+}
+
+// acc adapts an accuracy experiment to the registry signature.
+func acc(fn func(AccuracySettings) (*Table, error)) func(Settings, AccuracySettings) (*Table, error) {
+	return func(_ Settings, a AccuracySettings) (*Table, error) { return fn(a) }
+}
+
+func init() {
+	for _, e := range []Experiment{
+		{"fig1a", perf(Fig1a)},
+		{"fig1b", perf(Fig1b)},
+		{"fig1c", perf(Fig1c)},
+		{"fig1d", perf(Fig1d)},
+		{"fig2", perf(Fig2)},
+		{"fig3", perf(Fig3)},
+		{"fig4", perf(Fig4)},
+		{"fp48", perf(FP48)},
+		{"fig9", perf(Fig9)},
+		{"fig10", perf(Fig10)},
+		{"table5", perf(Table5)},
+		{"fig11", perf(Fig11)},
+		{"fig12", perf(Fig12)},
+		{"fig13", perf(Fig13)},
+		{"table8", perf(Table8JCT)},
+		{"fig14", perf(Fig14)},
+		{"fidelity", acc(FidelityLadder)},
+		{"table6", acc(Table6)},
+		{"table7", acc(Table7)},
+		{"table8acc", acc(Table8Accuracy)},
+		{"mem74", acc(SEMemory)},
+		{"distortion", acc(LogitDistortion)},
+		{"int4", perf(ExtINT4)},
+		{"cost", perf(CostTable)},
+	} {
+		Registry.Register(e.ID, e)
+	}
+}

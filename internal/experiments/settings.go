@@ -46,19 +46,17 @@ func Quick() Settings {
 	return s
 }
 
-// prefillInstanceCount returns the paper's §7.1 pool sizes: ten
-// g5.12xlarge (A10G), sixteen p3.8xlarge (V100), sixteen g4dn.12xlarge
-// (T4), ten g6.12xlarge (L4) or two p4de.24xlarge (A100) for prefill.
+// prefillInstanceCount returns the paper's §7.1 pool size for an
+// accelerator tag, carried on the GPU registry's Instance entries.
 func prefillInstanceCount(gpuName string) (int, error) {
-	switch gpuName {
-	case "A10G", "L4":
-		return 10, nil
-	case "V100", "T4":
-		return 16, nil
-	case "A100":
-		return 2, nil
+	in, err := cluster.ByGPUName(gpuName)
+	if err != nil {
+		return 0, err
 	}
-	return 0, fmt.Errorf("experiments: no pool size for %s", gpuName)
+	if in.PoolInstances <= 0 {
+		return 0, fmt.Errorf("experiments: no pool size for %s", gpuName)
+	}
+	return in.PoolInstances, nil
 }
 
 // deployment sizes a scenario: pool replica counts from the paper's

@@ -11,7 +11,11 @@
 // shapes, which the synthetic instance preserves.
 package model
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/hackkv/hack/internal/registry"
+)
 
 // Spec describes a transformer architecture.
 type Spec struct {
@@ -143,21 +147,24 @@ func Falcon180B() Spec {
 		Params: 180_000_000_000, MaxContext: 2048}
 }
 
-// Catalog returns the five evaluated models in the paper's M, P, Y, L, F
-// order.
-func Catalog() []Spec {
-	return []Spec{Mistral7B(), Phi3_14B(), Yi34B(), Llama70B(), Falcon180B()}
+// Registry resolves catalog models by one-letter tag or full display
+// name (case-insensitive). Entries self-register in init; registration
+// order is the paper's M, P, Y, L, F order.
+var Registry = registry.New[Spec]("model")
+
+func init() {
+	for _, s := range []Spec{Mistral7B(), Phi3_14B(), Yi34B(), Llama70B(), Falcon180B()} {
+		Registry.Register(s.ShortName, s, s.Name)
+	}
 }
 
-// ByShortName returns the catalog model with the given one-letter tag.
-func ByShortName(tag string) (Spec, error) {
-	for _, s := range Catalog() {
-		if s.ShortName == tag {
-			return s, nil
-		}
-	}
-	return Spec{}, fmt.Errorf("model: unknown tag %q", tag)
-}
+// Catalog returns the five evaluated models in the paper's M, P, Y, L, F
+// order.
+func Catalog() []Spec { return Registry.Values() }
+
+// ByShortName returns the catalog model with the given one-letter tag
+// (or full display name) through the registry.
+func ByShortName(tag string) (Spec, error) { return Registry.Lookup(tag) }
 
 // Toy returns a small architecture for the numeric accuracy runs: big
 // enough to exhibit realistic error propagation (multi-layer, multi-head,

@@ -1,0 +1,97 @@
+// Package registry provides the generic name→value registries behind
+// the public hack.Methods / hack.Datasets / hack.GPUs / hack.Models
+// surface. A registry maps case-insensitive names (plus optional
+// aliases) to values, remembers registration order for presentation,
+// and produces "unknown X, valid: ..." errors so CLIs can report the
+// accepted spellings without hand-maintained lists.
+//
+// Registries are populated from init functions of the packages that own
+// the entries — adding a serving method or dataset is one Register call
+// next to its constructor, with no switch statement to extend.
+package registry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Registry maps names to values of type T.
+type Registry[T any] struct {
+	kind string
+
+	mu      sync.RWMutex
+	entries map[string]entry[T]
+	order   []string // canonical names in registration order
+	aliases []string // alias spellings in registration order
+}
+
+type entry[T any] struct {
+	canonical string
+	value     T
+}
+
+// New returns an empty registry. kind names the entry type in error
+// messages ("method", "dataset", ...).
+func New[T any](kind string) *Registry[T] {
+	return &Registry[T]{kind: kind, entries: map[string]entry[T]{}}
+}
+
+// key normalizes a name for lookup.
+func key(name string) string { return strings.ToLower(strings.TrimSpace(name)) }
+
+// Register adds a value under its canonical name plus any aliases.
+// Registering a duplicate name panics: entries are wired from init
+// functions, so a collision is a programming error worth failing loudly.
+func (r *Registry[T]) Register(name string, v T, aliases ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := entry[T]{canonical: name, value: v}
+	for _, n := range append([]string{name}, aliases...) {
+		k := key(n)
+		if prev, dup := r.entries[k]; dup {
+			panic(fmt.Sprintf("registry: duplicate %s name %q (already registered as %q)",
+				r.kind, n, prev.canonical))
+		}
+		r.entries[k] = e
+	}
+	r.order = append(r.order, name)
+	r.aliases = append(r.aliases, aliases...)
+}
+
+// Lookup resolves a name (case-insensitive, canonical or alias). The
+// error for an unknown name lists every valid spelling.
+func (r *Registry[T]) Lookup(name string) (T, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if e, ok := r.entries[key(name)]; ok {
+		return e.value, nil
+	}
+	var zero T
+	return zero, fmt.Errorf("unknown %s %q (valid: %s)", r.kind, name, strings.Join(r.allNames(), ", "))
+}
+
+// Names returns the canonical names in registration order — the
+// presentation order of the paper's tables.
+func (r *Registry[T]) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.order...)
+}
+
+// Values returns the registered values in registration order.
+func (r *Registry[T]) Values() []T {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]T, 0, len(r.order))
+	for _, n := range r.order {
+		out = append(out, r.entries[key(n)].value)
+	}
+	return out
+}
+
+// allNames returns every accepted spelling: canonical names first, then
+// aliases, each in registration order. Callers hold r.mu.
+func (r *Registry[T]) allNames() []string {
+	return append(append([]string(nil), r.order...), r.aliases...)
+}

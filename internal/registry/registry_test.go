@@ -1,0 +1,64 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLookupCaseInsensitiveAndAliases(t *testing.T) {
+	r := New[int]("thing")
+	r.Register("Alpha", 1, "first")
+	r.Register("Beta", 2)
+
+	for _, name := range []string{"Alpha", "alpha", " ALPHA ", "first", "FIRST"} {
+		v, err := r.Lookup(name)
+		if err != nil || v != 1 {
+			t.Errorf("Lookup(%q) = %d, %v", name, v, err)
+		}
+	}
+	if v, _ := r.Lookup("beta"); v != 2 {
+		t.Errorf("Lookup(beta) = %d", v)
+	}
+}
+
+func TestUnknownErrorListsAllSpellings(t *testing.T) {
+	r := New[int]("thing")
+	r.Register("Alpha", 1, "first")
+	r.Register("Beta", 2)
+	_, err := r.Lookup("gamma")
+	if err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	for _, want := range []string{`unknown thing "gamma"`, "Alpha", "Beta", "first"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestOrderPreserved(t *testing.T) {
+	r := New[string]("x")
+	names := []string{"C", "A", "B"}
+	for _, n := range names {
+		r.Register(n, strings.ToLower(n))
+	}
+	got := r.Names()
+	if len(got) != 3 || got[0] != "C" || got[1] != "A" || got[2] != "B" {
+		t.Errorf("Names() = %v, want registration order %v", got, names)
+	}
+	vals := r.Values()
+	if len(vals) != 3 || vals[0] != "c" || vals[2] != "b" {
+		t.Errorf("Values() = %v", vals)
+	}
+}
+
+func TestDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r := New[int]("thing")
+	r.Register("Alpha", 1)
+	r.Register("ALPHA", 2)
+}

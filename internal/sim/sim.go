@@ -12,6 +12,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 
@@ -200,17 +201,27 @@ type sim struct {
 	swapWait []*request
 	done     int
 	results  []RequestStats
+	onDone   func(RequestStats)
 }
 
 // Run simulates the trace and returns per-request decompositions.
 func Run(cfg Config, reqs []workload.Request) (*Result, error) {
+	return RunContext(context.Background(), cfg, reqs, nil)
+}
+
+// RunContext is Run with cooperative cancellation and streaming: the
+// simulation aborts with ctx.Err() as soon as ctx is done, and onRequest
+// (which may be nil) is invoked with each request's stats the moment the
+// request completes, in completion order. The returned Result is
+// identical to Run's for the same inputs.
+func RunContext(ctx context.Context, cfg Config, reqs []workload.Request, onRequest func(RequestStats)) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if len(reqs) == 0 {
 		return nil, fmt.Errorf("sim: empty trace")
 	}
-	s := &sim{cfg: cfg}
+	s := &sim{cfg: cfg, onDone: onRequest}
 	for i := 0; i < cfg.PrefillReplicas; i++ {
 		s.prefills = append(s.prefills, &prefillReplica{})
 	}
@@ -235,6 +246,9 @@ func Run(cfg Config, reqs []workload.Request) (*Result, error) {
 	}
 
 	for s.events.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		e := heap.Pop(&s.events).(*event)
 		if e.at < s.now-1e-9 {
 			return nil, fmt.Errorf("sim: time reversal %.6f -> %.6f", s.now, e.at)
@@ -456,14 +470,24 @@ func (s *sim) onTransferDone(di, ver int) {
 	s.onReady(r, di)
 }
 
+// complete finalizes a request: stamps its completion time, releases its
+// decode memory, records its stats and streams them to the onDone
+// callback.
+func (s *sim) complete(r *request, d *decodeReplica) {
+	r.stats.Done = s.now
+	d.usedMem -= r.memReserve
+	s.results = append(s.results, r.stats)
+	s.done++
+	if s.onDone != nil {
+		s.onDone(r.stats)
+	}
+}
+
 func (s *sim) onReady(r *request, di int) {
 	d := s.decodes[di]
 	if r.decodeTokens() == 0 {
 		// Single-token outputs finish with prefill's token.
-		r.stats.Done = s.now
-		d.usedMem -= r.memReserve
-		s.results = append(s.results, r.stats)
-		s.done++
+		s.complete(r, d)
 		s.retrySwapped()
 		return
 	}
@@ -506,10 +530,7 @@ func (s *sim) onIterDone(di int) {
 	for _, r := range d.batch {
 		r.generated++
 		if r.generated >= r.decodeTokens() {
-			r.stats.Done = s.now
-			d.usedMem -= r.memReserve
-			s.results = append(s.results, r.stats)
-			s.done++
+			s.complete(r, d)
 			freed = true
 		} else {
 			remaining = append(remaining, r)

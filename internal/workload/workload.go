@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"github.com/hackkv/hack/internal/registry"
 )
 
 // LengthDist describes a bounded skewed length distribution with a given
@@ -101,20 +103,22 @@ func HumanEval() Dataset {
 		Metric: "edit similarity"}
 }
 
-// Datasets returns the four workloads in the paper's presentation order.
-func Datasets() []Dataset {
-	return []Dataset{IMDb(), ArXiv(), Cocktail(), HumanEval()}
+// Registry resolves datasets by name (case-insensitive). Entries
+// self-register in init; registration order is the paper's presentation
+// order.
+var Registry = registry.New[Dataset]("dataset")
+
+func init() {
+	for _, d := range []Dataset{IMDb(), ArXiv(), Cocktail(), HumanEval()} {
+		Registry.Register(d.Name, d)
+	}
 }
 
-// ByName resolves a dataset.
-func ByName(name string) (Dataset, error) {
-	for _, d := range Datasets() {
-		if d.Name == name {
-			return d, nil
-		}
-	}
-	return Dataset{}, fmt.Errorf("workload: unknown dataset %q", name)
-}
+// Datasets returns the four workloads in the paper's presentation order.
+func Datasets() []Dataset { return Registry.Values() }
+
+// ByName resolves a dataset through the registry.
+func ByName(name string) (Dataset, error) { return Registry.Lookup(name) }
 
 // CappedTo clamps the dataset's input lengths to a model context window
 // (Falcon-180B's 2K cap in the paper).

@@ -1,0 +1,78 @@
+package hack
+
+import (
+	"github.com/hackkv/hack/internal/cluster"
+	"github.com/hackkv/hack/internal/experiments"
+	"github.com/hackkv/hack/internal/model"
+	"github.com/hackkv/hack/internal/workload"
+)
+
+// The registries: every serving method, dataset, GPU instance, model and
+// experiment is a named entry self-registered by its defining package.
+// Names are matched case-insensitively and listed in the paper's
+// presentation order; resolving an unknown name returns an error that
+// spells out every valid name.
+
+// Methods returns the serving-method names (Baseline, CacheGen, KVQuant,
+// HACK, HACK/SE, HACK/RQE, HACK32, HACK128, HACK-INT4, FP4, FP6, FP8).
+func Methods() []string { return cluster.MethodRegistry.Names() }
+
+// MethodNamed resolves a serving-method profile by name.
+func MethodNamed(name string) (Method, error) { return cluster.MethodRegistry.Lookup(name) }
+
+// Datasets returns the workload names (IMDb, arXiv, Cocktail,
+// HumanEval).
+func Datasets() []string { return workload.Registry.Names() }
+
+// DatasetNamed resolves a dataset by name.
+func DatasetNamed(name string) (Dataset, error) { return workload.Registry.Lookup(name) }
+
+// GPUs returns the accelerator tags of the Table 2 instances (A10G,
+// V100, T4, L4, A100).
+func GPUs() []string { return cluster.GPURegistry.Names() }
+
+// GPUNamed resolves a cloud instance by accelerator tag.
+func GPUNamed(name string) (Instance, error) { return cluster.GPURegistry.Lookup(name) }
+
+// Models returns the catalog model tags (M, P, Y, L, F); full display
+// names also resolve.
+func Models() []string { return model.Registry.Names() }
+
+// ModelNamed resolves a catalog model by tag or full name.
+func ModelNamed(name string) (ModelSpec, error) { return model.Registry.Lookup(name) }
+
+// EvaluatedMethods returns the four methods of the paper's headline
+// figures in presentation order.
+func EvaluatedMethods() []Method { return cluster.EvaluatedMethods() }
+
+// ResultTable is one regenerated paper table or figure; print it with
+// Fprint or export it with WriteCSV.
+type ResultTable = experiments.Table
+
+// Experiments returns the experiment IDs in the paper's presentation
+// order (fig1a ... cost); each regenerates one table or figure.
+func Experiments() []string { return experiments.Registry.Names() }
+
+// ExperimentNamed resolves an experiment ID (case-insensitive) and
+// returns its canonical spelling, or an error listing the valid IDs.
+func ExperimentNamed(id string) (string, error) {
+	e, err := experiments.Registry.Lookup(id)
+	if err != nil {
+		return "", err
+	}
+	return e.ID, nil
+}
+
+// RunExperiment regenerates one paper table or figure by ID. Quick runs
+// use reduced trace and trial counts.
+func RunExperiment(id string, quick bool) (*ResultTable, error) {
+	e, err := experiments.Registry.Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	s, a := experiments.Default(), experiments.DefaultAccuracy()
+	if quick {
+		s, a = experiments.Quick(), experiments.QuickAccuracy()
+	}
+	return e.Run(s, a)
+}

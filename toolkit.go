@@ -1,0 +1,115 @@
+package hack
+
+import (
+	"github.com/hackkv/hack/internal/attention"
+	"github.com/hackkv/hack/internal/kvcache"
+	"github.com/hackkv/hack/internal/metrics"
+	"github.com/hackkv/hack/internal/model"
+	"github.com/hackkv/hack/internal/netsim"
+	"github.com/hackkv/hack/internal/tensor"
+)
+
+// The numeric toolkit: per-head attention backends, the seeded numeric
+// transformer they plug into, the quantized KV cache, and the wire
+// protocol — the components behind the paper's accuracy experiments,
+// usable directly as a library.
+
+// Attention backends.
+type (
+	// AttentionBackend constructs per-head attention state for one of
+	// the compared serving methods.
+	AttentionBackend = attention.Backend
+	// AttentionHead is per-sequence, per-head state: one Prefill, then
+	// zero or more Decodes.
+	AttentionHead = attention.Head
+	// AttentionStats tallies the op and byte counts one attention call
+	// performed.
+	AttentionStats = attention.Stats
+	// ExactAttention computes float32 attention with an unrounded cache
+	// — the accuracy reference.
+	ExactAttention = attention.ExactBackend
+	// FP16Attention is the disaggregation baseline: FP16 KV storage and
+	// transfer.
+	FP16Attention = attention.FP16Backend
+	// DequantAttention is the CacheGen/KVQuant family: 2-bit KV,
+	// dequantized in full before every use.
+	DequantAttention = attention.DequantBackend
+	// DequantAttentionConfig parameterizes a DequantAttention backend.
+	DequantAttentionConfig = attention.DequantConfig
+	// HACKAttention runs Q·Kᵀ and P·V homomorphically on quantized data
+	// (§5), with SE and RQE individually toggleable.
+	HACKAttention = attention.HACKBackend
+	// HACKAttentionConfig parameterizes a HACKAttention backend.
+	HACKAttentionConfig = attention.HACKConfig
+)
+
+// NewDequantAttention builds a dequantize-before-compute backend.
+func NewDequantAttention(cfg DequantAttentionConfig) (*DequantAttention, error) {
+	return attention.NewDequant(cfg)
+}
+
+// NewHACKAttention builds a homomorphic attention backend.
+func NewHACKAttention(cfg HACKAttentionConfig) (*HACKAttention, error) {
+	return attention.NewHACK(cfg)
+}
+
+// DefaultHACKAttentionConfig returns the paper's shipping configuration
+// (Π=64, INT2 KV, INT8 Q/P, SE+RQE) with the given stochastic-rounding
+// seed.
+func DefaultHACKAttentionConfig(seed int64) HACKAttentionConfig {
+	return attention.DefaultHACKConfig(seed)
+}
+
+// Numeric transformer.
+type (
+	// Transformer is the numeric transformer with deterministic
+	// synthetic weights used by the accuracy experiments.
+	Transformer = model.Transformer
+	// TransformerSession is one generation session: a Transformer bound
+	// to an attention backend with its own KV state.
+	TransformerSession = model.Session
+)
+
+// NewTransformer builds a numeric transformer with seeded random
+// weights for the given architecture.
+func NewTransformer(spec ModelSpec, seed int64) (*Transformer, error) {
+	return model.NewTransformer(spec, seed)
+}
+
+// KV cache and wire protocol.
+type (
+	// KVCache is HACK's per-head quantized KV cache: along-d_h K
+	// partitions, along-sequence V partitions with the RQE FP16 tail,
+	// and the SE sum cache.
+	KVCache = kvcache.Cache
+	// KVCacheConfig parameterizes a KVCache.
+	KVCacheConfig = kvcache.Config
+	// CacheUsage breaks down a cache's resident bytes.
+	CacheUsage = kvcache.Usage
+	// KVFrame is one head's quantized KV cache in the prefill→decode
+	// wire format, with a checksum.
+	KVFrame = netsim.KVFrame
+)
+
+// NewKVCache builds an empty quantized KV cache.
+func NewKVCache(cfg KVCacheConfig) (*KVCache, error) { return kvcache.New(cfg) }
+
+// FrameFromTensors assembles a wire frame from a cache's K tensor, full
+// V blocks and FP16 V tail, as the prefill instance ships them.
+func FrameFromTensors(reqID uint64, layer, head, firstToken int,
+	k, vFull *Quantized, vTail []float32) (*KVFrame, error) {
+	return netsim.FrameFromTensors(reqID, layer, head, firstToken, k, vFull, vTail)
+}
+
+// Accuracy metrics.
+
+// Rouge1 returns the unigram F1 overlap between a candidate and a
+// reference token sequence.
+func Rouge1(candidate, reference []int) float64 { return metrics.Rouge1(candidate, reference) }
+
+// EditSimilarity returns 1 − normalized Levenshtein distance.
+func EditSimilarity(a, b []int) float64 { return metrics.EditSimilarity(a, b) }
+
+// Softmax applies a row-wise softmax (useful with the kernel's score
+// matrices).
+func Softmax(m *Matrix) *Matrix { return tensor.Softmax(m) }
