@@ -1,0 +1,197 @@
+// Command hacksweep runs a multi-config experiment grid — the paper's
+// method × dataset × GPU × load sweeps — on a bounded worker pool and
+// reports the aggregate.
+//
+//	hacksweep                                  # full method x dataset grid, markdown
+//	hacksweep -metric peakmem                  # Table 5's metric
+//	hacksweep -gpus A10G,V100 -rps 0.4,0.8 -format csv
+//	hacksweep -format json -o sweep.json       # machine-readable report
+//
+// Identical invocations produce byte-identical reports at any -workers
+// setting. Unknown -methods/-datasets/-gpus/-models values exit with
+// status 2 and list the valid names.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+
+	"github.com/hackkv/hack"
+)
+
+func main() {
+	var (
+		methods  = flag.String("methods", "", "comma-separated serving methods (default: the four evaluated methods)")
+		datasets = flag.String("datasets", "", "comma-separated datasets (default: all four)")
+		gpus     = flag.String("gpus", "", "comma-separated prefill GPUs (default: A10G)")
+		models   = flag.String("models", "", "comma-separated model tags (default: L)")
+		replicas = flag.String("replicas", "", "comma-separated PxD replica pairs, e.g. 5x4,8x4 (default: 5x4)")
+		scheds   = flag.String("schedulers", "", "comma-separated prefill schedulers: shortest-queue, round-robin, fewest-requests")
+		rps      = flag.String("rps", "", "comma-separated arrival rates (default: 0.5)")
+		n        = flag.Int("n", 100, "requests per cell")
+		seed     = flag.Int64("seed", 42, "sweep seed")
+		maxBatch = flag.Int("batch", 256, "max decode batch per replica")
+		memCap   = flag.Float64("memcap", 0, "usable decode-memory fraction (0 = default 0.95)")
+		pipeline = flag.Bool("pipeline", false, "overlap transfer with prefill")
+		baseline = flag.String("baseline", "", "method speedups are measured against (default: Baseline when swept)")
+		workers  = flag.Int("workers", 0, "worker pool width (0 = one per CPU)")
+		format   = flag.String("format", "markdown", "output format: markdown, json, csv")
+		metric   = flag.String("metric", "avgjct", "markdown pivot metric: avgjct, p99jct, peakmem, speedup")
+		outPath  = flag.String("o", "", "write the report to this file instead of stdout")
+		progress = flag.Bool("progress", false, "stream per-cell completions to stderr")
+	)
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "hacksweep:", err)
+		os.Exit(1)
+	}
+	// Flag-style usage errors: report the valid spellings and exit 2.
+	usage := func(err error) {
+		fmt.Fprintln(os.Stderr, "hacksweep:", err)
+		os.Exit(2)
+	}
+
+	spec := hack.SweepSpec{
+		Methods:    splitList(*methods),
+		Datasets:   splitList(*datasets),
+		GPUs:       splitList(*gpus),
+		Models:     splitList(*models),
+		Requests:   *n,
+		Seed:       *seed,
+		MaxBatch:   *maxBatch,
+		MemCapFrac: *memCap,
+		Pipeline:   *pipeline,
+		Baseline:   *baseline,
+	}
+	for _, pair := range splitList(*replicas) {
+		rc, err := parseReplicas(pair)
+		if err != nil {
+			usage(err)
+		}
+		spec.Replicas = append(spec.Replicas, rc)
+	}
+	for _, name := range splitList(*scheds) {
+		s, err := parseScheduler(name)
+		if err != nil {
+			usage(err)
+		}
+		spec.Schedulers = append(spec.Schedulers, s)
+	}
+	for _, v := range splitList(*rps) {
+		r, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			usage(fmt.Errorf("bad -rps value %q: %w", v, err))
+		}
+		spec.RPS = append(spec.RPS, r)
+	}
+	// Surface unknown-name errors before spending any simulation time.
+	if _, err := spec.Cells(); err != nil {
+		usage(err)
+	}
+
+	m := hack.SweepMetric(*metric)
+	validMetric := false
+	for _, known := range hack.SweepMetrics() {
+		validMetric = validMetric || m == known
+	}
+	if !validMetric {
+		usage(fmt.Errorf("unknown metric %q; valid metrics: %v", *metric, hack.SweepMetrics()))
+	}
+	if *format != "markdown" && *format != "json" && *format != "csv" {
+		usage(fmt.Errorf("unknown format %q; valid formats: markdown, json, csv", *format))
+	}
+
+	opts := []hack.SweepOption{hack.SweepWorkers(*workers)}
+	if *progress {
+		opts = append(opts, hack.SweepProgress(func(done, total int, r hack.CellResult) {
+			status := fmt.Sprintf("jct %.2fs", r.AvgJCT)
+			if r.Err != "" {
+				status = "error: " + r.Err
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s/%s on %s (%s, %.2g rps): %s\n",
+				done, total, r.Method, r.Dataset, r.GPU, r.Model, r.RPS, status)
+		}))
+	}
+
+	// Open the report destination before spending simulation time, so a
+	// bad -o path fails fast instead of discarding a finished sweep.
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			die(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				die(err)
+			}
+		}()
+		out = f
+	}
+
+	// Ctrl-C cancels the sweep; the pool drains before exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := hack.RunSweep(ctx, spec, opts...)
+	if err != nil {
+		die(err)
+	}
+	switch *format {
+	case "json":
+		err = res.WriteJSON(out)
+	case "csv":
+		err = res.WriteCSV(out)
+	default:
+		err = res.WriteMarkdown(out, m)
+	}
+	if err != nil {
+		die(err)
+	}
+}
+
+// splitList parses a comma-separated flag value, treating empty as nil
+// so the spec's defaults apply.
+func splitList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseReplicas parses a PxD pair like "5x4".
+func parseReplicas(s string) (hack.ReplicaCount, error) {
+	parts := strings.SplitN(strings.ToLower(s), "x", 2)
+	if len(parts) != 2 {
+		return hack.ReplicaCount{}, fmt.Errorf("bad -replicas value %q: want PxD, e.g. 5x4", s)
+	}
+	p, err1 := strconv.Atoi(parts[0])
+	d, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil || p <= 0 || d <= 0 {
+		return hack.ReplicaCount{}, fmt.Errorf("bad -replicas value %q: want positive PxD, e.g. 5x4", s)
+	}
+	return hack.ReplicaCount{Prefill: p, Decode: d}, nil
+}
+
+// parseScheduler resolves a scheduler display name.
+func parseScheduler(name string) (hack.Scheduler, error) {
+	for _, s := range []hack.Scheduler{hack.ShortestQueue, hack.RoundRobin, hack.FewestRequests} {
+		if strings.EqualFold(s.String(), name) {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scheduler %q; valid schedulers: shortest-queue, round-robin, fewest-requests", name)
+}

@@ -27,6 +27,29 @@
 // WithMemCapFrac, WithScheduler, WithCostParams, WithModelSpec,
 // WithMethodProfile.
 //
+// # Sweeps
+//
+// RunSweep executes a declarative grid of Engine configurations — the
+// paper's method × dataset × GPU × load evaluation matrices — on a
+// bounded worker pool with context cancellation, per-cell panic
+// isolation and streamed progress:
+//
+//	res, err := hack.RunSweep(ctx, hack.SweepSpec{
+//		Methods:  []string{"Baseline", "HACK"},
+//		Datasets: []string{"IMDb", "Cocktail"},
+//		RPS:      []float64{0.5, 1.0},
+//		Requests: 200, Seed: 42,
+//	}, hack.SweepWorkers(8))
+//	res.WriteMarkdown(os.Stdout, hack.MetricPeakMem) // the Table 5 pivot
+//
+// Determinism is a contract: per-cell trace seeds derive from the spec,
+// cells differing only in method replay the same trace, and results are
+// ordered by cell index regardless of completion order, so identical
+// specs produce byte-identical WriteJSON reports at any worker count.
+// CellResult carries each cell's JCT decomposition, peak decode memory
+// and speedup over the baseline method; WriteCSV exports flat records
+// and Tables/WriteMarkdown pivot method rows against dataset columns.
+//
 // # Registries
 //
 // Every serving method, dataset, GPU instance, model and experiment is
@@ -60,6 +83,7 @@
 // the KVFrame wire format, and the Rouge1 / EditSimilarity metrics.
 //
 // Executables: cmd/hackbench (all experiments), cmd/hacksim (one
-// simulation), cmd/hackquant (quantizer inspector); runnable examples
-// live under examples/. See README.md for a quickstart.
+// simulation), cmd/hacksweep (concurrent multi-config sweeps),
+// cmd/hackquant (quantizer inspector); runnable examples live under
+// examples/. See README.md for a quickstart.
 package hack

@@ -180,39 +180,65 @@ func Table6(a AccuracySettings) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	type cell struct{ agree, free float64 }
-	scores := map[string]map[string]*cell{}
-	for _, b := range backends {
-		scores[b.Name()] = map[string]*cell{}
-		for _, ds := range workload.Datasets() {
-			scores[b.Name()][ds.Name] = &cell{}
-		}
-	}
-	for _, ds := range workload.Datasets() {
+	datasets := workload.Datasets()
+	// Draw every prompt up front, in the original (dataset, trial) order,
+	// so the shared RNG stream — and therefore the table — is unchanged
+	// by pooled execution.
+	prompts := make([][][]int, len(datasets))
+	outLens := make([]int, len(datasets))
+	for di, ds := range datasets {
 		in, out := accLengths(ds, a.Scale)
+		outLens[di] = out
+		prompts[di] = make([][]int, a.Trials)
 		for trial := 0; trial < a.Trials; trial++ {
 			prompt := make([]int, in)
 			for i := range prompt {
 				prompt[i] = rng.Intn(m.Spec().Vocab)
 			}
-			bs, err := accuracyBackends(a.Seed + int64(trial))
+			prompts[di][trial] = prompt
+		}
+	}
+	// One pool job per (dataset, trial): each builds its own backends, so
+	// nothing stateful is shared across workers but the frozen weights.
+	type cell struct{ agree, free float64 }
+	flat, err := parMap(len(datasets)*a.Trials, func(i int) ([]cell, error) {
+		di, trial := i/a.Trials, i%a.Trials
+		bs, err := accuracyBackends(a.Seed + int64(trial))
+		if err != nil {
+			return nil, err
+		}
+		cells := make([]cell, len(bs))
+		for bi, b := range bs {
+			agree, free, err := generationScore(m, b, datasets[di], prompts[di][trial], outLens[di])
 			if err != nil {
 				return nil, err
 			}
-			for _, b := range bs {
-				agree, free, err := generationScore(m, b, ds, prompt, out)
-				if err != nil {
-					return nil, err
-				}
+			cells[bi] = cell{agree: agree, free: free}
+		}
+		return cells, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	scores := map[string]map[string]*cell{}
+	for _, b := range backends {
+		scores[b.Name()] = map[string]*cell{}
+		for _, ds := range datasets {
+			scores[b.Name()][ds.Name] = &cell{}
+		}
+	}
+	for di, ds := range datasets {
+		for trial := 0; trial < a.Trials; trial++ {
+			for bi, b := range backends {
 				c := scores[b.Name()][ds.Name]
-				c.agree += agree / float64(a.Trials)
-				c.free += free / float64(a.Trials)
+				c.agree += flat[di*a.Trials+trial][bi].agree / float64(a.Trials)
+				c.free += flat[di*a.Trials+trial][bi].free / float64(a.Trials)
 			}
 		}
 	}
 	for _, b := range backends {
 		row := []string{b.Name()}
-		for _, ds := range workload.Datasets() {
+		for _, ds := range datasets {
 			c := scores[b.Name()][ds.Name]
 			row = append(row, fmt.Sprintf("%.1f%%/%.1f%%", 100*c.agree, 100*c.free))
 		}
@@ -284,23 +310,32 @@ func FidelityLadder(a AccuracySettings) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		for i, p := range probes {
-			b, err := p.mk(a.Seed + int64(trial))
+		// Probes are independent given the trial's inputs; evaluate them
+		// on the pool. Per-probe accumulation stays in trial order, so
+		// the averages match the serial loop bit for bit.
+		contrib, err := parMap(len(probes), func(i int) (float64, error) {
+			b, err := probes[i].mk(a.Seed + int64(trial))
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			h, err := b.NewHead(dh)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			if _, _, err := h.Prefill(q.Clone(), k.Clone(), v.Clone()); err != nil {
-				return nil, err
+				return 0, err
 			}
 			out, _, err := h.Decode(dq.Clone(), dk.Clone(), dv.Clone())
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			errs[i] += tensor.RelFrobenius(out, ref) / float64(trials)
+			return tensor.RelFrobenius(out, ref) / float64(trials), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, c := range contrib {
+			errs[i] += c
 		}
 	}
 	baseErr = errs[0]
@@ -332,32 +367,44 @@ func Table7(a AccuracySettings) (*Table, error) {
 		// an RQE cache and an ablated cache, compare reconstructions.
 		rqeErr, ablErr := vCacheErrors(rng, out+8)
 
-		var drop float64
-		for trial := 0; trial < a.Trials; trial++ {
+		// Prompts come off the shared RNG serially (preserving its
+		// stream); the paired generation runs fan out on the pool.
+		prompts := make([][]int, a.Trials)
+		for trial := range prompts {
 			prompt := make([]int, in)
 			for i := range prompt {
 				prompt[i] = rng.Intn(m.Spec().Vocab)
 			}
+			prompts[trial] = prompt
+		}
+		contrib, err := parMap(a.Trials, func(trial int) (float64, error) {
 			full := attention.DefaultHACKConfig(a.Seed + int64(trial))
 			noRQE := full
 			noRQE.RequantizationElimination = false
 			fb, err := attention.NewHACK(full)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			nb, err := attention.NewHACK(noRQE)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			aFull, _, err := generationScore(m, fb, ds, prompt, out)
+			aFull, _, err := generationScore(m, fb, ds, prompts[trial], out)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			aAbl, _, err := generationScore(m, nb, ds, prompt, out)
+			aAbl, _, err := generationScore(m, nb, ds, prompts[trial], out)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			drop += (aAbl - aFull) / float64(a.Trials)
+			return (aAbl - aFull) / float64(a.Trials), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var drop float64
+		for _, c := range contrib {
+			drop += c
 		}
 		t.AddRow(ds.Name, fmt.Sprintf("%.4f", rqeErr), fmt.Sprintf("%.4f", ablErr),
 			fmt.Sprintf("%.2fx", ablErr/rqeErr), fmt.Sprintf("%+.2f%%", 100*drop))
@@ -404,26 +451,50 @@ func Table8Accuracy(a AccuracySettings) (*Table, error) {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(a.Seed + 2))
-	agree := map[int]map[string]float64{32: {}, 64: {}, 128: {}}
-	for _, ds := range workload.Datasets() {
+	datasets := workload.Datasets()
+	pis := []int{32, 64, 128}
+	// Serial prompt draws preserve the RNG stream; the (dataset, trial)
+	// generation grid runs on the pool.
+	prompts := make([][][]int, len(datasets))
+	outLens := make([]int, len(datasets))
+	for di, ds := range datasets {
 		in, out := accLengths(ds, a.Scale)
+		outLens[di] = out
+		prompts[di] = make([][]int, a.Trials)
 		for trial := 0; trial < a.Trials; trial++ {
 			prompt := make([]int, in)
 			for i := range prompt {
 				prompt[i] = rng.Intn(m.Spec().Vocab)
 			}
-			for _, pi := range []int{32, 64, 128} {
-				cfg := attention.DefaultHACKConfig(a.Seed + int64(trial))
-				cfg.Pi = pi
-				b, err := attention.NewHACK(cfg)
-				if err != nil {
-					return nil, err
-				}
-				ag, _, err := generationScore(m, b, ds, prompt, out)
-				if err != nil {
-					return nil, err
-				}
-				agree[pi][ds.Name] += ag / float64(a.Trials)
+			prompts[di][trial] = prompt
+		}
+	}
+	flat, err := parMap(len(datasets)*a.Trials, func(i int) ([]float64, error) {
+		di, trial := i/a.Trials, i%a.Trials
+		ags := make([]float64, len(pis))
+		for pii, pi := range pis {
+			cfg := attention.DefaultHACKConfig(a.Seed + int64(trial))
+			cfg.Pi = pi
+			b, err := attention.NewHACK(cfg)
+			if err != nil {
+				return nil, err
+			}
+			ag, _, err := generationScore(m, b, datasets[di], prompts[di][trial], outLens[di])
+			if err != nil {
+				return nil, err
+			}
+			ags[pii] = ag
+		}
+		return ags, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	agree := map[int]map[string]float64{32: {}, 64: {}, 128: {}}
+	for di, ds := range datasets {
+		for trial := 0; trial < a.Trials; trial++ {
+			for pii, pi := range pis {
+				agree[pi][ds.Name] += flat[di*a.Trials+trial][pii] / float64(a.Trials)
 			}
 		}
 	}

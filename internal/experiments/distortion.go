@@ -28,37 +28,62 @@ func LogitDistortion(a AccuracySettings) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	dist := map[string]map[string]float64{}
-	for _, b := range backends {
-		dist[b.Name()] = map[string]float64{}
-	}
-	for _, ds := range workload.Datasets() {
+	datasets := workload.Datasets()
+	// Serial prompt draws preserve the RNG stream; each (dataset, trial)
+	// job then runs its reference trajectory and every backend on the
+	// pool.
+	prompts := make([][][]int, len(datasets))
+	outLens := make([]int, len(datasets))
+	for di, ds := range datasets {
 		in, out := accLengths(ds, a.Scale)
+		outLens[di] = out
+		prompts[di] = make([][]int, a.Trials)
 		for trial := 0; trial < a.Trials; trial++ {
 			prompt := make([]int, in)
 			for i := range prompt {
 				prompt[i] = rng.Intn(m.Spec().Vocab)
 			}
-			refLogits, traj, err := referenceTrajectory(m, prompt, out)
+			prompts[di][trial] = prompt
+		}
+	}
+	flat, err := parMap(len(datasets)*a.Trials, func(i int) ([]float64, error) {
+		di, trial := i/a.Trials, i%a.Trials
+		prompt := prompts[di][trial]
+		refLogits, traj, err := referenceTrajectory(m, prompt, outLens[di])
+		if err != nil {
+			return nil, err
+		}
+		bs, err := accuracyBackends(a.Seed + int64(trial))
+		if err != nil {
+			return nil, err
+		}
+		ds := make([]float64, len(bs))
+		for bi, b := range bs {
+			d, err := trajectoryDistortion(m, b, prompt, traj, refLogits)
 			if err != nil {
 				return nil, err
 			}
-			bs, err := accuracyBackends(a.Seed + int64(trial))
-			if err != nil {
-				return nil, err
-			}
-			for _, b := range bs {
-				d, err := trajectoryDistortion(m, b, prompt, traj, refLogits)
-				if err != nil {
-					return nil, err
-				}
-				dist[b.Name()][ds.Name] += d / float64(a.Trials)
+			ds[bi] = d
+		}
+		return ds, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dist := map[string]map[string]float64{}
+	for _, b := range backends {
+		dist[b.Name()] = map[string]float64{}
+	}
+	for di, ds := range datasets {
+		for trial := 0; trial < a.Trials; trial++ {
+			for bi, b := range backends {
+				dist[b.Name()][ds.Name] += flat[di*a.Trials+trial][bi] / float64(a.Trials)
 			}
 		}
 	}
 	for _, b := range backends {
 		row := []string{b.Name()}
-		for _, ds := range workload.Datasets() {
+		for _, ds := range datasets {
 			row = append(row, fmt.Sprintf("%.4f", dist[b.Name()][ds.Name]))
 		}
 		t.AddRow(row...)

@@ -50,6 +50,41 @@ func TestPoolSizing(t *testing.T) {
 	}
 }
 
+// TestPooledRunnersDeterministic pins the pool refactor's contract:
+// running an experiment twice yields byte-identical tables, even though
+// rows are simulated concurrently — completion order must never leak
+// into the output, and shared RNG streams must be drawn serially.
+func TestPooledRunnersDeterministic(t *testing.T) {
+	a := QuickAccuracy()
+	a.Trials = 1
+	render := func(tb *Table) string {
+		var b bytes.Buffer
+		tb.Fprint(&b)
+		return b.String()
+	}
+	for _, tc := range []struct {
+		name string
+		run  func() (*Table, error)
+	}{
+		{"Fig1d", func() (*Table, error) { return Fig1d(Quick()) }},
+		{"Fig9", func() (*Table, error) { return Fig9(Quick()) }},
+		{"Table6", func() (*Table, error) { return Table6(a) }},
+	} {
+		first, err := tc.run()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		second, err := tc.run()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if render(first) != render(second) {
+			t.Errorf("%s: two pooled runs rendered different tables:\n%s\nvs\n%s",
+				tc.name, render(first), render(second))
+		}
+	}
+}
+
 func TestFig1aShape(t *testing.T) {
 	tb, err := Fig1a(Quick())
 	if err != nil {

@@ -22,7 +22,9 @@ func ExtINT4(s Settings) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, ds := range workload.Datasets() {
+	datasets := workload.Datasets()
+	err = parRows(t, len(datasets), func(i int) ([]string, error) {
+		ds := datasets[i]
 		res8, err := d.runScenario(s, cluster.DefaultHACK(), ds, false)
 		if err != nil {
 			return nil, err
@@ -31,8 +33,11 @@ func ExtINT4(s Settings) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(ds.Name, secs(res8.AvgJCT()), secs(res4.AvgJCT()),
-			pct(1-res4.AvgJCT()/res8.AvgJCT()))
+		return []string{ds.Name, secs(res8.AvgJCT()), secs(res4.AvgJCT()),
+			pct(1 - res4.AvgJCT()/res8.AvgJCT())}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = "INT4 doubles quantized-matmul throughput; gains concentrate in prefill-heavy long-sequence workloads"
 	return t, nil
@@ -45,7 +50,9 @@ func ExtINT4(s Settings) (*Table, error) {
 func CostTable(s Settings) (*Table, error) {
 	t := &Table{ID: "Cost", Title: "fleet cost per 1000 requests (Llama-70B, Cocktail)",
 		Header: []string{"GPU", "Fleet $/h", "Baseline", "CacheGen", "KVQuant", "HACK"}}
-	for _, in := range cluster.PrefillInstances() {
+	instances := cluster.PrefillInstances()
+	err := parRows(t, len(instances), func(i int) ([]string, error) {
+		in := instances[i]
 		d, err := newDeployment(model.Llama70B(), in, s)
 		if err != nil {
 			return nil, err
@@ -75,7 +82,10 @@ func CostTable(s Settings) (*Table, error) {
 			costPer1K := fleetPerHour * hours / float64(len(res.Requests)) * 1000
 			row = append(row, fmt.Sprintf("$%.2f", costPer1K))
 		}
-		t.AddRow(row...)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = "on-demand us-east-1 prices; decode pool fixed at 2x p4de.24xlarge. Faster methods finish the same trace sooner, cutting fleet-hours per request"
 	return t, nil

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"context"
+
+	"github.com/hackkv/hack/internal/sweeprun"
+)
+
+// The experiment runners execute their scenario grids on the shared
+// sweeprun worker pool instead of bespoke serial loops. Every simulated
+// cell is independent and deterministic, and results land in
+// index-addressed slots, so the emitted tables are identical to the old
+// serial ones — rows appear in definition order, not completion order.
+
+// parRows builds n table rows concurrently and appends them to t in
+// index order.
+func parRows(t *Table, n int, build func(i int) ([]string, error)) error {
+	rows, err := parMap(n, build)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	return nil
+}
+
+// parMap computes n values concurrently on the pool, returned in index
+// order. The first error (or recovered panic) cancels the remaining
+// jobs.
+func parMap[T any](n int, build func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := sweeprun.Map(context.Background(), n, 0, func(_ context.Context, i int) error {
+		v, err := build(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -14,7 +14,9 @@ import (
 func Fig1a(s Settings) (*Table, error) {
 	t := &Table{ID: "Fig 1a", Title: "baseline time ratios by prefill GPU (Llama-70B, Cocktail)",
 		Header: []string{"GPU", "Prefill", "Comm", "Decode", "KVMemAcc", "AvgJCT"}}
-	for _, in := range cluster.PrefillInstances() {
+	instances := cluster.PrefillInstances()
+	err := parRows(t, len(instances), func(i int) ([]string, error) {
+		in := instances[i]
 		d, err := newDeployment(model.Llama70B(), in, s)
 		if err != nil {
 			return nil, err
@@ -24,8 +26,11 @@ func Fig1a(s Settings) (*Table, error) {
 			return nil, err
 		}
 		r := res.AvgRatios()
-		t.AddRow(in.GPUName, pct(r.Prefill), pct(r.Comm), pct(r.Decode+r.Overhead+r.Quant),
-			pct(r.KVMem), secs(res.AvgJCT()))
+		return []string{in.GPUName, pct(r.Prefill), pct(r.Comm), pct(r.Decode + r.Overhead + r.Quant),
+			pct(r.KVMem), secs(res.AvgJCT())}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = "paper: A100 comm 3.7%, others 19.1–23.5%; prefill 19.7–41.4%; decode 43.1–82.5%"
 	return t, nil
@@ -36,7 +41,9 @@ func Fig1a(s Settings) (*Table, error) {
 func Fig1b(s Settings) (*Table, error) {
 	t := &Table{ID: "Fig 1b", Title: "baseline time ratios by model (A10G prefill)",
 		Header: []string{"Model", "Prefill", "Comm", "Decode", "AvgJCT"}}
-	for _, spec := range model.Catalog() {
+	catalog := model.Catalog()
+	err := parRows(t, len(catalog), func(i int) ([]string, error) {
+		spec := catalog[i]
 		d, err := newDeployment(spec, cluster.A10G(), s)
 		if err != nil {
 			return nil, err
@@ -46,8 +53,11 @@ func Fig1b(s Settings) (*Table, error) {
 			return nil, err
 		}
 		r := res.AvgRatios()
-		t.AddRow(modelLabel(spec), pct(r.Prefill), pct(r.Comm),
-			pct(r.Decode+r.Overhead+r.Quant), secs(res.AvgJCT()))
+		return []string{modelLabel(spec), pct(r.Prefill), pct(r.Comm),
+			pct(r.Decode + r.Overhead + r.Quant), secs(res.AvgJCT())}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = "paper: comm 11.8% (F-arXiv) / 18.7–25.3% (others); prefill 17.6–45.6%; decode 39.8–81.7%"
 	return t, nil
@@ -62,13 +72,18 @@ func Fig1c(s Settings) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, ds := range workload.Datasets() {
+	datasets := workload.Datasets()
+	err = parRows(t, len(datasets), func(i int) ([]string, error) {
+		ds := datasets[i]
 		res, err := d.runScenario(s, cluster.Baseline(), ds, false)
 		if err != nil {
 			return nil, err
 		}
 		r := res.AvgRatios()
-		t.AddRow(ds.Name, pct(r.Prefill), pct(r.Comm), pct(r.Decode+r.Overhead+r.Quant), secs(res.AvgJCT()))
+		return []string{ds.Name, pct(r.Prefill), pct(r.Comm), pct(r.Decode + r.Overhead + r.Quant), secs(res.AvgJCT())}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = "paper: comm 9.5–21.9%; prefill 13.6–37.1%; decode 54.8–83.3%"
 	return t, nil
@@ -86,33 +101,46 @@ func Fig1d(s Settings) (*Table, error) {
 	}
 	t := &Table{ID: "Fig 1d", Title: "comm ratio with pipelining vs load (Llama-70B, Cocktail)",
 		Header: header}
-	for _, in := range cluster.PrefillInstances() {
-		d, err := newDeployment(model.Llama70B(), in, s)
+	instances := cluster.PrefillInstances()
+	type cellKey struct{ gpu, frac int }
+	cells := make([]cellKey, 0, len(instances)*len(fracs))
+	for gi := range instances {
+		for fi := range fracs {
+			cells = append(cells, cellKey{gi, fi})
+		}
+	}
+	vals, err := parMap(len(cells), func(i int) (string, error) {
+		c := cells[i]
+		d, err := newDeployment(model.Llama70B(), instances[c.gpu], s)
 		if err != nil {
-			return nil, err
+			return "", err
 		}
+		ls := s
+		ls.LoadFrac = fracs[c.frac]
+		res, err := d.runScenario(ls, cluster.Baseline(), workload.Cocktail(), true)
+		if err != nil {
+			return "", err
+		}
+		return pct(res.AvgRatios().Comm), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for gi, in := range instances {
 		row := []string{in.GPUName}
-		for _, f := range fracs {
-			ls := s
-			ls.LoadFrac = f
-			res, err := d.runScenario(ls, cluster.Baseline(), workload.Cocktail(), true)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, pct(res.AvgRatios().Comm))
-		}
+		row = append(row, vals[gi*len(fracs):(gi+1)*len(fracs)]...)
 		t.AddRow(row...)
 	}
 	t.Notes = "paper: V100 21.4→39.2% (case i); A10G/T4/L4 3.3–4.1→18.7–23.5% (case ii); A100 1.4→3.7%"
 	return t, nil
 }
 
-// decompRunner renders the Fig. 2/3/4 decomposition (prefill / comm /
+// decompRow renders the Fig. 2/3/4 decomposition (prefill / comm /
 // dequant / decode) for one quantization method across a dimension.
-func decompRow(t *Table, label string, res *sim.Result) {
+func decompRow(label string, res *sim.Result) []string {
 	r := res.AvgRatios()
-	t.AddRow(label, pct(r.Prefill), pct(r.Comm), pct(r.Overhead),
-		pct(r.Decode+r.Quant), secs(res.AvgJCT()))
+	return []string{label, pct(r.Prefill), pct(r.Comm), pct(r.Overhead),
+		pct(r.Decode + r.Quant), secs(res.AvgJCT())}
 }
 
 // Fig2 reproduces Fig. 2: CacheGen and KVQuant decomposition across
@@ -120,18 +148,22 @@ func decompRow(t *Table, label string, res *sim.Result) {
 func Fig2(s Settings) (*Table, error) {
 	t := &Table{ID: "Fig 2", Title: "KV-quantization methods across prefill instances (Llama-70B, Cocktail)",
 		Header: []string{"Method/GPU", "Prefill", "Comm", "Dequant", "Decode", "AvgJCT"}}
-	for _, m := range []cluster.Method{cluster.CacheGen(), cluster.KVQuant()} {
-		for _, in := range cluster.PrefillInstances() {
-			d, err := newDeployment(model.Llama70B(), in, s)
-			if err != nil {
-				return nil, err
-			}
-			res, err := d.runScenario(s, m, workload.Cocktail(), false)
-			if err != nil {
-				return nil, err
-			}
-			decompRow(t, m.Name+"/"+in.GPUName, res)
+	methods := []cluster.Method{cluster.CacheGen(), cluster.KVQuant()}
+	instances := cluster.PrefillInstances()
+	err := parRows(t, len(methods)*len(instances), func(i int) ([]string, error) {
+		m, in := methods[i/len(instances)], instances[i%len(instances)]
+		d, err := newDeployment(model.Llama70B(), in, s)
+		if err != nil {
+			return nil, err
 		}
+		res, err := d.runScenario(s, m, workload.Cocktail(), false)
+		if err != nil {
+			return nil, err
+		}
+		return decompRow(m.Name+"/"+in.GPUName, res), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = "paper: dequant 26.4–37.9% on non-A100 instances; comm reduced by 3.1–34.1 points vs Fig 1a"
 	return t, nil
@@ -141,18 +173,22 @@ func Fig2(s Settings) (*Table, error) {
 func Fig3(s Settings) (*Table, error) {
 	t := &Table{ID: "Fig 3", Title: "KV-quantization methods across models (A10G prefill)",
 		Header: []string{"Method/Model", "Prefill", "Comm", "Dequant", "Decode", "AvgJCT"}}
-	for _, m := range []cluster.Method{cluster.CacheGen(), cluster.KVQuant()} {
-		for _, spec := range model.Catalog() {
-			d, err := newDeployment(spec, cluster.A10G(), s)
-			if err != nil {
-				return nil, err
-			}
-			res, err := d.runScenario(s, m, datasetFor(spec), false)
-			if err != nil {
-				return nil, err
-			}
-			decompRow(t, m.Name+"/"+modelLabel(spec), res)
+	methods := []cluster.Method{cluster.CacheGen(), cluster.KVQuant()}
+	catalog := model.Catalog()
+	err := parRows(t, len(methods)*len(catalog), func(i int) ([]string, error) {
+		m, spec := methods[i/len(catalog)], catalog[i%len(catalog)]
+		d, err := newDeployment(spec, cluster.A10G(), s)
+		if err != nil {
+			return nil, err
 		}
+		res, err := d.runScenario(s, m, datasetFor(spec), false)
+		if err != nil {
+			return nil, err
+		}
+		return decompRow(m.Name+"/"+modelLabel(spec), res), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = "paper: dequant 18.2–30.8% across models"
 	return t, nil
@@ -166,14 +202,18 @@ func Fig4(s Settings) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, m := range []cluster.Method{cluster.CacheGen(), cluster.KVQuant()} {
-		for _, ds := range workload.Datasets() {
-			res, err := d.runScenario(s, m, ds, false)
-			if err != nil {
-				return nil, err
-			}
-			decompRow(t, m.Name+"/"+ds.Name, res)
+	methods := []cluster.Method{cluster.CacheGen(), cluster.KVQuant()}
+	datasets := workload.Datasets()
+	err = parRows(t, len(methods)*len(datasets), func(i int) ([]string, error) {
+		m, ds := methods[i/len(datasets)], datasets[i%len(datasets)]
+		res, err := d.runScenario(s, m, ds, false)
+		if err != nil {
+			return nil, err
 		}
+		return decompRow(m.Name+"/"+ds.Name, res), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = "paper: dequant 17.2–30.4%; long-sequence dequant time 12.4–24.9x the short-sequence one"
 	return t, nil
@@ -184,26 +224,58 @@ func Fig4(s Settings) (*Table, error) {
 func FP48(s Settings) (*Table, error) {
 	t := &Table{ID: "§3", Title: "FP4/6/8 KV formats (Llama-70B, Cocktail)",
 		Header: []string{"Format/GPU", "Comm", "KVMemAcc", "AvgJCT"}}
-	for _, bits := range []int{4, 6, 8} {
-		m, err := cluster.FPFormat(bits)
+	var methods []cluster.Method
+	bits := []int{4, 6, 8}
+	for _, b := range bits {
+		m, err := cluster.FPFormat(b)
 		if err != nil {
 			return nil, err
 		}
-		for _, in := range cluster.PrefillInstances() {
-			d, err := newDeployment(model.Llama70B(), in, s)
-			if err != nil {
-				return nil, err
-			}
-			res, err := d.runScenario(s, m, workload.Cocktail(), false)
-			if err != nil {
-				return nil, err
-			}
-			r := res.AvgRatios()
-			t.AddRow(fmt.Sprintf("FP%d/%s", bits, in.GPUName), pct(r.Comm), pct(r.KVMem), secs(res.AvgJCT()))
+		methods = append(methods, m)
+	}
+	instances := cluster.PrefillInstances()
+	err := parRows(t, len(methods)*len(instances), func(i int) ([]string, error) {
+		bi, in := i/len(instances), instances[i%len(instances)]
+		d, err := newDeployment(model.Llama70B(), in, s)
+		if err != nil {
+			return nil, err
 		}
+		res, err := d.runScenario(s, methods[bi], workload.Cocktail(), false)
+		if err != nil {
+			return nil, err
+		}
+		r := res.AvgRatios()
+		return []string{fmt.Sprintf("FP%d/%s", bits[bi], in.GPUName), pct(r.Comm), pct(r.KVMem), secs(res.AvgJCT())}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = "paper: comm up to 24.3% (FP4), 32.3% (FP6), 37.5% (FP8); KV mem access 10.7–19.4%"
 	return t, nil
+}
+
+// methodJCTGrid simulates every (outer, method) cell of a grid on the
+// pool and returns AvgJCT keyed by method name, one map per outer item.
+func methodJCTGrid(n int, methods []cluster.Method,
+	run func(outer int, m cluster.Method) (*sim.Result, error)) ([]map[string]float64, error) {
+	flat, err := parMap(n*len(methods), func(i int) (float64, error) {
+		res, err := run(i/len(methods), methods[i%len(methods)])
+		if err != nil {
+			return 0, err
+		}
+		return res.AvgJCT(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]map[string]float64, n)
+	for o := 0; o < n; o++ {
+		out[o] = map[string]float64{}
+		for mi, m := range methods {
+			out[o][m.Name] = flat[o*len(methods)+mi]
+		}
+	}
+	return out, nil
 }
 
 // Fig9 reproduces Fig. 9: average JCT of the four methods across
@@ -215,15 +287,16 @@ func Fig9(s Settings) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, ds := range workload.Datasets() {
-		jct := map[string]float64{}
-		for _, m := range cluster.EvaluatedMethods() {
-			res, err := d.runScenario(s, m, ds, false)
-			if err != nil {
-				return nil, err
-			}
-			jct[m.Name] = res.AvgJCT()
-		}
+	datasets := workload.Datasets()
+	jcts, err := methodJCTGrid(len(datasets), cluster.EvaluatedMethods(),
+		func(o int, m cluster.Method) (*sim.Result, error) {
+			return d.runScenario(s, m, datasets[o], false)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for di, ds := range datasets {
+		jct := jcts[di]
 		t.AddRow(ds.Name, secs(jct["Baseline"]), secs(jct["CacheGen"]), secs(jct["KVQuant"]), secs(jct["HACK"]),
 			pct(1-jct["HACK"]/jct["Baseline"]), pct(1-jct["HACK"]/jct["CacheGen"]))
 	}
@@ -239,16 +312,20 @@ func Fig10(s Settings) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, ds := range workload.Datasets() {
-		for _, m := range cluster.EvaluatedMethods() {
-			res, err := d.runScenario(s, m, ds, false)
-			if err != nil {
-				return nil, err
-			}
-			at := res.AvgTimes()
-			t.AddRow(ds.Name+"/"+m.Name, secs(at.Prefill+at.Queue), fmt.Sprintf("%.2fs", at.Quant),
-				secs(at.Comm), fmt.Sprintf("%.2fs", at.Overhead), secs(at.Decode), secs(res.AvgJCT()))
+	datasets := workload.Datasets()
+	methods := cluster.EvaluatedMethods()
+	err = parRows(t, len(datasets)*len(methods), func(i int) ([]string, error) {
+		ds, m := datasets[i/len(methods)], methods[i%len(methods)]
+		res, err := d.runScenario(s, m, ds, false)
+		if err != nil {
+			return nil, err
 		}
+		at := res.AvgTimes()
+		return []string{ds.Name + "/" + m.Name, secs(at.Prefill + at.Queue), fmt.Sprintf("%.2fs", at.Quant),
+			secs(at.Comm), fmt.Sprintf("%.2fs", at.Overhead), secs(at.Decode), secs(res.AvgJCT())}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = "paper: quant 1.25–2.91% of JCT; KV transfer cut 80.6–85.4%; HACK approx 1.53–3.18% vs dequant 17.2–30.4%"
 	return t, nil
@@ -262,16 +339,22 @@ func Table5(s Settings) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, m := range cluster.EvaluatedMethods() {
+	methods := cluster.EvaluatedMethods()
+	datasets := workload.Datasets()
+	err = parRows(t, len(methods), func(i int) ([]string, error) {
+		m := methods[i]
 		row := []string{m.Name}
-		for _, ds := range workload.Datasets() {
+		for _, ds := range datasets {
 			res, err := d.runScenario(s, m, ds, false)
 			if err != nil {
 				return nil, err
 			}
 			row = append(row, pct(res.PeakMemFrac))
 		}
-		t.AddRow(row...)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = "paper: baseline 65.3/83.1/93.7/68.9%; CacheGen 49.6/56.2/61.3/50.8%; KVQuant ~1pt lower; HACK +0.6–2.9pt over those"
 	return t, nil
@@ -281,19 +364,20 @@ func Table5(s Settings) (*Table, error) {
 func Fig11(s Settings) (*Table, error) {
 	t := &Table{ID: "Fig 11", Title: "average JCT by method and model (A10G prefill, Cocktail/arXiv)",
 		Header: []string{"Model", "Baseline", "CacheGen", "KVQuant", "HACK", "HACK vs Base", "HACK vs CG"}}
-	for _, spec := range model.Catalog() {
-		d, err := newDeployment(spec, cluster.A10G(), s)
-		if err != nil {
-			return nil, err
-		}
-		jct := map[string]float64{}
-		for _, m := range cluster.EvaluatedMethods() {
-			res, err := d.runScenario(s, m, datasetFor(spec), false)
+	catalog := model.Catalog()
+	jcts, err := methodJCTGrid(len(catalog), cluster.EvaluatedMethods(),
+		func(o int, m cluster.Method) (*sim.Result, error) {
+			d, err := newDeployment(catalog[o], cluster.A10G(), s)
 			if err != nil {
 				return nil, err
 			}
-			jct[m.Name] = res.AvgJCT()
-		}
+			return d.runScenario(s, m, datasetFor(catalog[o]), false)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for ci, spec := range catalog {
+		jct := jcts[ci]
 		t.AddRow(modelLabel(spec), secs(jct["Baseline"]), secs(jct["CacheGen"]), secs(jct["KVQuant"]), secs(jct["HACK"]),
 			pct(1-jct["HACK"]/jct["Baseline"]), pct(1-jct["HACK"]/jct["CacheGen"]))
 	}
@@ -306,19 +390,20 @@ func Fig11(s Settings) (*Table, error) {
 func Fig12(s Settings) (*Table, error) {
 	t := &Table{ID: "Fig 12", Title: "average JCT by method and prefill instance (Llama-70B, Cocktail)",
 		Header: []string{"GPU", "Baseline", "CacheGen", "KVQuant", "HACK", "HACK vs Base", "HACK vs CG"}}
-	for _, in := range cluster.PrefillInstances() {
-		d, err := newDeployment(model.Llama70B(), in, s)
-		if err != nil {
-			return nil, err
-		}
-		jct := map[string]float64{}
-		for _, m := range cluster.EvaluatedMethods() {
-			res, err := d.runScenario(s, m, workload.Cocktail(), false)
+	instances := cluster.PrefillInstances()
+	jcts, err := methodJCTGrid(len(instances), cluster.EvaluatedMethods(),
+		func(o int, m cluster.Method) (*sim.Result, error) {
+			d, err := newDeployment(model.Llama70B(), instances[o], s)
 			if err != nil {
 				return nil, err
 			}
-			jct[m.Name] = res.AvgJCT()
-		}
+			return d.runScenario(s, m, workload.Cocktail(), false)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for ii, in := range instances {
+		jct := jcts[ii]
 		t.AddRow(in.GPUName, secs(jct["Baseline"]), secs(jct["CacheGen"]), secs(jct["KVQuant"]), secs(jct["HACK"]),
 			pct(1-jct["HACK"]/jct["Baseline"]), pct(1-jct["HACK"]/jct["CacheGen"]))
 	}
@@ -337,15 +422,16 @@ func Fig13(s Settings) (*Table, error) {
 	methods := []cluster.Method{
 		cluster.HACK(64, true, true), cluster.HACK(64, false, true), cluster.HACK(64, true, false),
 	}
-	for _, ds := range workload.Datasets() {
-		jct := map[string]float64{}
-		for _, m := range methods {
-			res, err := d.runScenario(s, m, ds, false)
-			if err != nil {
-				return nil, err
-			}
-			jct[m.Name] = res.AvgJCT()
-		}
+	datasets := workload.Datasets()
+	jcts, err := methodJCTGrid(len(datasets), methods,
+		func(o int, m cluster.Method) (*sim.Result, error) {
+			return d.runScenario(s, m, datasets[o], false)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for di, ds := range datasets {
+		jct := jcts[di]
 		t.AddRow(ds.Name, secs(jct["HACK"]), secs(jct["HACK/SE"]), secs(jct["HACK/RQE"]),
 			pct(jct["HACK/SE"]/jct["HACK"]-1), pct(jct["HACK/RQE"]/jct["HACK"]-1))
 	}
@@ -362,22 +448,24 @@ func Table8JCT(s Settings) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	ref := map[string]float64{}
-	for _, ds := range workload.Datasets() {
-		res, err := d.runScenario(s, cluster.HACK(128, true, true), ds, false)
+	datasets := workload.Datasets()
+	pis := []int{128, 32, 64} // reference first
+	flat, err := parMap(len(pis)*len(datasets), func(i int) (float64, error) {
+		pi, ds := pis[i/len(datasets)], datasets[i%len(datasets)]
+		res, err := d.runScenario(s, cluster.HACK(pi, true, true), ds, false)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		ref[ds.Name] = res.AvgJCT()
+		return res.AvgJCT(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, pi := range []int{32, 64} {
+	ref := flat[:len(datasets)]
+	for pii, pi := range pis[1:] {
 		row := []string{fmt.Sprintf("Π=%d", pi)}
-		for _, ds := range workload.Datasets() {
-			res, err := d.runScenario(s, cluster.HACK(pi, true, true), ds, false)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, pct(res.AvgJCT()/ref[ds.Name]-1))
+		for di := range datasets {
+			row = append(row, pct(flat[(pii+1)*len(datasets)+di]/ref[di]-1))
 		}
 		t.AddRow(row...)
 	}
@@ -395,26 +483,33 @@ func Fig14(s Settings) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	baseJCT := map[string]float64{}
-	for _, p := range []int{1, 2, 4, 8} {
+	ps := []int{1, 2, 4, 8}
+	methods := cluster.EvaluatedMethods()
+	traces := make([][]workload.Request, len(ps))
+	for pi, p := range ps {
 		reqs, err := workload.Trace(workload.Cocktail(), 0.02*float64(p), s.Requests, s.Seed)
 		if err != nil {
 			return nil, err
 		}
-		row := []string{fmt.Sprintf("%d", p)}
-		for _, m := range cluster.EvaluatedMethods() {
-			res, err := sim.Run(sim.Config{
-				CM: cm, Method: m, PrefillReplicas: p, DecodeReplicas: 1,
-				MaxBatch: s.MaxBatch, MemCapFrac: s.MemCapFrac,
-			}, reqs)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, secs(res.AvgJCT()))
-			if p == 1 {
-				baseJCT[m.Name] = res.AvgJCT()
-			}
+		traces[pi] = reqs
+	}
+	flat, err := parMap(len(ps)*len(methods), func(i int) (string, error) {
+		pi, m := i/len(methods), methods[i%len(methods)]
+		res, err := sim.Run(sim.Config{
+			CM: cm, Method: m, PrefillReplicas: ps[pi], DecodeReplicas: 1,
+			MaxBatch: s.MaxBatch, MemCapFrac: s.MemCapFrac,
+		}, traces[pi])
+		if err != nil {
+			return "", err
 		}
+		return secs(res.AvgJCT()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, p := range ps {
+		row := []string{fmt.Sprintf("%d", p)}
+		row = append(row, flat[pi*len(methods):(pi+1)*len(methods)]...)
 		t.AddRow(row...)
 	}
 	t.Notes = "paper: baseline JCT grows 127% from p=1 to p=8; CacheGen/KVQuant/HACK only 31–43%"

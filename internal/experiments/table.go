@@ -75,6 +75,45 @@ func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
 // secs formats seconds.
 func secs(f float64) string { return fmt.Sprintf("%.1fs", f) }
 
+// WriteMarkdown renders the table as a GitHub-flavored markdown table
+// with a heading line; pipes inside cells are escaped.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", `\|`) }
+	if _, err := fmt.Fprintf(w, "### %s: %s\n\n", esc(t.ID), esc(t.Title)); err != nil {
+		return err
+	}
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = esc(c)
+		}
+		_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+		return err
+	}
+	if err := writeRow(t.Header); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "|%s|\n", strings.Join(sep, "|")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	if t.Notes != "" {
+		if _, err := fmt.Fprintf(w, "\n_%s_\n", esc(t.Notes)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
 // WriteCSV emits the table as RFC-4180 CSV (header row first).
 func (t *Table) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)

@@ -1,0 +1,150 @@
+package hack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/hackkv/hack/internal/quant"
+	"github.com/hackkv/hack/internal/tensor"
+)
+
+// randShape draws a random (m, z, n, Π) MatMul geometry, including
+// ragged last blocks and decode-shaped M=1 rows.
+func randShape(rng *rand.Rand) (m, z, n, pi int) {
+	m = 1 + rng.Intn(8)
+	z = 8 + rng.Intn(160)
+	n = 1 + rng.Intn(24)
+	pi = []int{8, 16, 32, 64, 128}[rng.Intn(5)]
+	return m, z, n, pi
+}
+
+// TestPropertyMatMulNearExactReference bounds the end-to-end error of
+// the homomorphic product against the float32 reference product of the
+// ORIGINAL matrices, over random shapes and partition sizes. Two layers
+// of guarantee:
+//
+//   - against the dequantized operands the product is an algebraic
+//     identity (tight bound, float rounding only);
+//   - against the original operands the only error source is
+//     quantization noise, which at 8-bit codes must keep the relative
+//     Frobenius error small for any shape/partition combination.
+func TestPropertyMatMulNearExactReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, z, n, pi := randShape(rng)
+		a := tensor.RandNormal(rng, m, z, 1)
+		b := tensor.RandNormal(rng, z, n, 1)
+		aq := q(a, quant.AlongCols, 8, pi, rng)
+		bq := q(b, quant.AlongRows, 8, pi, rng)
+		got, _ := MatMul(aq, bq, DefaultOptions())
+
+		// Identity layer: homomorphic == dequantize-then-multiply.
+		if tensor.RelFrobenius(got, tensor.MatMul(aq.Dequantize(), bq.Dequantize())) > 1e-3 {
+			return false
+		}
+		// Accuracy layer: 8-bit quantization noise stays small relative
+		// to the exact product of the original matrices.
+		return tensor.RelFrobenius(got, tensor.MatMul(a, b)) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMatMulTransBNearExactReference is the same property for
+// the Q·Kᵀ-shaped kernel.
+func TestPropertyMatMulTransBNearExactReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, z, n, pi := randShape(rng)
+		a := tensor.RandNormal(rng, m, z, 1)
+		bT := tensor.RandNormal(rng, n, z, 1)
+		aq := q(a, quant.AlongCols, 8, pi, rng)
+		bq := q(bT, quant.AlongCols, 8, pi, rng)
+		got, _ := MatMulTransB(aq, bq, DefaultOptions())
+		if tensor.RelFrobenius(got, tensor.MatMulTransB(aq.Dequantize(), bq.Dequantize())) > 1e-3 {
+			return false
+		}
+		return tensor.RelFrobenius(got, tensor.MatMulTransB(a, bT)) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyOpsMatchAnalyticFormulas cross-checks the kernels'
+// measured Ops tallies against the closed-form §5.2 costs over random
+// shapes:
+//
+//   - IntMACs is always 2·M·Z·N;
+//   - without SE, SumRecomputeOps is always N·Z;
+//   - ApproxFlops is 9·M·N per partition block plus the A row sums
+//     (M·Z), which collapses to the paper's 9MN + MZ (ApproxOpsSE)
+//     whenever one partition spans the inner dimension — and together
+//     with the recomputed sums to ApproxOps.
+func TestPropertyOpsMatchAnalyticFormulas(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, z, n, pi := randShape(rng)
+		a := tensor.RandNormal(rng, m, z, 1)
+		b := tensor.RandNormal(rng, z, n, 1)
+		aq := q(a, quant.AlongCols, 8, pi, rng)
+		bq := q(b, quant.AlongRows, 2, pi, rng)
+
+		_, se := MatMul(aq, bq, Options{ReuseSums: true})
+		_, noSE := MatMul(aq, bq, Options{ReuseSums: false})
+
+		if se.IntMACs != IntMatMulOps(m, z, n) || noSE.IntMACs != se.IntMACs {
+			return false
+		}
+		if se.SumRecomputeOps != 0 || noSE.SumRecomputeOps != int64(n)*int64(z) {
+			return false
+		}
+		nb := int64((z + pi - 1) / pi)
+		if se.ApproxFlops != nb*9*int64(m)*int64(n)+int64(m)*int64(z) {
+			return false
+		}
+		if nb == 1 {
+			// Single inner block: exactly the §5.2 formulas.
+			if se.ApproxFlops != ApproxOpsSE(m, z, n) {
+				return false
+			}
+			if noSE.ApproxFlops+noSE.SumRecomputeOps != ApproxOps(m, z, n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeOpsMatchSection53 reproduces the §5.3 decode accounting on
+// measured tallies: one decode step is Q·Kᵀ (M=1, Z=d_h, N=L) plus P·V
+// (M=1, Z=L, N=d_h); with partitions spanning each inner dimension the
+// two measured approximation costs sum to DecodeApproxOpsSE = 10(d_h+L).
+func TestDecodeOpsMatchSection53(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const dh, l = 128, 96
+	qv := tensor.RandNormal(rng, 1, dh, 1)
+	k := tensor.RandNormal(rng, l, dh, 1)
+	p := tensor.RandNormal(rng, 1, l, 1)
+	v := tensor.RandNormal(rng, l, dh, 1)
+
+	qq := q(qv, quant.AlongCols, 8, dh, rng)
+	kq := q(k, quant.AlongCols, 2, dh, rng)
+	_, qkOps := MatMulTransB(qq, kq, DefaultOptions())
+
+	pq := q(p, quant.AlongCols, 8, l, rng)
+	vq := q(v, quant.AlongRows, 2, l, rng)
+	_, pvOps := MatMul(pq, vq, DefaultOptions())
+
+	if got, want := qkOps.ApproxFlops+pvOps.ApproxFlops, DecodeApproxOpsSE(dh, l); got != want {
+		t.Errorf("measured decode approx cost %d, want §5.3's 10(d_h+L) = %d", got, want)
+	}
+	if got, want := qkOps.IntMACs+pvOps.IntMACs, IntMatMulOps(1, dh, l)+IntMatMulOps(1, l, dh); got != want {
+		t.Errorf("measured decode IntMACs %d, want %d", got, want)
+	}
+}

@@ -79,7 +79,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: max batch %d", c.MaxBatch)
 	}
 	if c.MemCapFrac <= 0 || c.MemCapFrac > 1 {
-		return fmt.Errorf("sim: mem cap %v", c.MemCapFrac)
+		return fmt.Errorf("sim: mem cap fraction %v outside (0, 1]", c.MemCapFrac)
 	}
 	return nil
 }
@@ -179,9 +179,9 @@ func (q eventQueue) Less(i, j int) bool {
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
 	old := *q
 	n := len(old)
 	e := old[n-1]

@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"container/heap"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -57,6 +59,49 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if _, err := Run(good, nil); err == nil {
 		t.Error("empty trace accepted")
+	}
+}
+
+// Negative and above-one memory fractions must be rejected explicitly,
+// with the valid interval spelled out.
+func TestConfigValidationMemCapBounds(t *testing.T) {
+	cm := testCM(t, cluster.A10G())
+	for _, frac := range []float64{-0.5, -1e-9, 1.0001, 50} {
+		c := baseCfg(cm, cluster.Baseline())
+		c.MemCapFrac = frac
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("mem cap fraction %v accepted", frac)
+			continue
+		}
+		if !strings.Contains(err.Error(), "(0, 1]") {
+			t.Errorf("mem cap error %q does not state the valid interval", err)
+		}
+	}
+}
+
+// The event queue is a heap.Interface over `any`; it must order by time
+// and break ties by insertion sequence (FIFO among simultaneous events).
+func TestEventQueueOrdering(t *testing.T) {
+	var q eventQueue
+	heap.Init(&q)
+	for i, at := range []float64{3.0, 1.0, 2.0, 1.0, 1.0} {
+		heap.Push(&q, &event{at: at, seq: i, kind: i})
+	}
+	var gotAt []float64
+	var gotKind []int
+	for q.Len() > 0 {
+		e := heap.Pop(&q).(*event)
+		gotAt = append(gotAt, e.at)
+		gotKind = append(gotKind, e.kind)
+	}
+	wantAt := []float64{1, 1, 1, 2, 3}
+	wantKind := []int{1, 3, 4, 2, 0} // FIFO among the three t=1 events
+	for i := range wantAt {
+		if gotAt[i] != wantAt[i] || gotKind[i] != wantKind[i] {
+			t.Fatalf("pop %d = (at %v, kind %d), want (at %v, kind %d)",
+				i, gotAt[i], gotKind[i], wantAt[i], wantKind[i])
+		}
 	}
 }
 

@@ -1,0 +1,118 @@
+// Package sweeprun is the concurrency substrate of the batch evaluation
+// layer: a bounded worker pool that executes an indexed set of
+// independent jobs — sweep cells, experiment rows — with context
+// cancellation and panic isolation. Callers own a results slice indexed
+// by job and write each job's output to its own slot, so the aggregate
+// is ordered by index regardless of completion order; that property is
+// what makes concurrent sweeps byte-identical to serial ones.
+package sweeprun
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// PanicError reports a job that panicked. The pool recovers the panic so
+// one faulty cell cannot take down the process or the other workers.
+type PanicError struct {
+	// Index is the job that panicked; Value is the recovered panic value.
+	Index int
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sweeprun: job %d panicked: %v", e.Index, e.Value)
+}
+
+// DefaultWorkers returns the pool width used when a caller passes
+// workers <= 0: the process's GOMAXPROCS.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Map runs fn(ctx, i) for every i in [0, n) on at most workers
+// goroutines and waits for the pool to drain. Behavior:
+//
+//   - workers <= 0 selects DefaultWorkers(); the pool never exceeds
+//     min(workers, n) goroutines.
+//   - The first error cancels the job feed — already-running jobs finish,
+//     unstarted ones never run — and is returned after the drain.
+//   - ctx cancellation stops the feed the same way and returns ctx.Err().
+//   - A panicking fn is recovered into a *PanicError; the other workers
+//     drain normally.
+//
+// Map returns only after every started job has finished, so callers may
+// free or read shared per-index state immediately.
+func Map(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+
+	run := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				stack := make([]byte, 16<<10)
+				stack = stack[:runtime.Stack(stack, false)]
+				err = &PanicError{Index: i, Value: r, Stack: stack}
+			}
+		}()
+		return fn(ctx, i)
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					continue // drain the feed without starting new work
+				}
+				if err := run(i); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,173 @@
+package sweeprun
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapRunsEveryIndexOnce(t *testing.T) {
+	const n = 100
+	var counts [n]int32
+	if err := Map(context.Background(), n, 7, func(_ context.Context, i int) error {
+		atomic.AddInt32(&counts[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestMapBoundsWorkers(t *testing.T) {
+	const workers = 3
+	var active, peak int32
+	if err := Map(context.Background(), 50, workers, func(_ context.Context, _ int) error {
+		cur := atomic.AddInt32(&active, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if cur <= p || atomic.CompareAndSwapInt32(&peak, p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt32(&active, -1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Fatalf("observed %d concurrent jobs, pool width %d", peak, workers)
+	}
+}
+
+func TestMapFirstErrorStopsFeed(t *testing.T) {
+	sentinel := errors.New("boom")
+	var started int32
+	err := Map(context.Background(), 1000, 2, func(_ context.Context, i int) error {
+		atomic.AddInt32(&started, 1)
+		if i == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	if s := atomic.LoadInt32(&started); s == 1000 {
+		t.Fatalf("feed not stopped: all %d jobs started", s)
+	}
+}
+
+func TestMapPanicIsolation(t *testing.T) {
+	var ran int32
+	err := Map(context.Background(), 8, 4, func(_ context.Context, i int) error {
+		if i == 2 {
+			panic("cell exploded")
+		}
+		atomic.AddInt32(&ran, 1)
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Index != 2 || pe.Value != "cell exploded" {
+		t.Fatalf("panic error = %+v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic error carries no stack")
+	}
+	if ran == 0 {
+		t.Fatal("no sibling job completed; panic was not isolated")
+	}
+}
+
+// TestMapCancelDrainsPool cancels a mid-flight run and asserts both that
+// Map reports the cancellation and that the pool's goroutines drain
+// rather than leak.
+func TestMapCancelDrainsPool(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	var once sync.Once
+	err := Map(ctx, 64, 4, func(ctx context.Context, i int) error {
+		once.Do(cancel)
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return ctx.Err()
+	})
+	close(release)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// The pool must have drained by the time Map returns; allow the
+	// runtime a moment to retire exiting goroutines before comparing.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after drain", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestMapParallelSpeedup pins the point of the pool: a sweep of 8 cells
+// completes measurably faster at workers=4 than workers=1. The cells
+// block on a timer rather than the CPU, so the assertion holds on any
+// host; the slack is generous (ideal ratio is 4x, we require 1.5x).
+func TestMapParallelSpeedup(t *testing.T) {
+	const cells, cellDur = 8, 30 * time.Millisecond
+	timeWidth := func(workers int) time.Duration {
+		start := time.Now()
+		if err := Map(context.Background(), cells, workers, func(context.Context, int) error {
+			time.Sleep(cellDur)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	serial := timeWidth(1)
+	parallel := timeWidth(4)
+	if parallel > serial*2/3 {
+		t.Errorf("workers=4 took %v, not measurably faster than workers=1's %v", parallel, serial)
+	}
+}
+
+func TestMapParentContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	err := Map(ctx, 10, 2, func(context.Context, int) error {
+		atomic.AddInt32(&ran, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Fatalf("%d jobs ran under a dead context", ran)
+	}
+}
+
+func TestMapZeroJobs(t *testing.T) {
+	if err := Map(context.Background(), 0, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadTrace asserts the trace decoder's contract on arbitrary
+// input: it may reject, but it must never panic, and anything it
+// accepts must satisfy the trace invariants (strictly increasing
+// arrivals, positive lengths).
+func FuzzLoadTrace(f *testing.F) {
+	// Seed with a valid trace...
+	reqs, err := Trace(IMDb(), 1.0, 5, 42)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := SaveTrace(&valid, "IMDb", 1.0, 42, reqs); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	// ...and structured corruptions of every validated field.
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":2,"requests":[{"id":0,"ArrivalS":1,"InputLen":1,"OutputLen":1}]}`))
+	f.Add([]byte(`{"version":1,"requests":[{"ArrivalS":2,"InputLen":1,"OutputLen":1},{"ArrivalS":1,"InputLen":1,"OutputLen":1}]}`))
+	f.Add([]byte(`{"version":1,"requests":[{"ArrivalS":1,"InputLen":-3,"OutputLen":1}]}`))
+	f.Add([]byte(`{"version":1,"requests":[{"ArrivalS":1,"InputLen":1,"OutputLen":0}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(strings.Repeat("[", 64)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reqs, err := LoadTrace(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		prev := -1.0
+		for i, r := range reqs {
+			if r.ArrivalS <= prev {
+				t.Fatalf("accepted trace with non-increasing arrival at %d: %v after %v", i, r.ArrivalS, prev)
+			}
+			if r.InputLen <= 0 || r.OutputLen <= 0 {
+				t.Fatalf("accepted trace with non-positive lengths at %d: %d/%d", i, r.InputLen, r.OutputLen)
+			}
+			prev = r.ArrivalS
+		}
+	})
+}

@@ -1,0 +1,586 @@
+package hack
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+
+	"github.com/hackkv/hack/internal/cluster"
+	"github.com/hackkv/hack/internal/model"
+	"github.com/hackkv/hack/internal/sweeprun"
+	"github.com/hackkv/hack/internal/workload"
+)
+
+// The sweep subsystem: the paper's headline results (Figs. 9–14,
+// Table 5) are grids — method × dataset × GPU × load — and RunSweep
+// executes such a grid as one batch job on a bounded worker pool.
+// Identical specs yield byte-identical reports: every cell's trace seed
+// is a pure function of the spec, and results are ordered by cell index
+// regardless of completion order.
+
+// ReplicaCount is one prefill/decode pool sizing of a sweep's replica
+// axis.
+type ReplicaCount struct {
+	Prefill int `json:"prefill"`
+	Decode  int `json:"decode"`
+}
+
+// SweepSpec declares a grid of Engine configurations. Every axis is a
+// list; the grid is the cartesian product of all seven, expanded in
+// row-major order with Model outermost and Method × Dataset innermost
+// (so each method's row over the datasets is contiguous, the paper's
+// table layout). Empty axes default to the paper's evaluation setting:
+// the four evaluated methods, all four datasets, A10G prefill, Llama-70B,
+// 5×4 replicas, shortest-queue scheduling, 0.5 RPS.
+type SweepSpec struct {
+	// Methods, Datasets, GPUs and Models name registry entries; unknown
+	// names fail RunSweep with the valid spellings. Names are
+	// canonicalized, so specs differing only in case expand identically.
+	Methods  []string `json:"methods"`
+	Datasets []string `json:"datasets"`
+	GPUs     []string `json:"gpus"`
+	Models   []string `json:"models"`
+	// Replicas lists prefill/decode pool sizings.
+	Replicas []ReplicaCount `json:"replicas"`
+	// Schedulers lists prefill placement policies.
+	Schedulers []Scheduler `json:"schedulers"`
+	// RPS lists arrival rates (the load axis).
+	RPS []float64 `json:"rps"`
+
+	// Requests is the trace length per cell (default 100).
+	Requests int `json:"requests"`
+	// Seed fixes all randomness. Cells covering the same workload point
+	// (model, dataset, rate) derive the same trace seed from it, so
+	// methods are compared on identical traces.
+	Seed int64 `json:"seed"`
+	// MaxBatch caps a decode replica's concurrent batch (default 256).
+	MaxBatch int `json:"max_batch"`
+	// MemCapFrac is the usable decode-memory fraction (default 0.95).
+	MemCapFrac float64 `json:"mem_cap_frac"`
+	// Pipeline overlaps KV transfer with prefill computation (§2.1).
+	Pipeline bool `json:"pipeline"`
+	// Baseline names the method speedups are measured against; default
+	// "Baseline" when that method is in the grid, otherwise no speedup
+	// column is computed.
+	Baseline string `json:"baseline,omitempty"`
+}
+
+// SweepCell identifies one expanded grid point.
+type SweepCell struct {
+	// Index is the cell's position in the row-major expansion; results
+	// are ordered by it.
+	Index   int    `json:"index"`
+	Model   string `json:"model"`
+	GPU     string `json:"gpu"`
+	Prefill int    `json:"prefill_replicas"`
+	Decode  int    `json:"decode_replicas"`
+	// Scheduler is the policy's display name (shortest-queue, ...).
+	Scheduler string  `json:"scheduler"`
+	RPS       float64 `json:"rps"`
+	Method    string  `json:"method"`
+	Dataset   string  `json:"dataset"`
+	// Seed is the cell's derived trace seed.
+	Seed int64 `json:"seed"`
+	// sched is the policy value behind the display name, carried so
+	// execution never re-parses the string.
+	sched Scheduler
+}
+
+// JCTBreakdown is the per-cell mean of the paper's JCT decomposition, in
+// seconds.
+type JCTBreakdown struct {
+	Queue    float64 `json:"queue"`
+	Prefill  float64 `json:"prefill"`
+	Quant    float64 `json:"quant"`
+	Comm     float64 `json:"comm"`
+	Overhead float64 `json:"overhead"`
+	Decode   float64 `json:"decode"`
+	KVMem    float64 `json:"kv_mem"`
+}
+
+// CellResult is one simulated grid point. A cell that fails (say, a
+// model/GPU pair outside the Table 3 parallelism catalog, or a panic in
+// the simulator) records its error and zero metrics; the rest of the
+// sweep proceeds.
+type CellResult struct {
+	SweepCell
+	Err         string       `json:"error,omitempty"`
+	AvgJCT      float64      `json:"avg_jct_s"`
+	P50JCT      float64      `json:"p50_jct_s"`
+	P99JCT      float64      `json:"p99_jct_s"`
+	Breakdown   JCTBreakdown `json:"avg_times_s"`
+	PeakMemFrac float64      `json:"peak_mem_frac"`
+	Swapped     int          `json:"swapped"`
+	// Speedup is baseline-JCT / this-JCT within the cell's workload
+	// point (1 for the baseline itself); 0 when no baseline applies.
+	Speedup float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// SweepResult aggregates a sweep: the normalized spec it ran and one
+// CellResult per grid point, ordered by cell index.
+type SweepResult struct {
+	Spec  SweepSpec    `json:"spec"`
+	Cells []CellResult `json:"cells"`
+}
+
+// sweepCfg carries the run-time knobs that are not part of the
+// (serialized, determinism-bearing) spec.
+type sweepCfg struct {
+	workers  int
+	progress func(done, total int, r CellResult)
+}
+
+// SweepOption configures how RunSweep executes, without affecting what
+// it computes.
+type SweepOption func(*sweepCfg)
+
+// SweepWorkers bounds the worker pool; n <= 0 selects one worker per
+// available CPU. The cell results are identical for every pool width.
+func SweepWorkers(n int) SweepOption {
+	return func(c *sweepCfg) { c.workers = n }
+}
+
+// SweepProgress streams per-cell completion: fn is invoked serially, in
+// completion order, with the running completed count.
+func SweepProgress(fn func(done, total int, r CellResult)) SweepOption {
+	return func(c *sweepCfg) { c.progress = fn }
+}
+
+// normalize fills defaults, canonicalizes every axis name through its
+// registry, and validates the numeric fields.
+func (s SweepSpec) normalize() (SweepSpec, error) {
+	out := s
+	if len(out.Methods) == 0 {
+		for _, m := range cluster.EvaluatedMethods() {
+			out.Methods = append(out.Methods, m.Name)
+		}
+	} else {
+		out.Methods = append([]string(nil), out.Methods...)
+		for i, name := range out.Methods {
+			m, err := cluster.MethodRegistry.Lookup(name)
+			if err != nil {
+				return out, err
+			}
+			out.Methods[i] = m.Name
+		}
+	}
+	if len(out.Datasets) == 0 {
+		for _, d := range workload.Datasets() {
+			out.Datasets = append(out.Datasets, d.Name)
+		}
+	} else {
+		out.Datasets = append([]string(nil), out.Datasets...)
+		for i, name := range out.Datasets {
+			d, err := workload.Registry.Lookup(name)
+			if err != nil {
+				return out, err
+			}
+			out.Datasets[i] = d.Name
+		}
+	}
+	if len(out.GPUs) == 0 {
+		out.GPUs = []string{"A10G"}
+	}
+	out.GPUs = append([]string(nil), out.GPUs...)
+	for i, name := range out.GPUs {
+		in, err := cluster.GPURegistry.Lookup(name)
+		if err != nil {
+			return out, err
+		}
+		out.GPUs[i] = in.GPUName
+	}
+	if len(out.Models) == 0 {
+		out.Models = []string{"L"}
+	}
+	out.Models = append([]string(nil), out.Models...)
+	for i, name := range out.Models {
+		spec, err := model.Registry.Lookup(name)
+		if err != nil {
+			return out, err
+		}
+		out.Models[i] = spec.ShortName
+	}
+	if len(out.Replicas) == 0 {
+		out.Replicas = []ReplicaCount{{Prefill: 5, Decode: 4}}
+	}
+	for _, rc := range out.Replicas {
+		if rc.Prefill <= 0 || rc.Decode <= 0 {
+			return out, fmt.Errorf("sweep: replicas %d/%d must be positive", rc.Prefill, rc.Decode)
+		}
+	}
+	if len(out.Schedulers) == 0 {
+		out.Schedulers = []Scheduler{ShortestQueue}
+	}
+	for _, sched := range out.Schedulers {
+		switch sched {
+		case ShortestQueue, RoundRobin, FewestRequests:
+		default:
+			return out, fmt.Errorf("sweep: unknown scheduler %d (valid: %v, %v, %v)",
+				sched, ShortestQueue, RoundRobin, FewestRequests)
+		}
+	}
+	if len(out.RPS) == 0 {
+		out.RPS = []float64{0.5}
+	}
+	for _, r := range out.RPS {
+		if r <= 0 {
+			return out, fmt.Errorf("sweep: rps %v must be positive", r)
+		}
+	}
+	if out.Requests == 0 {
+		out.Requests = 100
+	}
+	if out.Requests < 0 {
+		return out, fmt.Errorf("sweep: requests %d must be positive", out.Requests)
+	}
+	if out.MaxBatch == 0 {
+		out.MaxBatch = 256
+	}
+	if out.MaxBatch < 0 {
+		return out, fmt.Errorf("sweep: max batch %d must be positive", out.MaxBatch)
+	}
+	if out.MemCapFrac == 0 {
+		out.MemCapFrac = 0.95
+	}
+	if out.MemCapFrac < 0 || out.MemCapFrac > 1 {
+		return out, fmt.Errorf("sweep: mem cap fraction %v outside (0, 1]", out.MemCapFrac)
+	}
+	if out.Baseline != "" {
+		m, err := cluster.MethodRegistry.Lookup(out.Baseline)
+		if err != nil {
+			return out, err
+		}
+		out.Baseline = m.Name
+		found := false
+		for _, name := range out.Methods {
+			found = found || name == out.Baseline
+		}
+		if !found {
+			return out, fmt.Errorf("sweep: baseline %q not among the swept methods %v", out.Baseline, out.Methods)
+		}
+	} else {
+		for _, name := range out.Methods {
+			if name == "Baseline" {
+				out.Baseline = name
+			}
+		}
+	}
+	return out, nil
+}
+
+// Cells expands the normalized spec into its grid points in index order.
+// The trace seed of a cell depends only on the spec seed and the cell's
+// workload point (model, dataset, rate), so cells differing only in
+// method, GPU, replicas or scheduler replay the same trace.
+func (s SweepSpec) Cells() ([]SweepCell, error) {
+	n, err := s.normalize()
+	if err != nil {
+		return nil, err
+	}
+	return n.cells(), nil
+}
+
+// cells expands an already-normalized spec.
+func (n SweepSpec) cells() []SweepCell {
+	cells := make([]SweepCell, 0, len(n.Models)*len(n.GPUs)*len(n.Replicas)*
+		len(n.Schedulers)*len(n.RPS)*len(n.Methods)*len(n.Datasets))
+	for mi, mod := range n.Models {
+		for _, gpu := range n.GPUs {
+			for _, rc := range n.Replicas {
+				for _, sched := range n.Schedulers {
+					for ri, rps := range n.RPS {
+						for _, method := range n.Methods {
+							for di, ds := range n.Datasets {
+								cells = append(cells, SweepCell{
+									Index: len(cells), Model: mod, GPU: gpu,
+									Prefill: rc.Prefill, Decode: rc.Decode,
+									Scheduler: sched.String(), RPS: rps,
+									Method: method, Dataset: ds,
+									Seed:  n.Seed + int64(mi)*1_000_003 + int64(di)*10_007 + int64(ri)*101,
+									sched: sched,
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// NumCells returns the grid size of the spec after defaulting, or 0 for
+// a spec Cells would reject.
+func (s SweepSpec) NumCells() int {
+	n, err := s.normalize()
+	if err != nil {
+		return 0
+	}
+	return len(n.Models) * len(n.GPUs) * len(n.Replicas) * len(n.Schedulers) *
+		len(n.RPS) * len(n.Methods) * len(n.Datasets)
+}
+
+// RunSweep expands the spec and simulates every cell on a bounded worker
+// pool. The run honors ctx cancellation (the pool drains and ctx.Err()
+// is returned), isolates per-cell failures and panics into CellResult.Err,
+// and returns results ordered by cell index regardless of completion
+// order, so identical specs yield byte-identical reports at any pool
+// width.
+func RunSweep(ctx context.Context, spec SweepSpec, opts ...SweepOption) (*SweepResult, error) {
+	var cfg sweepCfg
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	norm, err := spec.normalize()
+	if err != nil {
+		return nil, fmt.Errorf("hack: %w", err)
+	}
+	cells := norm.cells()
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("hack: sweep expands to no cells")
+	}
+
+	results := make([]CellResult, len(cells))
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	err = sweeprun.Map(ctx, len(cells), cfg.workers, func(ctx context.Context, i int) error {
+		r := runSweepCell(ctx, norm, cells[i])
+		// Cooperative cancellation surfaces as the cell error; abort the
+		// sweep rather than recording a half-run grid.
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		results[i] = r
+		if cfg.progress != nil {
+			mu.Lock()
+			done++
+			cfg.progress(done, len(cells), r)
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		var pe *sweeprun.PanicError
+		if errors.As(err, &pe) {
+			// A panic that escaped the per-cell recover (i.e. out of the
+			// pool plumbing itself) is a bug; report it as such.
+			return nil, fmt.Errorf("hack: %w", pe)
+		}
+		return nil, err
+	}
+
+	attachSpeedups(norm, results)
+	return &SweepResult{Spec: norm, Cells: results}, nil
+}
+
+// runSweepCell simulates one grid point, converting failures — including
+// panics from the engine or simulator — into the cell's Err field.
+func runSweepCell(ctx context.Context, spec SweepSpec, c SweepCell) (out CellResult) {
+	out.SweepCell = c
+	defer func() {
+		if r := recover(); r != nil {
+			out = CellResult{SweepCell: c, Err: fmt.Sprintf("panic: %v", r)}
+		}
+	}()
+	eng, err := New(
+		WithModel(c.Model),
+		WithGPU(c.GPU),
+		WithMethod(c.Method),
+		WithReplicas(c.Prefill, c.Decode),
+		WithScheduler(c.sched),
+		WithMaxBatch(spec.MaxBatch),
+		WithMemCapFrac(spec.MemCapFrac),
+		WithPipeline(spec.Pipeline),
+	)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	res, err := eng.Run(ctx, Workload{
+		Dataset: c.Dataset, RPS: c.RPS, Requests: spec.Requests, Seed: c.Seed,
+	})
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	at := res.AvgTimes()
+	out.AvgJCT = res.AvgJCT()
+	out.P50JCT = res.P50JCT()
+	out.P99JCT = res.P99JCT()
+	out.Breakdown = JCTBreakdown{Queue: at.Queue, Prefill: at.Prefill, Quant: at.Quant,
+		Comm: at.Comm, Overhead: at.Overhead, Decode: at.Decode, KVMem: at.KVMem}
+	out.PeakMemFrac = res.PeakMemFrac
+	out.Swapped = res.SwappedCount
+	return out
+}
+
+// attachSpeedups fills Speedup for every cell whose workload point also
+// ran the baseline method successfully.
+func attachSpeedups(spec SweepSpec, cells []CellResult) {
+	if spec.Baseline == "" {
+		return
+	}
+	nm, nd := len(spec.Methods), len(spec.Datasets)
+	// Cells sharing index/(nm*nd) and index%nd differ only in method.
+	baseJCT := map[int]float64{}
+	for _, c := range cells {
+		if c.Method == spec.Baseline && c.Err == "" && c.AvgJCT > 0 {
+			baseJCT[c.Index/(nm*nd)*nd+c.Index%nd] = c.AvgJCT
+		}
+	}
+	for i := range cells {
+		c := &cells[i]
+		if c.Err != "" || c.AvgJCT <= 0 {
+			continue
+		}
+		if base, ok := baseJCT[c.Index/(nm*nd)*nd+c.Index%nd]; ok {
+			c.Speedup = base / c.AvgJCT
+		}
+	}
+}
+
+// WriteJSON emits the sweep as indented JSON. The bytes are a pure
+// function of the spec: two runs of the same spec — at any worker count —
+// produce identical output, which the golden tests pin.
+func (r *SweepResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteCSV emits one RFC-4180 row per cell with a header row, in cell
+// order.
+func (r *SweepResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"index", "model", "gpu", "prefill_replicas", "decode_replicas", "scheduler",
+		"rps", "method", "dataset", "seed", "avg_jct_s", "p50_jct_s", "p99_jct_s",
+		"queue_s", "prefill_s", "quant_s", "comm_s", "overhead_s", "decode_s",
+		"kv_mem_s", "peak_mem_frac", "swapped", "speedup_vs_baseline", "error",
+	}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, c := range r.Cells {
+		if err := cw.Write([]string{
+			strconv.Itoa(c.Index), c.Model, c.GPU,
+			strconv.Itoa(c.Prefill), strconv.Itoa(c.Decode), c.Scheduler,
+			f(c.RPS), c.Method, c.Dataset, strconv.FormatInt(c.Seed, 10),
+			f(c.AvgJCT), f(c.P50JCT), f(c.P99JCT),
+			f(c.Breakdown.Queue), f(c.Breakdown.Prefill), f(c.Breakdown.Quant),
+			f(c.Breakdown.Comm), f(c.Breakdown.Overhead), f(c.Breakdown.Decode),
+			f(c.Breakdown.KVMem), f(c.PeakMemFrac), strconv.Itoa(c.Swapped),
+			f(c.Speedup), c.Err,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SweepMetric selects which per-cell number the markdown pivot reports.
+type SweepMetric string
+
+// The pivotable metrics.
+const (
+	// MetricAvgJCT reports mean job completion time (Figs. 9, 11, 12).
+	MetricAvgJCT SweepMetric = "avgjct"
+	// MetricP99JCT reports tail job completion time.
+	MetricP99JCT SweepMetric = "p99jct"
+	// MetricPeakMem reports peak decode memory utilization (Table 5).
+	MetricPeakMem SweepMetric = "peakmem"
+	// MetricSpeedup reports speedup over the baseline method.
+	MetricSpeedup SweepMetric = "speedup"
+)
+
+// SweepMetrics lists the valid metric spellings.
+func SweepMetrics() []SweepMetric {
+	return []SweepMetric{MetricAvgJCT, MetricP99JCT, MetricPeakMem, MetricSpeedup}
+}
+
+func (m SweepMetric) cell(c CellResult) string {
+	if c.Err != "" {
+		return "error"
+	}
+	switch m {
+	case MetricP99JCT:
+		return fmt.Sprintf("%.2fs", c.P99JCT)
+	case MetricPeakMem:
+		return fmt.Sprintf("%.1f%%", 100*c.PeakMemFrac)
+	case MetricSpeedup:
+		if c.Speedup == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2fx", c.Speedup)
+	default:
+		return fmt.Sprintf("%.2fs", c.AvgJCT)
+	}
+}
+
+func (m SweepMetric) describe() string {
+	switch m {
+	case MetricP99JCT:
+		return "p99 JCT"
+	case MetricPeakMem:
+		return "peak decode memory"
+	case MetricSpeedup:
+		return "speedup vs baseline"
+	default:
+		return "average JCT"
+	}
+}
+
+// Tables pivots the sweep into the paper's Table 5 layout — one table
+// per deployment point (model, GPU, replicas, scheduler, rate) with
+// method rows and dataset columns — reporting the chosen metric.
+func (r *SweepResult) Tables(metric SweepMetric) []*ResultTable {
+	spec := r.Spec
+	nm, nd := len(spec.Methods), len(spec.Datasets)
+	if nm == 0 || nd == 0 || len(r.Cells) == 0 {
+		return nil
+	}
+	var tables []*ResultTable
+	for block := 0; block*nm*nd < len(r.Cells); block++ {
+		first := r.Cells[block*nm*nd]
+		t := &ResultTable{
+			ID: "Sweep",
+			Title: fmt.Sprintf("%s by method and dataset (%s, %s, %dx%d replicas, %s, %g rps)",
+				metric.describe(), first.Model, first.GPU, first.Prefill, first.Decode,
+				first.Scheduler, first.RPS),
+			Header: append([]string{"Method"}, spec.Datasets...),
+		}
+		for mi := 0; mi < nm; mi++ {
+			row := []string{spec.Methods[mi]}
+			for di := 0; di < nd; di++ {
+				// A hand-built or filtered result may end mid-block;
+				// render the absent cells rather than panicking.
+				if idx := block*nm*nd + mi*nd + di; idx < len(r.Cells) {
+					row = append(row, metric.cell(r.Cells[idx]))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// WriteMarkdown renders the Tables pivot as GitHub-flavored markdown.
+func (r *SweepResult) WriteMarkdown(w io.Writer, metric SweepMetric) error {
+	for _, t := range r.Tables(metric) {
+		if err := t.WriteMarkdown(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,396 @@
+package hack_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hackkv/hack"
+)
+
+// -update regenerates the golden sweep report under testdata/.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSpec is the pinned sweep: small enough to run in milliseconds,
+// wide enough to exercise the speedup column and both short-sequence
+// datasets.
+func goldenSpec() hack.SweepSpec {
+	return hack.SweepSpec{
+		Methods:  []string{"Baseline", "HACK"},
+		Datasets: []string{"IMDb", "HumanEval"},
+		RPS:      []float64{1.0},
+		Requests: 30,
+		Seed:     42,
+	}
+}
+
+func sweepJSON(t *testing.T, spec hack.SweepSpec, opts ...hack.SweepOption) []byte {
+	t.Helper()
+	res, err := hack.RunSweep(context.Background(), spec, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSweepGoldenDeterminism pins the full JSON report: two runs of the
+// same spec — serial and at pool width 4 — must be byte-identical, and
+// must match the committed golden file (regenerate with -update).
+func TestSweepGoldenDeterminism(t *testing.T) {
+	serial := sweepJSON(t, goldenSpec(), hack.SweepWorkers(1))
+	parallel := sweepJSON(t, goldenSpec(), hack.SweepWorkers(4))
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("sweep reports differ between workers=1 and workers=4")
+	}
+	again := sweepJSON(t, goldenSpec(), hack.SweepWorkers(4))
+	if !bytes.Equal(parallel, again) {
+		t.Fatal("sweep reports differ between two identical runs")
+	}
+
+	// The committed golden bytes pin amd64 float results; other
+	// architectures may fuse mul-adds (FMA) into ULP-different values.
+	// Run-vs-run and pool-width identity are asserted above on every
+	// architecture; the byte pin is enforced where CI runs.
+	if runtime.GOARCH != "amd64" && !*update {
+		t.Skipf("golden file is amd64-generated; on %s only run-to-run identity is checked", runtime.GOARCH)
+	}
+	golden := filepath.Join("testdata", "sweep_golden.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, serial, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with `go test -run TestSweepGolden -update .`): %v", err)
+	}
+	if !bytes.Equal(serial, want) {
+		t.Errorf("sweep report deviates from %s (regenerate with -update if the change is intended)\ngot %d bytes, want %d",
+			golden, len(serial), len(want))
+	}
+}
+
+// TestEngineRunDeterministic asserts the underlying single-run facade is
+// itself reproducible: the same Engine config and seeded workload yield
+// byte-identical per-request stats.
+func TestEngineRunDeterministic(t *testing.T) {
+	run := func() []byte {
+		eng, err := hack.New(hack.WithMethod("HACK"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run(context.Background(), hack.Workload{
+			Dataset: "IMDb", RPS: 1.0, Requests: 40, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if a, b := run(), run(); !bytes.Equal(a, b) {
+		t.Fatal("two Engine.Run calls with a fixed seed produced different JSON")
+	}
+}
+
+func TestSweepCellOrderingAndSpeedup(t *testing.T) {
+	spec := goldenSpec()
+	res, err := hack.RunSweep(context.Background(), spec, hack.SweepWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(res.Cells), spec.NumCells(); got != want {
+		t.Fatalf("got %d cells, want %d", got, want)
+	}
+	for i, c := range res.Cells {
+		if c.Index != i {
+			t.Fatalf("cell %d carries index %d; results must be ordered by cell index", i, c.Index)
+		}
+		if c.Err != "" {
+			t.Fatalf("cell %d failed: %s", i, c.Err)
+		}
+		if c.AvgJCT <= 0 || c.P99JCT < c.P50JCT {
+			t.Fatalf("cell %d has implausible JCTs: %+v", i, c)
+		}
+		switch c.Method {
+		case "Baseline":
+			if c.Speedup != 1 {
+				t.Fatalf("baseline cell %d speedup %v, want 1", i, c.Speedup)
+			}
+		default:
+			if c.Speedup <= 0 {
+				t.Fatalf("cell %d (%s) missing speedup", i, c.Method)
+			}
+		}
+	}
+	// Methods share the workload point's trace, so their request mixes
+	// match: same dataset ⇒ same per-cell seed.
+	if res.Cells[0].Seed != res.Cells[2].Seed {
+		t.Fatalf("Baseline and HACK cells over the same dataset drew different seeds: %d vs %d",
+			res.Cells[0].Seed, res.Cells[2].Seed)
+	}
+	if res.Cells[0].Seed == res.Cells[1].Seed {
+		t.Fatal("different datasets share a trace seed")
+	}
+}
+
+func TestSweepUnknownNamesListValidSpellings(t *testing.T) {
+	for _, spec := range []hack.SweepSpec{
+		{Methods: []string{"nope"}},
+		{Datasets: []string{"nope"}},
+		{GPUs: []string{"nope"}},
+		{Models: []string{"nope"}},
+		{Baseline: "nope"},
+	} {
+		_, err := hack.RunSweep(context.Background(), spec)
+		if err == nil {
+			t.Fatalf("spec %+v: expected an unknown-name error", spec)
+		}
+		if !strings.Contains(err.Error(), "valid") && !strings.Contains(err.Error(), "not among") {
+			t.Fatalf("error %q does not list valid names", err)
+		}
+	}
+	// The scheduler axis is validated too: an out-of-range policy must
+	// fail the sweep, not silently fall back to shortest-queue.
+	_, err := hack.RunSweep(context.Background(), hack.SweepSpec{Schedulers: []hack.Scheduler{7}})
+	if err == nil || !strings.Contains(err.Error(), "unknown scheduler") {
+		t.Fatalf("err = %v, want unknown-scheduler error", err)
+	}
+}
+
+func TestSweepBaselineMustBeSwept(t *testing.T) {
+	_, err := hack.RunSweep(context.Background(), hack.SweepSpec{
+		Methods: []string{"HACK"}, Baseline: "CacheGen",
+	})
+	if err == nil || !strings.Contains(err.Error(), "not among the swept methods") {
+		t.Fatalf("err = %v, want baseline-not-swept error", err)
+	}
+}
+
+// TestSweepCancellationDrains cancels a mid-flight sweep and asserts the
+// pool drains without leaking goroutines.
+func TestSweepCancellationDrains(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	spec := hack.SweepSpec{Requests: 60, RPS: []float64{0.5}, Seed: 3} // 4 methods x 4 datasets
+	var fired int32
+	_, err := hack.RunSweep(ctx, spec, hack.SweepWorkers(2),
+		hack.SweepProgress(func(done, total int, _ hack.CellResult) {
+			if atomic.AddInt32(&fired, 1) == 1 {
+				cancel()
+			}
+		}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after cancelled sweep: %d before, %d after",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSweepParallelFaster runs the acceptance grid — 8 cells over the
+// two long-sequence datasets — serial and at pool width 4, asserting
+// identical bytes always and, on multi-core hosts, a wall-clock win with
+// generous slack.
+func TestSweepParallelFaster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	spec := hack.SweepSpec{
+		Datasets: []string{"Cocktail", "arXiv"}, // 4 methods x 2 datasets = 8 cells
+		Requests: 800,
+		RPS:      []float64{0.6},
+		Seed:     1,
+	}
+	if spec.NumCells() < 8 {
+		t.Fatalf("acceptance grid has %d cells, want >= 8", spec.NumCells())
+	}
+
+	start := time.Now()
+	serial := sweepJSON(t, spec, hack.SweepWorkers(1))
+	serialDur := time.Since(start)
+	start = time.Now()
+	parallel := sweepJSON(t, spec, hack.SweepWorkers(4))
+	parallelDur := time.Since(start)
+
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("parallel sweep report differs from serial")
+	}
+	// Gate the wall-clock assertion on *measured* CPU parallelism:
+	// NumCPU overcounts inside cgroup-quota'd containers, where workers=4
+	// cannot physically win. (The pool's speedup is asserted on every
+	// host by sweeprun's timer-bound TestMapParallelSpeedup.)
+	if p := effectiveParallelism(); p < 1.5 {
+		t.Skipf("host shows %.1fx CPU parallelism: serial %v, workers=4 %v (no speedup expected)",
+			p, serialDur, parallelDur)
+	}
+	// Generous slack: ideal is ~4x; require only a 1.25x win.
+	if float64(parallelDur) > float64(serialDur)/1.25 {
+		t.Errorf("workers=4 (%v) not measurably faster than workers=1 (%v)", parallelDur, serialDur)
+	}
+}
+
+// probeSink keeps the parallelism probe's busywork observable so the
+// compiler cannot eliminate it.
+var probeSink atomic.Int64
+
+// effectiveParallelism measures how much real CPU concurrency the host
+// grants: the ratio of serial to concurrent wall time for four equal
+// fixed-iteration workloads (~1 on a single effective CPU, ~4 on four).
+// The work is iteration-bound, not deadline-bound, so time-sharing shows
+// up as slowdown.
+func effectiveParallelism() float64 {
+	work := func(n int) {
+		var s int64
+		for i := 0; i < n; i++ {
+			s += int64(i ^ (i >> 3))
+		}
+		probeSink.Add(s)
+	}
+	// Calibrate the per-task size to ~20ms of single-threaded work.
+	n := 1 << 20
+	for {
+		start := time.Now()
+		work(n)
+		if time.Since(start) >= 20*time.Millisecond {
+			break
+		}
+		n *= 2
+	}
+
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		work(n)
+	}
+	serial := time.Since(start)
+
+	var wg sync.WaitGroup
+	start = time.Now()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work(n)
+		}()
+	}
+	wg.Wait()
+	return float64(serial) / float64(time.Since(start))
+}
+
+func TestSweepMarkdownTable(t *testing.T) {
+	res, err := hack.RunSweep(context.Background(), goldenSpec(), hack.SweepWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteMarkdown(&buf, hack.MetricAvgJCT); err != nil {
+		t.Fatal(err)
+	}
+	md := buf.String()
+	for _, want := range []string{
+		"| Method | IMDb | HumanEval |",
+		"|---|---|---|",
+		"| Baseline |",
+		"| HACK |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown output missing %q:\n%s", want, md)
+		}
+	}
+
+	buf.Reset()
+	if err := res.WriteMarkdown(&buf, hack.MetricPeakMem); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "%") {
+		t.Fatalf("peak-memory pivot has no percentage cells:\n%s", buf.String())
+	}
+}
+
+// A truncated or hand-filtered result (e.g. deserialized and sliced)
+// must render partial blocks, not panic.
+func TestSweepMarkdownPartialBlock(t *testing.T) {
+	res, err := hack.RunSweep(context.Background(), goldenSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Cells = res.Cells[:1]
+	var buf bytes.Buffer
+	if err := res.WriteMarkdown(&buf, hack.MetricAvgJCT); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "| HACK | - | - |") {
+		t.Fatalf("missing cells not rendered as '-':\n%s", buf.String())
+	}
+}
+
+func TestSweepCSV(t *testing.T) {
+	res, err := hack.RunSweep(context.Background(), goldenSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(res.Cells) {
+		t.Fatalf("CSV has %d lines, want header + %d cells", len(lines), len(res.Cells))
+	}
+	if !strings.HasPrefix(lines[0], "index,model,gpu") {
+		t.Fatalf("unexpected CSV header %q", lines[0])
+	}
+}
+
+// ExampleRunSweep demonstrates the batch evaluation API: a method x
+// dataset grid executed on a worker pool, pivoted into the paper's
+// table layout.
+func ExampleRunSweep() {
+	res, err := hack.RunSweep(context.Background(), hack.SweepSpec{
+		Methods:  []string{"Baseline", "HACK"},
+		Datasets: []string{"IMDb"},
+		RPS:      []float64{1.0},
+		Requests: 30,
+		Seed:     42,
+	}, hack.SweepWorkers(2))
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range res.Cells {
+		// The margin is ~1.11x here; compare against a threshold rather
+		// than printing the float so the example is architecture-stable.
+		fmt.Printf("%s/%s beats baseline: %v\n", c.Method, c.Dataset, c.Speedup > 1.05)
+	}
+	// Output:
+	// Baseline/IMDb beats baseline: false
+	// HACK/IMDb beats baseline: true
+}
