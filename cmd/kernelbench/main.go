@@ -1,0 +1,213 @@
+// Command kernelbench measures the homomorphic kernel hot paths — the
+// packed/tiled/SIMD fast kernels against the retained scalar reference,
+// the quantizer, and the end-to-end attention decode step — and writes
+// the results to BENCH_kernels.json so the kernel performance trajectory
+// is tracked in-repo from PR to PR.
+//
+// Usage:
+//
+//	go run ./cmd/kernelbench [-o BENCH_kernels.json] [-quick]
+//
+// The shapes mirror internal/hack/bench_test.go: decode-shaped Q·Kᵀ
+// (1×128 · 4096×128ᵀ) and prefill-shaped P·V (256×2048 · 2048×128) at
+// Π=32 and Π=128. The JSON records ns/op, bytes/op and allocs/op per
+// benchmark plus the fast-over-scalar speedups the acceptance targets
+// track (≥3× decode, ≥2× prefill).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"github.com/hackkv/hack/internal/attention"
+	"github.com/hackkv/hack/internal/hack"
+	"github.com/hackkv/hack/internal/quant"
+	"github.com/hackkv/hack/internal/tensor"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the BENCH_kernels.json schema.
+type Report struct {
+	// Host context: speedups are comparable across runs on the same
+	// class of machine; absolute ns/op are not portable.
+	GoVersion  string   `json:"go_version"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	Benchmarks []Result `json:"benchmarks"`
+	// Speedups are fast-kernel time over scalar-reference time for the
+	// same operands.
+	Speedups map[string]float64 `json:"speedups_vs_scalar"`
+}
+
+func quantize(rng *rand.Rand, rows, cols, bits, pi int, axis quant.Axis) *quant.Tensor {
+	return quant.MustQuantize(tensor.RandNormal(rng, rows, cols, 1), axis,
+		quant.Config{Bits: bits, Partition: pi, Rounding: quant.NearestRounding})
+}
+
+func measure(name string, fn func(b *testing.B)) Result {
+	r := testing.Benchmark(fn)
+	return Result{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+func main() {
+	out := flag.String("o", "BENCH_kernels.json", "output path")
+	quick := flag.Bool("quick", false, "smaller operands for a fast smoke run")
+	flag.Parse()
+
+	decodeL, prefillM, prefillZ := 4096, 256, 2048
+	attnL := 2048
+	if *quick {
+		decodeL, prefillM, prefillZ, attnL = 512, 32, 256, 256
+	}
+
+	rep := Report{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Speedups:  map[string]float64{},
+	}
+	add := func(r Result) Result {
+		rep.Benchmarks = append(rep.Benchmarks, r)
+		fmt.Printf("%-42s %12.0f ns/op %10d B/op %6d allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		return r
+	}
+
+	opt := hack.DefaultOptions()
+	for _, pi := range []int{32, 128} {
+		rng := rand.New(rand.NewSource(1))
+		a := quantize(rng, 1, 128, 8, pi, quant.AlongCols)
+		kT := quantize(rng, decodeL, 128, 2, pi, quant.AlongCols)
+		dst := &tensor.Matrix{}
+		fast := add(measure(fmt.Sprintf("MatMulTransB/decode_1x128x%d/pi%d", decodeL, pi), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				hack.MatMulTransBInto(dst, a, kT, opt)
+			}
+		}))
+		scalar := add(measure(fmt.Sprintf("MatMulTransBScalar/decode_1x128x%d/pi%d", decodeL, pi), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				hack.MatMulTransBScalar(a, kT, opt)
+			}
+		}))
+		rep.Speedups[fmt.Sprintf("decode_pi%d", pi)] = scalar.NsPerOp / fast.NsPerOp
+	}
+
+	for _, pi := range []int{32, 128} {
+		rng := rand.New(rand.NewSource(2))
+		p := quantize(rng, prefillM, prefillZ, 8, pi, quant.AlongCols)
+		v := quantize(rng, prefillZ, 128, 2, pi, quant.AlongRows)
+		dst := &tensor.Matrix{}
+		fast := add(measure(fmt.Sprintf("MatMul/prefill_%dx%dx128/pi%d", prefillM, prefillZ, pi), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				hack.MatMulInto(dst, p, v, opt)
+			}
+		}))
+		scalar := add(measure(fmt.Sprintf("MatMulScalar/prefill_%dx%dx128/pi%d", prefillM, prefillZ, pi), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				hack.MatMulScalar(p, v, opt)
+			}
+		}))
+		rep.Speedups[fmt.Sprintf("prefill_pi%d", pi)] = scalar.NsPerOp / fast.NsPerOp
+	}
+
+	for _, bench := range []struct {
+		name     string
+		bits, pi int
+	}{{"Quantize/512x128_8bit/pi32", 8, 32}, {"Quantize/512x128_2bit/pi128", 2, 128}} {
+		bench := bench
+		rng := rand.New(rand.NewSource(3))
+		m := tensor.RandNormal(rng, 512, 128, 1)
+		cfg := quant.Config{Bits: bench.bits, Partition: bench.pi, Rounding: quant.NearestRounding}
+		var qt *quant.Tensor
+		add(measure(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				qt, err = quant.QuantizeInto(qt, m, quant.AlongCols, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+
+	add(measure(fmt.Sprintf("AttentionDecode/HACK_L%d/pi64", attnL), benchAttention(func() (attention.Backend, error) {
+		return attention.NewHACK(attention.DefaultHACKConfig(11))
+	}, attnL)))
+	add(measure(fmt.Sprintf("AttentionDecode/CacheGen_L%d", attnL), benchAttention(func() (attention.Backend, error) {
+		return attention.NewDequant(attention.DequantConfig{MethodName: "CacheGen", Pi: 96, KVBits: 2,
+			Rounding: quant.StochasticRounding, Seed: 12, WireFactor: 0.9})
+	}, attnL)))
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nspeedups vs scalar: decode pi128 %.2fx, pi32 %.2fx; prefill pi128 %.2fx, pi32 %.2fx\n",
+		rep.Speedups["decode_pi128"], rep.Speedups["decode_pi32"],
+		rep.Speedups["prefill_pi128"], rep.Speedups["prefill_pi32"])
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// benchAttention returns a benchmark body running one-token decode steps
+// against a prefilled head of the given backend.
+func benchAttention(mk func() (attention.Backend, error), l int) func(b *testing.B) {
+	return func(b *testing.B) {
+		backend, err := mk()
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, err := backend.NewHead(128)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(4))
+		if _, _, err := h.Prefill(tensor.RandNormal(rng, l, 128, 1),
+			tensor.RandNormal(rng, l, 128, 1), tensor.RandNormal(rng, l, 128, 1)); err != nil {
+			b.Fatal(err)
+		}
+		dq := tensor.RandNormal(rng, 1, 128, 1)
+		dk := tensor.RandNormal(rng, 1, 128, 1)
+		dv := tensor.RandNormal(rng, 1, 128, 1)
+		if _, _, err := h.Decode(dq, dk, dv); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := h.Decode(dq, dk, dv); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -74,6 +74,17 @@
 //	})
 //	scores, ops := hack.MatMulTransB(qq, kq, hack.DefaultMatMulOptions())
 //
+// The kernels are packed, tiled, SIMD-accelerated (AVX2 where the CPU
+// has it) and tile-parallel, yet bit-identical to the retained scalar
+// references MatMulScalar / MatMulTransBScalar at every setting of
+// MatMulOptions.Parallelism (0 = one worker per CPU, 1 = serial).
+// MatMulInto / MatMulTransBInto and QuantizeInto reuse caller-supplied
+// storage so per-token serving loops run allocation-free; see the
+// README's Performance section and cmd/kernelbench (BENCH_kernels.json)
+// for the measured speedups. Engines thread the parallelism knob to
+// derived numeric configurations via WithKernelParallelism and
+// Engine.HACKAttentionConfig.
+//
 // # Numeric toolkit
 //
 // The accuracy-experiment substrate is exported for library use: the
@@ -84,6 +95,7 @@
 //
 // Executables: cmd/hackbench (all experiments), cmd/hacksim (one
 // simulation), cmd/hacksweep (concurrent multi-config sweeps),
-// cmd/hackquant (quantizer inspector); runnable examples live under
+// cmd/hackquant (quantizer inspector), cmd/kernelbench (kernel hot-path
+// measurements → BENCH_kernels.json); runnable examples live under
 // examples/. See README.md for a quickstart.
 package hack

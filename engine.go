@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/hackkv/hack/internal/attention"
 	"github.com/hackkv/hack/internal/cluster"
 	"github.com/hackkv/hack/internal/model"
 	"github.com/hackkv/hack/internal/sim"
@@ -87,6 +88,7 @@ type Engine struct {
 	pipeline          bool
 	scheduler         Scheduler
 	stream            func(RequestStats)
+	kernelPar         int
 
 	cm *cluster.CostModel
 }
@@ -262,6 +264,47 @@ func WithStream(fn func(RequestStats)) Option {
 		e.stream = fn
 		return nil
 	}
+}
+
+// WithKernelParallelism bounds the worker goroutines the homomorphic
+// numeric kernels may use per multiplication for toolkit components
+// derived from this engine (see Engine.HACKAttentionConfig and
+// MatMulOptions.Parallelism): 0 sizes like the sweep pool (one worker
+// per CPU), 1 forces the serial path. Numeric outputs are bit-identical
+// at every setting; only throughput changes.
+func WithKernelParallelism(n int) Option {
+	return func(e *Engine) error {
+		if n < 0 {
+			return fmt.Errorf("kernel parallelism %d must be >= 0", n)
+		}
+		e.kernelPar = n
+		return nil
+	}
+}
+
+// KernelParallelism returns the engine's numeric-kernel parallelism
+// bound (0 = auto).
+func (e *Engine) KernelParallelism() int { return e.kernelPar }
+
+// HACKAttentionConfig derives the numeric attention configuration
+// matching the engine's serving method — partition size Π and the SE /
+// RQE toggles from the method profile, the paper's INT8 Q/P + INT2 KV
+// widths, stochastic rounding from the given seed — with the engine's
+// kernel-parallelism knob threaded through. It reports an error when
+// the engine serves a non-homomorphic method, which has no HACK numeric
+// counterpart.
+func (e *Engine) HACKAttentionConfig(seed int64) (HACKAttentionConfig, error) {
+	if !e.method.Homomorphic {
+		return HACKAttentionConfig{}, fmt.Errorf("hack: method %q is not homomorphic", e.method.Name)
+	}
+	cfg := attention.DefaultHACKConfig(seed)
+	if e.method.Pi > 0 {
+		cfg.Pi = e.method.Pi
+	}
+	cfg.SummationElimination = e.method.SE
+	cfg.RequantizationElimination = e.method.RQE
+	cfg.Parallelism = e.kernelPar
+	return cfg, nil
 }
 
 // Model returns the engine's model architecture.

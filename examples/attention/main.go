@@ -43,7 +43,6 @@ func main() {
 		total hack.AttentionStats
 	}
 	states := map[string]*state{}
-	var refOut []*hack.Matrix
 
 	// Prefill every backend with the same context.
 	for _, b := range backends {
@@ -60,6 +59,7 @@ func main() {
 	// Decode steps with identical inputs; collect the exact outputs as
 	// the reference.
 	errSum := map[string]float64{}
+	var ref *hack.Matrix
 	for i := 0; i < steps; i++ {
 		dq := hack.RandNormal(rng, 1, dh, 1)
 		dk := hack.RandNormal(rng, 1, dh, 1)
@@ -71,10 +71,13 @@ func main() {
 				log.Fatal(err)
 			}
 			st.total.Add(stats)
+			// Heads own their returned output until their next call
+			// (see AttentionHead), so keep only this step's reference —
+			// the Exact head runs first in the backend order.
 			if b.Name() == "Exact" {
-				refOut = append(refOut, out)
+				ref = out
 			} else {
-				errSum[b.Name()] += hack.RelError(out, refOut[i]) / steps
+				errSum[b.Name()] += hack.RelError(out, ref) / steps
 			}
 		}
 	}

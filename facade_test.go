@@ -2,6 +2,7 @@ package hack_test
 
 import (
 	"context"
+	"math/rand"
 	"reflect"
 	"strings"
 	"testing"
@@ -294,5 +295,93 @@ func TestExperimentRegistry(t *testing.T) {
 	}
 	if len(tb.Rows) == 0 {
 		t.Error("cost experiment returned no rows")
+	}
+}
+
+// TestKernelIntoAndParallelismFacade exercises the destination-reuse
+// kernel surface and the engine's kernel-parallelism threading: the Into
+// variants must match the allocating calls and the scalar reference bit
+// for bit at every parallelism level, and HACKAttentionConfig must carry
+// the method profile and the WithKernelParallelism knob.
+func TestKernelIntoAndParallelismFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	q8 := hack.QuantConfig{Bits: 8, Partition: 32, Rounding: hack.NearestRounding}
+	k2 := hack.QuantConfig{Bits: 2, Partition: 32, Rounding: hack.NearestRounding}
+	a, err := hack.Quantize(hack.RandNormal(rng, 3, 96, 1), hack.AlongCols, q8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kT, err := hack.Quantize(hack.RandNormal(rng, 40, 96, 1), hack.AlongCols, k2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hack.Quantize(hack.RandNormal(rng, 96, 12, 1), hack.AlongRows, k2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	refTB, refOps := hack.MatMulTransBScalar(a, kT, hack.DefaultMatMulOptions())
+	refMM, _ := hack.MatMulScalar(a, b, hack.DefaultMatMulOptions())
+	dst := hack.NewMatrix(0, 0)
+	for _, par := range []int{0, 1, 3} {
+		opt := hack.DefaultMatMulOptions()
+		opt.Parallelism = par
+		ops := hack.MatMulTransBInto(dst, a, kT, opt)
+		if d := hack.MaxAbsDiff(dst, refTB); d != 0 {
+			t.Errorf("par=%d: MatMulTransBInto differs from scalar by %v", par, d)
+		}
+		if ops != refOps {
+			t.Errorf("par=%d: ops %+v != scalar %+v", par, ops, refOps)
+		}
+		hack.MatMulInto(dst, a, b, opt)
+		if d := hack.MaxAbsDiff(dst, refMM); d != 0 {
+			t.Errorf("par=%d: MatMulInto differs from scalar by %v", par, d)
+		}
+	}
+
+	// QuantizeInto reuses storage and matches Quantize.
+	qt, err := hack.QuantizeInto(nil, hack.RandNormal(rng, 4, 64, 1), hack.AlongCols, q8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := &qt.Codes[0]
+	m2 := hack.RandNormal(rng, 4, 64, 1)
+	qt2, err := hack.QuantizeInto(qt, m2, hack.AlongCols, q8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &qt2.Codes[0] != codes {
+		t.Error("QuantizeInto reallocated storage for an identical shape")
+	}
+	want, _ := hack.Quantize(m2, hack.AlongCols, q8)
+	if !reflect.DeepEqual(qt2.Codes, want.Codes) || !reflect.DeepEqual(qt2.Sums, want.Sums) {
+		t.Error("QuantizeInto differs from Quantize")
+	}
+
+	// Engine threading: the derived attention config carries the method's
+	// Π / SE / RQE and the engine's parallelism bound.
+	eng, err := hack.New(hack.WithMethod("HACK128"), hack.WithKernelParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.KernelParallelism() != 2 {
+		t.Errorf("KernelParallelism = %d, want 2", eng.KernelParallelism())
+	}
+	cfg, err := eng.HACKAttentionConfig(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Pi != 128 || !cfg.SummationElimination || !cfg.RequantizationElimination || cfg.Parallelism != 2 {
+		t.Errorf("HACKAttentionConfig = %+v, want Π=128 SE+RQE par=2", cfg)
+	}
+	base, err := hack.New(hack.WithMethod("Baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.HACKAttentionConfig(7); err == nil {
+		t.Error("HACKAttentionConfig accepted a non-homomorphic method")
+	}
+	if _, err := hack.New(hack.WithKernelParallelism(-1)); err == nil {
+		t.Error("negative kernel parallelism accepted")
 	}
 }

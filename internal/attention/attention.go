@@ -68,6 +68,11 @@ func (s *Stats) Add(s2 Stats) {
 
 // Head is the per-sequence, per-attention-head state of a backend. Calls
 // must alternate a single Prefill followed by zero or more Decodes.
+//
+// The matrix returned by Prefill or Decode is owned by the head and is
+// only valid until the next call on the same head: the hot decode loop
+// reuses one output buffer per head so that a step allocates nothing.
+// Clone the result to retain it across calls.
 type Head interface {
 	// Prefill runs causal self-attention over the prompt's q, k, v
 	// (each L×d_h), fills the KV cache, and returns the attention
@@ -94,9 +99,9 @@ type Backend interface {
 	NewHead(headDim int) (Head, error)
 }
 
-// scaledScores computes S = q·kᵀ/√d_h in float32.
-func scaledScores(q, k *tensor.Matrix) *tensor.Matrix {
-	s := tensor.MatMulTransB(q, k)
+// scaledScoresInto computes S = q·kᵀ/√d_h in float32 into dst.
+func scaledScoresInto(dst, q, k *tensor.Matrix) *tensor.Matrix {
+	s := tensor.MatMulTransBInto(dst, q, k)
 	return s.Scale(float32(1 / math.Sqrt(float64(q.Cols))))
 }
 
@@ -120,19 +125,25 @@ func (ExactBackend) NewHead(headDim int) (Head, error) {
 	if headDim <= 0 {
 		return nil, fmt.Errorf("attention: head dim %d", headDim)
 	}
-	return &exactHead{k: tensor.New(0, headDim), v: tensor.New(0, headDim)}, nil
+	return &exactHead{k: tensor.New(0, headDim), v: tensor.New(0, headDim),
+		s: &tensor.Matrix{}, out: &tensor.Matrix{}}, nil
 }
 
-type exactHead struct{ k, v *tensor.Matrix }
+type exactHead struct {
+	k, v *tensor.Matrix
+	// s and out are the per-call score and output buffers, reused across
+	// calls so the decode loop stops allocating (see Head).
+	s, out *tensor.Matrix
+}
 
 func (h *exactHead) Prefill(q, k, v *tensor.Matrix) (*tensor.Matrix, Stats, error) {
 	var st Stats
 	h.k = tensor.AppendRows(h.k, k)
 	h.v = tensor.AppendRows(h.v, v)
-	s := scaledScores(q, h.k)
+	s := scaledScoresInto(h.s, q, h.k)
 	tensor.CausalMask(s, 0)
 	tensor.Softmax(s)
-	out := tensor.MatMul(s, h.v)
+	out := tensor.MatMulInto(h.out, s, h.v)
 	st.FloatOps = 4*int64(q.Rows)*int64(q.Cols)*int64(h.k.Rows) + softmaxOps(s.Rows, s.Cols)
 	return out, st, nil
 }
@@ -141,9 +152,9 @@ func (h *exactHead) Decode(q, k, v *tensor.Matrix) (*tensor.Matrix, Stats, error
 	var st Stats
 	h.k = tensor.AppendRows(h.k, k)
 	h.v = tensor.AppendRows(h.v, v)
-	s := scaledScores(q, h.k)
+	s := scaledScoresInto(h.s, q, h.k)
 	tensor.Softmax(s)
-	out := tensor.MatMul(s, h.v)
+	out := tensor.MatMulInto(h.out, s, h.v)
 	st.FloatOps = 4*int64(q.Cols)*int64(h.k.Rows) + softmaxOps(1, s.Cols)
 	st.KVBytesRead = 4 * int64(len(h.k.Data)+len(h.v.Data))
 	return out, st, nil
@@ -172,22 +183,27 @@ func (FP16Backend) NewHead(headDim int) (Head, error) {
 	if headDim <= 0 {
 		return nil, fmt.Errorf("attention: head dim %d", headDim)
 	}
-	return &fp16Head{c: kvcache.NewFP16(headDim)}, nil
+	return &fp16Head{c: kvcache.NewFP16(headDim),
+		qr: &tensor.Matrix{}, s: &tensor.Matrix{}, out: &tensor.Matrix{}}, nil
 }
 
-type fp16Head struct{ c *kvcache.FP16Cache }
+type fp16Head struct {
+	c *kvcache.FP16Cache
+	// qr/s/out are reused per-call buffers (see Head).
+	qr, s, out *tensor.Matrix
+}
 
 func (h *fp16Head) Prefill(q, k, v *tensor.Matrix) (*tensor.Matrix, Stats, error) {
 	var st Stats
 	if err := h.c.Append(k, v); err != nil {
 		return nil, st, err
 	}
-	qr := q.Clone()
+	qr := h.qr.CopyInto(q)
 	fp16.RoundSlice(qr.Data)
-	s := scaledScores(qr, h.c.K)
+	s := scaledScoresInto(h.s, qr, h.c.K)
 	tensor.CausalMask(s, 0)
 	tensor.Softmax(s)
-	out := tensor.MatMul(s, h.c.V)
+	out := tensor.MatMulInto(h.out, s, h.c.V)
 	st.FloatOps = 4*int64(q.Rows)*int64(q.Cols)*int64(h.c.Len()) + softmaxOps(s.Rows, s.Cols)
 	return out, st, nil
 }
@@ -197,11 +213,11 @@ func (h *fp16Head) Decode(q, k, v *tensor.Matrix) (*tensor.Matrix, Stats, error)
 	if err := h.c.Append(k, v); err != nil {
 		return nil, st, err
 	}
-	qr := q.Clone()
+	qr := h.qr.CopyInto(q)
 	fp16.RoundSlice(qr.Data)
-	s := scaledScores(qr, h.c.K)
+	s := scaledScoresInto(h.s, qr, h.c.K)
 	tensor.Softmax(s)
-	out := tensor.MatMul(s, h.c.V)
+	out := tensor.MatMulInto(h.out, s, h.c.V)
 	st.FloatOps = 4*int64(q.Cols)*int64(h.c.Len()) + softmaxOps(1, s.Cols)
 	st.KVBytesRead = int64(h.c.Usage().Total())
 	return out, st, nil
@@ -266,12 +282,18 @@ func (b *DequantBackend) NewHead(headDim int) (Head, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &dequantHead{cfg: b.cfg, c: c}, nil
+	return &dequantHead{cfg: b.cfg, c: c,
+		qr: &tensor.Matrix{}, dk: &tensor.Matrix{}, dv: &tensor.Matrix{},
+		s: &tensor.Matrix{}, out: &tensor.Matrix{}}, nil
 }
 
 type dequantHead struct {
 	cfg DequantConfig
 	c   *kvcache.TokenQuantCache
+	// qr/dk/dv/s/out are reused per-call buffers: the defining per-step
+	// dequantization lands in dk/dv instead of fresh matrices, so its
+	// cost is the compute, not the allocator (see Head).
+	qr, dk, dv, s, out *tensor.Matrix
 }
 
 func (h *dequantHead) Prefill(q, k, v *tensor.Matrix) (*tensor.Matrix, Stats, error) {
@@ -280,14 +302,14 @@ func (h *dequantHead) Prefill(q, k, v *tensor.Matrix) (*tensor.Matrix, Stats, er
 		return nil, st, err
 	}
 	st.QuantOps = 2 * int64(k.Rows) * int64(k.Cols) * 2
-	dk, dv := h.c.DequantizeKV()
+	dk, dv := h.c.DequantizeKVInto(h.dk, h.dv)
 	st.DequantOps = 4 * int64(dk.Rows) * int64(dk.Cols)
-	qr := q.Clone()
+	qr := h.qr.CopyInto(q)
 	fp16.RoundSlice(qr.Data)
-	s := scaledScores(qr, dk)
+	s := scaledScoresInto(h.s, qr, dk)
 	tensor.CausalMask(s, 0)
 	tensor.Softmax(s)
-	out := tensor.MatMul(s, dv)
+	out := tensor.MatMulInto(h.out, s, dv)
 	st.FloatOps = 4*int64(q.Rows)*int64(q.Cols)*int64(dk.Rows) + softmaxOps(s.Rows, s.Cols)
 	return out, st, nil
 }
@@ -299,13 +321,13 @@ func (h *dequantHead) Decode(q, k, v *tensor.Matrix) (*tensor.Matrix, Stats, err
 	}
 	st.QuantOps = 2 * int64(k.Cols) * 2
 	// The defining cost: the whole cache is dequantized every step.
-	dk, dv := h.c.DequantizeKV()
+	dk, dv := h.c.DequantizeKVInto(h.dk, h.dv)
 	st.DequantOps = 4 * int64(dk.Rows) * int64(dk.Cols)
-	qr := q.Clone()
+	qr := h.qr.CopyInto(q)
 	fp16.RoundSlice(qr.Data)
-	s := scaledScores(qr, dk)
+	s := scaledScoresInto(h.s, qr, dk)
 	tensor.Softmax(s)
-	out := tensor.MatMul(s, dv)
+	out := tensor.MatMulInto(h.out, s, dv)
 	st.FloatOps = 4*int64(q.Cols)*int64(dk.Rows) + softmaxOps(1, s.Cols)
 	st.KVBytesRead = int64(h.c.Usage().Total())
 	return out, st, nil
@@ -348,6 +370,11 @@ type HACKConfig struct {
 	// EvictProtectBlocks shields the most recent N quantized V blocks
 	// from eviction (the recency window).
 	EvictProtectBlocks int
+	// Parallelism bounds the worker goroutines the homomorphic kernels
+	// may fan out per multiplication (hack.Options.Parallelism): 0 sizes
+	// like the sweep pool, 1 forces serial. Outputs are bit-identical at
+	// every setting.
+	Parallelism int
 }
 
 // DefaultHACKConfig returns the paper's shipping configuration:
@@ -402,7 +429,9 @@ func (b *HACKBackend) NewHead(headDim int) (Head, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &hackHead{cfg: b.cfg, c: c, rng: rng}, nil
+	return &hackHead{cfg: b.cfg, c: c, rng: rng,
+		s: &tensor.Matrix{}, pFull: &tensor.Matrix{}, pvOut: &tensor.Matrix{},
+		pTail: &tensor.Matrix{}, tailOut: &tensor.Matrix{}, out: &tensor.Matrix{}}, nil
 }
 
 type hackHead struct {
@@ -413,6 +442,15 @@ type hackHead struct {
 	// for the eviction policy; Evictions counts dropped blocks.
 	scores    []float64
 	Evictions int
+
+	// Per-call scratch, reused across calls so a decode step allocates
+	// nothing at steady state (see Head): the quantized Q and P tensors,
+	// the score matrix, the P-slice copies, the partial products, and
+	// the output accumulator.
+	qq, pq       *quant.Tensor
+	s, pFull     *tensor.Matrix
+	pvOut, pTail *tensor.Matrix
+	tailOut, out *tensor.Matrix
 }
 
 func (h *hackHead) qCfg() quant.Config {
@@ -420,7 +458,7 @@ func (h *hackHead) qCfg() quant.Config {
 }
 
 func (h *hackHead) opts() hack.Options {
-	return hack.Options{ReuseSums: h.cfg.SummationElimination}
+	return hack.Options{ReuseSums: h.cfg.SummationElimination, Parallelism: h.cfg.Parallelism}
 }
 
 // attend computes softmax(q·Kᵀ/√d)·V against the cache for the given
@@ -428,14 +466,16 @@ func (h *hackHead) opts() hack.Options {
 // maskOffset < 0 skips it (decode attends to everything).
 func (h *hackHead) attend(q *tensor.Matrix, maskOffset int, st *Stats) (*tensor.Matrix, error) {
 	dh := q.Cols
-	qq, err := quant.Quantize(q, quant.AlongCols, h.qCfg())
+	qq, err := quant.QuantizeInto(h.qq, q, quant.AlongCols, h.qCfg())
 	if err != nil {
 		return nil, err
 	}
+	h.qq = qq
 	st.QuantOps += 2 * int64(q.Rows) * int64(dh)
 
 	// ① homomorphic Q·Kᵀ on quantized data.
-	s, ops := hack.MatMulTransB(qq, h.c.K, h.opts())
+	s := h.s
+	ops := hack.MatMulTransBInto(s, qq, h.c.K, h.opts())
 	st.IntOps += ops.IntMACs
 	st.ApproxOps += ops.ApproxFlops
 	st.SumOps += ops.SumRecomputeOps
@@ -451,24 +491,25 @@ func (h *hackHead) attend(q *tensor.Matrix, maskOffset int, st *Stats) (*tensor.
 	// ② homomorphic P·V: quantized part against VFull, FP16 (or
 	// requantized) tail separately.
 	nFull := h.c.VFull.Rows
-	out := tensor.New(q.Rows, dh)
+	out := h.out.Reset(q.Rows, dh)
 	if nFull > 0 {
-		pFull := s.SliceCols(0, nFull)
-		pq, err := quant.Quantize(pFull, quant.AlongCols, h.qCfg())
+		pFull := s.SliceColsInto(h.pFull, 0, nFull)
+		pq, err := quant.QuantizeInto(h.pq, pFull, quant.AlongCols, h.qCfg())
 		if err != nil {
 			return nil, err
 		}
+		h.pq = pq
 		st.QuantOps += 2 * int64(pFull.Rows) * int64(nFull)
-		o, ops := hack.MatMul(pq, h.c.VFull, h.opts())
+		ops := hack.MatMulInto(h.pvOut, pq, h.c.VFull, h.opts())
 		st.IntOps += ops.IntMACs
 		st.ApproxOps += ops.ApproxFlops
 		st.SumOps += ops.SumRecomputeOps
-		out.Add(o)
+		out.Add(h.pvOut)
 	}
 	tail := h.c.TailMatrix()
 	if tail.Rows > 0 {
-		pTail := s.SliceCols(nFull, nFull+tail.Rows)
-		out.Add(tensor.MatMul(pTail, tail))
+		pTail := s.SliceColsInto(h.pTail, nFull, nFull+tail.Rows)
+		out.Add(tensor.MatMulInto(h.tailOut, pTail, tail))
 		st.FloatOps += 2 * int64(q.Rows) * int64(tail.Rows) * int64(dh)
 		if !h.cfg.RequantizationElimination {
 			// The ablation pays a dequantization of the partial block

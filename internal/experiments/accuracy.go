@@ -24,10 +24,32 @@ type AccuracySettings struct {
 	Seed int64
 	// Scale multiplies the per-dataset lengths (1 = full accuracy runs).
 	Scale float64
+	// KernelParallelism bounds the worker goroutines the homomorphic
+	// kernels may use per multiplication (hack.Options.Parallelism).
+	// 0 (and 1) run the kernels serially — the experiment runners
+	// already saturate the shared pool with one job per CPU, so nested
+	// fan-out would oversubscribe the host; set n > 1 explicitly to
+	// allow per-multiplication fan-out. Tables are bit-identical at
+	// every setting.
+	KernelParallelism int
 }
 
 // DefaultAccuracy returns the full accuracy-run settings.
 func DefaultAccuracy() AccuracySettings { return AccuracySettings{Trials: 12, Seed: 7, Scale: 1} }
+
+// hackConfig derives the paper's shipping HACK attention configuration
+// with the settings' kernel-parallelism knob threaded through. The
+// experiment runners already saturate the shared pool with one job per
+// CPU, so an unset knob means serial kernels here — nested auto fan-out
+// would oversubscribe the host W× without speeding anything up.
+func (a AccuracySettings) hackConfig(seed int64) attention.HACKConfig {
+	cfg := attention.DefaultHACKConfig(seed)
+	cfg.Parallelism = a.KernelParallelism
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = 1
+	}
+	return cfg
+}
 
 // QuickAccuracy returns reduced settings for tests.
 func QuickAccuracy() AccuracySettings { return AccuracySettings{Trials: 2, Seed: 7, Scale: 0.5} }
@@ -65,11 +87,11 @@ func accLengths(ds workload.Dataset, scale float64) (in, out int) {
 // three partition sizes, and the two dequantize-first baselines. The
 // CacheGen/KVQuant group sizes (96/112) land their quantization error
 // between HACK Π=64 and Π=128 as measured in Table 6.
-func accuracyBackends(seed int64) ([]attention.Backend, error) {
+func accuracyBackends(a AccuracySettings, seed int64) ([]attention.Backend, error) {
 	var out []attention.Backend
 	out = append(out, attention.FP16Backend{})
 	for _, pi := range []int{32, 64, 128} {
-		cfg := attention.DefaultHACKConfig(seed)
+		cfg := a.hackConfig(seed)
 		cfg.Pi = pi
 		cfg.NameOverride = fmt.Sprintf("HACK (Π=%d)", pi)
 		b, err := attention.NewHACK(cfg)
@@ -176,7 +198,7 @@ func Table6(a AccuracySettings) (*Table, error) {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(a.Seed))
-	backends, err := accuracyBackends(a.Seed)
+	backends, err := accuracyBackends(a, a.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +225,7 @@ func Table6(a AccuracySettings) (*Table, error) {
 	type cell struct{ agree, free float64 }
 	flat, err := parMap(len(datasets)*a.Trials, func(i int) ([]cell, error) {
 		di, trial := i/a.Trials, i%a.Trials
-		bs, err := accuracyBackends(a.Seed + int64(trial))
+		bs, err := accuracyBackends(a, a.Seed+int64(trial))
 		if err != nil {
 			return nil, err
 		}
@@ -272,7 +294,7 @@ func FidelityLadder(a AccuracySettings) (*Table, error) {
 	for _, pi := range []int{32, 64, 128} {
 		pi := pi
 		probes = append(probes, probe{fmt.Sprintf("HACK (Π=%d)", pi), func(seed int64) (attention.Backend, error) {
-			cfg := attention.DefaultHACKConfig(seed)
+			cfg := a.hackConfig(seed)
 			cfg.Pi = pi
 			return attention.NewHACK(cfg)
 		}})
@@ -378,7 +400,7 @@ func Table7(a AccuracySettings) (*Table, error) {
 			prompts[trial] = prompt
 		}
 		contrib, err := parMap(a.Trials, func(trial int) (float64, error) {
-			full := attention.DefaultHACKConfig(a.Seed + int64(trial))
+			full := a.hackConfig(a.Seed + int64(trial))
 			noRQE := full
 			noRQE.RequantizationElimination = false
 			fb, err := attention.NewHACK(full)
@@ -473,7 +495,7 @@ func Table8Accuracy(a AccuracySettings) (*Table, error) {
 		di, trial := i/a.Trials, i%a.Trials
 		ags := make([]float64, len(pis))
 		for pii, pi := range pis {
-			cfg := attention.DefaultHACKConfig(a.Seed + int64(trial))
+			cfg := a.hackConfig(a.Seed + int64(trial))
 			cfg.Pi = pi
 			b, err := attention.NewHACK(cfg)
 			if err != nil {
@@ -519,7 +541,7 @@ func SEMemory(a AccuracySettings) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	hk, err := attention.NewHACK(attention.DefaultHACKConfig(a.Seed))
+	hk, err := attention.NewHACK(a.hackConfig(a.Seed))
 	if err != nil {
 		return nil, err
 	}

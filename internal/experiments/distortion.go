@@ -24,7 +24,7 @@ func LogitDistortion(a AccuracySettings) (*Table, error) {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(a.Seed + 3))
-	backends, err := accuracyBackends(a.Seed)
+	backends, err := accuracyBackends(a, a.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -53,7 +53,7 @@ func LogitDistortion(a AccuracySettings) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		bs, err := accuracyBackends(a.Seed + int64(trial))
+		bs, err := accuracyBackends(a, a.Seed+int64(trial))
 		if err != nil {
 			return nil, err
 		}

@@ -127,28 +127,30 @@ func Round(f float32) float32 { return ToFloat32(FromFloat32(f)) }
 // MaxFinite returns the largest finite binary16 value as a float32.
 func MaxFinite() float32 { return maxFiniteFloat }
 
-// FromSlice converts a float32 slice to binary16, appending to dst
-// (which may be nil) and returning the result.
-func FromSlice(dst []Bits, src []float32) []Bits {
+// FromFloat32Slice converts a float32 slice to binary16 in bulk,
+// reusing dst's capacity (dst may be nil) and returning the result. It
+// is the batch form of FromFloat32 used by the KV wire framing and the
+// FP16 cache paths in place of per-element conversion loops.
+func FromFloat32Slice(dst []Bits, src []float32) []Bits {
 	if cap(dst) < len(src) {
-		dst = make([]Bits, 0, len(src))
+		dst = make([]Bits, len(src))
 	}
-	dst = dst[:0]
-	for _, f := range src {
-		dst = append(dst, FromFloat32(f))
+	dst = dst[:len(src)]
+	for i, f := range src {
+		dst[i] = FromFloat32(f)
 	}
 	return dst
 }
 
-// ToSlice widens a binary16 slice to float32, appending to dst
-// (which may be nil) and returning the result.
-func ToSlice(dst []float32, src []Bits) []float32 {
+// ToFloat32Slice widens a binary16 slice to float32 in bulk, reusing
+// dst's capacity (dst may be nil) and returning the result.
+func ToFloat32Slice(dst []float32, src []Bits) []float32 {
 	if cap(dst) < len(src) {
-		dst = make([]float32, 0, len(src))
+		dst = make([]float32, len(src))
 	}
-	dst = dst[:0]
-	for _, h := range src {
-		dst = append(dst, ToFloat32(h))
+	dst = dst[:len(src)]
+	for i, h := range src {
+		dst[i] = ToFloat32(h)
 	}
 	return dst
 }

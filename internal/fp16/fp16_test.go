@@ -149,8 +149,8 @@ func TestRoundMonotonic(t *testing.T) {
 
 func TestSliceRoundTrip(t *testing.T) {
 	src := []float32{0, 1, -2.5, 3.140625, 65504, -0.0009765625}
-	hs := FromSlice(nil, src)
-	back := ToSlice(nil, hs)
+	hs := FromFloat32Slice(nil, src)
+	back := ToFloat32Slice(nil, hs)
 	if len(back) != len(src) {
 		t.Fatalf("length mismatch: %d vs %d", len(back), len(src))
 	}
@@ -164,9 +164,14 @@ func TestSliceRoundTrip(t *testing.T) {
 func TestSliceReuse(t *testing.T) {
 	dst := make([]Bits, 0, 8)
 	src := []float32{1, 2, 3}
-	out := FromSlice(dst, src)
+	out := FromFloat32Slice(dst, src)
 	if &out[0] != &dst[:1][0] {
-		t.Error("FromSlice did not reuse destination capacity")
+		t.Error("FromFloat32Slice did not reuse destination capacity")
+	}
+	f32 := make([]float32, 0, 8)
+	back := ToFloat32Slice(f32, out)
+	if &back[0] != &f32[:1][0] {
+		t.Error("ToFloat32Slice did not reuse destination capacity")
 	}
 }
 

@@ -1,0 +1,70 @@
+//go:build amd64
+
+package hack
+
+// AVX2 fast path for the quantized dot product. VPMADDUBSW is the CPU's
+// closest analogue to the INT8 tensor-core MACs the paper computes on
+// (§5.2): it multiplies 32 unsigned×signed byte pairs per instruction
+// into saturating int16 lanes, which VPMADDWD then widens into int32
+// accumulators. Saturation cannot trigger as long as the signed-side
+// operand's codes fit 6 bits (2·255·63 = 32130 < 2¹⁵), which covers
+// every shipping HACK configuration — 2-bit KV codes, 4-bit INT4
+// extension — with the 8-bit side riding in the unsigned lane. The
+// kernels fall back to the unrolled pure-Go dot otherwise, with
+// bit-identical results either way: integer accumulation is exact.
+
+// cpuid executes the CPUID instruction (implemented in dot_amd64.s).
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (implemented in dot_amd64.s).
+func xgetbv() (eax, edx uint32)
+
+// dotU8MADD computes Σ u[k]·s[k] over n bytes (n must be a multiple of
+// 32) with u treated as unsigned and s as signed bytes.
+//
+//go:noescape
+func dotU8MADD(u, s *uint8, n int) int32
+
+// dotU8MADDBlocks computes the per-partition dots of one row pair in a
+// single call: out[b] = Σ u[b·bl+k]·s[b·bl+k] for k in [0, bl), for b in
+// [0, blocks). bl must be a positive multiple of 32.
+//
+//go:noescape
+func dotU8MADDBlocks(u, s *uint8, blocks, bl int, out *int32)
+
+// hasAVX2 reports whether the CPU and OS support the AVX2 fast path.
+var hasAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if c&osxsave == 0 || c&avx == 0 {
+		return false
+	}
+	if eax, _ := xgetbv(); eax&6 != 6 { // OS saves XMM+YMM state
+		return false
+	}
+	_, b, _, _ := cpuid(7, 0)
+	return b&(1<<5) != 0 // AVX2
+}
+
+// dotMADD is the dispatched dot product: the AVX2 body over the largest
+// 32-byte-aligned prefix, a scalar tail for ragged block lengths. u is
+// the unsigned operand (any 8-bit codes), s the signed-safe one (codes
+// ≤ 6 bits).
+func dotMADD(u, s []uint8) int32 {
+	n := len(u) &^ 31
+	var acc int32
+	if n > 0 {
+		acc = dotU8MADD(&u[0], &s[0], n)
+	}
+	for k := n; k < len(u); k++ {
+		acc += int32(u[k]) * int32(s[k])
+	}
+	return acc
+}

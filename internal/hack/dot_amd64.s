@@ -1,0 +1,105 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func dotU8MADD(u, s *uint8, n int) int32
+//
+// Σ u[k]·s[k] over n bytes (n a multiple of 32): u unsigned, s signed.
+// Per 32-byte step: VPMADDUBSW forms 16 int16 pair-sums, VPMADDWD (by a
+// vector of ones) widens them into 8 int32 lanes, VPADDD accumulates.
+// The caller guarantees s's codes fit 6 bits so the int16 stage cannot
+// saturate.
+TEXT ·dotU8MADD(SB), NOSPLIT, $0-28
+	MOVQ u+0(FP), SI
+	MOVQ s+8(FP), DI
+	MOVQ n+16(FP), CX
+	VPXOR    Y0, Y0, Y0  // Y0: int32x8 accumulator
+	VPCMPEQW Y3, Y3, Y3
+	VPSRLW   $15, Y3, Y3 // Y3: int16x16 of ones
+
+loop32:
+	VMOVDQU    (SI), Y1     // unsigned bytes
+	VMOVDQU    (DI), Y2     // signed bytes
+	VPMADDUBSW Y2, Y1, Y1   // int16 pair-sums u*s
+	VPMADDWD   Y3, Y1, Y1   // widen to int32 quads
+	VPADDD     Y1, Y0, Y0
+	ADDQ       $32, SI
+	ADDQ       $32, DI
+	SUBQ       $32, CX
+	JNZ        loop32
+
+	// Horizontal reduction of the 8 int32 lanes.
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD       X1, X0, X0
+	VPSHUFD      $0xEE, X0, X1
+	VPADDD       X1, X0, X0
+	VPSHUFD      $0x55, X0, X1
+	VPADDD       X1, X0, X0
+	VMOVD        X0, AX
+	VZEROUPPER
+	MOVL AX, ret+24(FP)
+	RET
+
+// func dotU8MADDBlocks(u, s *uint8, blocks, bl int, out *int32)
+//
+// Per-partition dot products in one call: for b in [0, blocks), writes
+// Σ u[b·bl+k]·s[b·bl+k] over k in [0, bl) to out[b]. bl must be a
+// positive multiple of 32. Amortizes the call overhead the per-block
+// kernel pays on small partitions (Π=32/64).
+TEXT ·dotU8MADDBlocks(SB), NOSPLIT, $0-40
+	MOVQ u+0(FP), SI
+	MOVQ s+8(FP), DI
+	MOVQ blocks+16(FP), BX
+	MOVQ bl+24(FP), DX
+	MOVQ out+32(FP), R8
+	VPCMPEQW Y3, Y3, Y3
+	VPSRLW   $15, Y3, Y3 // int16x16 of ones
+
+blockLoop:
+	VPXOR Y0, Y0, Y0
+	MOVQ  DX, CX
+
+chunk32:
+	VMOVDQU    (SI), Y1
+	VMOVDQU    (DI), Y2
+	VPMADDUBSW Y2, Y1, Y1
+	VPMADDWD   Y3, Y1, Y1
+	VPADDD     Y1, Y0, Y0
+	ADDQ       $32, SI
+	ADDQ       $32, DI
+	SUBQ       $32, CX
+	JNZ        chunk32
+
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD       X1, X0, X0
+	VPSHUFD      $0xEE, X0, X1
+	VPADDD       X1, X0, X0
+	VPSHUFD      $0x55, X0, X1
+	VPADDD       X1, X0, X0
+	VMOVD        X0, AX
+	MOVL         AX, (R8)
+	ADDQ         $4, R8
+	DECQ         BX
+	JNZ          blockLoop
+
+	VZEROUPPER
+	RET

@@ -1,0 +1,15 @@
+//go:build !amd64
+
+package hack
+
+// Non-amd64 builds always take the unrolled pure-Go dot product.
+const hasAVX2 = false
+
+// dotMADD is never reached when hasAVX2 is false; it exists so the
+// kernels compile on every architecture.
+func dotMADD(u, s []uint8) int32 { return dotU8(u, s) }
+
+// dotU8MADDBlocks is likewise unreachable off amd64.
+func dotU8MADDBlocks(u, s *uint8, blocks, bl int, out *int32) {
+	panic("hack: dotU8MADDBlocks without AVX2")
+}

@@ -15,15 +15,29 @@
 // applied per partition block (Fig. 6b) and summed across blocks. The
 // inputs are never dequantized; that is the entire point.
 //
+// Two implementations coexist. MatMulScalar/MatMulTransBScalar (scalar.go)
+// are the straight-line reference kernels. MatMul/MatMulTransB are the
+// fast kernels: B's block codes are packed once per call into contiguous
+// per-column panels (fixing the column-strided walk), the per-block
+// (min, scale, Σ) metadata is gathered into block-major arrays, the i/j
+// loops are tiled for cache reuse, the uint8×uint8→int32 dot product is
+// unrolled eight wide, and independent output tiles run in parallel on a
+// bounded worker pool sized like the sweep pool (Options.Parallelism).
+// Because every output element still accumulates its per-block terms in
+// the same order with the same float expression, the fast kernels are
+// bit-identical to the scalar reference at every parallelism level — the
+// property the deterministic experiment goldens rely on.
+//
 // The package also exposes the op-count formulas of §5.2/§5.3 used by the
 // performance model, and an Ops accumulator that the numeric kernels fill
 // in so benchmarks can cross-check the analytic counts.
 package hack
 
 import (
-	"fmt"
+	"sync"
 
 	"github.com/hackkv/hack/internal/quant"
+	"github.com/hackkv/hack/internal/sweeprun"
 	"github.com/hackkv/hack/internal/tensor"
 )
 
@@ -34,6 +48,13 @@ type Options struct {
 	// directly. When false (the HACK/SE ablation) the sums are
 	// recomputed from the codes on every call and charged to Ops.
 	ReuseSums bool
+	// Parallelism bounds the worker goroutines one multiplication may
+	// fan out across output tiles: 0 picks one worker per CPU (the same
+	// sizing as the sweep pool), 1 — or any negative value — forces the
+	// serial path, and n > 1 caps the fan-out at n. Small products
+	// always run serially, and the result is bit-identical at every
+	// setting.
+	Parallelism int
 }
 
 // DefaultOptions enables every HACK optimization.
@@ -60,66 +81,241 @@ func (o *Ops) Add(o2 Ops) {
 	o.SumRecomputeOps += o2.SumRecomputeOps
 }
 
+// tileJ is the output-column tile width: a panel tile (tileJ × Π codes)
+// stays resident in L1 while successive A rows stream against it.
+const tileJ = 64
+
+// parallelMinMACs is the work floor (M·Z·N) below which a multiplication
+// never fans out: goroutine startup would cost more than it saves on
+// decode-sized operands from short sequences.
+const parallelMinMACs = 128 << 10
+
+// kernelScratch holds the per-call packing buffers, recycled through a
+// sync.Pool so steady-state multiplications allocate nothing.
+type kernelScratch struct {
+	panel      []uint8   // B codes packed into per-column contiguous panels
+	mb, sb, bs []float32 // block-major min / scale / Σ-as-float32 of B
+	sums       []int32   // recomputed Σ b′ for the no-SE ablation
+	accs       []int32   // per-column integer accumulators (sweep kernel)
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(kernelScratch) }}
+
+// workersFor resolves the Parallelism knob against the work size.
+func workersFor(parallelism int, m, z, n int) int {
+	if int64(m)*int64(z)*int64(n) < parallelMinMACs {
+		return 1
+	}
+	if parallelism == 1 || parallelism < 0 {
+		return 1 // explicit serial; negative is treated as "no fan-out"
+	}
+	w := sweeprun.DefaultWorkers()
+	if parallelism > 1 && parallelism < w {
+		w = parallelism
+	}
+	return w
+}
+
+// maddMode selects the dot-product implementation for one multiplication.
+type maddMode int
+
+const (
+	maddOff     maddMode = iota // pure-Go unrolled dot
+	maddBSigned                 // AVX2, B codes in the signed lane
+	maddASigned                 // AVX2, A codes in the signed lane
+)
+
+// maddFor picks the dot path: the AVX2 VPMADDUBSW kernel needs one
+// operand whose codes fit 6 bits in the signed lane (see dot_amd64.go);
+// the other side may use the full 8. Results are bit-identical on every
+// path.
+func maddFor(aBits, bBits int) maddMode {
+	if !hasAVX2 {
+		return maddOff
+	}
+	if bBits <= 6 {
+		return maddBSigned
+	}
+	if aBits <= 6 {
+		return maddASigned
+	}
+	return maddOff
+}
+
+// dot computes the block dot product under the selected mode.
+func dot(mode maddMode, aRow, bRow []uint8) int32 {
+	switch mode {
+	case maddBSigned:
+		return dotMADD(aRow, bRow)
+	case maddASigned:
+		return dotMADD(bRow, aRow)
+	default:
+		return dotU8(aRow, bRow)
+	}
+}
+
+// dotU8 returns Σ a[k]·b[k] over uint8 codes with int32 accumulation,
+// unrolled eight wide into four independent accumulators so the compiler
+// can keep the adds off the critical path (and vectorize where it can).
+// Integer addition is associative, so the result is exact regardless of
+// the accumulation order.
+func dotU8(a, b []uint8) int32 {
+	b = b[:len(a)] // bounds-check hint
+	var s0, s1, s2, s3 int32
+	k := 0
+	for ; k+8 <= len(a); k += 8 {
+		s0 += int32(a[k])*int32(b[k]) + int32(a[k+4])*int32(b[k+4])
+		s1 += int32(a[k+1])*int32(b[k+1]) + int32(a[k+5])*int32(b[k+5])
+		s2 += int32(a[k+2])*int32(b[k+2]) + int32(a[k+6])*int32(b[k+6])
+		s3 += int32(a[k+3])*int32(b[k+3]) + int32(a[k+7])*int32(b[k+7])
+	}
+	for ; k < len(a); k++ {
+		s0 += int32(a[k]) * int32(b[k])
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// packMeta gathers B's per-(vector, block) metadata — laid out
+// vector-major on the tensor — into block-major arrays (index g·n + j),
+// so the generic tile's inner j loop reads it contiguously. The Σ sums
+// are converted to float32 here, exactly the conversion the scalar
+// kernel performs per element.
+func packMeta(ks *kernelScratch, min, scale []float32, sums []int32, n, nb int) {
+	ks.mb = tensor.Grow(ks.mb, nb*n)
+	ks.sb = tensor.Grow(ks.sb, nb*n)
+	ks.bs = tensor.Grow(ks.bs, nb*n)
+	for j := 0; j < n; j++ {
+		base := j * nb
+		for g := 0; g < nb; g++ {
+			ks.mb[g*n+j] = min[base+g]
+			ks.sb[g*n+j] = scale[base+g]
+			ks.bs[g*n+j] = float32(sums[base+g])
+		}
+	}
+}
+
+// maxBlockedNB caps the per-row block count the single-call AVX2 block
+// kernel handles (its accumulator array lives on the tile's stack).
+const maxBlockedNB = 64
+
+// packMinRows is the output-row count below which MatMul skips the
+// transposed pack of B: packing costs one O(Z·N) pass, so it must be
+// amortized over at least a few rows to win over the row-major sweep.
+const packMinRows = 8
+
+// sweepRows computes an M-row (M < packMinRows) product against B in its
+// original row-major layout: for each partition, the inner rows of B
+// stream contiguously while every output column accumulates in
+// ks.accs — no packing pass, no strided reads. Integer accumulation is
+// exact and each output element applies its Eq. (4) correction in
+// ascending block order with the scalar kernel's expression, so the
+// result is bit-identical to the reference. Runs serially: decode-shaped
+// callers parallelize across heads, not within this product.
+func sweepRows(dst *tensor.Matrix, a *quant.Tensor, ks *kernelScratch, bCodes []uint8,
+	bMin, bScale []float32, bSums []int32, m, z, n int) {
+	nb := a.NBlocks
+	ks.accs = tensor.Grow(ks.accs, n)
+	accs := ks.accs[:n]
+	for i := 0; i < m; i++ {
+		aRow := a.Codes[i*z : (i+1)*z]
+		oRow := dst.Row(i)
+		for g := 0; g < nb; g++ {
+			lo, hi := a.BlockRange(g)
+			blockLen := float32(hi - lo)
+			for j := range accs {
+				accs[j] = 0
+			}
+			for k := lo; k < hi; k++ {
+				av := int32(aRow[k])
+				if av == 0 {
+					continue
+				}
+				brow := bCodes[k*n : (k+1)*n]
+				for j, c := range brow {
+					accs[j] += av * int32(c)
+				}
+			}
+			ma, sa := a.Meta(i, g)
+			aSum := float32(a.Sum(i, g))
+			for j := 0; j < n; j++ {
+				mb, sb := bMin[j*nb+g], bScale[j*nb+g]
+				bSum := float32(bSums[j*nb+g])
+				// Eq. (4) correction terms, scalar expression and order.
+				oRow[j] += sa*sb*float32(accs[j]) +
+					mb*sa*aSum +
+					ma*sb*bSum +
+					blockLen*ma*mb
+			}
+		}
+	}
+}
+
 // MatMul computes the homomorphic-quantized product of a (M×Z, quantized
 // along columns) and b (Z×N, quantized along rows). The partition sizes
 // must match so the blocks of the two operands align on the inner
 // dimension. It returns the approximated real-valued product and the op
 // tally.
 func MatMul(a, b *quant.Tensor, opt Options) (*tensor.Matrix, Ops) {
-	if a.Axis != quant.AlongCols || b.Axis != quant.AlongRows {
-		panic(fmt.Sprintf("hack: MatMul needs A along-cols × B along-rows, got %v × %v", a.Axis, b.Axis))
-	}
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("hack: inner dims %d != %d", a.Cols, b.Rows))
-	}
-	if a.Pi != b.Pi {
-		panic(fmt.Sprintf("hack: partition sizes %d != %d", a.Pi, b.Pi))
-	}
+	out := &tensor.Matrix{}
+	ops := MatMulInto(out, a, b, opt)
+	return out, ops
+}
+
+// MatMulInto is MatMul with a caller-supplied destination: dst is
+// reshaped to M×N (reusing its backing array when possible) and
+// overwritten with the product. It is the allocation-free path the
+// attention decode loop runs every token.
+//
+// Tall products (M ≥ packMinRows) pack B's codes once per call into a
+// transposed copy — per-output-column contiguous runs, fixing the scalar
+// kernel's column-strided inner loop — after which the multiplication
+// shares the Q·Kᵀ kernel's tiles; the O(Z·N) packing pass amortizes
+// across the M output rows. Short products (the decode P·V step, M = 1)
+// skip packing entirely and sweep B row-major instead, accumulating all
+// N output columns per inner row — for those shapes a per-call repack
+// would cost as much as the multiply itself.
+func MatMulInto(dst *tensor.Matrix, a, b *quant.Tensor, opt Options) Ops {
+	checkMatMulShapes(a, b)
 	m, z, n := a.Rows, a.Cols, b.Cols
-	out := tensor.New(m, n)
+	dst.Reset(m, n)
 	var ops Ops
 	if z == 0 {
-		return out, ops
+		return ops
 	}
+
+	ks := scratchPool.Get().(*kernelScratch)
+	defer scratchPool.Put(ks)
 
 	bSums := b.Sums
 	if !opt.ReuseSums {
-		bSums = recomputeColSums(b)
+		ks.sums = tensor.Grow(ks.sums, len(b.Sums))
+		recomputeColSumsInto(ks.sums, b)
+		bSums = ks.sums
 		ops.SumRecomputeOps += int64(z) * int64(n)
 	}
 
-	nb := a.NBlocks
-	for g := 0; g < nb; g++ {
-		lo, hi := a.BlockRange(g)
-		blockLen := float32(hi - lo)
-		for i := 0; i < m; i++ {
-			ma, sa := a.Meta(i, g)
-			aSum := float32(a.Sum(i, g))
-			aRow := a.Codes[i*z+lo : i*z+hi]
-			oRow := out.Row(i)
-			for j := 0; j < n; j++ {
-				mb, sb := b.Meta(j, g)
-				// Integer dot product over the block — the part GPUs
-				// accelerate with INT8 tensor cores.
-				var acc int32
-				for k, av := range aRow {
-					acc += int32(av) * int32(b.Codes[(lo+k)*n+j])
-				}
-				bSum := float32(bSums[j*nb+g])
-				// Eq. (4) correction terms.
-				oRow[j] += sa*sb*float32(acc) +
-					mb*sa*aSum +
-					ma*sb*bSum +
-					blockLen*ma*mb
+	if m < packMinRows {
+		sweepRows(dst, a, ks, b.Codes, b.Min, b.Scale, bSums, m, z, n)
+	} else {
+		// Pack B transposed: column j's codes become the contiguous run
+		// ks.panel[j·z : (j+1)·z]. Reads stream row-major.
+		ks.panel = tensor.Grow(ks.panel, n*z)
+		for zi := 0; zi < z; zi++ {
+			row := b.Codes[zi*n : (zi+1)*n]
+			for j, c := range row {
+				ks.panel[j*z+zi] = c
 			}
 		}
-		ops.IntMACs += 2 * int64(m) * int64(hi-lo) * int64(n)
+		runTiles(dst, a, ks, ks.panel, b.Min, b.Scale, bSums, b.Bits, opt, m, z, n)
 	}
+
+	nb := a.NBlocks
+	ops.IntMACs = 2 * int64(m) * int64(z) * int64(n)
 	// Approximation flop count per the §5.2 analysis: 9MN per block pair
 	// plus the A row sums (MZ); the B column sums (NZ) are either cached
 	// (SE) or counted above as SumRecomputeOps.
 	ops.ApproxFlops = int64(nb)*9*int64(m)*int64(n) + int64(m)*int64(z)
-	return out, ops
+	return ops
 }
 
 // MatMulTransB computes the homomorphic product A·Bᵀ where bT holds B
@@ -127,88 +323,163 @@ func MatMul(a, b *quant.Tensor, opt Options) (*tensor.Matrix, Ops) {
 // for Q·Kᵀ with K stored token-major. Partition blocks align on the
 // shared inner dimension Z.
 func MatMulTransB(a, bT *quant.Tensor, opt Options) (*tensor.Matrix, Ops) {
-	if a.Axis != quant.AlongCols || bT.Axis != quant.AlongCols {
-		panic(fmt.Sprintf("hack: MatMulTransB needs both operands along-cols, got %v × %v", a.Axis, bT.Axis))
-	}
-	if a.Cols != bT.Cols {
-		panic(fmt.Sprintf("hack: inner dims %d != %d", a.Cols, bT.Cols))
-	}
-	if a.Pi != bT.Pi {
-		panic(fmt.Sprintf("hack: partition sizes %d != %d", a.Pi, bT.Pi))
-	}
+	out := &tensor.Matrix{}
+	ops := MatMulTransBInto(out, a, bT, opt)
+	return out, ops
+}
+
+// MatMulTransBInto is MatMulTransB with a caller-supplied destination,
+// reshaped to M×N and overwritten. bT's rows are already contiguous along
+// the inner dimension, so no packing is needed — the codes feed the
+// shared tiles directly.
+func MatMulTransBInto(dst *tensor.Matrix, a, bT *quant.Tensor, opt Options) Ops {
+	checkMatMulTransBShapes(a, bT)
 	m, z, n := a.Rows, a.Cols, bT.Rows
-	out := tensor.New(m, n)
+	dst.Reset(m, n)
 	var ops Ops
 	if z == 0 {
-		return out, ops
+		return ops
 	}
+
+	ks := scratchPool.Get().(*kernelScratch)
+	defer scratchPool.Put(ks)
 
 	bSums := bT.Sums
 	if !opt.ReuseSums {
-		bSums = recomputeRowSums(bT)
+		ks.sums = tensor.Grow(ks.sums, len(bT.Sums))
+		recomputeRowSumsInto(ks.sums, bT)
+		bSums = ks.sums
 		ops.SumRecomputeOps += int64(z) * int64(n)
 	}
 
+	runTiles(dst, a, ks, bT.Codes, bT.Min, bT.Scale, bSums, bT.Bits, opt, m, z, n)
+
 	nb := a.NBlocks
-	for g := 0; g < nb; g++ {
-		lo, hi := a.BlockRange(g)
-		blockLen := float32(hi - lo)
-		for i := 0; i < m; i++ {
-			ma, sa := a.Meta(i, g)
-			aSum := float32(a.Sum(i, g))
-			aRow := a.Codes[i*z+lo : i*z+hi]
-			oRow := out.Row(i)
-			for j := 0; j < n; j++ {
-				mb, sb := bT.Meta(j, g)
-				bRow := bT.Codes[j*z+lo : j*z+hi]
-				var acc int32
-				for k, av := range aRow {
-					acc += int32(av) * int32(bRow[k])
-				}
-				bSum := float32(bSums[j*nb+g])
-				oRow[j] += sa*sb*float32(acc) +
+	ops.IntMACs = 2 * int64(m) * int64(z) * int64(n)
+	ops.ApproxFlops = int64(nb)*9*int64(m)*int64(n) + int64(m)*int64(z)
+	return ops
+}
+
+// runTiles executes the shared kernel body over output tiles. bCodes
+// holds B with per-output-column contiguous inner runs (bCodes[j·z+k]),
+// bMin/bScale/bSums its vector-major metadata. Two inner kernels exist:
+// the AVX2 block kernel computes every partition dot of a row pair in
+// one call (eligible when the partitions are full multiples of 32, the
+// usual d_h/Π geometry), and the generic tile handles everything else.
+// Both accumulate each output element's per-block terms in ascending
+// block order with the scalar kernel's exact float expression, so any
+// tiling and either kernel is bit-identical to the reference.
+func runTiles(dst *tensor.Matrix, a *quant.Tensor, ks *kernelScratch, bCodes []uint8,
+	bMin, bScale []float32, bSums []int32, bBits int, opt Options, m, z, n int) {
+	nb := a.NBlocks
+	mode := maddFor(a.Bits, bBits)
+	blocked := mode != maddOff && a.Pi%32 == 0 && nb*a.Pi == z && nb <= maxBlockedNB
+	if !blocked {
+		packMeta(ks, bMin, bScale, bSums, n, nb)
+	}
+	workers := workersFor(opt.Parallelism, m, z, n)
+	if workers == 1 {
+		// Direct calls: the serial hot path must not allocate a closure.
+		if blocked {
+			blockedTile(dst, a, bCodes, bMin, bScale, bSums, mode, 0, m, 0, n)
+		} else {
+			genericTile(dst, a, ks, bCodes, mode, 0, m, 0, n)
+		}
+		return
+	}
+	tile := func(rlo, rhi, clo, chi int) {
+		if blocked {
+			blockedTile(dst, a, bCodes, bMin, bScale, bSums, mode, rlo, rhi, clo, chi)
+		} else {
+			genericTile(dst, a, ks, bCodes, mode, rlo, rhi, clo, chi)
+		}
+	}
+	if m >= workers {
+		sweeprun.ParallelFor(m, workers, func(rlo, rhi int) { tile(rlo, rhi, 0, n) })
+	} else {
+		sweeprun.ParallelFor(n, workers, func(clo, chi int) { tile(0, m, clo, chi) })
+	}
+}
+
+// blockedTile computes output rows [rlo, rhi) × columns [clo, chi) with
+// one dotU8MADDBlocks call per output element covering all partitions.
+func blockedTile(dst *tensor.Matrix, a *quant.Tensor, bCodes []uint8,
+	bMin, bScale []float32, bSums []int32, mode maddMode, rlo, rhi, clo, chi int) {
+	z := a.Cols
+	nb := a.NBlocks
+	pi := a.Pi
+	blockLen := float32(pi)
+	var accs [maxBlockedNB]int32
+	for i := rlo; i < rhi; i++ {
+		aRow := a.Codes[i*z : (i+1)*z]
+		aMin := a.Min[i*nb : (i+1)*nb]
+		aScale := a.Scale[i*nb : (i+1)*nb]
+		aSums := a.Sums[i*nb : (i+1)*nb]
+		oRow := dst.Row(i)
+		for j := clo; j < chi; j++ {
+			bRow := bCodes[j*z : (j+1)*z]
+			if mode == maddBSigned {
+				dotU8MADDBlocks(&aRow[0], &bRow[0], nb, pi, &accs[0])
+			} else {
+				dotU8MADDBlocks(&bRow[0], &aRow[0], nb, pi, &accs[0])
+			}
+			bMinJ := bMin[j*nb : (j+1)*nb]
+			bScaleJ := bScale[j*nb : (j+1)*nb]
+			bSumJ := bSums[j*nb : (j+1)*nb]
+			v := oRow[j]
+			for g := 0; g < nb; g++ {
+				ma, sa := aMin[g], aScale[g]
+				aSum := float32(aSums[g])
+				mb, sb := bMinJ[g], bScaleJ[g]
+				bSum := float32(bSumJ[g])
+				// Eq. (4) correction terms, in the scalar kernel's exact
+				// expression and block order.
+				v += sa*sb*float32(accs[g]) +
 					mb*sa*aSum +
 					ma*sb*bSum +
 					blockLen*ma*mb
 			}
+			oRow[j] = v
 		}
-		ops.IntMACs += 2 * int64(m) * int64(hi-lo) * int64(n)
 	}
-	ops.ApproxFlops = int64(nb)*9*int64(m)*int64(n) + int64(m)*int64(z)
-	return out, ops
 }
 
-// recomputeColSums rebuilds the per-(column, block) code sums of an
-// along-rows tensor, the work SE avoids.
-func recomputeColSums(b *quant.Tensor) []int32 {
-	sums := make([]int32, len(b.Sums))
-	nb := b.NBlocks
+// genericTile computes output rows [rlo, rhi) × columns [clo, chi) with
+// per-block dots: block-major packed metadata, j-tiling for cache reuse,
+// and the dispatched dot product.
+func genericTile(dst *tensor.Matrix, a *quant.Tensor, ks *kernelScratch, bCodes []uint8,
+	mode maddMode, rlo, rhi, clo, chi int) {
+	z := a.Cols
+	n := dst.Cols
+	nb := a.NBlocks
 	for g := 0; g < nb; g++ {
-		lo, hi := b.BlockRange(g)
-		for z := lo; z < hi; z++ {
-			row := b.Codes[z*b.Cols : (z+1)*b.Cols]
-			for j, c := range row {
-				sums[j*nb+g] += int32(c)
+		lo, hi := a.BlockRange(g)
+		blockLen := float32(hi - lo)
+		mbs := ks.mb[g*n : g*n+n]
+		sbs := ks.sb[g*n : g*n+n]
+		bss := ks.bs[g*n : g*n+n]
+		for j0 := clo; j0 < chi; j0 += tileJ {
+			j1 := j0 + tileJ
+			if j1 > chi {
+				j1 = chi
+			}
+			for i := rlo; i < rhi; i++ {
+				ma, sa := a.Meta(i, g)
+				aSum := float32(a.Sum(i, g))
+				aRow := a.Codes[i*z+lo : i*z+hi]
+				oRow := dst.Row(i)
+				for j := j0; j < j1; j++ {
+					// Integer dot product over the block — the part GPUs
+					// accelerate with INT8 tensor cores.
+					acc := dot(mode, aRow, bCodes[j*z+lo:j*z+hi])
+					mb, sb, bSum := mbs[j], sbs[j], bss[j]
+					// Eq. (4) correction terms.
+					oRow[j] += sa*sb*float32(acc) +
+						mb*sa*aSum +
+						ma*sb*bSum +
+						blockLen*ma*mb
+				}
 			}
 		}
 	}
-	return sums
-}
-
-// recomputeRowSums rebuilds the per-(row, block) code sums of an
-// along-cols tensor.
-func recomputeRowSums(bT *quant.Tensor) []int32 {
-	sums := make([]int32, len(bT.Sums))
-	nb := bT.NBlocks
-	for j := 0; j < bT.Rows; j++ {
-		for g := 0; g < nb; g++ {
-			lo, hi := bT.BlockRange(g)
-			var s int32
-			for _, c := range bT.Codes[j*bT.Cols+lo : j*bT.Cols+hi] {
-				s += int32(c)
-			}
-			sums[j*nb+g] = s
-		}
-	}
-	return sums
 }

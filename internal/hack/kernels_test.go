@@ -1,0 +1,110 @@
+package hack
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/hackkv/hack/internal/quant"
+	"github.com/hackkv/hack/internal/tensor"
+)
+
+// The packed/tiled/parallel kernels must be bit-identical to the retained
+// scalar reference on every shape — including ragged blocks (Π not
+// dividing Z), degenerate Z=0 and 1×1 operands — at every parallelism
+// level and bit-width pairing (the AVX2 dot dispatches on bits; 8×8 falls
+// back to pure Go, low-bit A exercises the swapped signed lane). CI runs
+// this under -race, which also proves the row/column tile fan-out never
+// writes overlapping output.
+func TestFastKernelsMatchScalarReference(t *testing.T) {
+	shapes := []struct{ m, z, n, pi int }{
+		{1, 1, 1, 8}, // minimal
+		{1, 128, 4096, 32} /* decode Q·Kᵀ shaped */, {1, 128, 4096, 128},
+		{256, 512, 128, 64}, // prefill shaped, parallel over rows
+		{3, 100, 33, 32},    // odd M/Z/N, Π not dividing Z
+		{7, 65, 9, 64},      // single ragged block
+		{2, 0, 5, 16},       // Z=0
+		{5, 33, 1, 8},       // N=1
+		{1, 200, 1300, 16},  // parallel over columns (M < workers)
+	}
+	bitCombos := []struct{ aBits, bBits int }{{8, 2}, {8, 8}, {2, 8}, {4, 4}}
+	for _, sh := range shapes {
+		for _, bits := range bitCombos {
+			rng := rand.New(rand.NewSource(int64(sh.m*1000 + sh.z*10 + sh.n + bits.aBits)))
+			a := tensor.RandNormal(rng, sh.m, sh.z, 1)
+			b := tensor.RandNormal(rng, sh.z, sh.n, 1)
+			bT := tensor.RandNormal(rng, sh.n, sh.z, 1)
+			aq := q(a, quant.AlongCols, bits.aBits, sh.pi, rng)
+			bq := q(b, quant.AlongRows, bits.bBits, sh.pi, rng)
+			bTq := q(bT, quant.AlongCols, bits.bBits, sh.pi, rng)
+			for _, se := range []bool{true, false} {
+				wantMM, wantOpsMM := MatMulScalar(aq, bq, Options{ReuseSums: se})
+				wantTB, wantOpsTB := MatMulTransBScalar(aq, bTq, Options{ReuseSums: se})
+				for _, par := range []int{-1, 0, 1, 2, 5} {
+					opt := Options{ReuseSums: se, Parallelism: par}
+					got, ops := MatMul(aq, bq, opt)
+					if d := tensor.MaxAbsDiff(got, wantMM); d != 0 {
+						t.Errorf("MatMul %+v bits=%+v se=%v par=%d: diff %v from scalar", sh, bits, se, par, d)
+					}
+					if ops != wantOpsMM {
+						t.Errorf("MatMul %+v se=%v par=%d: ops %+v != scalar %+v", sh, se, par, ops, wantOpsMM)
+					}
+					gotTB, opsTB := MatMulTransB(aq, bTq, opt)
+					if d := tensor.MaxAbsDiff(gotTB, wantTB); d != 0 {
+						t.Errorf("MatMulTransB %+v bits=%+v se=%v par=%d: diff %v from scalar", sh, bits, se, par, d)
+					}
+					if opsTB != wantOpsTB {
+						t.Errorf("MatMulTransB %+v se=%v par=%d: ops %+v != scalar %+v", sh, se, par, opsTB, wantOpsTB)
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatMulInto must reshape and fully overwrite its destination, so a
+// buffer cycled through different shapes never leaks stale values.
+func TestMatMulIntoReusesDestination(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	dst := &tensor.Matrix{}
+	dstT := &tensor.Matrix{}
+	for _, sh := range []struct{ m, z, n int }{{4, 64, 12}, {2, 32, 5}, {6, 96, 20}, {1, 0, 3}} {
+		a := tensor.RandNormal(rng, sh.m, sh.z, 1)
+		b := tensor.RandNormal(rng, sh.z, sh.n, 1)
+		bT := tensor.RandNormal(rng, sh.n, sh.z, 1)
+		aq := q(a, quant.AlongCols, 8, 32, rng)
+		bq := q(b, quant.AlongRows, 2, 32, rng)
+		bTq := q(bT, quant.AlongCols, 2, 32, rng)
+
+		ops := MatMulInto(dst, aq, bq, DefaultOptions())
+		want, wantOps := MatMulScalar(aq, bq, DefaultOptions())
+		if d := tensor.MaxAbsDiff(dst, want); d != 0 {
+			t.Errorf("%+v: MatMulInto diff %v", sh, d)
+		}
+		if ops != wantOps {
+			t.Errorf("%+v: MatMulInto ops %+v != %+v", sh, ops, wantOps)
+		}
+
+		MatMulTransBInto(dstT, aq, bTq, DefaultOptions())
+		wantT, _ := MatMulTransBScalar(aq, bTq, DefaultOptions())
+		if d := tensor.MaxAbsDiff(dstT, wantT); d != 0 {
+			t.Errorf("%+v: MatMulTransBInto diff %v", sh, d)
+		}
+	}
+}
+
+// The steady-state Into path must not allocate: operands stay fixed, the
+// destination and the pooled kernel scratch are reused.
+func TestMatMulIntoSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	aq := q(tensor.RandNormal(rng, 1, 128, 1), quant.AlongCols, 8, 64, rng)
+	kq := q(tensor.RandNormal(rng, 512, 128, 1), quant.AlongCols, 2, 64, rng)
+	dst := &tensor.Matrix{}
+	opt := Options{ReuseSums: true, Parallelism: 1} // serial: fan-out spawns goroutines
+	MatMulTransBInto(dst, aq, kq, opt)              // warm the buffers
+	avg := testing.AllocsPerRun(50, func() {
+		MatMulTransBInto(dst, aq, kq, opt)
+	})
+	if avg > 0.5 {
+		t.Errorf("steady-state MatMulTransBInto allocates %.1f times per call, want 0", avg)
+	}
+}

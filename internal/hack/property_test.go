@@ -47,7 +47,7 @@ func TestPropertyMatMulNearExactReference(t *testing.T) {
 		// to the exact product of the original matrices.
 		return tensor.RelFrobenius(got, tensor.MatMul(a, b)) < 0.05
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(101))}); err != nil {
 		t.Error(err)
 	}
 }
@@ -68,7 +68,7 @@ func TestPropertyMatMulTransBNearExactReference(t *testing.T) {
 		}
 		return tensor.RelFrobenius(got, tensor.MatMulTransB(a, bT)) < 0.05
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(102))}); err != nil {
 		t.Error(err)
 	}
 }
@@ -116,7 +116,7 @@ func TestPropertyOpsMatchAnalyticFormulas(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(103))}); err != nil {
 		t.Error(err)
 	}
 }

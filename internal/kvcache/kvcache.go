@@ -110,6 +110,20 @@ type Cache struct {
 	// RequantOps tallies the floating-point work spent requantizing,
 	// charged to the ablation's decode time.
 	RequantOps int64
+
+	// Per-append scratch, reused across tokens so the decode-time cache
+	// ingest allocates only when a buffer grows past its high-water
+	// mark: the FP16-rounded row copy, the single-row K quantization,
+	// the completed-partition V quantization, and the dequantized tail
+	// for TailMatrix in the HACK/RQE ablation.
+	rowBuf    []float32
+	kRowQ     *quant.Tensor
+	vBlockQ   *quant.Tensor
+	tailDeq   *tensor.Matrix
+	emptyTail *tensor.Matrix
+	// rowHdr is a reusable single-row matrix header wrapping rowBuf /
+	// the incoming K row, so per-token appends allocate no headers.
+	rowHdr tensor.Matrix
 }
 
 // New creates an empty HACK cache.
@@ -186,11 +200,12 @@ func (c *Cache) AppendToken(kRow, vRow []float32) error {
 	if len(kRow) != c.cfg.HeadDim || len(vRow) != c.cfg.HeadDim {
 		return fmt.Errorf("kvcache: token rows %d/%d, head dim %d", len(kRow), len(vRow), c.cfg.HeadDim)
 	}
-	km := tensor.FromSlice(1, c.cfg.HeadDim, kRow)
-	kq, err := quant.Quantize(km, quant.AlongCols, c.cfg.quantCfg())
+	km := c.rowMatrix(kRow)
+	kq, err := quant.QuantizeInto(c.kRowQ, km, quant.AlongCols, c.cfg.quantCfg())
 	if err != nil {
 		return err
 	}
+	c.kRowQ = kq
 	if err := c.K.AppendRows(kq); err != nil {
 		return err
 	}
@@ -204,19 +219,19 @@ func (c *Cache) appendVRow(vRow []float32) error {
 		// RQE: store the row in FP16 (as vLLM would) and quantize only
 		// when the partition is complete — the values are quantized
 		// exactly once, from their FP16 originals.
-		rounded := make([]float32, len(vRow))
-		copy(rounded, vRow)
-		fp16.RoundSlice(rounded)
-		c.VTail = tensor.AppendRows(c.VTail, tensor.FromSlice(1, c.cfg.HeadDim, rounded))
+		rounded := c.roundedRow(vRow)
+		c.VTail = tensor.AppendRows(c.VTail, c.rowMatrix(rounded))
 		if c.VTail.Rows == c.cfg.Pi {
-			blk, err := quant.Quantize(c.VTail, quant.AlongRows, c.cfg.quantCfg())
+			blk, err := quant.QuantizeInto(c.vBlockQ, c.VTail, quant.AlongRows, c.cfg.quantCfg())
 			if err != nil {
 				return err
 			}
+			c.vBlockQ = blk
 			if err := c.VFull.AppendRowBlocks(blk); err != nil {
 				return err
 			}
-			c.VTail = tensor.New(0, c.cfg.HeadDim)
+			// The tail buffer's storage is kept for the next partition.
+			c.VTail.Reset(0, c.cfg.HeadDim)
 		}
 		return nil
 	}
@@ -232,10 +247,8 @@ func (c *Cache) appendVRow(vRow []float32) error {
 	} else {
 		block = tensor.New(0, c.cfg.HeadDim)
 	}
-	rounded := make([]float32, len(vRow))
-	copy(rounded, vRow)
-	fp16.RoundSlice(rounded)
-	block = tensor.AppendRows(block, tensor.FromSlice(1, c.cfg.HeadDim, rounded))
+	rounded := c.roundedRow(vRow)
+	block = tensor.AppendRows(block, c.rowMatrix(rounded))
 	bq, err := quant.Quantize(block, quant.AlongRows, c.cfg.quantCfg())
 	if err != nil {
 		return err
@@ -255,15 +268,41 @@ func (c *Cache) appendVRow(vRow []float32) error {
 // TailMatrix returns the trailing V rows as a dense matrix for the FP16
 // multiplication path: the FP16 buffer under RQE, or the dequantized
 // partial block for the ablation (which instead multiplies quantized —
-// callers use TailQuantized then).
+// callers use TailQuantized then). The returned matrix is owned by the
+// cache and valid until the next append or TailMatrix call.
 func (c *Cache) TailMatrix() *tensor.Matrix {
 	if c.cfg.RQE {
 		return c.VTail
 	}
 	if c.VTailQ == nil || c.VTailQ.Rows == 0 {
-		return tensor.New(0, c.cfg.HeadDim)
+		if c.emptyTail == nil {
+			c.emptyTail = tensor.New(0, c.cfg.HeadDim)
+		}
+		return c.emptyTail
 	}
-	return c.VTailQ.Dequantize()
+	if c.tailDeq == nil {
+		c.tailDeq = &tensor.Matrix{}
+	}
+	return c.VTailQ.DequantizeInto(c.tailDeq)
+}
+
+// rowMatrix wraps row as a 1×d_h matrix in the cache's reusable header.
+// The header is only valid until the next rowMatrix call.
+func (c *Cache) rowMatrix(row []float32) *tensor.Matrix {
+	c.rowHdr = tensor.Matrix{Rows: 1, Cols: len(row), Data: row}
+	return &c.rowHdr
+}
+
+// roundedRow copies vRow into the reusable row buffer and rounds it
+// through FP16, modeling the FP16 store the cache performs on ingest.
+func (c *Cache) roundedRow(vRow []float32) []float32 {
+	if cap(c.rowBuf) < len(vRow) {
+		c.rowBuf = make([]float32, len(vRow))
+	}
+	rounded := c.rowBuf[:len(vRow)]
+	copy(rounded, vRow)
+	fp16.RoundSlice(rounded)
+	return rounded
 }
 
 // Usage reports the cache's memory footprint. The SE sums of K and V are
@@ -306,11 +345,17 @@ func tensorUsage(t *quant.Tensor, withSums bool) Usage {
 type FP16Cache struct {
 	HeadDim int
 	K, V    *tensor.Matrix // values rounded through FP16
+	// kBuf/vBuf stage the FP16 rounding of each append and hBuf the
+	// intermediate binary16 image, reused across tokens so decode-time
+	// ingest stops allocating.
+	kBuf, vBuf *tensor.Matrix
+	hBuf       []fp16.Bits
 }
 
 // NewFP16 creates an empty baseline cache.
 func NewFP16(headDim int) *FP16Cache {
-	return &FP16Cache{HeadDim: headDim, K: tensor.New(0, headDim), V: tensor.New(0, headDim)}
+	return &FP16Cache{HeadDim: headDim, K: tensor.New(0, headDim), V: tensor.New(0, headDim),
+		kBuf: &tensor.Matrix{}, vBuf: &tensor.Matrix{}}
 }
 
 // Append adds k and v rows (bulk for prefill, single-row for decode).
@@ -318,12 +363,21 @@ func (c *FP16Cache) Append(k, v *tensor.Matrix) error {
 	if k.Rows != v.Rows || k.Cols != c.HeadDim || v.Cols != c.HeadDim {
 		return fmt.Errorf("kvcache: fp16 append shapes K %dx%d V %dx%d", k.Rows, k.Cols, v.Rows, v.Cols)
 	}
-	kk, vv := k.Clone(), v.Clone()
-	fp16.RoundSlice(kk.Data)
-	fp16.RoundSlice(vv.Data)
+	kk := c.roundThrough(c.kBuf, k)
+	vv := c.roundThrough(c.vBuf, v)
 	c.K = tensor.AppendRows(c.K, kk)
 	c.V = tensor.AppendRows(c.V, vv)
 	return nil
+}
+
+// roundThrough stages m through an actual binary16 image using the bulk
+// converters — the store/load pair an FP16 cache performs — landing the
+// widened values in dst.
+func (c *FP16Cache) roundThrough(dst *tensor.Matrix, m *tensor.Matrix) *tensor.Matrix {
+	c.hBuf = fp16.FromFloat32Slice(c.hBuf, m.Data)
+	dst.Data = fp16.ToFloat32Slice(dst.Data, c.hBuf)
+	dst.Rows, dst.Cols = m.Rows, m.Cols
+	return dst
 }
 
 // Len returns the number of cached tokens.
@@ -346,6 +400,8 @@ type TokenQuantCache struct {
 	// DequantOpsTotal tallies the dequantization work performed via
 	// DequantizeKV, the overhead HACK eliminates.
 	DequantOpsTotal int64
+	// kq/vq stage each append's quantization, reused across tokens.
+	kq, vq *quant.Tensor
 }
 
 // NewTokenQuant creates an empty baseline-quantization cache.
@@ -365,14 +421,16 @@ func (c *TokenQuantCache) Append(k, v *tensor.Matrix) error {
 	if k.Rows != v.Rows || k.Cols != c.cfg.HeadDim || v.Cols != c.cfg.HeadDim {
 		return fmt.Errorf("kvcache: quant append shapes K %dx%d V %dx%d", k.Rows, k.Cols, v.Rows, v.Cols)
 	}
-	kq, err := quant.Quantize(k, quant.AlongCols, c.cfg.quantCfg())
+	kq, err := quant.QuantizeInto(c.kq, k, quant.AlongCols, c.cfg.quantCfg())
 	if err != nil {
 		return err
 	}
-	vq, err := quant.Quantize(v, quant.AlongCols, c.cfg.quantCfg())
+	c.kq = kq
+	vq, err := quant.QuantizeInto(c.vq, v, quant.AlongCols, c.cfg.quantCfg())
 	if err != nil {
 		return err
 	}
+	c.vq = vq
 	if err := c.K.AppendRows(kq); err != nil {
 		return err
 	}
@@ -382,8 +440,14 @@ func (c *TokenQuantCache) Append(k, v *tensor.Matrix) error {
 // DequantizeKV materializes the full K and V in FP16 precision — the
 // per-iteration step whose cost motivates HACK.
 func (c *TokenQuantCache) DequantizeKV() (k, v *tensor.Matrix) {
-	k = c.K.Dequantize()
-	v = c.V.Dequantize()
+	return c.DequantizeKVInto(&tensor.Matrix{}, &tensor.Matrix{})
+}
+
+// DequantizeKVInto is DequantizeKV into caller-owned destinations, the
+// allocation-free path the dequant backends take every decode step.
+func (c *TokenQuantCache) DequantizeKVInto(dk, dv *tensor.Matrix) (k, v *tensor.Matrix) {
+	k = c.K.DequantizeInto(dk)
+	v = c.V.DequantizeInto(dv)
 	c.DequantOpsTotal += c.K.DequantOps() + c.V.DequantOps()
 	return k, v
 }

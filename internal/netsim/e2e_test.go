@@ -37,7 +37,7 @@ func reconstructCache(t *testing.T, f *KVFrame) *kvcache.Cache {
 		Rows: int(f.KRows), Cols: dh, Axis: quant.AlongCols,
 		Bits: int(f.Bits), Pi: int(f.Pi), NBlocks: nbK,
 		Codes: kCodes,
-		Min:   fp16.ToSlice(nil, f.KMin), Scale: fp16.ToSlice(nil, f.KScale),
+		Min:   fp16.ToFloat32Slice(nil, f.KMin), Scale: fp16.ToFloat32Slice(nil, f.KScale),
 		Sums: recomputeRowSums(kCodes, int(f.KRows), dh, int(f.Pi)),
 	}
 	nbV := int(f.VRows) / int(f.Pi)
@@ -45,13 +45,13 @@ func reconstructCache(t *testing.T, f *KVFrame) *kvcache.Cache {
 		Rows: int(f.VRows), Cols: dh, Axis: quant.AlongRows,
 		Bits: int(f.Bits), Pi: int(f.Pi), NBlocks: nbV,
 		Codes: vCodes,
-		Min:   fp16.ToSlice(nil, f.VMin), Scale: fp16.ToSlice(nil, f.VScale),
+		Min:   fp16.ToFloat32Slice(nil, f.VMin), Scale: fp16.ToFloat32Slice(nil, f.VScale),
 		Sums: recomputeColSums(vCodes, int(f.VRows), dh, int(f.Pi)),
 	}
 	c.K = k
 	c.VFull = v
 	tail := tensor.New(int(f.TailRows), dh)
-	copy(tail.Data, fp16.ToSlice(nil, f.Tail))
+	copy(tail.Data, fp16.ToFloat32Slice(nil, f.Tail))
 	c.VTail = tail
 	return c
 }

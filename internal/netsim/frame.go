@@ -218,7 +218,7 @@ func FrameFromTensors(reqID uint64, layer, head int, firstToken int,
 	if k.Bits > math.MaxUint8 || k.Pi > math.MaxUint8 {
 		return nil, fmt.Errorf("netsim: layout fields overflow")
 	}
-	toFP16 := func(xs []float32) []fp16.Bits { return fp16.FromSlice(nil, xs) }
+	toFP16 := func(xs []float32) []fp16.Bits { return fp16.FromFloat32Slice(nil, xs) }
 	f := &KVFrame{
 		RequestID: reqID, Layer: uint16(layer), Head: uint16(head),
 		FirstToken: uint32(firstToken),

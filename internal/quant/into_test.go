@@ -1,0 +1,95 @@
+package quant
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/hackkv/hack/internal/tensor"
+)
+
+// QuantizeInto must encode exactly like Quantize — same codes, metadata,
+// sums, and (for stochastic rounding) the same RNG stream — while
+// reusing the destination's storage at steady state.
+func TestQuantizeIntoMatchesQuantize(t *testing.T) {
+	for _, axis := range []Axis{AlongCols, AlongRows} {
+		for _, rounding := range []Rounding{NearestRounding, StochasticRounding} {
+			src := rand.New(rand.NewSource(42))
+			m1 := tensor.RandNormal(src, 7, 96, 1)
+			m2 := tensor.RandNormal(src, 7, 96, 1)
+			cfg := func(rng *rand.Rand) Config {
+				return Config{Bits: 4, Partition: 32, Rounding: rounding, RNG: rng}
+			}
+
+			rngA := rand.New(rand.NewSource(5))
+			wantT1 := MustQuantize(m1, axis, cfg(rngA))
+			wantT2 := MustQuantize(m2, axis, cfg(rngA))
+
+			rngB := rand.New(rand.NewSource(5))
+			got, err := QuantizeInto(nil, m1, axis, cfg(rngB))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, wantT1) {
+				t.Errorf("axis=%v rounding=%v: first QuantizeInto differs from Quantize", axis, rounding)
+			}
+			codes := &got.Codes[0]
+			got, err = QuantizeInto(got, m2, axis, cfg(rngB))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if &got.Codes[0] != codes {
+				t.Errorf("axis=%v: QuantizeInto reallocated for an identical shape", axis)
+			}
+			if !reflect.DeepEqual(got.Codes, wantT2.Codes) ||
+				!reflect.DeepEqual(got.Min, wantT2.Min) ||
+				!reflect.DeepEqual(got.Scale, wantT2.Scale) ||
+				!reflect.DeepEqual(got.Sums, wantT2.Sums) {
+				t.Errorf("axis=%v rounding=%v: reused QuantizeInto differs from Quantize", axis, rounding)
+			}
+		}
+	}
+}
+
+// DequantizeInto must match Dequantize and fully overwrite a reused,
+// previously larger destination.
+func TestDequantizeIntoMatchesDequantize(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	dst := tensor.New(20, 50) // larger than needed, pre-filled
+	for i := range dst.Data {
+		dst.Data[i] = 99
+	}
+	for _, axis := range []Axis{AlongCols, AlongRows} {
+		qt := MustQuantize(tensor.RandNormal(rng, 9, 40, 1), axis,
+			Config{Bits: 3, Partition: 16, Rounding: NearestRounding})
+		got := qt.DequantizeInto(dst)
+		want := qt.Dequantize()
+		if got.Rows != want.Rows || got.Cols != want.Cols {
+			t.Fatalf("axis=%v: DequantizeInto shape %dx%d, want %dx%d",
+				axis, got.Rows, got.Cols, want.Rows, want.Cols)
+		}
+		if d := tensor.MaxAbsDiff(got, want); d != 0 {
+			t.Errorf("axis=%v: DequantizeInto differs by %v", axis, d)
+		}
+	}
+}
+
+// The quantizer hot path must not allocate once its destination has
+// reached steady-state capacity.
+func TestQuantizeIntoSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := tensor.RandNormal(rng, 32, 128, 1)
+	cfg := Config{Bits: 8, Partition: 64, Rounding: NearestRounding}
+	qt, err := QuantizeInto(nil, m, AlongCols, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if qt, err = QuantizeInto(qt, m, AlongCols, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Errorf("steady-state QuantizeInto allocates %.1f times per call, want 0", avg)
+	}
+}

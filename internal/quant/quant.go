@@ -154,6 +154,16 @@ func (t *Tensor) BlockRange(b int) (lo, hi int) {
 // Quantize encodes m along the given axis. The returned tensor owns all
 // its storage.
 func Quantize(m *tensor.Matrix, axis Axis, cfg Config) (*Tensor, error) {
+	return QuantizeInto(nil, m, axis, cfg)
+}
+
+// QuantizeInto encodes m like Quantize but reuses t's storage when its
+// backing arrays have capacity, allocating only past the high-water
+// mark. Passing nil t allocates a fresh tensor; the (possibly re-sliced)
+// tensor is returned. This is the per-token path of the attention decode
+// loop: quantizing the 1×d_h query into the same tensor every step costs
+// no allocations at steady state.
+func QuantizeInto(t *Tensor, m *tensor.Matrix, axis Axis, cfg Config) (*Tensor, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -167,14 +177,15 @@ func Quantize(m *tensor.Matrix, axis Axis, cfg Config) (*Tensor, error) {
 	if axisLen == 0 {
 		nblocks = 0
 	}
-	t := &Tensor{
-		Rows: m.Rows, Cols: m.Cols,
-		Axis: axis, Bits: cfg.Bits, Pi: cfg.Partition, NBlocks: nblocks,
-		Codes: make([]uint8, m.Rows*m.Cols),
-		Min:   make([]float32, nvec*nblocks),
-		Scale: make([]float32, nvec*nblocks),
-		Sums:  make([]int32, nvec*nblocks),
+	if t == nil {
+		t = &Tensor{}
 	}
+	t.Rows, t.Cols = m.Rows, m.Cols
+	t.Axis, t.Bits, t.Pi, t.NBlocks = axis, cfg.Bits, cfg.Partition, nblocks
+	t.Codes = tensor.Grow(t.Codes, m.Rows*m.Cols)
+	t.Min = tensor.Grow(t.Min, nvec*nblocks)
+	t.Scale = tensor.Grow(t.Scale, nvec*nblocks)
+	t.Sums = tensor.Grow(t.Sums, nvec*nblocks)
 	for v := 0; v < nvec; v++ {
 		for b := 0; b < nblocks; b++ {
 			quantizeBlock(t, m, v, b, cfg)
@@ -193,19 +204,34 @@ func MustQuantize(m *tensor.Matrix, axis Axis, cfg Config) *Tensor {
 	return t
 }
 
-// quantizeBlock encodes one (vector, block) partition.
+// quantizeBlock encodes one (vector, block) partition. The element walk
+// is a pair of direct loops per axis (no per-element closures): one
+// min/max sweep to fix the block's (m, s), then one encode sweep that
+// writes the codes and accumulates the SE code sum as it goes.
 func quantizeBlock(t *Tensor, m *tensor.Matrix, v, b int, cfg Config) {
 	lo, hi := t.BlockRange(b)
 	minV := float32(math.Inf(1))
 	maxV := float32(math.Inf(-1))
-	forEach(t, m, v, lo, hi, func(_ int, x float32) {
-		if x < minV {
-			minV = x
+	if t.Axis == AlongCols {
+		for _, x := range m.Row(v)[lo:hi] {
+			if x < minV {
+				minV = x
+			}
+			if x > maxV {
+				maxV = x
+			}
 		}
-		if x > maxV {
-			maxV = x
+	} else {
+		for i := lo; i < hi; i++ {
+			x := m.Data[i*t.Cols+v]
+			if x < minV {
+				minV = x
+			}
+			if x > maxV {
+				maxV = x
+			}
 		}
-	})
+	}
 	levels := float32(int32(1)<<cfg.Bits) - 1
 	scale := (maxV - minV) / levels
 	// The paper stores m and s in FP16 (§6); round them the same way so
@@ -218,38 +244,37 @@ func quantizeBlock(t *Tensor, m *tensor.Matrix, v, b int, cfg Config) {
 
 	var sum int32
 	maxCode := float64(levels)
-	forEach(t, m, v, lo, hi, func(idx int, x float32) {
-		var code uint8
-		if scale > 0 {
-			q := float64(x-minV) / float64(scale)
-			if q < 0 {
-				q = 0
-			}
-			if q > maxCode {
-				q = maxCode
-			}
-			code = roundCode(q, cfg)
-		}
-		t.Codes[idx] = code
-		sum += int32(code)
-	})
-	t.Sums[mi] = sum
-}
-
-// forEach visits the elements of vector v in [lo, hi) along the
-// partitioned axis, passing the flat index into Codes and the value.
-func forEach(t *Tensor, m *tensor.Matrix, v, lo, hi int, f func(idx int, x float32)) {
 	if t.Axis == AlongCols {
 		base := v * t.Cols
 		row := m.Row(v)
 		for j := lo; j < hi; j++ {
-			f(base+j, row[j])
+			code := encodeValue(row[j], minV, scale, maxCode, cfg)
+			t.Codes[base+j] = code
+			sum += int32(code)
 		}
-		return
+	} else {
+		for i := lo; i < hi; i++ {
+			code := encodeValue(m.Data[i*t.Cols+v], minV, scale, maxCode, cfg)
+			t.Codes[i*t.Cols+v] = code
+			sum += int32(code)
+		}
 	}
-	for i := lo; i < hi; i++ {
-		f(i*t.Cols+v, m.At(i, v))
+	t.Sums[mi] = sum
+}
+
+// encodeValue maps one value onto the block's code grid.
+func encodeValue(x, minV, scale float32, maxCode float64, cfg Config) uint8 {
+	if !(scale > 0) { // degenerate or non-finite block → code 0
+		return 0
 	}
+	q := float64(x-minV) / float64(scale)
+	if q < 0 {
+		q = 0
+	}
+	if q > maxCode {
+		q = maxCode
+	}
+	return roundCode(q, cfg)
 }
 
 // roundCode resolves the fractional code q per the rounding mode, then
@@ -280,7 +305,15 @@ func roundCode(q float64, cfg Config) uint8 {
 // Dequantize reconstructs the matrix as s·code + m per element. This is
 // the operation HACK avoids and the baselines pay every decode iteration.
 func (t *Tensor) Dequantize() *tensor.Matrix {
-	m := tensor.New(t.Rows, t.Cols)
+	return t.DequantizeInto(&tensor.Matrix{})
+}
+
+// DequantizeInto reconstructs the matrix into dst (reshaped as needed)
+// and returns dst. The dequantize-before-compute baselines call this
+// every decode step over the whole cache; reusing the destination keeps
+// that overhead a compute cost rather than an allocator cost.
+func (t *Tensor) DequantizeInto(dst *tensor.Matrix) *tensor.Matrix {
+	dst.Reset(t.Rows, t.Cols)
 	nvec := t.numVectors()
 	for v := 0; v < nvec; v++ {
 		for b := 0; b < t.NBlocks; b++ {
@@ -289,18 +322,18 @@ func (t *Tensor) Dequantize() *tensor.Matrix {
 			minV, scale := t.Min[mi], t.Scale[mi]
 			if t.Axis == AlongCols {
 				base := v * t.Cols
-				row := m.Row(v)
+				row := dst.Row(v)
 				for j := lo; j < hi; j++ {
 					row[j] = scale*float32(t.Codes[base+j]) + minV
 				}
 			} else {
 				for i := lo; i < hi; i++ {
-					m.Data[i*t.Cols+v] = scale*float32(t.Codes[i*t.Cols+v]) + minV
+					dst.Data[i*t.Cols+v] = scale*float32(t.Codes[i*t.Cols+v]) + minV
 				}
 			}
 		}
 	}
-	return m
+	return dst
 }
 
 // DequantOps returns the floating-point operation count of Dequantize

@@ -116,3 +116,51 @@ feed:
 	}
 	return ctx.Err()
 }
+
+// ParallelFor splits the index range [0, n) into at most `workers`
+// contiguous chunks and runs fn(lo, hi) for each chunk concurrently,
+// returning after every chunk has finished. It is the fork-join primitive
+// behind the numeric kernels' row-tile parallelism: chunks are balanced
+// (sizes differ by at most one), the final chunk runs on the calling
+// goroutine, and workers <= 0 selects DefaultWorkers() — the same sizing
+// the sweep pool uses. With workers == 1 (or n <= 1) fn runs inline with
+// no goroutines at all.
+//
+// fn must not panic; unlike Map, ParallelFor performs no recovery — it is
+// meant for leaf compute loops, not arbitrary jobs.
+func ParallelFor(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	// Balanced split: the first `rem` chunks get size+1 elements.
+	size, rem := n/workers, n%workers
+	var wg sync.WaitGroup
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + size
+		if w < rem {
+			hi++
+		}
+		if w == workers-1 {
+			fn(lo, hi) // run the last chunk inline
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}

@@ -171,3 +171,42 @@ func TestMapZeroJobs(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// ParallelFor must cover [0, n) exactly once with balanced contiguous
+// chunks at every worker count, including the serial and n<workers edges.
+func TestParallelFor(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1000} {
+		for _, workers := range []int{0, 1, 2, 3, 16, 2000} {
+			var mu sync.Mutex
+			seen := make([]int, n)
+			chunks := 0
+			ParallelFor(n, workers, func(lo, hi int) {
+				if lo >= hi {
+					t.Errorf("n=%d w=%d: empty chunk [%d,%d)", n, workers, lo, hi)
+				}
+				mu.Lock()
+				chunks++
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+				mu.Unlock()
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d w=%d: index %d covered %d times", n, workers, i, c)
+				}
+			}
+			if want := workers; n > 0 {
+				if want <= 0 {
+					want = DefaultWorkers()
+				}
+				if want > n {
+					want = n
+				}
+				if chunks != want {
+					t.Errorf("n=%d w=%d: %d chunks, want %d", n, workers, chunks, want)
+				}
+			}
+		}
+	}
+}

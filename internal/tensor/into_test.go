@@ -1,0 +1,84 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Reset must reuse capacity, zero reused storage, and grow geometrically.
+func TestReset(t *testing.T) {
+	m := New(4, 8)
+	for i := range m.Data {
+		m.Data[i] = 7
+	}
+	base := &m.Data[0]
+	m.Reset(2, 8)
+	if m.Rows != 2 || m.Cols != 8 || &m.Data[0] != base {
+		t.Error("shrinking Reset reallocated or misshaped")
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("Reset left stale values")
+		}
+	}
+	m.Reset(100, 8)
+	if m.Rows != 100 || len(m.Data) != 800 {
+		t.Error("growing Reset misshaped")
+	}
+	// One-row-at-a-time growth must not reallocate every step.
+	allocs := testing.AllocsPerRun(1, func() {
+		s := &Matrix{}
+		for r := 1; r <= 256; r++ {
+			s.Reset(1, r)
+		}
+	})
+	if allocs > 12 { // geometric: ~log2(256)+1 allocations
+		t.Errorf("incremental Reset allocated %.0f times for 256 steps", allocs)
+	}
+}
+
+// The Into kernels must match their allocating counterparts and fully
+// overwrite reused destinations.
+func TestMatMulIntoVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dst := New(9, 9) // stale contents, wrong shape
+	for i := range dst.Data {
+		dst.Data[i] = 5
+	}
+	a := RandNormal(rng, 5, 7, 1)
+	b := RandNormal(rng, 7, 6, 1)
+	if d := MaxAbsDiff(MatMulInto(dst, a, b), MatMul(a, b)); d != 0 {
+		t.Errorf("MatMulInto differs by %v", d)
+	}
+	bT := RandNormal(rng, 6, 7, 1)
+	if d := MaxAbsDiff(MatMulTransBInto(dst, a, bT), MatMulTransB(a, bT)); d != 0 {
+		t.Errorf("MatMulTransBInto differs by %v", d)
+	}
+	m := RandNormal(rng, 4, 10, 1)
+	if d := MaxAbsDiff(m.SliceColsInto(dst, 2, 9), m.SliceCols(2, 9)); d != 0 {
+		t.Errorf("SliceColsInto differs by %v", d)
+	}
+	if d := MaxAbsDiff(dst.CopyInto(m), m); d != 0 {
+		t.Errorf("CopyInto differs by %v", d)
+	}
+}
+
+// AppendRows on an emptied matrix must reuse its backing array.
+func TestAppendRowsReusesEmptiedStorage(t *testing.T) {
+	m := New(0, 4)
+	m.Data = make([]float32, 0, 64)
+	base := cap(m.Data)
+	row := FromSlice(1, 4, []float32{1, 2, 3, 4})
+	m = AppendRows(m, row)
+	if cap(m.Data) != base {
+		t.Error("AppendRows on empty matrix dropped its capacity")
+	}
+	if m.Rows != 1 || m.At(0, 2) != 3 {
+		t.Error("AppendRows content wrong")
+	}
+	// Appended data must be copied, not aliased.
+	row.Data[0] = 42
+	if m.At(0, 0) != 1 {
+		t.Error("AppendRows aliased the source row")
+	}
+}

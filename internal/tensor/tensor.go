@@ -56,6 +56,42 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
+// Reset reshapes m to rows×cols and zeroes every element, reusing the
+// backing array when it has capacity. It is the destination-reuse
+// primitive behind the *Into kernels: a matrix Reset in a loop allocates
+// only when it grows past its high-water mark. It panics on a negative
+// dimension and returns m.
+func (m *Matrix) Reset(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		// Grow geometrically so a matrix resized upward one row at a
+		// time (the decode loop's score buffer) reallocates O(log n)
+		// times, not every call.
+		c := 2 * cap(m.Data)
+		if c < n {
+			c = n
+		}
+		m.Data = make([]float32, n, c)
+	} else {
+		m.Data = m.Data[:n]
+		for i := range m.Data {
+			m.Data[i] = 0
+		}
+	}
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
+// CopyInto copies src into m, reshaping m as needed, and returns m.
+func (m *Matrix) CopyInto(src *Matrix) *Matrix {
+	m.Reset(src.Rows, src.Cols)
+	copy(m.Data, src.Data)
+	return m
+}
+
 // SliceRows returns a view of rows [lo, hi) sharing storage with m.
 func (m *Matrix) SliceRows(lo, hi int) *Matrix {
 	if lo < 0 || hi > m.Rows || lo > hi {
@@ -67,23 +103,37 @@ func (m *Matrix) SliceRows(lo, hi int) *Matrix {
 // SliceCols returns a copy of columns [lo, hi) of m. Column slices cannot
 // share row-major storage, so this always copies.
 func (m *Matrix) SliceCols(lo, hi int) *Matrix {
+	return m.SliceColsInto(&Matrix{}, lo, hi)
+}
+
+// SliceColsInto copies columns [lo, hi) of m into dst (reshaped as
+// needed) and returns dst — SliceCols without the per-call allocation.
+func (m *Matrix) SliceColsInto(dst *Matrix, lo, hi int) *Matrix {
 	if lo < 0 || hi > m.Cols || lo > hi {
 		panic(fmt.Sprintf("tensor: col slice [%d:%d) out of range for %d cols", lo, hi, m.Cols))
 	}
-	out := New(m.Rows, hi-lo)
+	dst.Reset(m.Rows, hi-lo)
 	for i := 0; i < m.Rows; i++ {
-		copy(out.Row(i), m.Row(i)[lo:hi])
+		copy(dst.Row(i), m.Row(i)[lo:hi])
 	}
-	return out
+	return dst
 }
 
 // AppendRows appends the rows of b to m, returning a matrix that may reuse
-// m's storage. The column counts must match; m may be nil or empty.
+// m's storage. The column counts must match; m may be nil or empty — an
+// empty non-nil m keeps its backing array, so a buffer cycled through
+// fill/flush (the RQE V tail) stops allocating at steady state.
 func AppendRows(m, b *Matrix) *Matrix {
-	if m == nil || m.Rows == 0 {
+	if m == nil {
 		out := New(b.Rows, b.Cols)
 		copy(out.Data, b.Data)
 		return out
+	}
+	if m.Rows == 0 {
+		m.Cols = b.Cols
+		m.Data = append(m.Data[:0], b.Data...)
+		m.Rows = b.Rows
+		return m
 	}
 	if m.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: AppendRows cols %d != %d", m.Cols, b.Cols))
@@ -91,6 +141,18 @@ func AppendRows(m, b *Matrix) *Matrix {
 	m.Data = append(m.Data, b.Data...)
 	m.Rows += b.Rows
 	return m
+}
+
+// Grow extends a buffer to n elements, reallocating geometrically so a
+// slice regrown one step at a time (the decode loop's per-token scratch)
+// amortizes to O(log n) allocations. Newly exposed elements are zero;
+// reused elements keep their contents — callers overwrite them. Shared
+// by the quantizer and kernel scratch buffers.
+func Grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return append(s[:cap(s)], make([]T, n-cap(s))...)[:n]
+	}
+	return s[:n]
 }
 
 // Transpose returns mᵀ as a new matrix.
@@ -108,13 +170,20 @@ func (m *Matrix) Transpose() *Matrix {
 // MatMul computes a × b with float32 accumulation, the reference kernel
 // the quantized paths approximate. It panics on a shape mismatch.
 func MatMul(a, b *Matrix) *Matrix {
+	return MatMulInto(&Matrix{}, a, b)
+}
+
+// MatMulInto computes a × b into dst (reshaped and zeroed first),
+// returning dst. Identical results to MatMul without the per-call output
+// allocation once dst has grown to its steady-state size.
+func MatMulInto(dst, a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: matmul shape %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Rows, b.Cols)
+	dst.Reset(a.Rows, b.Cols)
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
-		orow := out.Row(i)
+		orow := dst.Row(i)
 		for z, av := range arow {
 			if av == 0 {
 				continue
@@ -125,19 +194,25 @@ func MatMul(a, b *Matrix) *Matrix {
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // MatMulTransB computes a × bᵀ, the natural layout for QKᵀ where K is
 // stored token-major.
 func MatMulTransB(a, b *Matrix) *Matrix {
+	return MatMulTransBInto(&Matrix{}, a, b)
+}
+
+// MatMulTransBInto computes a × bᵀ into dst (reshaped first), returning
+// dst — MatMulTransB without the per-call output allocation.
+func MatMulTransBInto(dst, a, b *Matrix) *Matrix {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: matmulT shape %dx%d × (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Rows, b.Rows)
+	dst.Reset(a.Rows, b.Rows)
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
-		orow := out.Row(i)
+		orow := dst.Row(i)
 		for j := 0; j < b.Rows; j++ {
 			brow := b.Row(j)
 			var acc float32
@@ -147,7 +222,7 @@ func MatMulTransB(a, b *Matrix) *Matrix {
 			orow[j] = acc
 		}
 	}
-	return out
+	return dst
 }
 
 // Scale multiplies every element of m by s in place and returns m.

@@ -53,8 +53,17 @@ func Quantize(m *Matrix, axis QuantAxis, cfg QuantConfig) (*Quantized, error) {
 	return quant.Quantize(m, axis, cfg)
 }
 
+// QuantizeInto is Quantize reusing t's storage when it has capacity
+// (t may be nil); it returns the re-sliced tensor. Per-token serving
+// loops quantize into the same tensor every step without allocating.
+func QuantizeInto(t *Quantized, m *Matrix, axis QuantAxis, cfg QuantConfig) (*Quantized, error) {
+	return quant.QuantizeInto(t, m, axis, cfg)
+}
+
 // DefaultMatMulOptions enables every HACK optimization (summation
-// elimination on).
+// elimination on) with automatic kernel parallelism. Set
+// MatMulOptions.Parallelism to bound the per-multiplication worker
+// fan-out (1 = serial); results are bit-identical at every setting.
 func DefaultMatMulOptions() MatMulOptions { return hackcore.DefaultOptions() }
 
 // MatMul computes the homomorphic-quantized product of a (M×Z, quantized
@@ -66,11 +75,42 @@ func MatMul(a, b *Quantized, opt MatMulOptions) (*Matrix, Ops) {
 	return hackcore.MatMul(a, b, opt)
 }
 
+// MatMulInto is MatMul with a caller-supplied destination: dst is
+// reshaped (reusing its backing array when it has capacity) and
+// overwritten with the product. Serving loops reuse one destination per
+// stream so the per-token hot path stops allocating.
+func MatMulInto(dst *Matrix, a, b *Quantized, opt MatMulOptions) Ops {
+	return hackcore.MatMulInto(dst, a, b, opt)
+}
+
 // MatMulTransB computes the homomorphic product A·Bᵀ where bT holds B
 // row-major quantized along columns — the natural layout for Q·Kᵀ with K
 // stored token-major.
 func MatMulTransB(a, bT *Quantized, opt MatMulOptions) (*Matrix, Ops) {
 	return hackcore.MatMulTransB(a, bT, opt)
+}
+
+// MatMulTransBInto is MatMulTransB with a caller-supplied destination,
+// reshaped and overwritten like MatMulInto.
+func MatMulTransBInto(dst *Matrix, a, bT *Quantized, opt MatMulOptions) Ops {
+	return hackcore.MatMulTransBInto(dst, a, bT, opt)
+}
+
+// MatMulScalar and MatMulTransBScalar are the retained straight-line
+// reference kernels: no packing, tiling, SIMD or parallelism. They define
+// the semantics the fast kernels are validated against bit for bit, and
+// they are the baseline the kernel microbenchmarks (BENCH_kernels.json)
+// measure speedups over.
+
+// MatMulScalar is the scalar reference implementation of MatMul.
+func MatMulScalar(a, b *Quantized, opt MatMulOptions) (*Matrix, Ops) {
+	return hackcore.MatMulScalar(a, b, opt)
+}
+
+// MatMulTransBScalar is the scalar reference implementation of
+// MatMulTransB.
+func MatMulTransBScalar(a, bT *Quantized, opt MatMulOptions) (*Matrix, Ops) {
+	return hackcore.MatMulTransBScalar(a, bT, opt)
 }
 
 // DequantKVOps returns the per-head floating-point cost of dequantizing
