@@ -1,124 +1,189 @@
 // Command hacksim runs one disaggregated-serving simulation and prints
-// the per-request JCT decomposition summary.
+// the per-request JCT decomposition summary, plus the SLO report when
+// targets are set.
 //
 //	hacksim -model L -gpu A10G -dataset Cocktail -method HACK -rps 0.5 -n 200
+//	hacksim -scheduler slo -slo-ttft 20 -slo-tbt 0.5 -dataset Cocktail
 //
-// Run with -h for the flag list; unknown -model/-gpu/-dataset/-method
-// values exit with status 2 and list the valid names.
+// Run with -h for the flag list; unknown -model/-gpu/-dataset/-method/
+// -scheduler values exit with status 2 and list the valid names.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"github.com/hackkv/hack"
 )
 
 func main() {
-	var (
-		modelTag = flag.String("model", "L", "model tag: M, P, Y, L, F")
-		gpu      = flag.String("gpu", "A10G", "prefill GPU: A10G, V100, T4, L4, A100")
-		dsName   = flag.String("dataset", "Cocktail", "dataset: IMDb, arXiv, Cocktail, HumanEval")
-		method   = flag.String("method", "HACK", "serving method")
-		rps      = flag.Float64("rps", 0.5, "request rate (requests/second)")
-		n        = flag.Int("n", 200, "number of requests")
-		seed     = flag.Int64("seed", 42, "trace seed")
-		prefillN = flag.Int("prefill", 5, "prefill replicas")
-		decodeN  = flag.Int("decode", 4, "decode replicas")
-		maxBatch = flag.Int("batch", 256, "max decode batch per replica")
-		pipeline = flag.Bool("pipeline", false, "overlap transfer with prefill")
-		stream   = flag.Bool("stream", false, "print each request's stats as it completes")
-		traceOut = flag.String("trace-out", "", "record the generated trace to this JSON file")
-		traceIn  = flag.String("trace-in", "", "replay a trace recorded with -trace-out (overrides -rps/-n/-seed)")
-	)
-	flag.Parse()
-
-	die := func(err error) {
-		fmt.Fprintln(os.Stderr, "hacksim:", err)
-		os.Exit(1)
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err == nil {
+		return
 	}
-	// Flag-style usage errors: report the valid names and exit 2.
-	usage := func(err error) {
-		fmt.Fprintln(os.Stderr, "hacksim:", err)
+	var ue usageError
+	if errors.As(err, &ue) {
+		if !ue.quiet {
+			fmt.Fprintln(os.Stderr, "hacksim:", err)
+		}
 		os.Exit(2)
 	}
+	fmt.Fprintln(os.Stderr, "hacksim:", err)
+	os.Exit(1)
+}
+
+// usageError marks flag-style errors (unknown names, bad values) that
+// exit with status 2 instead of 1, per the CLI convention. quiet marks
+// errors the flag package already reported to stderr, so main does not
+// print them twice.
+type usageError struct {
+	err   error
+	quiet bool
+}
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+// run executes the simulation for the given argument list, writing the
+// report to stdout and flag diagnostics to stderr. It is the whole CLI
+// minus process exit, so tests drive it without os/exec.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hacksim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		modelTag  = fs.String("model", "L", "model tag: M, P, Y, L, F")
+		gpu       = fs.String("gpu", "A10G", "prefill GPU: A10G, V100, T4, L4, A100")
+		dsName    = fs.String("dataset", "Cocktail", "dataset: IMDb, arXiv, Cocktail, HumanEval")
+		method    = fs.String("method", "HACK", "serving method")
+		scheduler = fs.String("scheduler", "shortest-queue",
+			"placement policy: "+strings.Join(hack.Schedulers(), ", "))
+		rps      = fs.Float64("rps", 0.5, "request rate (requests/second)")
+		n        = fs.Int("n", 200, "number of requests")
+		seed     = fs.Int64("seed", 42, "trace seed")
+		prefillN = fs.Int("prefill", 5, "prefill replicas")
+		decodeN  = fs.Int("decode", 4, "decode replicas")
+		maxBatch = fs.Int("batch", 256, "max decode batch per replica")
+		pipeline = fs.Bool("pipeline", false, "overlap transfer with prefill")
+		chunk    = fs.Int("prefill-chunk", 0, "chunked prefill: max tokens per pass (0 = whole prompts)")
+		preempt  = fs.Bool("preempt", false, "decode-side preemption with KV re-transfer")
+		sloTTFT  = fs.Float64("slo-ttft", 0, "time-to-first-token target in seconds (0 = untracked)")
+		sloTBT   = fs.Float64("slo-tbt", 0, "time-between-tokens target in seconds (0 = untracked)")
+		stream   = fs.Bool("stream", false, "print each request's stats as it completes")
+		traceOut = fs.String("trace-out", "", "record the generated trace to this JSON file")
+		traceIn  = fs.String("trace-in", "", "replay a trace recorded with -trace-out (overrides -rps/-n/-seed)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage already printed, exit 0
+		}
+		return usageError{err: err, quiet: true}
+	}
+
+	// Flag-style usage errors: report the valid names and exit 2.
 	if _, err := hack.ModelNamed(*modelTag); err != nil {
-		usage(err)
+		return usageError{err: err}
 	}
 	if _, err := hack.GPUNamed(*gpu); err != nil {
-		usage(err)
+		return usageError{err: err}
 	}
 	if _, err := hack.DatasetNamed(*dsName); err != nil {
-		usage(err)
+		return usageError{err: err}
 	}
 	if _, err := hack.MethodNamed(*method); err != nil {
-		usage(err)
+		return usageError{err: err}
+	}
+	sched, err := hack.SchedulerNamed(*scheduler)
+	if err != nil {
+		return usageError{err: err}
+	}
+	if *sloTTFT < 0 || *sloTBT < 0 {
+		return usageError{err: fmt.Errorf("SLO targets %v/%v must be >= 0", *sloTTFT, *sloTBT)}
+	}
+	if *chunk < 0 {
+		return usageError{err: fmt.Errorf("prefill chunk %d must be >= 0", *chunk)}
 	}
 
 	opts := []hack.Option{
 		hack.WithModel(*modelTag),
 		hack.WithGPU(*gpu),
 		hack.WithMethod(*method),
+		hack.WithScheduler(sched),
 		hack.WithReplicas(*prefillN, *decodeN),
 		hack.WithMaxBatch(*maxBatch),
 		hack.WithPipeline(*pipeline),
+		hack.WithPrefillChunk(*chunk),
+		hack.WithPreemption(*preempt),
+		hack.WithSLO(*sloTTFT, *sloTBT),
 	}
 	if *stream {
 		opts = append(opts, hack.WithStream(func(r hack.RequestStats) {
-			fmt.Printf("req %3d done at %7.2fs  jct %6.2fs  (queue %.2fs prefill %.2fs comm %.2fs decode %.2fs)\n",
-				r.ID, r.Done, r.JCT(), r.Queue, r.Prefill, r.Comm, r.Decode)
+			fmt.Fprintf(stdout, "req %3d done at %7.2fs  jct %6.2fs  ttft %6.2fs  (queue %.2fs prefill %.2fs comm %.2fs decode %.2fs)\n",
+				r.ID, r.Done, r.JCT(), r.TTFT, r.Queue, r.Prefill, r.Comm, r.Decode)
 		}))
 	}
 	eng, err := hack.New(opts...)
 	if err != nil {
-		die(err)
+		return err
 	}
 
 	w := hack.Workload{Dataset: *dsName, RPS: *rps, Requests: *n, Seed: *seed}
 	if *traceIn != "" {
 		f, err := os.Open(*traceIn)
 		if err != nil {
-			die(err)
+			return err
 		}
 		reqs, err := hack.LoadTrace(f)
 		f.Close()
 		if err != nil {
-			die(err)
+			return err
 		}
 		w = hack.Workload{Trace: reqs}
 	} else if *traceOut != "" {
 		reqs, err := eng.Trace(w)
 		if err != nil {
-			die(err)
+			return err
 		}
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			die(err)
+			return err
 		}
 		if err := hack.SaveTrace(f, *dsName, *rps, *seed, reqs); err != nil {
 			f.Close()
-			die(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			die(err)
+			return err
 		}
 		w = hack.Workload{Trace: reqs}
 	}
 
 	res, err := eng.Run(context.Background(), w)
 	if err != nil {
-		die(err)
+		return err
 	}
 
-	fmt.Printf("%s | %s | %d requests\n", eng, *dsName, len(res.Requests))
-	fmt.Printf("avg JCT %.2fs   p50 %.2fs   p99 %.2fs\n", res.AvgJCT(), res.P50JCT(), res.P99JCT())
+	fmt.Fprintf(stdout, "%s | %s | %s | %d requests\n", eng, sched, *dsName, len(res.Requests))
+	fmt.Fprintf(stdout, "avg JCT %.2fs   p50 %.2fs   p99 %.2fs\n", res.AvgJCT(), res.P50JCT(), res.P99JCT())
 	at := res.AvgTimes()
-	fmt.Printf("avg times: queue %.2fs  prefill %.2fs  quant %.3fs  comm %.2fs  dequant/approx %.3fs  decode %.2fs (kv mem %.2fs)\n",
+	fmt.Fprintf(stdout, "avg times: queue %.2fs  prefill %.2fs  quant %.3fs  comm %.2fs  dequant/approx %.3fs  decode %.2fs (kv mem %.2fs)\n",
 		at.Queue, at.Prefill, at.Quant, at.Comm, at.Overhead, at.Decode, at.KVMem)
 	r := res.AvgRatios()
-	fmt.Printf("avg ratios: prefill %.1f%%  quant %.2f%%  comm %.1f%%  dequant/approx %.1f%%  decode %.1f%% (kv mem %.1f%%)\n",
+	fmt.Fprintf(stdout, "avg ratios: prefill %.1f%%  quant %.2f%%  comm %.1f%%  dequant/approx %.1f%%  decode %.1f%% (kv mem %.1f%%)\n",
 		100*r.Prefill, 100*r.Quant, 100*r.Comm, 100*r.Overhead, 100*r.Decode, 100*r.KVMem)
-	fmt.Printf("peak decode memory %.1f%%   swapped requests %d\n", 100*res.PeakMemFrac, res.SwappedCount)
+	fmt.Fprintf(stdout, "peak decode memory %.1f%%   swapped requests %d   preempted %d\n",
+		100*res.PeakMemFrac, res.SwappedCount, res.PreemptedCount)
+
+	sum := res.Summarize(eng.SLO())
+	fmt.Fprintf(stdout, "throughput %.3f req/s   ttft p50 %.2fs p99 %.2fs   tbt p50 %.3fs p99 %.3fs\n",
+		sum.ThroughputRPS, sum.TTFT.P50, sum.TTFT.P99, sum.TBT.P50, sum.TBT.P99)
+	if *sloTTFT > 0 || *sloTBT > 0 {
+		fmt.Fprintf(stdout, "SLO (ttft %.2fs, tbt %.3fs): attainment %.1f%% (ttft %.1f%%, tbt %.1f%%)\n",
+			*sloTTFT, *sloTBT, 100*sum.Attainment, 100*sum.TTFTAttainment, 100*sum.TBTAttainment)
+	}
+	return nil
 }

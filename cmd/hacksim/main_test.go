@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// exec runs the CLI body in-process and returns its stdout, stderr and
+// error — no os/exec involved.
+func exec(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), err
+}
+
+// Unknown registry names are usage errors (exit 2 in main) and list the
+// valid spellings, per the CLI convention.
+func TestUnknownNamesAreUsageErrors(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string // a valid name the error must list
+	}{
+		{[]string{"-scheduler", "nope"}, "shortest-queue"},
+		{[]string{"-scheduler", "nope"}, "load-aware"},
+		{[]string{"-scheduler", "nope"}, "slo"},
+		{[]string{"-model", "nope"}, "L"},
+		{[]string{"-gpu", "nope"}, "A10G"},
+		{[]string{"-dataset", "nope"}, "Cocktail"},
+		{[]string{"-method", "nope"}, "HACK"},
+	}
+	for _, c := range cases {
+		_, _, err := exec(t, c.args...)
+		if err == nil {
+			t.Fatalf("args %v: expected an error", c.args)
+		}
+		var ue usageError
+		if !errors.As(err, &ue) {
+			t.Fatalf("args %v: error %v is not a usage error", c.args, err)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("args %v: error %q does not list %q", c.args, err, c.want)
+		}
+	}
+}
+
+func TestBadFlagValueIsUsageError(t *testing.T) {
+	for _, args := range [][]string{
+		{"-rps", "not-a-number"},
+		{"-slo-ttft", "-1"},
+		{"-slo-tbt", "-0.5"},
+		{"-prefill-chunk", "-1"},
+	} {
+		_, _, err := exec(t, args...)
+		var ue usageError
+		if err == nil || !errors.As(err, &ue) {
+			t.Errorf("args %v: err = %v, want usage error", args, err)
+		}
+	}
+}
+
+// Runtime failures (valid spellings, failing run) are plain errors, not
+// usage errors: they exit 1.
+func TestRuntimeErrorIsNotUsageError(t *testing.T) {
+	_, _, err := exec(t, "-trace-in", filepath.Join(t.TempDir(), "missing.json"))
+	if err == nil {
+		t.Fatal("expected a missing-trace error")
+	}
+	var ue usageError
+	if errors.As(err, &ue) {
+		t.Fatalf("runtime error %v misclassified as usage error", err)
+	}
+}
+
+func TestSmallRunPrintsSummary(t *testing.T) {
+	out, _, err := exec(t, "-dataset", "IMDb", "-rps", "2", "-n", "8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"avg JCT", "throughput", "ttft p50", "peak decode memory"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "SLO (") {
+		t.Error("SLO report printed without targets set")
+	}
+}
+
+func TestSLOReportAndSchedulerFlag(t *testing.T) {
+	out, _, err := exec(t, "-dataset", "IMDb", "-rps", "2", "-n", "8",
+		"-scheduler", "loadaware", "-slo-ttft", "5", "-slo-tbt", "0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "load-aware") {
+		t.Errorf("deployment line does not name the scheduler:\n%s", out)
+	}
+	if !strings.Contains(out, "SLO (ttft 5.00s, tbt 0.500s): attainment") {
+		t.Errorf("missing SLO attainment line:\n%s", out)
+	}
+}
+
+func TestSLOSchedulerRuns(t *testing.T) {
+	out, _, err := exec(t, "-dataset", "IMDb", "-rps", "2", "-n", "8",
+		"-scheduler", "slo", "-slo-ttft", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "attainment") {
+		t.Errorf("missing attainment:\n%s", out)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	out1, _, err := exec(t, "-dataset", "IMDb", "-rps", "2", "-n", "6", "-trace-out", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, _, err := exec(t, "-dataset", "IMDb", "-trace-in", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the recorded trace reproduces the run byte-for-byte.
+	if out1 != out2 {
+		t.Errorf("replayed run differs:\n%s\nvs\n%s", out1, out2)
+	}
+}

@@ -32,13 +32,15 @@ func main() {
 		gpus     = flag.String("gpus", "", "comma-separated prefill GPUs (default: A10G)")
 		models   = flag.String("models", "", "comma-separated model tags (default: L)")
 		replicas = flag.String("replicas", "", "comma-separated PxD replica pairs, e.g. 5x4,8x4 (default: 5x4)")
-		scheds   = flag.String("schedulers", "", "comma-separated prefill schedulers: shortest-queue, round-robin, fewest-requests")
+		scheds   = flag.String("schedulers", "", "comma-separated placement policies: shortest-queue, round-robin, fewest-requests, load-aware, slo")
 		rps      = flag.String("rps", "", "comma-separated arrival rates (default: 0.5)")
 		n        = flag.Int("n", 100, "requests per cell")
 		seed     = flag.Int64("seed", 42, "sweep seed")
 		maxBatch = flag.Int("batch", 256, "max decode batch per replica")
 		memCap   = flag.Float64("memcap", 0, "usable decode-memory fraction (0 = default 0.95)")
 		pipeline = flag.Bool("pipeline", false, "overlap transfer with prefill")
+		sloTTFT  = flag.Float64("slo-ttft", 0, "time-to-first-token target in seconds (0 = untracked)")
+		sloTBT   = flag.Float64("slo-tbt", 0, "time-between-tokens target in seconds (0 = untracked)")
 		baseline = flag.String("baseline", "", "method speedups are measured against (default: Baseline when swept)")
 		workers  = flag.Int("workers", 0, "worker pool width (0 = one per CPU)")
 		format   = flag.String("format", "markdown", "output format: markdown, json, csv")
@@ -68,6 +70,8 @@ func main() {
 		MaxBatch:   *maxBatch,
 		MemCapFrac: *memCap,
 		Pipeline:   *pipeline,
+		SLOTTFT:    *sloTTFT,
+		SLOTBT:     *sloTBT,
 		Baseline:   *baseline,
 	}
 	for _, pair := range splitList(*replicas) {
@@ -78,7 +82,7 @@ func main() {
 		spec.Replicas = append(spec.Replicas, rc)
 	}
 	for _, name := range splitList(*scheds) {
-		s, err := parseScheduler(name)
+		s, err := hack.SchedulerNamed(name)
 		if err != nil {
 			usage(err)
 		}
@@ -184,14 +188,4 @@ func parseReplicas(s string) (hack.ReplicaCount, error) {
 		return hack.ReplicaCount{}, fmt.Errorf("bad -replicas value %q: want positive PxD, e.g. 5x4", s)
 	}
 	return hack.ReplicaCount{Prefill: p, Decode: d}, nil
-}
-
-// parseScheduler resolves a scheduler display name.
-func parseScheduler(name string) (hack.Scheduler, error) {
-	for _, s := range []hack.Scheduler{hack.ShortestQueue, hack.RoundRobin, hack.FewestRequests} {
-		if strings.EqualFold(s.String(), name) {
-			return s, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown scheduler %q; valid schedulers: shortest-queue, round-robin, fewest-requests", name)
 }

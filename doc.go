@@ -21,11 +21,25 @@
 // Run honors ctx cancellation and, with WithStream, invokes a callback
 // as each simulated request completes. The Result carries every
 // request's JCT decomposition (queue, prefill, quantization,
-// communication, dequantization-or-approximation, decode) plus the
-// AvgJCT / P50JCT / P99JCT / AvgTimes / AvgRatios aggregations the
-// paper's figures report. Further options: WithDecodeGPU, WithMaxBatch,
-// WithMemCapFrac, WithScheduler, WithCostParams, WithModelSpec,
-// WithMethodProfile.
+// communication, dequantization-or-approximation, decode) and serving
+// latencies (TTFT, TBT), plus the AvgJCT / P50JCT / P99JCT / AvgTimes
+// / AvgRatios / Summarize aggregations the paper's figures report.
+// Further options: WithDecodeGPU, WithMaxBatch, WithMemCapFrac,
+// WithScheduler, WithCostParams, WithModelSpec, WithMethodProfile.
+//
+// # SLO-aware serving
+//
+// WithSLO(ttft, tbt) sets latency targets in seconds; Engine.Serve runs
+// a workload and returns a ServeReport with throughput, nearest-rank
+// p50/p90/p99 latency summaries and SLO attainment. Beyond the paper's
+// shortest-queue policy the schedulers include LoadAware (FlowKV-style
+// routing on prefill drain + pending KV bytes) and SLOAware, which also
+// picks each request's compression method from the WithAdmitMethods
+// class ladder so interactive traffic keeps fidelity while long prompts
+// are compressed to protect the targets. WithPrefillChunk enables
+// Sarathi-style chunked prefill and WithPreemption decode-side eviction
+// with KV re-transfer; see examples/slo and the scenario-test harness
+// under internal/sim.
 //
 // # Sweeps
 //

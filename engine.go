@@ -38,6 +38,17 @@ type (
 	Result = sim.Result
 	// Scheduler selects the prefill request-placement policy.
 	Scheduler = sim.Scheduler
+	// SLO is a pair of serving targets: time to first token and mean
+	// time between subsequent tokens, in seconds. Zero fields are
+	// untracked.
+	SLO = sim.SLO
+	// Summary aggregates one run's serving metrics: throughput, JCT /
+	// TTFT / TBT / queueing percentile summaries, SLO attainment, swap
+	// and preemption counters, peak decode memory.
+	Summary = sim.Summary
+	// ProbeEvent is one observable simulator transition, delivered to
+	// the WithProbe callback in simulation order.
+	ProbeEvent = sim.ProbeEvent
 )
 
 // Prefill scheduling policies.
@@ -50,6 +61,15 @@ const (
 	// FewestRequests assigns to the replica with the fewest queued
 	// requests, ignoring their lengths.
 	FewestRequests = sim.FewestRequests
+	// LoadAware scores replicas by estimated prefill drain time plus
+	// pending-KV transfer time and routes to the lowest score
+	// (FlowKV-style load-aware routing).
+	LoadAware = sim.LoadAware
+	// SLOAware places like LoadAware and picks each request's
+	// compression method so its estimated TTFT/TBT meet the engine's
+	// SLO targets (KVServe-style service-aware admission; see
+	// WithSLO and WithAdmitMethods).
+	SLOAware = sim.SLOAware
 )
 
 // DefaultCostParams returns the calibrated cost-model defaults.
@@ -89,6 +109,11 @@ type Engine struct {
 	scheduler         Scheduler
 	stream            func(RequestStats)
 	kernelPar         int
+	slo               SLO
+	prefillChunk      int
+	preemption        bool
+	admitMethods      []Method
+	probe             func(ProbeEvent)
 
 	cm *cluster.CostModel
 }
@@ -248,6 +273,76 @@ func WithScheduler(s Scheduler) Option {
 	}
 }
 
+// WithSLO sets the serving targets in seconds: ttft bounds the time to
+// first token, tbt the mean time between subsequent tokens. Zero
+// disables a target. The SLOAware scheduler admits against these, and
+// Serve reports attainment against them.
+func WithSLO(ttft, tbt float64) Option {
+	return func(e *Engine) error {
+		if ttft < 0 || tbt < 0 {
+			return fmt.Errorf("SLO targets %v/%v must be >= 0", ttft, tbt)
+		}
+		e.slo = SLO{TTFT: ttft, TBT: tbt}
+		return nil
+	}
+}
+
+// WithPrefillChunk splits prompts into prefill passes of at most n
+// tokens, with the replica round-robining across its queue between
+// passes so short prompts are not head-of-line blocked behind long
+// ones. 0 (the default) prefills whole prompts.
+func WithPrefillChunk(n int) Option {
+	return func(e *Engine) error {
+		if n < 0 {
+			return fmt.Errorf("prefill chunk %d must be >= 0", n)
+		}
+		e.prefillChunk = n
+		return nil
+	}
+}
+
+// WithPreemption lets a memory-starved request evict the admitted
+// request with the most remaining decode work (at most once per
+// victim); the victim's KV is swapped out and re-transferred before it
+// resumes.
+func WithPreemption(on bool) Option {
+	return func(e *Engine) error {
+		e.preemption = on
+		return nil
+	}
+}
+
+// WithProbe registers an observer for simulator transitions (arrivals,
+// prefill passes, transfers, decode iterations, preemptions,
+// completions), invoked synchronously in simulation order during Run.
+// It must not mutate engine or simulator state; it never affects
+// results.
+func WithProbe(fn func(ProbeEvent)) Option {
+	return func(e *Engine) error {
+		e.probe = fn
+		return nil
+	}
+}
+
+// WithAdmitMethods names the fidelity-ordered compression classes the
+// SLOAware scheduler picks from, highest fidelity first (default:
+// Baseline, then the engine's method). Unknown names error from New
+// with the valid spellings.
+func WithAdmitMethods(names ...string) Option {
+	return func(e *Engine) error {
+		ms := make([]Method, 0, len(names))
+		for _, name := range names {
+			m, err := cluster.MethodRegistry.Lookup(name)
+			if err != nil {
+				return err
+			}
+			ms = append(ms, m)
+		}
+		e.admitMethods = ms
+		return nil
+	}
+}
+
 // WithCostParams overrides the calibrated cost-model parameters.
 func WithCostParams(p CostParams) Option {
 	return func(e *Engine) error {
@@ -357,11 +452,49 @@ func (e *Engine) Run(ctx context.Context, w Workload) (*Result, error) {
 		MemCapFrac:      e.memCapFrac,
 		Pipeline:        e.pipeline,
 		Scheduler:       e.scheduler,
+		PrefillChunk:    e.prefillChunk,
+		Preemption:      e.preemption,
+		SLOTTFT:         e.slo.TTFT,
+		SLOTBT:          e.slo.TBT,
+		MethodClasses:   e.admitMethods,
+		Probe:           e.probe,
 	}, reqs, e.stream)
 	if err != nil {
 		return nil, fmt.Errorf("hack: %w", err)
 	}
 	return res, nil
+}
+
+// SLO returns the engine's serving targets (zero fields untracked).
+func (e *Engine) SLO() SLO { return e.slo }
+
+// ServeReport is Serve's product: the deployment, the SLO it was judged
+// against, and the run's serving summary (throughput, latency
+// percentiles, attainment).
+type ServeReport struct {
+	Deployment string  `json:"deployment"`
+	Scheduler  string  `json:"scheduler"`
+	Dataset    string  `json:"dataset,omitempty"`
+	SLO        SLO     `json:"slo"`
+	Summary    Summary `json:"summary"`
+}
+
+// Serve runs the workload and summarizes it against the engine's SLO
+// (set with WithSLO): the ServeReport carries TTFT/TBT/JCT/queueing
+// percentiles, throughput, and the attainment fractions. Use Run when
+// the per-request decompositions are needed instead.
+func (e *Engine) Serve(ctx context.Context, w Workload) (*ServeReport, error) {
+	res, err := e.Run(ctx, w)
+	if err != nil {
+		return nil, err
+	}
+	return &ServeReport{
+		Deployment: e.String(),
+		Scheduler:  e.scheduler.String(),
+		Dataset:    w.Dataset,
+		SLO:        e.slo,
+		Summary:    res.Summarize(e.slo),
+	}, nil
 }
 
 // GenerateTrace draws a deterministic Poisson trace from a named dataset

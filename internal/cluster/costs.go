@@ -217,6 +217,25 @@ func (c *CostModel) PrefillTimes(m Method, l int) (compute, quant float64) {
 // dequantization-or-approximation overhead — the three buckets the
 // paper's JCT decomposition separates.
 func (c *CostModel) DecodeStep(m Method, contextLens []int) (decode, kvMem, overhead float64) {
+	return c.decodeStep(func(int) Method { return m }, contextLens)
+}
+
+// DecodeStepMixed prices one decode iteration for a batch whose
+// requests may be served under different methods — SLO-aware admission
+// mixes compression classes in one decode pool. methods[i] serves
+// contextLens[i]; per-iteration method launch overheads are charged
+// once per distinct method present, in first-appearance order. For a
+// homogeneous batch the result equals DecodeStep exactly. Mismatched
+// slice lengths are a programming error and panic rather than silently
+// pricing a zero-cost iteration.
+func (c *CostModel) DecodeStepMixed(methods []Method, contextLens []int) (decode, kvMem, overhead float64) {
+	if len(methods) != len(contextLens) {
+		panic(fmt.Sprintf("cluster: DecodeStepMixed with %d methods for %d requests", len(methods), len(contextLens)))
+	}
+	return c.decodeStep(func(i int) Method { return methods[i] }, contextLens)
+}
+
+func (c *CostModel) decodeStep(methodAt func(int) Method, contextLens []int) (decode, kvMem, overhead float64) {
 	if len(contextLens) == 0 {
 		return 0, 0, 0
 	}
@@ -234,8 +253,15 @@ func (c *CostModel) DecodeStep(m Method, contextLens []int) (decode, kvMem, over
 	}
 	decode += float64(c.Spec.Layers) * c.Params.PerLayerOverheadUS * 1e-6
 
+	// quantOPS is re-derived only when the method actually changes, so
+	// the dominant homogeneous-batch case computes it once.
+	m := methodAt(0)
 	int8 := c.quantOPS(m, c.Decode, c.DecodePar)
-	for _, l := range contextLens {
+	for i, l := range contextLens {
+		if next := methodAt(i); next.Name != m.Name {
+			m = next
+			int8 = c.quantOPS(m, c.Decode, c.DecodePar)
+		}
 		// Memory access for the KV cache read (scattered, so below the
 		// streaming rate); dequantize-first methods additionally re-read
 		// part of the materialized FP16 KV.
@@ -290,15 +316,52 @@ func (c *CostModel) DecodeStep(m Method, contextLens []int) (decode, kvMem, over
 			}
 		}
 	}
-	// Per-iteration kernel-launch overheads of the method's extra
-	// passes (once per iteration, not per request).
-	switch {
-	case m.Dequant:
-		overhead += float64(c.Spec.Layers) * c.Params.DequantLaunchUS * 1e-6
-	case m.Homomorphic:
-		overhead += float64(c.Spec.Layers) * c.Params.ApproxLaunchUS * 1e-6
+	// Per-iteration kernel-launch overheads of the methods' extra
+	// passes (once per distinct method in the batch, not per request),
+	// charged in first-appearance order. The seen list is array-backed
+	// so the hot homogeneous case never heap-allocates.
+	var seenArr [8]string
+	seen := seenArr[:0]
+charge:
+	for i := range contextLens {
+		m := methodAt(i)
+		for _, name := range seen {
+			if name == m.Name {
+				continue charge
+			}
+		}
+		seen = append(seen, m.Name)
+		switch {
+		case m.Dequant:
+			overhead += float64(c.Spec.Layers) * c.Params.DequantLaunchUS * 1e-6
+		case m.Homomorphic:
+			overhead += float64(c.Spec.Layers) * c.Params.ApproxLaunchUS * 1e-6
+		}
 	}
 	return decode, kvMem, overhead
+}
+
+// PrefillChunkTimes prices one chunked-prefill pass covering prompt
+// tokens [start, end): the marginal compute over the already-processed
+// start-token prefix (the chunk's attention spans the prefix, so later
+// chunks cost more per token) plus the chunk's share of the KV
+// quantization pass. Each pass pays its own per-layer launch overhead,
+// which is what makes chunking cost slightly more in aggregate than one
+// monolithic prefill. Summed over a prompt's chunks the compute equals
+// PrefillTimes plus (chunks−1) extra launch overheads.
+func (c *CostModel) PrefillChunkTimes(m Method, start, end int) (compute, quant float64) {
+	c1, q1 := c.PrefillTimes(m, end)
+	c0, q0 := c.PrefillTimes(m, start)
+	launch := float64(c.Spec.Layers) * c.Params.PerLayerOverheadUS * 1e-6
+	compute = c1 - c0 + launch
+	if compute < launch {
+		compute = launch
+	}
+	quant = q1 - q0
+	if quant < 0 {
+		quant = 0
+	}
+	return compute, quant
 }
 
 // DecodeMemoryBytes returns the decode replica's memory demand for a set

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/hackkv/hack/internal/cluster"
+	"github.com/hackkv/hack/internal/model"
+	"github.com/hackkv/hack/internal/workload"
+)
+
+// fuzzCM builds the cost model once per process; fuzz workers share it
+// read-only.
+var fuzzCM = sync.OnceValue(func() *cluster.CostModel {
+	cm, err := cluster.NewCostModel(model.Llama70B(), cluster.A10G(), cluster.A100(), cluster.DefaultCostParams())
+	if err != nil {
+		panic(err)
+	}
+	return cm
+})
+
+// FuzzConfigValidate asserts Validate's contract on arbitrary
+// configurations: it may reject, but it must never panic, and anything
+// it accepts must actually be in range.
+func FuzzConfigValidate(f *testing.F) {
+	f.Add(int64(5), int64(4), int64(32), int64(0), 0.95, 0.0, 0.0, 0.0, int64(0), false)
+	f.Add(int64(1), int64(1), int64(1), int64(512), 1.0, 2.0, 8.0, 0.25, int64(4), false)
+	f.Add(int64(0), int64(-3), int64(0), int64(-1), -0.5, -1.0, -2.0, -3.0, int64(99), true)
+	f.Fuzz(func(t *testing.T, pr, dr, mb, chunk int64, memcap, preemptAfter, ttft, tbt float64, sched int64, nilCM bool) {
+		cfg := Config{
+			Method:          cluster.DefaultHACK(),
+			PrefillReplicas: int(pr), DecodeReplicas: int(dr),
+			MaxBatch: int(mb), MemCapFrac: memcap,
+			Scheduler:    Scheduler(sched),
+			PrefillChunk: int(chunk), PreemptAfterS: preemptAfter,
+			SLOTTFT: ttft, SLOTBT: tbt,
+		}
+		if !nilCM {
+			cfg.CM = fuzzCM()
+		}
+		err := cfg.Validate() // must not panic
+		if err != nil {
+			return
+		}
+		if cfg.CM == nil || cfg.PrefillReplicas <= 0 || cfg.DecodeReplicas <= 0 ||
+			cfg.MaxBatch <= 0 || cfg.MemCapFrac <= 0 || cfg.MemCapFrac > 1 ||
+			!cfg.Scheduler.valid() || cfg.PrefillChunk < 0 || cfg.PreemptAfterS < 0 ||
+			cfg.SLOTTFT < 0 || cfg.SLOTBT < 0 {
+			t.Fatalf("Validate accepted an out-of-range config: %+v", cfg)
+		}
+	})
+}
+
+// FuzzSimInvariants runs randomized workloads through randomized (but
+// always valid) deployments and asserts the event-level invariants
+// never break: no panic, every request conserved and completed, no
+// replica oversubscription, monotone timestamps, TTFT ≤ JCT.
+func FuzzSimInvariants(f *testing.F) {
+	f.Add(int64(42), int64(10), 0.5, int64(0), int64(0), 0.95, false, false)
+	f.Add(int64(7), int64(16), 1.5, int64(3), int64(512), 0.9, true, false)
+	f.Add(int64(3), int64(12), 0.8, int64(4), int64(256), 0.6, true, true)
+	f.Add(int64(-9), int64(20), 2.0, int64(1), int64(0), 0.55, false, true)
+	f.Fuzz(func(t *testing.T, seed, n int64, rps float64, sched, chunk int64, memcap float64, preempt, pipeline bool) {
+		// Clamp everything into Validate-clean, completable territory;
+		// the randomness explores the scheduler space, not the
+		// rejection space (FuzzConfigValidate covers that).
+		nReq := int(n%24+24)%24 + 1
+		if rps != rps || rps <= 0.05 || rps > 3 {
+			rps = 0.5
+		}
+		if memcap != memcap || memcap < 0.5 || memcap > 1 {
+			memcap = 0.95
+		}
+		datasets := []workload.Dataset{workload.IMDb(), workload.ArXiv(), workload.Cocktail(), workload.HumanEval()}
+		methods := cluster.EvaluatedMethods()
+		di := int(seed%4+4) % 4
+		reqs, err := workload.Trace(datasets[di], rps, nReq, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			CM:              fuzzCM(),
+			Method:          methods[int(seed%int64(len(methods))+int64(len(methods)))%len(methods)],
+			PrefillReplicas: int(seed%5+5)%5 + 1,
+			DecodeReplicas:  int(seed%3+3)%3 + 1,
+			MaxBatch:        int(seed%31+31)%31 + 2,
+			MemCapFrac:      memcap,
+			Pipeline:        pipeline,
+			Scheduler:       Scheduler((sched%5 + 5) % 5),
+			PrefillChunk:    int((chunk%2048+2048)%2048) &^ 1,
+			Preemption:      preempt,
+			PreemptAfterS:   float64((seed%4 + 4) % 4 * 2),
+			SLOTTFT:         8,
+			SLOTBT:          0.25,
+		}
+		probe := newInvariantProbe(cfg)
+		cfg.Probe = probe.observe
+		res, err := Run(cfg, reqs)
+		if err != nil {
+			// The only legitimate rejection on a clamped config would be
+			// an empty trace, which the clamps rule out.
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+		for _, msg := range probe.errs {
+			t.Error(msg)
+		}
+		if len(res.Requests) != nReq {
+			t.Fatalf("completed %d of %d", len(res.Requests), nReq)
+		}
+		for _, r := range res.Requests {
+			if probe.arrived[r.ID] != 1 || probe.completed[r.ID] != 1 {
+				t.Fatalf("req %d arrived %d / completed %d times", r.ID, probe.arrived[r.ID], probe.completed[r.ID])
+			}
+			if r.TTFT <= 0 || r.TTFT > r.JCT()+1e-9 {
+				t.Fatalf("req %d TTFT %v outside (0, JCT=%v]", r.ID, r.TTFT, r.JCT())
+			}
+			if r.Queue < 0 || r.Prefill <= 0 || r.Comm < -1e-9 || r.Decode < 0 || r.Overhead < 0 || r.TBT < 0 {
+				t.Fatalf("req %d negative bucket: %+v", r.ID, r)
+			}
+			if r.Preemptions > 1 {
+				t.Fatalf("req %d preempted %d times", r.ID, r.Preemptions)
+			}
+			if r.Method != cfg.Method.Name && r.Method != "Baseline" {
+				t.Fatalf("req %d served by unexpected method %q", r.ID, r.Method)
+			}
+		}
+	})
+}

@@ -1,0 +1,48 @@
+package sim
+
+// ProbeEvent is one observable simulator transition, delivered to
+// Config.Probe in simulation order. It exposes the event-level facts
+// the scenario invariants assert — replica occupancy, memory
+// utilization, per-request timestamps — without affecting the
+// simulation in any way.
+type ProbeEvent struct {
+	// At is the simulation time of the transition.
+	At float64
+	// Kind names the transition: arrival, prefill-start, prefill-done,
+	// swap-park, transfer-start, ready, iter-start, preempt, complete.
+	Kind string
+	// Req is the request ID, or -1 for events not tied to one request.
+	Req int
+	// Replica is the replica index the event happened on (a prefill
+	// index for arrival/prefill-* events, a decode index otherwise), or
+	// -1 when no replica is involved.
+	Replica int
+	// Occupancy is the decode replica's batch + pending + in-flight
+	// transfer count after the event (0 for prefill-side events).
+	Occupancy int
+	// MemFrac is the decode replica's memory utilization after the
+	// event (0 for prefill-side events).
+	MemFrac float64
+}
+
+// probe emits one event to the configured observer, if any.
+func (s *sim) probe(kind string, req, replica, occupancy int, memFrac float64) {
+	if s.cfg.Probe == nil {
+		return
+	}
+	s.cfg.Probe(ProbeEvent{At: s.now, Kind: kind, Req: req, Replica: replica,
+		Occupancy: occupancy, MemFrac: memFrac})
+}
+
+// decodeOccupancy returns the replica's admitted request count — the
+// quantity pickDecode caps at MaxBatch, covering batched, pending,
+// in-transfer and between-events requests alike.
+func (s *sim) decodeOccupancy(di int) int {
+	return s.decodes[di].admitted
+}
+
+// memFrac returns the decode replica's current memory utilization.
+func (s *sim) memFrac(di int) float64 {
+	used := s.cfg.CM.DecodeMemoryBytes(s.cfg.Method, nil) + s.decodes[di].usedMem
+	return used / s.cfg.CM.DecodeReplicaCapacityBytes()
+}

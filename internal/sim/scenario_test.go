@@ -1,0 +1,608 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"github.com/hackkv/hack/internal/cluster"
+	"github.com/hackkv/hack/internal/sweeprun"
+	"github.com/hackkv/hack/internal/workload"
+)
+
+// -update regenerates the scenario goldens under testdata/sim/.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// scenario is one named serving situation the simulator must handle:
+// a deployment, a trace, and the per-scenario expectations layered on
+// top of the universal event-level invariants.
+type scenario struct {
+	name  string
+	cfg   Config
+	trace []workload.Request
+	// expect runs scenario-specific assertions on the result.
+	expect func(t *testing.T, res *Result)
+	// preemptive relaxes the bucket-sum invariant: an evicted request
+	// keeps the decode time of the iteration it was pulled from, so its
+	// buckets may double-count that remainder.
+	preemptive bool
+}
+
+// mixedTrace interleaves a short-prompt chat stream with long batch
+// jobs, arrival-ordered with renumbered IDs — the bimodal mix several
+// scenarios build on.
+func mixedTrace(t *testing.T, chatN, batchN int, chatRPS, batchRPS float64) []workload.Request {
+	t.Helper()
+	chat, err := workload.Trace(workload.IMDb(), chatRPS, chatN, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := workload.Trace(workload.Cocktail(), batchRPS, batchN, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := append(append([]workload.Request(nil), chat...), batch...)
+	// Stable merge by arrival; ties keep chat-before-batch order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].ArrivalS < out[j-1].ArrivalS; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	for i := range out {
+		out[i].ID = i
+	}
+	return out
+}
+
+func poisson(t *testing.T, ds workload.Dataset, rps float64, n int, seed int64) []workload.Request {
+	t.Helper()
+	reqs, err := workload.Trace(ds, rps, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+// scenarios builds the named-scenario table. Every entry must complete
+// all requests and satisfy the universal invariants; expect adds the
+// scenario's own shape assertions.
+func scenarios(t *testing.T) []scenario {
+	t.Helper()
+	a10g := testCM(t, cluster.A10G())
+	v100 := testCM(t, cluster.V100())
+
+	base := func(cm *cluster.CostModel, m cluster.Method) Config {
+		return Config{CM: cm, Method: m, PrefillReplicas: 5, DecodeReplicas: 4,
+			MaxBatch: 32, MemCapFrac: 0.95}
+	}
+
+	var scs []scenario
+
+	// 1. Overloaded link: a 10 Gbps V100 instance serving uncompressed
+	// KV — transfers dominate and the comm bucket must show it.
+	{
+		cfg := base(v100, cluster.Baseline())
+		cfg.PrefillReplicas = 4
+		scs = append(scs, scenario{
+			name: "overloaded-link", cfg: cfg,
+			trace: poisson(t, workload.ArXiv(), 0.25, 40, 1),
+			expect: func(t *testing.T, res *Result) {
+				if r := res.AvgRatios(); r.Comm < 0.2 {
+					t.Errorf("comm ratio %.3f, want transfer-bound (>= 0.2)", r.Comm)
+				}
+			},
+		})
+	}
+
+	// 2. Hot decode replica: the whole decode side is one replica, so
+	// every request funnels through it and decode queueing shows up as
+	// exposed comm/admission waits rather than lost requests.
+	{
+		cfg := base(a10g, cluster.DefaultHACK())
+		cfg.DecodeReplicas = 1
+		cfg.MaxBatch = 8
+		scs = append(scs, scenario{
+			name: "hot-decode-replica", cfg: cfg,
+			trace: poisson(t, workload.ArXiv(), 0.8, 50, 2),
+			expect: func(t *testing.T, res *Result) {
+				if res.PeakMemFrac <= 0 {
+					t.Error("hot replica never used memory")
+				}
+			},
+		})
+	}
+
+	// 3. Mem-cap swap storm: heavy long-sequence load against the
+	// baseline's FP16 cache forces the §4 CPU-swap path repeatedly.
+	{
+		cfg := base(a10g, cluster.Baseline())
+		scs = append(scs, scenario{
+			name: "memcap-swap-storm", cfg: cfg,
+			trace: poisson(t, workload.Cocktail(), 0.65, 60, 3),
+			expect: func(t *testing.T, res *Result) {
+				if res.SwappedCount == 0 {
+					t.Error("swap storm produced no swaps")
+				}
+			},
+		})
+	}
+
+	// 4. Burst arrival: every request lands within the first 100 ms, so
+	// queues absorb the whole trace at once.
+	{
+		trace := poisson(t, workload.ArXiv(), 1.0, 40, 4)
+		for i := range trace {
+			trace[i].ArrivalS = 0.001 + 0.0025*float64(i)
+		}
+		cfg := base(a10g, cluster.DefaultHACK())
+		scs = append(scs, scenario{
+			name: "burst-arrival", cfg: cfg, trace: trace,
+			expect: func(t *testing.T, res *Result) {
+				late := 0
+				for _, r := range res.Requests {
+					if r.Queue > 1 {
+						late++
+					}
+				}
+				if late == 0 {
+					t.Error("a burst should queue most requests")
+				}
+			},
+		})
+	}
+
+	// 5. Mixed-length bimodal: chat and batch share the pool under the
+	// paper's shortest-queue policy.
+	scs = append(scs, scenario{
+		name:  "mixed-length-bimodal",
+		cfg:   base(a10g, cluster.DefaultHACK()),
+		trace: mixedTrace(t, 40, 10, 2.0, 0.3),
+	})
+
+	// 6. Zero-decode edge: every output is a single token, so requests
+	// finish with prefill's token and the decode bucket stays empty.
+	{
+		trace := poisson(t, workload.IMDb(), 2.0, 30, 6)
+		for i := range trace {
+			trace[i].OutputLen = 1
+		}
+		cfg := base(a10g, cluster.DefaultHACK())
+		scs = append(scs, scenario{
+			name: "zero-decode-edge", cfg: cfg, trace: trace,
+			expect: func(t *testing.T, res *Result) {
+				for _, r := range res.Requests {
+					if r.Decode != 0 || r.TBT != 0 {
+						t.Errorf("req %d: single-token output accrued decode %.4f / tbt %.4f", r.ID, r.Decode, r.TBT)
+					}
+				}
+			},
+		})
+	}
+
+	// 7. Chunked prefill: 512-token passes over the bimodal mix; chat
+	// prompts interleave between batch chunks, so the short-request
+	// TTFT tail must beat the unchunked run's.
+	{
+		cfg := base(a10g, cluster.DefaultHACK())
+		cfg.PrefillChunk = 512
+		scs = append(scs, scenario{
+			name: "chunked-prefill", cfg: cfg,
+			trace: mixedTrace(t, 40, 10, 2.0, 0.3),
+			expect: func(t *testing.T, res *Result) {
+				multi := 0
+				for _, r := range res.Requests {
+					want := (r.InputLen + 511) / 512
+					if r.Chunks != want {
+						t.Errorf("req %d: %d chunks for %d tokens, want %d", r.ID, r.Chunks, r.InputLen, want)
+					}
+					if r.Chunks > 1 {
+						multi++
+					}
+				}
+				if multi == 0 {
+					t.Error("no request took more than one chunk")
+				}
+			},
+		})
+	}
+
+	// 8. Preemption pressure: a tight memory cap under heavy load with
+	// preemption on — evictions must happen, every victim must still
+	// complete, and nobody is evicted twice.
+	{
+		cfg := base(a10g, cluster.Baseline())
+		cfg.DecodeReplicas = 2
+		cfg.Preemption = true
+		// A nonzero patience exercises the dedicated eligibility retry:
+		// preemption must still fire without waiting for an unrelated
+		// completion event.
+		cfg.PreemptAfterS = 0.3
+		scs = append(scs, scenario{
+			name: "preemption-pressure", cfg: cfg, preemptive: true,
+			trace: poisson(t, workload.Cocktail(), 0.6, 50, 8),
+			expect: func(t *testing.T, res *Result) {
+				if res.PreemptedCount == 0 {
+					t.Error("pressure scenario produced no preemptions")
+				}
+				for _, r := range res.Requests {
+					if r.Preemptions > 1 {
+						t.Errorf("req %d preempted %d times; the policy caps victims at one eviction", r.ID, r.Preemptions)
+					}
+				}
+			},
+		})
+	}
+
+	// 9. Load-aware routing: the FlowKV-style scorer on the bimodal mix
+	// must route everything and keep JCT in the same band as
+	// shortest-queue (it optimizes placement, not magic).
+	{
+		cfg := base(a10g, cluster.DefaultHACK())
+		cfg.Scheduler = LoadAware
+		scs = append(scs, scenario{
+			name: "loadaware-routing", cfg: cfg,
+			trace: mixedTrace(t, 40, 10, 2.0, 0.3),
+		})
+	}
+
+	// 10. SLO admission: the KVServe-style scheduler with a Baseline/
+	// HACK class ladder must serve short interactive prompts at full
+	// fidelity and compress the long jobs whose transfer would blow the
+	// TBT target.
+	{
+		cfg := base(a10g, cluster.DefaultHACK())
+		cfg.Scheduler = SLOAware
+		cfg.SLOTTFT = 8
+		cfg.SLOTBT = 0.25
+		scs = append(scs, scenario{
+			name: "slo-admission", cfg: cfg,
+			trace: mixedTrace(t, 40, 10, 2.0, 0.3),
+			expect: func(t *testing.T, res *Result) {
+				byMethod := map[string]int{}
+				for _, r := range res.Requests {
+					byMethod[r.Method]++
+				}
+				if len(byMethod) < 2 {
+					t.Errorf("SLO admission never split the classes: %v", byMethod)
+				}
+				for _, r := range res.Requests {
+					if r.InputLen > 9000 && r.Method == "Baseline" {
+						t.Errorf("req %d (%d tokens) served uncompressed; its transfer blows the TBT target", r.ID, r.InputLen)
+					}
+				}
+			},
+		})
+	}
+
+	// 11. Pipelined light load: transfer overlap hides most of the
+	// baseline's communication when memory is plentiful.
+	{
+		cfg := base(a10g, cluster.Baseline())
+		cfg.Pipeline = true
+		scs = append(scs, scenario{
+			name: "pipelined-light", cfg: cfg,
+			trace: poisson(t, workload.Cocktail(), 0.1, 40, 9),
+			expect: func(t *testing.T, res *Result) {
+				if r := res.AvgRatios(); r.Comm > 0.35 {
+					t.Errorf("pipelined light-load comm ratio %.3f, want mostly hidden", r.Comm)
+				}
+			},
+		})
+	}
+
+	// 12. Single-replica serial: a 1x1 deployment degenerates to FIFO —
+	// prefill completions must follow arrival order.
+	{
+		cfg := base(a10g, cluster.DefaultHACK())
+		cfg.PrefillReplicas, cfg.DecodeReplicas = 1, 1
+		scs = append(scs, scenario{
+			name: "single-replica-serial", cfg: cfg,
+			trace: poisson(t, workload.IMDb(), 1.0, 30, 10),
+			expect: func(t *testing.T, res *Result) {
+				// Requests are in completion order; FIFO prefill is
+				// asserted in arrival (= ID) order.
+				end := make(map[int]float64, len(res.Requests))
+				for _, r := range res.Requests {
+					end[r.ID] = r.Arrival + r.Queue + r.Prefill + r.Quant
+				}
+				for id := 1; id < len(res.Requests); id++ {
+					if end[id] < end[id-1]-1e-9 {
+						t.Errorf("req %d finished prefill at %.4f before its FIFO predecessor at %.4f", id, end[id], end[id-1])
+					}
+				}
+			},
+		})
+	}
+
+	return scs
+}
+
+// invariantProbe accumulates event-level violations while a scenario
+// runs: replica oversubscription, memory-cap breaches, global and
+// per-request time monotonicity, and request conservation.
+type invariantProbe struct {
+	cfg       Config
+	lastAt    float64
+	lastReqAt map[int]float64
+	arrived   map[int]int
+	completed map[int]int
+	errs      []string
+}
+
+func newInvariantProbe(cfg Config) *invariantProbe {
+	return &invariantProbe{cfg: cfg,
+		lastReqAt: map[int]float64{}, arrived: map[int]int{}, completed: map[int]int{}}
+}
+
+func (p *invariantProbe) observe(e ProbeEvent) {
+	fail := func(format string, args ...any) {
+		if len(p.errs) < 10 {
+			p.errs = append(p.errs, fmt.Sprintf(format, args...))
+		}
+	}
+	if e.At < p.lastAt-1e-9 {
+		fail("%s at %.6f before prior event at %.6f: simulation time ran backwards", e.Kind, e.At, p.lastAt)
+	}
+	p.lastAt = e.At
+	if e.Req >= 0 {
+		if e.At < p.lastReqAt[e.Req]-1e-9 {
+			fail("req %d: %s at %.6f before its prior event at %.6f", e.Req, e.Kind, e.At, p.lastReqAt[e.Req])
+		}
+		p.lastReqAt[e.Req] = e.At
+	}
+	if e.Occupancy > p.cfg.MaxBatch {
+		fail("%s: decode replica %d holds %d requests, max batch %d", e.Kind, e.Replica, e.Occupancy, p.cfg.MaxBatch)
+	}
+	if e.MemFrac > p.cfg.MemCapFrac+1e-9 && e.MemFrac > 0 {
+		fail("%s: decode replica %d at %.4f memory, cap %.4f", e.Kind, e.Replica, e.MemFrac, p.cfg.MemCapFrac)
+	}
+	switch e.Kind {
+	case "arrival":
+		p.arrived[e.Req]++
+	case "complete":
+		p.completed[e.Req]++
+	}
+}
+
+// runScenario executes one scenario with the invariant probe attached
+// and asserts the universal invariants.
+func runScenario(t *testing.T, sc scenario) *Result {
+	t.Helper()
+	probe := newInvariantProbe(sc.cfg)
+	cfg := sc.cfg
+	cfg.Probe = probe.observe
+	res, err := Run(cfg, sc.trace)
+	if err != nil {
+		t.Fatalf("%s: %v", sc.name, err)
+	}
+	for _, msg := range probe.errs {
+		t.Errorf("%s: %s", sc.name, msg)
+	}
+
+	// Conservation: every arrival completes exactly once, nothing is
+	// invented or lost.
+	if len(res.Requests) != len(sc.trace) {
+		t.Fatalf("%s: %d of %d requests completed", sc.name, len(res.Requests), len(sc.trace))
+	}
+	for _, q := range sc.trace {
+		if probe.arrived[q.ID] != 1 || probe.completed[q.ID] != 1 {
+			t.Errorf("%s: req %d arrived %d times, completed %d times",
+				sc.name, q.ID, probe.arrived[q.ID], probe.completed[q.ID])
+		}
+	}
+
+	for _, r := range res.Requests {
+		if r.Done <= r.Arrival {
+			t.Errorf("%s: req %d done %.4f <= arrival %.4f", sc.name, r.ID, r.Done, r.Arrival)
+		}
+		if r.TTFT <= 0 || r.TTFT > r.JCT()+1e-9 {
+			t.Errorf("%s: req %d TTFT %.4f outside (0, JCT=%.4f]", sc.name, r.ID, r.TTFT, r.JCT())
+		}
+		if r.Queue < 0 || r.Prefill <= 0 || r.Quant < 0 || r.Comm < -1e-9 || r.Decode < 0 || r.Overhead < 0 || r.TBT < 0 {
+			t.Errorf("%s: req %d has a negative bucket: %+v", sc.name, r.ID, r)
+		}
+		if r.KVMem > r.Decode+1e-9 {
+			t.Errorf("%s: req %d KVMem %.4f exceeds Decode %.4f", sc.name, r.ID, r.KVMem, r.Decode)
+		}
+		if r.Chunks < 1 {
+			t.Errorf("%s: req %d took %d prefill passes", sc.name, r.ID, r.Chunks)
+		}
+		if !sc.preemptive {
+			sum := r.Queue + r.Prefill + r.Quant + r.Comm + r.Decode + r.Overhead
+			if sum > r.JCT()*1.001+1e-6 {
+				t.Errorf("%s: req %d buckets %.4f exceed JCT %.4f", sc.name, r.ID, sum, r.JCT())
+			}
+		}
+	}
+	return res
+}
+
+// scenarioJSON is the deterministic serialization the goldens and the
+// parallelism comparisons pin: the serving summary plus every
+// per-request decomposition in completion order.
+func scenarioJSON(t *testing.T, sc scenario) []byte {
+	t.Helper()
+	res, err := Run(sc.cfg, sc.trace)
+	if err != nil {
+		t.Fatalf("%s: %v", sc.name, err)
+	}
+	out := struct {
+		Summary  Summary        `json:"summary"`
+		Requests []RequestStats `json:"requests"`
+	}{res.Summarize(SLO{TTFT: sc.cfg.SLOTTFT, TBT: sc.cfg.SLOTBT}), res.Requests}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestScenarioInvariants runs every named scenario under the event
+// probe and asserts the universal and scenario-specific invariants.
+func TestScenarioInvariants(t *testing.T) {
+	for _, sc := range scenarios(t) {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			res := runScenario(t, sc)
+			if sc.expect != nil {
+				sc.expect(t, res)
+			}
+		})
+	}
+}
+
+// TestScenarioGolden pins each scenario's full JSON against the
+// committed golden under testdata/sim/ (regenerate with -update), after
+// asserting two in-process runs are byte-identical. As with the sweep
+// golden, the committed bytes pin amd64 float results; other
+// architectures check run-to-run identity only.
+func TestScenarioGolden(t *testing.T) {
+	for _, sc := range scenarios(t) {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			got := scenarioJSON(t, sc)
+			if again := scenarioJSON(t, sc); !bytes.Equal(got, again) {
+				t.Fatal("two identical runs produced different JSON")
+			}
+			if runtime.GOARCH != "amd64" && !*update {
+				t.Skipf("golden files are amd64-generated; on %s only run-to-run identity is checked", runtime.GOARCH)
+			}
+			golden := filepath.Join("testdata", "sim", sc.name+".json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("reading golden (regenerate with `go test -run TestScenarioGolden -update ./internal/sim`): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("scenario deviates from %s (regenerate with -update if intended): got %d bytes, want %d",
+					golden, len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestScenarioSweeprunParallelism replays the scenario table through
+// the sweeprun pool at widths 1 and 4: per-scenario JSON must be
+// byte-identical at every width — simulations don't leak state across
+// goroutines.
+func TestScenarioSweeprunParallelism(t *testing.T) {
+	scs := scenarios(t)
+	runAll := func(workers int) [][]byte {
+		out := make([][]byte, len(scs))
+		err := sweeprun.Map(context.Background(), len(scs), workers, func(_ context.Context, i int) error {
+			res, err := Run(scs[i].cfg, scs[i].trace)
+			if err != nil {
+				return fmt.Errorf("%s: %w", scs[i].name, err)
+			}
+			b, err := json.Marshal(struct {
+				Summary  Summary
+				Requests []RequestStats
+			}{res.Summarize(SLO{TTFT: scs[i].cfg.SLOTTFT, TBT: scs[i].cfg.SLOTBT}), res.Requests})
+			if err != nil {
+				return err
+			}
+			out[i] = b
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := runAll(1)
+	parallel := runAll(4)
+	for i := range scs {
+		if !bytes.Equal(serial[i], parallel[i]) {
+			t.Errorf("%s: results differ between workers=1 and workers=4", scs[i].name)
+		}
+	}
+}
+
+// TestScenarioStreamedAggregatesMatch is the streaming property for
+// every scheduler: aggregates recomputed from the streamed onRequest
+// values must equal the returned Result's exactly — same throughput,
+// mean JCT and percentiles, same requests in the same order.
+func TestScenarioStreamedAggregatesMatch(t *testing.T) {
+	cm := testCM(t, cluster.A10G())
+	trace := mixedTrace(t, 30, 8, 2.0, 0.3)
+	for _, sched := range AllSchedulers() {
+		sched := sched
+		t.Run(sched.String(), func(t *testing.T) {
+			cfg := Config{CM: cm, Method: cluster.DefaultHACK(), PrefillReplicas: 5,
+				DecodeReplicas: 4, MaxBatch: 32, MemCapFrac: 0.95, Scheduler: sched,
+				SLOTTFT: 8, SLOTBT: 0.25}
+			var streamed []RequestStats
+			res, err := RunContext(context.Background(), cfg, trace, func(r RequestStats) {
+				streamed = append(streamed, r)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(streamed) != len(res.Requests) {
+				t.Fatalf("streamed %d requests, result holds %d", len(streamed), len(res.Requests))
+			}
+			for i := range streamed {
+				if streamed[i] != res.Requests[i] {
+					t.Fatalf("streamed request %d differs from result:\n%+v\nvs\n%+v",
+						i, streamed[i], res.Requests[i])
+				}
+			}
+			rebuilt := &Result{Requests: streamed, PeakMemFrac: res.PeakMemFrac,
+				SwappedCount: res.SwappedCount, PreemptedCount: res.PreemptedCount}
+			slo := SLO{TTFT: cfg.SLOTTFT, TBT: cfg.SLOTBT}
+			if got, want := rebuilt.AvgJCT(), res.AvgJCT(); got != want {
+				t.Errorf("AvgJCT from stream %v != %v", got, want)
+			}
+			if got, want := rebuilt.P50JCT(), res.P50JCT(); got != want {
+				t.Errorf("P50JCT from stream %v != %v", got, want)
+			}
+			if got, want := rebuilt.P99JCT(), res.P99JCT(); got != want {
+				t.Errorf("P99JCT from stream %v != %v", got, want)
+			}
+			if got, want := rebuilt.Summarize(slo), res.Summarize(slo); got != want {
+				t.Errorf("Summary from stream differs:\n%+v\nvs\n%+v", got, want)
+			}
+		})
+	}
+}
+
+// TestScenarioSummarizeDoesNotMutate is the percentile-helper
+// regression: percentiles sort copies, so summarizing must leave the
+// (deliberately unsorted) Requests order untouched.
+func TestScenarioSummarizeDoesNotMutate(t *testing.T) {
+	res := &Result{Requests: []RequestStats{
+		{ID: 3, Arrival: 0, Done: 30, TTFT: 3, TBT: 0.3, Queue: 3},
+		{ID: 1, Arrival: 0, Done: 10, TTFT: 1, TBT: 0.1, Queue: 1},
+		{ID: 2, Arrival: 0, Done: 20, TTFT: 2, TBT: 0.2, Queue: 2},
+	}}
+	before := append([]RequestStats(nil), res.Requests...)
+	_ = res.Summarize(SLO{TTFT: 1.5, TBT: 0.15})
+	_ = res.P50JCT()
+	_ = res.P99JCT()
+	_ = res.AvgJCT()
+	for i := range before {
+		if res.Requests[i] != before[i] {
+			t.Fatalf("Requests[%d] mutated or reordered: %+v -> %+v", i, before[i], res.Requests[i])
+		}
+	}
+	// And the percentile values themselves are nearest-rank over the
+	// unsorted input: ⌈0.5·3⌉ = 2nd smallest JCT = 20.
+	if got := res.P50JCT(); got != 20 {
+		t.Fatalf("P50JCT over unsorted requests = %v, want 20", got)
+	}
+}

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/hackkv/hack/internal/cluster"
+)
+
+// Scheduler is a prefill request-placement policy; LoadAware and
+// SLOAware additionally change how requests are admitted.
+type Scheduler int
+
+const (
+	// ShortestQueue assigns each arrival to the replica with the fewest
+	// queued tokens — the paper's policy (§7.1).
+	ShortestQueue Scheduler = iota
+	// RoundRobin cycles through replicas regardless of load.
+	RoundRobin
+	// FewestRequests assigns to the replica with the fewest queued
+	// requests, ignoring their lengths.
+	FewestRequests
+	// LoadAware scores each replica by its estimated prefill drain time
+	// plus the transfer time of its pending (not yet shipped) KV bytes,
+	// FlowKV-style, and assigns to the lowest score.
+	LoadAware
+	// SLOAware places like LoadAware and additionally picks each
+	// request's compression method from Config.MethodClasses: the
+	// highest-fidelity class whose estimated TTFT/TBT meet the SLO
+	// targets, KVServe-style service-aware admission.
+	SLOAware
+)
+
+func (s Scheduler) String() string {
+	switch s {
+	case RoundRobin:
+		return "round-robin"
+	case FewestRequests:
+		return "fewest-requests"
+	case LoadAware:
+		return "load-aware"
+	case SLOAware:
+		return "slo"
+	default:
+		return "shortest-queue"
+	}
+}
+
+// valid reports whether s is a defined policy.
+func (s Scheduler) valid() bool {
+	switch s {
+	case ShortestQueue, RoundRobin, FewestRequests, LoadAware, SLOAware:
+		return true
+	}
+	return false
+}
+
+// AllSchedulers returns every placement policy in definition order.
+func AllSchedulers() []Scheduler {
+	return []Scheduler{ShortestQueue, RoundRobin, FewestRequests, LoadAware, SLOAware}
+}
+
+// SchedulerNames returns the display names of every policy.
+func SchedulerNames() []string {
+	all := AllSchedulers()
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.String()
+	}
+	return names
+}
+
+// ParseScheduler resolves a scheduler from its display name,
+// case-insensitively and ignoring hyphens/underscores (so "loadaware"
+// and "load-aware" both resolve). Unknown names return an error listing
+// the valid spellings.
+func ParseScheduler(name string) (Scheduler, error) {
+	canon := func(s string) string {
+		s = strings.ToLower(s)
+		s = strings.ReplaceAll(s, "-", "")
+		return strings.ReplaceAll(s, "_", "")
+	}
+	want := canon(name)
+	for _, s := range AllSchedulers() {
+		if canon(s.String()) == want || (s == SLOAware && want == "sloaware") {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown scheduler %q (valid: %s)",
+		name, strings.Join(SchedulerNames(), ", "))
+}
+
+// pickPrefill assigns the request to a prefill replica per the
+// configured policy.
+func (s *sim) pickPrefill(r *request) int {
+	best := 0
+	switch s.cfg.Scheduler {
+	case RoundRobin:
+		best = s.rrNext % len(s.prefills)
+		s.rrNext++
+	case FewestRequests:
+		bestN := math.MaxInt
+		for i, p := range s.prefills {
+			n := len(p.queue)
+			if p.busy {
+				n++
+			}
+			if n < bestN {
+				best, bestN = i, n
+			}
+		}
+	case LoadAware, SLOAware:
+		bestScore := math.Inf(1)
+		for i, p := range s.prefills {
+			score := p.drainS + p.pendingWire/s.prefillBps
+			if score < bestScore {
+				best, bestScore = i, score
+			}
+		}
+	default:
+		bestToks := math.MaxInt
+		for i, p := range s.prefills {
+			if p.queuedToks < bestToks {
+				best, bestToks = i, p.queuedToks
+			}
+		}
+	}
+	return best
+}
+
+// admitMethod picks the serving method for an arriving request. Every
+// policy but SLOAware serves Config.Method; SLOAware walks the
+// fidelity-ordered method classes and returns the first whose estimated
+// TTFT (queue drain + prefill + quantization) and TBT (per-iteration
+// decode cost plus the KV transfer amortized over the output) meet the
+// configured targets, falling back to the most compressed class when
+// none does. Zero targets are untracked and always met, so with no SLO
+// the highest-fidelity class wins.
+func (s *sim) admitMethod(r *request) cluster.Method {
+	if s.cfg.Scheduler != SLOAware || len(s.classes) == 1 {
+		if s.cfg.Scheduler == SLOAware {
+			return s.classes[0]
+		}
+		return s.cfg.Method
+	}
+	minDrain := math.Inf(1)
+	for _, p := range s.prefills {
+		if p.drainS < minDrain {
+			minDrain = p.drainS
+		}
+	}
+	for _, m := range s.classes {
+		compute, quant := s.cfg.CM.PrefillTimes(m, r.InputLen)
+		estTTFT := minDrain + compute + quant
+		// The exposed KV transfer is the stall between the first and
+		// second token, so a class meets the TBT target only if the
+		// whole transfer fits in one inter-token budget — and so must
+		// an ordinary decode iteration.
+		transfer := s.cfg.CM.TransferTime(m, r.InputLen, s.cfg.CM.Prefill.NetGbps)
+		dec, kv, ovh := s.cfg.CM.DecodeStep(m, []int{r.InputLen})
+		estGap := dec + kv + ovh
+		if transfer > estGap {
+			estGap = transfer
+		}
+		if (s.cfg.SLOTTFT == 0 || estTTFT <= s.cfg.SLOTTFT) &&
+			(s.cfg.SLOTBT == 0 || estGap <= s.cfg.SLOTBT) {
+			return m
+		}
+	}
+	return s.classes[len(s.classes)-1]
+}
+
+// resolveClasses fixes the SLO-aware admission candidates at run start:
+// the configured MethodClasses, or [Baseline, Config.Method] when none
+// are given (full fidelity first, the run's compressed method as the
+// fallback class).
+func (s *sim) resolveClasses() {
+	if s.cfg.Scheduler != SLOAware {
+		s.classes = []cluster.Method{s.cfg.Method}
+		return
+	}
+	if len(s.cfg.MethodClasses) > 0 {
+		s.classes = s.cfg.MethodClasses
+		return
+	}
+	base := cluster.Baseline()
+	if s.cfg.Method.Name == base.Name {
+		s.classes = []cluster.Method{base}
+		return
+	}
+	s.classes = []cluster.Method{base, s.cfg.Method}
+}

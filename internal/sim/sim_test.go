@@ -385,8 +385,9 @@ func TestStatsHelpers(t *testing.T) {
 	if math.Abs(total-1) > 1e-9 {
 		t.Errorf("ratios sum to %v, want 1", total)
 	}
-	if r.P50JCT() != 15 || r.P99JCT() < 15 {
-		t.Errorf("percentiles %v %v", r.P50JCT(), r.P99JCT())
+	// Nearest-rank percentiles: ⌈0.5·2⌉ = 1st smallest, ⌈0.99·2⌉ = 2nd.
+	if r.P50JCT() != 10 || r.P99JCT() != 20 {
+		t.Errorf("percentiles %v %v, want 10 20", r.P50JCT(), r.P99JCT())
 	}
 	empty := &Result{}
 	if empty.AvgJCT() != 0 || empty.AvgRatios().Comm != 0 {

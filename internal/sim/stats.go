@@ -1,6 +1,11 @@
 package sim
 
-import "github.com/hackkv/hack/internal/metrics"
+import (
+	"math"
+	"sort"
+
+	"github.com/hackkv/hack/internal/metrics"
+)
 
 // Ratios is the paper's average-time-ratio presentation: for each
 // component, mean over requests of component_i / JCT_i (the Fig. 1–4
@@ -62,16 +67,136 @@ func (r *Result) AvgRatios() Ratios {
 	return out
 }
 
-// P50JCT and P99JCT return JCT percentiles.
+// percentile returns the nearest-rank p-quantile (0 ≤ p ≤ 1) of xs: the
+// ⌈p·n⌉-th smallest value. It sorts a copy, never the caller's slice,
+// and returns 0 for an empty input.
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// metricOf extracts one latency metric across the run's requests into a
+// fresh slice, leaving Requests untouched.
+func (r *Result) metricOf(f func(RequestStats) float64) []float64 {
+	xs := make([]float64, len(r.Requests))
+	for i, q := range r.Requests {
+		xs[i] = f(q)
+	}
+	return xs
+}
+
+// P50JCT returns the median (nearest-rank) JCT.
 func (r *Result) P50JCT() float64 { return r.jctPercentile(0.50) }
 
 // P99JCT returns the 99th-percentile JCT.
 func (r *Result) P99JCT() float64 { return r.jctPercentile(0.99) }
 
 func (r *Result) jctPercentile(p float64) float64 {
-	xs := make([]float64, len(r.Requests))
-	for i, q := range r.Requests {
-		xs[i] = q.JCT()
+	return percentile(r.metricOf(RequestStats.JCT), p)
+}
+
+// PercentileSummary is the nearest-rank p50/p90/p99 of one latency
+// metric, in seconds.
+type PercentileSummary struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+}
+
+func summarizeMetric(xs []float64) PercentileSummary {
+	return PercentileSummary{
+		P50: percentile(xs, 0.50),
+		P90: percentile(xs, 0.90),
+		P99: percentile(xs, 0.99),
 	}
-	return metrics.Percentile(xs, p)
+}
+
+// SLO is a pair of serving targets in seconds: time to first token and
+// mean time between subsequent tokens. Zero fields are untracked — a
+// request trivially attains an untracked target.
+type SLO struct {
+	TTFT float64 `json:"ttft_s"`
+	TBT  float64 `json:"tbt_s"`
+}
+
+// Summary aggregates one run's serving metrics: throughput, the
+// latency percentile summaries (JCT, TTFT, TBT, queueing delay) and the
+// fraction of requests attaining the SLO targets, plus the memory and
+// eviction counters the scenario goldens pin.
+type Summary struct {
+	Requests       int               `json:"requests"`
+	ThroughputRPS  float64           `json:"throughput_rps"`
+	AvgJCT         float64           `json:"avg_jct_s"`
+	JCT            PercentileSummary `json:"jct_s"`
+	TTFT           PercentileSummary `json:"ttft_s"`
+	TBT            PercentileSummary `json:"tbt_s"`
+	Queue          PercentileSummary `json:"queue_s"`
+	TTFTAttainment float64           `json:"ttft_attainment"`
+	TBTAttainment  float64           `json:"tbt_attainment"`
+	Attainment     float64           `json:"slo_attainment"`
+	Swapped        int               `json:"swapped"`
+	Preempted      int               `json:"preempted"`
+	PeakMemFrac    float64           `json:"peak_mem_frac"`
+}
+
+// Summarize computes the serving summary against the given SLO. It
+// reads Requests without reordering or mutating it; percentiles are
+// nearest-rank over sorted copies. Throughput is completed requests
+// over the span from first arrival to last completion.
+func (r *Result) Summarize(slo SLO) Summary {
+	out := Summary{
+		Requests:    len(r.Requests),
+		AvgJCT:      r.AvgJCT(),
+		Swapped:     r.SwappedCount,
+		Preempted:   r.PreemptedCount,
+		PeakMemFrac: r.PeakMemFrac,
+	}
+	if len(r.Requests) == 0 {
+		out.TTFTAttainment, out.TBTAttainment, out.Attainment = 1, 1, 1
+		return out
+	}
+	firstArrival, lastDone := math.Inf(1), math.Inf(-1)
+	ttftOK, tbtOK, bothOK := 0, 0, 0
+	for _, q := range r.Requests {
+		if q.Arrival < firstArrival {
+			firstArrival = q.Arrival
+		}
+		if q.Done > lastDone {
+			lastDone = q.Done
+		}
+		tOK := slo.TTFT == 0 || q.TTFT <= slo.TTFT
+		bOK := slo.TBT == 0 || q.TBT <= slo.TBT
+		if tOK {
+			ttftOK++
+		}
+		if bOK {
+			tbtOK++
+		}
+		if tOK && bOK {
+			bothOK++
+		}
+	}
+	if span := lastDone - firstArrival; span > 0 {
+		out.ThroughputRPS = float64(len(r.Requests)) / span
+	}
+	n := float64(len(r.Requests))
+	out.TTFTAttainment = float64(ttftOK) / n
+	out.TBTAttainment = float64(tbtOK) / n
+	out.Attainment = float64(bothOK) / n
+	out.JCT = summarizeMetric(r.metricOf(RequestStats.JCT))
+	out.TTFT = summarizeMetric(r.metricOf(func(q RequestStats) float64 { return q.TTFT }))
+	out.TBT = summarizeMetric(r.metricOf(func(q RequestStats) float64 { return q.TBT }))
+	out.Queue = summarizeMetric(r.metricOf(func(q RequestStats) float64 { return q.Queue }))
+	return out
 }

@@ -4,6 +4,7 @@ import (
 	"github.com/hackkv/hack/internal/cluster"
 	"github.com/hackkv/hack/internal/experiments"
 	"github.com/hackkv/hack/internal/model"
+	"github.com/hackkv/hack/internal/sim"
 	"github.com/hackkv/hack/internal/workload"
 )
 
@@ -44,6 +45,15 @@ func ModelNamed(name string) (ModelSpec, error) { return model.Registry.Lookup(n
 // EvaluatedMethods returns the four methods of the paper's headline
 // figures in presentation order.
 func EvaluatedMethods() []Method { return cluster.EvaluatedMethods() }
+
+// Schedulers returns the request-placement policy names
+// (shortest-queue, round-robin, fewest-requests, load-aware, slo).
+func Schedulers() []string { return sim.SchedulerNames() }
+
+// SchedulerNamed resolves a scheduler by display name,
+// case-insensitively and ignoring hyphens (so "loadaware" works);
+// unknown names return an error listing the valid spellings.
+func SchedulerNamed(name string) (Scheduler, error) { return sim.ParseScheduler(name) }
 
 // ResultTable is one regenerated paper table or figure; print it with
 // Fprint or export it with WriteCSV.

@@ -64,6 +64,18 @@ type SweepSpec struct {
 	MemCapFrac float64 `json:"mem_cap_frac"`
 	// Pipeline overlaps KV transfer with prefill computation (§2.1).
 	Pipeline bool `json:"pipeline"`
+	// SLOTTFT and SLOTBT are the serving targets in seconds every cell
+	// is judged against (time to first token; mean time between
+	// subsequent tokens). Zero targets are untracked — attainment is
+	// then 1. The slo scheduler also admits against them.
+	SLOTTFT float64 `json:"slo_ttft,omitempty"`
+	SLOTBT  float64 `json:"slo_tbt,omitempty"`
+	// PrefillChunk bounds prefill passes to this many tokens (0 = whole
+	// prompts).
+	PrefillChunk int `json:"prefill_chunk,omitempty"`
+	// Preemption enables decode-side eviction with KV re-transfer for
+	// memory-starved requests.
+	Preemption bool `json:"preemption,omitempty"`
 	// Baseline names the method speedups are measured against; default
 	// "Baseline" when that method is in the grid, otherwise no speedup
 	// column is computed.
@@ -109,13 +121,22 @@ type JCTBreakdown struct {
 // sweep proceeds.
 type CellResult struct {
 	SweepCell
-	Err         string       `json:"error,omitempty"`
-	AvgJCT      float64      `json:"avg_jct_s"`
-	P50JCT      float64      `json:"p50_jct_s"`
-	P99JCT      float64      `json:"p99_jct_s"`
-	Breakdown   JCTBreakdown `json:"avg_times_s"`
-	PeakMemFrac float64      `json:"peak_mem_frac"`
-	Swapped     int          `json:"swapped"`
+	Err       string       `json:"error,omitempty"`
+	AvgJCT    float64      `json:"avg_jct_s"`
+	P50JCT    float64      `json:"p50_jct_s"`
+	P99JCT    float64      `json:"p99_jct_s"`
+	Breakdown JCTBreakdown `json:"avg_times_s"`
+	// The SLO columns: nearest-rank TTFT/TBT percentiles and the
+	// fraction of requests attaining the spec's targets (1 when no
+	// target is set).
+	P50TTFT     float64 `json:"p50_ttft_s"`
+	P99TTFT     float64 `json:"p99_ttft_s"`
+	P50TBT      float64 `json:"p50_tbt_s"`
+	P99TBT      float64 `json:"p99_tbt_s"`
+	Attainment  float64 `json:"slo_attainment"`
+	PeakMemFrac float64 `json:"peak_mem_frac"`
+	Swapped     int     `json:"swapped"`
+	Preempted   int     `json:"preempted"`
 	// Speedup is baseline-JCT / this-JCT within the cell's workload
 	// point (1 for the baseline itself); 0 when no baseline applies.
 	Speedup float64 `json:"speedup_vs_baseline,omitempty"`
@@ -218,10 +239,10 @@ func (s SweepSpec) normalize() (SweepSpec, error) {
 	}
 	for _, sched := range out.Schedulers {
 		switch sched {
-		case ShortestQueue, RoundRobin, FewestRequests:
+		case ShortestQueue, RoundRobin, FewestRequests, LoadAware, SLOAware:
 		default:
-			return out, fmt.Errorf("sweep: unknown scheduler %d (valid: %v, %v, %v)",
-				sched, ShortestQueue, RoundRobin, FewestRequests)
+			return out, fmt.Errorf("sweep: unknown scheduler %d (valid: %v)",
+				sched, Schedulers())
 		}
 	}
 	if len(out.RPS) == 0 {
@@ -249,6 +270,12 @@ func (s SweepSpec) normalize() (SweepSpec, error) {
 	}
 	if out.MemCapFrac < 0 || out.MemCapFrac > 1 {
 		return out, fmt.Errorf("sweep: mem cap fraction %v outside (0, 1]", out.MemCapFrac)
+	}
+	if out.SLOTTFT < 0 || out.SLOTBT < 0 {
+		return out, fmt.Errorf("sweep: SLO targets %v/%v must be >= 0", out.SLOTTFT, out.SLOTBT)
+	}
+	if out.PrefillChunk < 0 {
+		return out, fmt.Errorf("sweep: prefill chunk %d must be >= 0", out.PrefillChunk)
 	}
 	if out.Baseline != "" {
 		m, err := cluster.MethodRegistry.Lookup(out.Baseline)
@@ -398,6 +425,9 @@ func runSweepCell(ctx context.Context, spec SweepSpec, c SweepCell) (out CellRes
 		WithMaxBatch(spec.MaxBatch),
 		WithMemCapFrac(spec.MemCapFrac),
 		WithPipeline(spec.Pipeline),
+		WithSLO(spec.SLOTTFT, spec.SLOTBT),
+		WithPrefillChunk(spec.PrefillChunk),
+		WithPreemption(spec.Preemption),
 	)
 	if err != nil {
 		out.Err = err.Error()
@@ -416,8 +446,15 @@ func runSweepCell(ctx context.Context, spec SweepSpec, c SweepCell) (out CellRes
 	out.P99JCT = res.P99JCT()
 	out.Breakdown = JCTBreakdown{Queue: at.Queue, Prefill: at.Prefill, Quant: at.Quant,
 		Comm: at.Comm, Overhead: at.Overhead, Decode: at.Decode, KVMem: at.KVMem}
+	sum := res.Summarize(SLO{TTFT: spec.SLOTTFT, TBT: spec.SLOTBT})
+	out.P50TTFT = sum.TTFT.P50
+	out.P99TTFT = sum.TTFT.P99
+	out.P50TBT = sum.TBT.P50
+	out.P99TBT = sum.TBT.P99
+	out.Attainment = sum.Attainment
 	out.PeakMemFrac = res.PeakMemFrac
 	out.Swapped = res.SwappedCount
+	out.Preempted = res.PreemptedCount
 	return out
 }
 
@@ -462,8 +499,9 @@ func (r *SweepResult) WriteCSV(w io.Writer) error {
 	if err := cw.Write([]string{
 		"index", "model", "gpu", "prefill_replicas", "decode_replicas", "scheduler",
 		"rps", "method", "dataset", "seed", "avg_jct_s", "p50_jct_s", "p99_jct_s",
+		"p50_ttft_s", "p99_ttft_s", "p50_tbt_s", "p99_tbt_s", "slo_attainment",
 		"queue_s", "prefill_s", "quant_s", "comm_s", "overhead_s", "decode_s",
-		"kv_mem_s", "peak_mem_frac", "swapped", "speedup_vs_baseline", "error",
+		"kv_mem_s", "peak_mem_frac", "swapped", "preempted", "speedup_vs_baseline", "error",
 	}); err != nil {
 		return err
 	}
@@ -474,10 +512,11 @@ func (r *SweepResult) WriteCSV(w io.Writer) error {
 			strconv.Itoa(c.Prefill), strconv.Itoa(c.Decode), c.Scheduler,
 			f(c.RPS), c.Method, c.Dataset, strconv.FormatInt(c.Seed, 10),
 			f(c.AvgJCT), f(c.P50JCT), f(c.P99JCT),
+			f(c.P50TTFT), f(c.P99TTFT), f(c.P50TBT), f(c.P99TBT), f(c.Attainment),
 			f(c.Breakdown.Queue), f(c.Breakdown.Prefill), f(c.Breakdown.Quant),
 			f(c.Breakdown.Comm), f(c.Breakdown.Overhead), f(c.Breakdown.Decode),
 			f(c.Breakdown.KVMem), f(c.PeakMemFrac), strconv.Itoa(c.Swapped),
-			f(c.Speedup), c.Err,
+			strconv.Itoa(c.Preempted), f(c.Speedup), c.Err,
 		}); err != nil {
 			return err
 		}
@@ -499,11 +538,17 @@ const (
 	MetricPeakMem SweepMetric = "peakmem"
 	// MetricSpeedup reports speedup over the baseline method.
 	MetricSpeedup SweepMetric = "speedup"
+	// MetricP99TTFT reports tail time-to-first-token.
+	MetricP99TTFT SweepMetric = "p99ttft"
+	// MetricAttainment reports the fraction of requests meeting the
+	// spec's SLO targets.
+	MetricAttainment SweepMetric = "attainment"
 )
 
 // SweepMetrics lists the valid metric spellings.
 func SweepMetrics() []SweepMetric {
-	return []SweepMetric{MetricAvgJCT, MetricP99JCT, MetricPeakMem, MetricSpeedup}
+	return []SweepMetric{MetricAvgJCT, MetricP99JCT, MetricPeakMem, MetricSpeedup,
+		MetricP99TTFT, MetricAttainment}
 }
 
 func (m SweepMetric) cell(c CellResult) string {
@@ -520,6 +565,10 @@ func (m SweepMetric) cell(c CellResult) string {
 			return "-"
 		}
 		return fmt.Sprintf("%.2fx", c.Speedup)
+	case MetricP99TTFT:
+		return fmt.Sprintf("%.2fs", c.P99TTFT)
+	case MetricAttainment:
+		return fmt.Sprintf("%.1f%%", 100*c.Attainment)
 	default:
 		return fmt.Sprintf("%.2fs", c.AvgJCT)
 	}
@@ -533,6 +582,10 @@ func (m SweepMetric) describe() string {
 		return "peak decode memory"
 	case MetricSpeedup:
 		return "speedup vs baseline"
+	case MetricP99TTFT:
+		return "p99 TTFT"
+	case MetricAttainment:
+		return "SLO attainment"
 	default:
 		return "average JCT"
 	}

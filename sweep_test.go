@@ -114,6 +114,52 @@ func TestEngineRunDeterministic(t *testing.T) {
 	}
 }
 
+// TestEngineProbeDelivery wires WithProbe through a run: events arrive
+// in simulation order, cover every request, and observing them does not
+// change the result.
+func TestEngineProbeDelivery(t *testing.T) {
+	runWith := func(probe func(hack.ProbeEvent)) *hack.Result {
+		opts := []hack.Option{hack.WithMethod("HACK"), hack.WithPrefillChunk(128)}
+		if probe != nil {
+			opts = append(opts, hack.WithProbe(probe))
+		}
+		eng, err := hack.New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run(context.Background(), hack.Workload{
+			Dataset: "IMDb", RPS: 2.0, Requests: 20, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	var events []hack.ProbeEvent
+	observed := runWith(func(e hack.ProbeEvent) { events = append(events, e) })
+	if len(events) == 0 {
+		t.Fatal("probe received no events")
+	}
+	completed := map[int]bool{}
+	last := 0.0
+	for _, e := range events {
+		if e.At < last-1e-9 {
+			t.Fatalf("probe event %q at %.6f before prior event at %.6f", e.Kind, e.At, last)
+		}
+		last = e.At
+		if e.Kind == "complete" {
+			completed[e.Req] = true
+		}
+	}
+	if len(completed) != 20 {
+		t.Fatalf("probe saw %d completions, want 20", len(completed))
+	}
+	plain := runWith(nil)
+	if observed.AvgJCT() != plain.AvgJCT() || len(observed.Requests) != len(plain.Requests) {
+		t.Fatal("observing with WithProbe changed the result")
+	}
+}
+
 func TestSweepCellOrderingAndSpeedup(t *testing.T) {
 	spec := goldenSpec()
 	res, err := hack.RunSweep(context.Background(), spec, hack.SweepWorkers(4))
