@@ -1,0 +1,149 @@
+// Command benchguard is the kernel-bench regression gate CI runs: it
+// compares a fresh cmd/kernelbench report against the committed
+// BENCH_kernels.json baseline on the fast-over-scalar speedups — the
+// one metric that is portable across hosts and operand sizes — and
+// fails when any speedup regressed beyond the tolerance.
+//
+//	benchguard -baseline BENCH_kernels.json -fresh /tmp/fresh.json -tol 0.30
+//
+// A speedup below baseline·(1−tol) is a regression (exit 1). A speedup
+// above baseline·(1+tol) is only a warning: faster is welcome, but the
+// drift is printed so an improved kernel eventually gets a refreshed
+// committed baseline. Missing keys in the fresh report fail; extra
+// fresh keys (new benchmarks) are reported and pass.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err == nil {
+		return
+	}
+	var ue usageError
+	if errors.As(err, &ue) {
+		if !ue.quiet {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+		}
+		os.Exit(2)
+	}
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}
+
+// usageError marks flag-style errors that exit 2 instead of 1, per the
+// CLI convention.
+type usageError struct {
+	err   error
+	quiet bool
+}
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+// report is the slice of the kernelbench JSON schema the guard reads.
+type report struct {
+	GoVersion string             `json:"go_version"`
+	NumCPU    int                `json:"num_cpu"`
+	Speedups  map[string]float64 `json:"speedups_vs_scalar"`
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Speedups) == 0 {
+		return nil, fmt.Errorf("%s: no speedups_vs_scalar section", path)
+	}
+	return &r, nil
+}
+
+// run executes the comparison, writing the verdict table to stdout. It
+// is the whole CLI minus process exit, so tests drive it without
+// os/exec.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		basePath  = fs.String("baseline", "BENCH_kernels.json", "committed baseline report")
+		freshPath = fs.String("fresh", "", "fresh kernelbench report to judge (required)")
+		tol       = fs.Float64("tol", 0.30, "allowed fractional slowdown before failing (0.30 = -30%)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return usageError{err: err, quiet: true}
+	}
+	if *freshPath == "" {
+		return usageError{err: fmt.Errorf("-fresh is required")}
+	}
+	if *tol <= 0 || *tol >= 1 {
+		return usageError{err: fmt.Errorf("tolerance %v outside (0, 1)", *tol)}
+	}
+
+	base, err := load(*basePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		return err
+	}
+
+	keys := make([]string, 0, len(base.Speedups))
+	for k := range base.Speedups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	fmt.Fprintf(stdout, "kernel speedup guard: baseline %s (%d CPU) vs fresh %s (%d CPU), tolerance ±%.0f%%\n",
+		base.GoVersion, base.NumCPU, fresh.GoVersion, fresh.NumCPU, 100**tol)
+	regressions := 0
+	for _, k := range keys {
+		b := base.Speedups[k]
+		f, ok := fresh.Speedups[k]
+		if !ok {
+			fmt.Fprintf(stdout, "  FAIL %-16s missing from fresh report\n", k)
+			regressions++
+			continue
+		}
+		delta := f/b - 1
+		switch {
+		case f < b*(1-*tol):
+			fmt.Fprintf(stdout, "  FAIL %-16s %6.2fx -> %6.2fx (%+.0f%%): slower than tolerance\n",
+				k, b, f, 100*delta)
+			regressions++
+		case f > b*(1+*tol):
+			fmt.Fprintf(stdout, "  WARN %-16s %6.2fx -> %6.2fx (%+.0f%%): faster than baseline band; "+
+				"consider refreshing the committed baseline\n", k, b, f, 100*delta)
+		default:
+			fmt.Fprintf(stdout, "  ok   %-16s %6.2fx -> %6.2fx (%+.0f%%)\n", k, b, f, 100*delta)
+		}
+	}
+	extra := 0
+	for k := range fresh.Speedups {
+		if _, ok := base.Speedups[k]; !ok {
+			fmt.Fprintf(stdout, "  new  %-16s %6.2fx (not in baseline)\n", k, fresh.Speedups[k])
+			extra++
+		}
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d of %d speedups regressed beyond ±%.0f%%", regressions, len(keys), 100**tol)
+	}
+	fmt.Fprintf(stdout, "all %d speedups within tolerance (%d new)\n", len(keys), extra)
+	return nil
+}

@@ -1,0 +1,254 @@
+// Command hackserved is the live serving daemon: an HTTP front end over
+// the continuous-batching runtime, generating real tokens through the
+// homomorphic HACK kernels (or any registered serving method).
+//
+//	hackserved -addr 127.0.0.1:8080 -method HACK -scheduler load-aware
+//
+// Endpoints:
+//
+//	POST /v1/generate   {"prompt":[1,2,3],"max_new_tokens":8,"seed":7}
+//	                    → streamed NDJSON, one {"index":i,"id":t} line
+//	                    per token, then a {"done":true} trailer
+//	GET  /metrics       live serving snapshot (JSON)
+//	GET  /healthz       {"status":"ok"}, or 503 {"status":"draining"}
+//
+// SIGINT/SIGTERM begin a graceful drain: new work is rejected (429/503
+// responses), in-flight streams run to completion (bounded by
+// -drain-timeout), then the process exits 0. Run with -h for the flag
+// list; unknown -method/-scheduler values exit with status 2 and list
+// the valid names.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/hackkv/hack"
+)
+
+func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err == nil {
+		return
+	}
+	var ue usageError
+	if errors.As(err, &ue) {
+		if !ue.quiet {
+			fmt.Fprintln(os.Stderr, "hackserved:", err)
+		}
+		os.Exit(2)
+	}
+	fmt.Fprintln(os.Stderr, "hackserved:", err)
+	os.Exit(1)
+}
+
+// usageError marks flag-style errors (unknown names, bad values) that
+// exit with status 2 instead of 1, per the CLI convention. quiet marks
+// errors the flag package already reported to stderr, so main does not
+// print them twice.
+type usageError struct {
+	err   error
+	quiet bool
+}
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+// run executes the daemon for the given argument list: it binds the
+// listener, announces the address on stdout, serves until SIGINT or
+// SIGTERM, drains, and returns. It is the whole daemon minus process
+// exit, so tests drive it without os/exec.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hackserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		method    = fs.String("method", "HACK", "serving method (kernel family)")
+		scheduler = fs.String("scheduler", "shortest-queue",
+			"admission routing policy: "+strings.Join(hack.Schedulers(), ", "))
+		workers   = fs.Int("prefill-workers", 2, "concurrent prefill workers (1 = deterministic single-worker mode)")
+		batch     = fs.Int("batch", 8, "max continuous decode batch")
+		queueCap  = fs.Int("queue", 64, "admission queue bound per prefill worker (full queues load-shed)")
+		maxNew    = fs.Int("max-new", 32, "per-request generated-token cap")
+		decodePar = fs.Int("decode-par", 0, "decode-step goroutine fan-out (0 = size to batch, 1 = serial)")
+		seed      = fs.Int64("seed", 1, "model weight seed")
+		drainFor  = fs.Duration("drain-timeout", 30*time.Second, "graceful-drain budget after SIGTERM")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage already printed, exit 0
+		}
+		return usageError{err: err, quiet: true}
+	}
+
+	// Flag-style usage errors: report the valid names and exit 2.
+	if _, err := hack.MethodNamed(*method); err != nil {
+		return usageError{err: err}
+	}
+	sched, err := hack.SchedulerNamed(*scheduler)
+	if err != nil {
+		return usageError{err: err}
+	}
+	if *workers < 0 || *batch < 0 || *queueCap < 0 || *maxNew < 0 || *decodePar < 0 {
+		return usageError{err: fmt.Errorf("sizing flags must be >= 0")}
+	}
+	if *drainFor <= 0 {
+		return usageError{err: fmt.Errorf("drain timeout %v must be positive", *drainFor)}
+	}
+
+	eng, err := hack.New(
+		hack.WithMethod(*method),
+		hack.WithScheduler(sched),
+		hack.WithServeConfig(hack.ServeConfig{
+			ModelSeed:         *seed,
+			PrefillWorkers:    *workers,
+			MaxBatch:          *batch,
+			QueueCap:          *queueCap,
+			MaxNewTokens:      *maxNew,
+			DecodeParallelism: *decodePar,
+		}),
+	)
+	if err != nil {
+		return err
+	}
+	srv, err := eng.Listen(context.Background())
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		// Make sure the runtime's goroutines don't outlive the failed
+		// daemon.
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		return err
+	}
+	fmt.Fprintf(stdout, "hackserved: listening on http://%s (%s, %s, %d prefill workers, batch %d)\n",
+		ln.Addr(), *method, sched, *workers, *batch)
+
+	httpSrv := &http.Server{Handler: newMux(srv), ReadHeaderTimeout: 10 * time.Second}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err // listener failure before any signal
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(stdout, "hackserved: signal received, draining...")
+		dctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+		defer cancel()
+		drainErr := srv.Shutdown(dctx)
+		hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer hcancel()
+		_ = httpSrv.Shutdown(hctx)
+		snap := srv.Metrics()
+		fmt.Fprintf(stdout, "hackserved: drained (completed %d, canceled %d, tokens %d)\n",
+			snap.Completed, snap.Canceled, snap.TokensStreamed)
+		if drainErr != nil {
+			return fmt.Errorf("drain: %w", drainErr)
+		}
+		return nil
+	}
+}
+
+// genRequest is the POST /v1/generate body.
+type genRequest struct {
+	Prompt       []int `json:"prompt"`
+	MaxNewTokens int   `json:"max_new_tokens"`
+	EOS          int   `json:"eos"`
+	Seed         int64 `json:"seed"`
+}
+
+// genTrailer is the stream's final NDJSON line.
+type genTrailer struct {
+	Done   bool   `json:"done"`
+	Tokens int    `json:"tokens"`
+	Error  string `json:"error,omitempty"`
+}
+
+// newMux builds the daemon's HTTP handler over a live server; split out
+// so tests can drive it with httptest.
+func newMux(srv *hack.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/generate", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req genRequest
+		body := http.MaxBytesReader(w, r.Body, 1<<20)
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		st, err := srv.Submit(r.Context(), hack.GenRequest{
+			Prompt: req.Prompt, MaxNewTokens: req.MaxNewTokens, EOS: req.EOS, Seed: req.Seed,
+		})
+		switch {
+		case errors.Is(err, hack.ErrQueueFull):
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return
+		case errors.Is(err, hack.ErrDraining):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		fl, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		n := 0
+		for tok := range st.Tokens() {
+			if enc.Encode(tok) != nil {
+				return // client went away; request ctx cancellation stops the stream
+			}
+			n++
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+		trailer := genTrailer{Done: true, Tokens: n}
+		if err := st.Err(); err != nil {
+			trailer.Error = err.Error()
+		}
+		_ = enc.Encode(trailer)
+		if fl != nil {
+			fl.Flush()
+		}
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(srv.Metrics())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if srv.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"status":"draining"}`)
+			return
+		}
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	return mux
+}

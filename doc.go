@@ -41,6 +41,32 @@
 // with KV re-transfer; see examples/slo and the scenario-test harness
 // under internal/sim.
 //
+// # Live serving
+//
+// Engine.Listen starts the execution counterpart of the simulator: a
+// concurrent serving runtime (internal/serve) that actually runs
+// requests through the numeric transformer and the engine method's
+// kernels — the homomorphic HACK path for HACK-family methods — under
+// continuous batching. Arrivals are routed across prefill workers by
+// the engine's scheduler policy, the decode batcher re-forms its batch
+// every step, full admission queues load-shed with ErrQueueFull, and
+// Shutdown drains gracefully (ErrDraining for late submissions):
+//
+//	srv, err := eng.Listen(ctx)
+//	st, err := srv.Submit(ctx, hack.GenRequest{Prompt: []int{1, 2, 3}, MaxNewTokens: 8})
+//	for tok := range st.Tokens() { ... }  // streamed, ctx-cancellable
+//	snap := srv.Metrics()                 // TTFT/TBT percentiles, queue depth, batch occupancy
+//	err = srv.Shutdown(ctx)               // graceful drain
+//
+// WithServeConfig sizes the runtime (prefill workers, decode batch,
+// queue bounds, token caps, the numeric model — Toy by default, since
+// catalog-scale specs are priced, not executed). Streams are
+// deterministic per (prompt, seed) regardless of batch composition;
+// with one prefill worker and serial decode stepping the runtime is
+// byte-identical across reruns. cmd/hackserved wraps a Server in an
+// HTTP daemon (streamed POST /v1/generate, GET /metrics, GET /healthz,
+// SIGTERM graceful drain); see examples/served for the library form.
+//
 // # Sweeps
 //
 // RunSweep executes a declarative grid of Engine configurations — the

@@ -114,6 +114,7 @@ type Engine struct {
 	preemption        bool
 	admitMethods      []Method
 	probe             func(ProbeEvent)
+	serveCfg          ServeConfig
 
 	cm *cluster.CostModel
 }

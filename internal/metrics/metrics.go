@@ -1,8 +1,15 @@
 // Package metrics implements the accuracy metrics of §7.1 — ROUGE-1 for
 // summarization-style outputs and normalized Levenshtein edit similarity
 // for code-completion-style outputs — over integer token sequences, plus
-// the summary statistics the experiment tables report.
+// the summary statistics the experiment tables report and the
+// nearest-rank latency percentiles shared by the serving simulator and
+// the live serving runtime.
 package metrics
+
+import (
+	"math"
+	"sort"
+)
 
 // Rouge1 returns the ROUGE-1 F1 score between a candidate and a
 // reference token sequence: the harmonic mean of unigram precision and
@@ -121,6 +128,53 @@ func Ratio(a, b float64) float64 {
 		return 0
 	}
 	return a / b
+}
+
+// NearestRank returns the nearest-rank p-quantile (0 ≤ p ≤ 1) of xs:
+// the ⌈p·n⌉-th smallest value. It sorts a copy, never the caller's
+// slice, and returns 0 for an empty input. This is the serving-latency
+// percentile definition shared by the simulator summaries and the live
+// runtime snapshots.
+func NearestRank(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// PercentileSummary is the nearest-rank p50/p90/p99 of one latency
+// metric, in seconds.
+type PercentileSummary struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+}
+
+// Summarize computes the nearest-rank p50/p90/p99 summary of xs,
+// sorting one copy once for all three ranks.
+func Summarize(xs []float64) PercentileSummary {
+	if len(xs) == 0 {
+		return PercentileSummary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	at := func(p float64) float64 {
+		rank := int(math.Ceil(p * float64(len(sorted))))
+		if rank < 1 {
+			rank = 1
+		}
+		return sorted[rank-1]
+	}
+	return PercentileSummary{P50: at(0.50), P90: at(0.90), P99: at(0.99)}
 }
 
 // Percentile returns the p-quantile (0 ≤ p ≤ 1) of xs by linear

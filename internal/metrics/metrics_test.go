@@ -168,3 +168,27 @@ func BenchmarkEditSimilarity(b *testing.B) {
 		EditSimilarity(x, y)
 	}
 }
+
+func TestNearestRank(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	cases := []struct {
+		p    float64
+		want float64
+	}{{0, 1}, {0.2, 1}, {0.5, 3}, {0.9, 5}, {0.99, 5}, {1, 5}}
+	for _, c := range cases {
+		if got := NearestRank(xs, c.p); got != c.want {
+			t.Errorf("NearestRank(p=%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := NearestRank(nil, 0.5); got != 0 {
+		t.Errorf("NearestRank(nil) = %v, want 0", got)
+	}
+	// The input slice must not be reordered.
+	if xs[0] != 5 || xs[4] != 3 {
+		t.Errorf("NearestRank mutated its input: %v", xs)
+	}
+	s := Summarize(xs)
+	if s.P50 != 3 || s.P90 != 5 || s.P99 != 5 {
+		t.Errorf("Summarize = %+v", s)
+	}
+}

@@ -1,0 +1,36 @@
+package serve
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkServerRequest measures end-to-end request latency through
+// the full runtime — admission, routed prefill, continuous-batching
+// decode over the homomorphic kernels, stream delivery.
+func BenchmarkServerRequest(b *testing.B) {
+	s, err := New(Config{PrefillWorkers: 2, MaxBatch: 8, QueueCap: 256, MaxNewTokens: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	prompt := promptFor(1, 10, s.Spec().Vocab)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := s.Submit(context.Background(), Request{Prompt: prompt, MaxNewTokens: 4, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for range st.Tokens() {
+			n++
+		}
+		if err := st.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if n != 4 {
+			b.Fatalf("got %d tokens", n)
+		}
+	}
+}

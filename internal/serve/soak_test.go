@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentSoak is the acceptance soak: at least 64 requests
+// submitted from concurrent goroutines, streamed concurrently, with
+// zero dropped tokens — every stream must deliver exactly its token
+// budget with contiguous indices — and every request's bytes must match
+// a solo (unbatched) reference run of the same (prompt, seed). Run
+// under -race in CI.
+func TestConcurrentSoak(t *testing.T) {
+	const (
+		nReqs     = 64
+		promptLen = 10
+		maxNew    = 6
+	)
+	s := newTestServer(t, Config{
+		PrefillWorkers: 4, MaxBatch: 16, QueueCap: nReqs, MaxNewTokens: maxNew,
+		DecodeParallelism: 4,
+	})
+	vocab := s.Spec().Vocab
+
+	got := make([][]int, nReqs)
+	errs := make([]error, nReqs)
+	var wg sync.WaitGroup
+	for i := 0; i < nReqs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := s.Submit(context.Background(), Request{
+				Prompt: promptFor(i, promptLen, vocab), MaxNewTokens: maxNew, Seed: int64(i),
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			for tok := range st.Tokens() {
+				if tok.Index != len(got[i]) {
+					errs[i] = fmt.Errorf("token index %d at position %d", tok.Index, len(got[i]))
+					return
+				}
+				got[i] = append(got[i], tok.ID)
+			}
+			errs[i] = st.Err()
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < nReqs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if len(got[i]) != maxNew {
+			t.Errorf("request %d: %d tokens, want %d (dropped tokens)", i, len(got[i]), maxNew)
+		}
+	}
+
+	snap := s.Metrics()
+	if snap.Submitted != nReqs || snap.Completed != nReqs {
+		t.Errorf("snapshot submitted %d completed %d, want %d/%d",
+			snap.Submitted, snap.Completed, nReqs, nReqs)
+	}
+	if want := int64(nReqs * maxNew); snap.TokensStreamed != want {
+		t.Errorf("tokens streamed %d, want %d", snap.TokensStreamed, want)
+	}
+
+	// Spot-check batching invariance against solo runs: a request served
+	// alone on a fresh single-worker server streams the same bytes it
+	// streamed inside the 64-way soak.
+	solo := newTestServer(t, Config{
+		PrefillWorkers: 1, DecodeParallelism: 1, MaxBatch: 1, MaxNewTokens: maxNew,
+	})
+	for _, i := range []int{0, 17, 42, 63} {
+		st, err := solo.Submit(context.Background(), Request{
+			Prompt: promptFor(i, promptLen, vocab), MaxNewTokens: maxNew, Seed: int64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := collect(t, st)
+		if fmt.Sprint(ref) != fmt.Sprint(got[i]) {
+			t.Errorf("request %d diverged from solo run:\n  soak %v\n  solo %v", i, got[i], ref)
+		}
+	}
+}
+
+// TestSoakWithCancellationChurn mixes completing, cancelled, and
+// rejected requests under concurrency and requires the runtime to stay
+// consistent: every stream seals, and the accounting adds up.
+func TestSoakWithCancellationChurn(t *testing.T) {
+	const nReqs = 48
+	s := newTestServer(t, Config{
+		PrefillWorkers: 2, MaxBatch: 8, QueueCap: nReqs, MaxNewTokens: 24,
+	})
+	vocab := s.Spec().Vocab
+	var wg sync.WaitGroup
+	var sealed, toks int64
+	var mu sync.Mutex
+	for i := 0; i < nReqs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			if i%3 == 0 {
+				// Cancel a third of the requests mid-flight.
+				go func() {
+					time.Sleep(time.Duration(i%7) * time.Millisecond)
+					cancel()
+				}()
+			}
+			st, err := s.Submit(ctx, Request{
+				Prompt: promptFor(i, 8, vocab), MaxNewTokens: 24, Seed: int64(i)})
+			if err != nil {
+				return
+			}
+			n := 0
+			for range st.Tokens() {
+				n++
+			}
+			_ = st.Err() // must not hang
+			mu.Lock()
+			sealed++
+			toks += int64(n)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	snap := s.Metrics()
+	if snap.Completed+snap.Canceled+snap.Failed != sealed {
+		t.Errorf("accounting: completed %d + canceled %d + failed %d != sealed %d",
+			snap.Completed, snap.Canceled, snap.Failed, sealed)
+	}
+	if snap.Failed != 0 {
+		t.Errorf("unexpected failures: %d", snap.Failed)
+	}
+	if snap.TokensStreamed != toks {
+		t.Errorf("tokens streamed %d, but consumers saw %d", snap.TokensStreamed, toks)
+	}
+}

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"math"
-	"sort"
 
 	"github.com/hackkv/hack/internal/metrics"
 )
@@ -68,23 +67,9 @@ func (r *Result) AvgRatios() Ratios {
 }
 
 // percentile returns the nearest-rank p-quantile (0 ≤ p ≤ 1) of xs: the
-// ⌈p·n⌉-th smallest value. It sorts a copy, never the caller's slice,
-// and returns 0 for an empty input.
-func percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	rank := int(math.Ceil(p * float64(len(sorted))))
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > len(sorted) {
-		rank = len(sorted)
-	}
-	return sorted[rank-1]
-}
+// ⌈p·n⌉-th smallest value (metrics.NearestRank). It sorts a copy, never
+// the caller's slice, and returns 0 for an empty input.
+func percentile(xs []float64, p float64) float64 { return metrics.NearestRank(xs, p) }
 
 // metricOf extracts one latency metric across the run's requests into a
 // fresh slice, leaving Requests untouched.
@@ -107,20 +92,11 @@ func (r *Result) jctPercentile(p float64) float64 {
 }
 
 // PercentileSummary is the nearest-rank p50/p90/p99 of one latency
-// metric, in seconds.
-type PercentileSummary struct {
-	P50 float64 `json:"p50"`
-	P90 float64 `json:"p90"`
-	P99 float64 `json:"p99"`
-}
+// metric, in seconds. It is the shared metrics.PercentileSummary, so
+// simulator summaries and live-runtime snapshots print identically.
+type PercentileSummary = metrics.PercentileSummary
 
-func summarizeMetric(xs []float64) PercentileSummary {
-	return PercentileSummary{
-		P50: percentile(xs, 0.50),
-		P90: percentile(xs, 0.90),
-		P99: percentile(xs, 0.99),
-	}
-}
+func summarizeMetric(xs []float64) PercentileSummary { return metrics.Summarize(xs) }
 
 // SLO is a pair of serving targets in seconds: time to first token and
 // mean time between subsequent tokens. Zero fields are untracked — a

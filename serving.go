@@ -1,0 +1,165 @@
+package hack
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/hackkv/hack/internal/serve"
+)
+
+// Live-serving types re-exported from the internal runtime. Where
+// Engine.Run prices a workload with the analytic cost model, a listening
+// Engine actually executes it: concurrent requests run through the real
+// numeric transformer and the homomorphic HACK kernels under continuous
+// batching.
+type (
+	// GenRequest is one live generation job: a token-ID prompt, an
+	// optional per-request token budget, stop token, and quantizer seed.
+	GenRequest = serve.Request
+	// GenToken is one streamed generation event (sequence index + token
+	// ID).
+	GenToken = serve.Token
+	// GenStream delivers one request's tokens in order; Err() reports
+	// how the request ended once the channel closes.
+	GenStream = serve.Stream
+	// ServeSnapshot is a point-in-time view of the live runtime's
+	// serving metrics: request accounting, queue depth, batch occupancy,
+	// resident KV bytes, and nearest-rank TTFT/TBT/queue-delay
+	// percentiles.
+	ServeSnapshot = serve.Snapshot
+)
+
+// Live-serving sentinel errors.
+var (
+	// ErrQueueFull load-sheds a submission whose routed admission queue
+	// is at capacity.
+	ErrQueueFull = serve.ErrQueueFull
+	// ErrDraining rejects submissions once shutdown has begun.
+	ErrDraining = serve.ErrDraining
+)
+
+// ServeConfig sizes the live serving runtime a listening Engine starts.
+// The zero value of every field selects a default.
+type ServeConfig struct {
+	// Model is the numeric architecture to actually execute. The zero
+	// value serves the Toy instance (the accuracy experiments' model):
+	// catalog-scale specs are priced by Run/Serve but are not
+	// numerically servable on a CPU.
+	Model ModelSpec
+	// ModelSeed seeds the deterministic synthetic weights.
+	ModelSeed int64
+	// PrefillWorkers is the concurrent prefill fan-out (default 2);
+	// 1 selects the deterministic single-worker mode.
+	PrefillWorkers int
+	// MaxBatch caps the continuous decode batch (default 8).
+	MaxBatch int
+	// QueueCap bounds each prefill worker's admission queue; full
+	// queues load-shed with ErrQueueFull (default 64).
+	QueueCap int
+	// MaxNewTokens caps tokens generated per request (default 32).
+	MaxNewTokens int
+	// DecodeParallelism is the goroutine fan-out when stepping the
+	// decode batch; outputs are identical at every setting (default:
+	// size to the batch; 1 steps serially).
+	DecodeParallelism int
+}
+
+// WithServeConfig sizes the live runtime started by Engine.Listen.
+func WithServeConfig(sc ServeConfig) Option {
+	return func(e *Engine) error {
+		if sc.PrefillWorkers < 0 || sc.MaxBatch < 0 || sc.QueueCap < 0 ||
+			sc.MaxNewTokens < 0 || sc.DecodeParallelism < 0 {
+			return fmt.Errorf("serve config fields must be >= 0 (%+v)", sc)
+		}
+		e.serveCfg = sc
+		return nil
+	}
+}
+
+// Server is the live serving runtime started by Engine.Listen: a
+// continuous-batching scheduler driving the real quantized kernels,
+// with bounded admission queues routed by the engine's scheduler
+// policy.
+type Server struct {
+	rt *serve.Server
+}
+
+// Listen starts the live serving runtime for this deployment: requests
+// submitted to the returned Server are routed across prefill workers by
+// the engine's scheduler policy, prefilled through the real numeric
+// transformer, and decoded by a continuous-batching loop running the
+// engine method's kernels (homomorphic HACK kernels for HACK-family
+// methods; see WithServeConfig for sizing). Cancelling ctx force-drains
+// the server in the background; call Shutdown for a graceful drain.
+func (e *Engine) Listen(ctx context.Context) (*Server, error) {
+	sc := e.serveCfg
+	rt, err := serve.New(serve.Config{
+		Spec:              sc.Model,
+		ModelSeed:         sc.ModelSeed,
+		Backend:           serve.BackendForMethod(e.method, e.kernelPar),
+		Scheduler:         e.scheduler,
+		PrefillWorkers:    sc.PrefillWorkers,
+		MaxBatch:          sc.MaxBatch,
+		QueueCap:          sc.QueueCap,
+		MaxNewTokens:      sc.MaxNewTokens,
+		DecodeParallelism: sc.DecodeParallelism,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hack: %w", err)
+	}
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-rt.Done():
+				// Already drained via Shutdown; nothing to watch.
+			case <-ctx.Done():
+				expired, cancel := context.WithCancel(context.Background())
+				cancel() // already-expired context: force the drain immediately
+				_ = rt.Shutdown(expired)
+			}
+		}()
+	}
+	return &Server{rt: rt}, nil
+}
+
+// Submit admits one generation request and returns its token stream.
+// Full queues load-shed with ErrQueueFull; a draining server rejects
+// with ErrDraining; cancelling ctx stops the request's stream.
+func (s *Server) Submit(ctx context.Context, req GenRequest) (*GenStream, error) {
+	st, err := s.rt.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Generate is the blocking convenience wrapper: it submits the request
+// and returns the full generated token sequence.
+func (s *Server) Generate(ctx context.Context, req GenRequest) ([]int, error) {
+	st, err := s.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for tok := range st.Tokens() {
+		out = append(out, tok.ID)
+	}
+	if err := st.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// Metrics returns the live serving snapshot.
+func (s *Server) Metrics() ServeSnapshot { return s.rt.Metrics() }
+
+// Draining reports whether shutdown has begun.
+func (s *Server) Draining() bool { return s.rt.Draining() }
+
+// Model returns the numeric architecture actually being served.
+func (s *Server) Model() ModelSpec { return s.rt.Spec() }
+
+// Shutdown gracefully drains the server: submissions are rejected,
+// in-flight requests finish, then Shutdown returns. If ctx expires
+// first, remaining requests abort and the context error is returned.
+func (s *Server) Shutdown(ctx context.Context) error { return s.rt.Shutdown(ctx) }

@@ -1,0 +1,128 @@
+package hack_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/hackkv/hack"
+)
+
+// listenEngine builds an engine configured for the live runtime with
+// the given method, single-worker deterministic mode.
+func listenEngine(t *testing.T, method string) *hack.Engine {
+	t.Helper()
+	eng, err := hack.New(
+		hack.WithMethod(method),
+		hack.WithServeConfig(hack.ServeConfig{
+			PrefillWorkers: 1, DecodeParallelism: 1, MaxBatch: 4, MaxNewTokens: 6,
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestListenGeneratesDeterministically runs the facade end to end for
+// every evaluated method: Listen, generate, and check the stream is
+// reproducible across a fresh server.
+func TestListenGeneratesDeterministically(t *testing.T) {
+	prompt := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	for _, method := range []string{"Baseline", "CacheGen", "KVQuant", "HACK", "FP8"} {
+		method := method
+		t.Run(method, func(t *testing.T) {
+			runOnce := func() []int {
+				srv, err := listenEngine(t, method).Listen(context.Background())
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer func() {
+					ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+					defer cancel()
+					_ = srv.Shutdown(ctx)
+				}()
+				toks, err := srv.Generate(context.Background(),
+					hack.GenRequest{Prompt: prompt, MaxNewTokens: 6, Seed: 7})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return toks
+			}
+			a, b := runOnce(), runOnce()
+			if len(a) != 6 {
+				t.Fatalf("%s generated %d tokens, want 6", method, len(a))
+			}
+			if fmt.Sprint(a) != fmt.Sprint(b) {
+				t.Errorf("%s not reproducible: %v vs %v", method, a, b)
+			}
+		})
+	}
+}
+
+// TestListenStreaming exercises the streaming path and the metrics
+// snapshot through the facade.
+func TestListenStreaming(t *testing.T) {
+	srv, err := listenEngine(t, "HACK").Listen(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := srv.Submit(context.Background(),
+		hack.GenRequest{Prompt: []int{1, 2, 3, 4}, MaxNewTokens: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for tok := range st.Tokens() {
+		if tok.Index != n {
+			t.Fatalf("token index %d, want %d", tok.Index, n)
+		}
+		n++
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("streamed %d tokens, want 5", n)
+	}
+	snap := srv.Metrics()
+	if snap.Completed != 1 || snap.TokensStreamed != 5 {
+		t.Errorf("snapshot: %+v", snap)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Submit(context.Background(), hack.GenRequest{Prompt: []int{1}}); !errors.Is(err, hack.ErrDraining) {
+		t.Errorf("post-shutdown submit: %v, want ErrDraining", err)
+	}
+}
+
+// TestListenContextDrain checks that cancelling the Listen context
+// force-drains the server in the background.
+func TestListenContextDrain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	srv, err := listenEngine(t, "HACK").Listen(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	deadline := time.Now().Add(10 * time.Second)
+	for !srv.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never started draining after ctx cancellation")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWithServeConfigValidation rejects negative sizing at New time.
+func TestWithServeConfigValidation(t *testing.T) {
+	_, err := hack.New(hack.WithServeConfig(hack.ServeConfig{MaxBatch: -1}))
+	if err == nil {
+		t.Error("negative MaxBatch accepted")
+	}
+}
