@@ -9,14 +9,32 @@
 //	POST /v1/generate   {"prompt":[1,2,3],"max_new_tokens":8,"seed":7}
 //	                    → streamed NDJSON, one {"index":i,"id":t} line
 //	                    per token, then a {"done":true} trailer
-//	GET  /metrics       live serving snapshot (JSON)
+//	GET  /metrics       live serving snapshot: JSON by default, or
+//	                    Prometheus text format with ?format=prometheus
+//	                    (or an Accept header preferring text/plain)
 //	GET  /healthz       {"status":"ok"}, or 503 {"status":"draining"}
+//
+// The default role serves prefill and decode in one process. With
+// -role the daemon becomes one node of a true disaggregated deployment
+// connected over the KV wire protocol:
+//
+//	hackserved -role prefill -wire 127.0.0.1:9101 -addr 127.0.0.1:8081
+//	hackserved -role decode  -wire 127.0.0.1:9201 -addr 127.0.0.1:8082
+//	hackserved -role decode  -wire 127.0.0.1:9202 -addr 127.0.0.1:8083
+//	hackserved -role router  -peer-prefills 127.0.0.1:9101 \
+//	    -peer-decodes 127.0.0.1:9201,127.0.0.1:9202 -addr 127.0.0.1:8080
+//
+// Prefill and decode nodes speak the wire protocol on -wire and serve
+// /healthz + /metrics on -addr; the router serves the same HTTP API as
+// the local role on -addr (NDJSON /v1/generate proxied over the wire,
+// /metrics reporting the deployment view) and places each request on
+// the least-loaded healthy decode replica.
 //
 // SIGINT/SIGTERM begin a graceful drain: new work is rejected (429/503
 // responses), in-flight streams run to completion (bounded by
 // -drain-timeout), then the process exits 0. Run with -h for the flag
-// list; unknown -method/-scheduler values exit with status 2 and list
-// the valid names.
+// list; unknown -method/-scheduler/-role values exit with status 2 and
+// list the valid names.
 package main
 
 import (
@@ -84,6 +102,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		decodePar = fs.Int("decode-par", 0, "decode-step goroutine fan-out (0 = size to batch, 1 = serial)")
 		seed      = fs.Int64("seed", 1, "model weight seed")
 		drainFor  = fs.Duration("drain-timeout", 30*time.Second, "graceful-drain budget after SIGTERM")
+		role      = fs.String("role", "local", "serving role: "+strings.Join(hack.Roles(), ", "))
+		wire      = fs.String("wire", "127.0.0.1:0", "KV wire listen address (prefill/decode roles)")
+		peerPre   = fs.String("peer-prefills", "", "comma-separated prefill wire addresses (router role)")
+		peerDec   = fs.String("peer-decodes", "", "comma-separated decode wire addresses (router role)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -106,8 +128,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *drainFor <= 0 {
 		return usageError{err: fmt.Errorf("drain timeout %v must be positive", *drainFor)}
 	}
+	r, err := hack.ParseRole(*role)
+	if err != nil {
+		return usageError{err: err}
+	}
 
-	eng, err := hack.New(
+	opts := []hack.Option{
 		hack.WithMethod(*method),
 		hack.WithScheduler(sched),
 		hack.WithServeConfig(hack.ServeConfig{
@@ -118,7 +144,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 			MaxNewTokens:      *maxNew,
 			DecodeParallelism: *decodePar,
 		}),
-	)
+	}
+	if r != hack.RoleLocal {
+		opts = append(opts,
+			hack.WithRole(r),
+			hack.WithPeers(splitPeers(*peerPre), splitPeers(*peerDec)),
+		)
+		return runRole(r, *addr, *wire, *drainFor, opts, stdout)
+	}
+
+	eng, err := hack.New(opts...)
 	if err != nil {
 		return err
 	}
@@ -236,6 +271,11 @@ func newMux(srv *hack.Server) http.Handler {
 		}
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if wantsPrometheus(r) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = srv.Metrics().WritePrometheus(w, "hackserved")
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -248,6 +288,159 @@ func newMux(srv *hack.Server) http.Handler {
 			fmt.Fprintln(w, `{"status":"draining"}`)
 			return
 		}
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	return mux
+}
+
+// wantsPrometheus reports whether /metrics asked for the text
+// exposition format: ?format=prometheus (or "text"), or an Accept
+// header preferring text/plain or OpenMetrics over JSON.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}
+
+// splitPeers parses a comma-separated address list, dropping empties.
+func splitPeers(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// runRole executes a disaggregated role until SIGINT/SIGTERM. Prefill
+// and decode nodes speak the wire protocol on wireAddr and serve their
+// health/metrics HTTP endpoint on httpAddr; the router serves the
+// daemon's HTTP API on httpAddr and initiates wire connections to its
+// peers.
+func runRole(role hack.Role, httpAddr, wireAddr string, drainFor time.Duration, opts []hack.Option, stdout io.Writer) error {
+	dc := hack.DisaggConfig{WireAddr: wireAddr}
+	if role != hack.RoleRouter {
+		// The node serves its own /healthz and /metrics on the daemon's
+		// HTTP address.
+		dc.HTTPAddr = httpAddr
+	}
+	eng, err := hack.New(append(opts, hack.WithDisaggConfig(dc))...)
+	if err != nil {
+		return err
+	}
+	ds, err := eng.ListenDisagg(context.Background())
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if role != hack.RoleRouter {
+		fmt.Fprintf(stdout, "hackserved: %s listening wire=%s http=http://%s\n",
+			role, ds.WireAddr(), ds.HTTPAddr())
+		<-ctx.Done()
+		stop()
+		fmt.Fprintf(stdout, "hackserved: signal received, draining...\n")
+		err := ds.Close()
+		fmt.Fprintf(stdout, "hackserved: %s drained\n", role)
+		return err
+	}
+
+	ln, err := net.Listen("tcp", httpAddr)
+	if err != nil {
+		ds.Close()
+		return err
+	}
+	fmt.Fprintf(stdout, "hackserved: router listening on http://%s (%d decode replicas)\n",
+		ln.Addr(), len(ds.Report().Replicas))
+	httpSrv := &http.Server{Handler: newRouterMux(ds), ReadHeaderTimeout: 10 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		ds.Close()
+		return err
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(stdout, "hackserved: signal received, draining...")
+		hctx, hcancel := context.WithTimeout(context.Background(), drainFor)
+		defer hcancel()
+		_ = httpSrv.Shutdown(hctx)
+		err := ds.Close()
+		rep := ds.Report()
+		fmt.Fprintf(stdout, "hackserved: router drained (completed %d, failed %d, retries %d)\n",
+			rep.Completed, rep.Failed, rep.Retries)
+		return err
+	}
+}
+
+// newRouterMux builds the router's HTTP handler: the same NDJSON
+// /v1/generate surface as the local role, proxied over the wire, plus
+// the deployment report on /metrics.
+func newRouterMux(ds *hack.DisaggServer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/generate", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req genRequest
+		body := http.MaxBytesReader(w, r.Body, 1<<20)
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		st, err := ds.Submit(r.Context(), hack.RoutedRequest{
+			Prompt: req.Prompt, MaxNewTokens: req.MaxNewTokens, EOS: req.EOS, Seed: req.Seed,
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		fl, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		n := 0
+		for tok := range st.Tokens() {
+			if enc.Encode(tok) != nil {
+				return
+			}
+			n++
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+		trailer := genTrailer{Done: true, Tokens: n}
+		if err := st.Err(); err != nil {
+			trailer.Error = err.Error()
+		}
+		_ = enc.Encode(trailer)
+		if fl != nil {
+			fl.Flush()
+		}
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if wantsPrometheus(r) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = ds.WritePrometheus(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(ds.Report())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"status":"ok"}`)
 	})
 	return mux

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -408,5 +409,206 @@ func TestDaemonServesAndDrainsOnSIGTERM(t *testing.T) {
 	out := stdout.String()
 	if !strings.Contains(out, "draining") || !strings.Contains(out, "drained") {
 		t.Errorf("drain messages missing from stdout:\n%s", out)
+	}
+}
+
+// Unknown roles are usage errors listing the valid names.
+func TestUnknownRoleIsUsageError(t *testing.T) {
+	_, _, err := exec(t, "-role", "nope")
+	var ue usageError
+	if err == nil || !errors.As(err, &ue) {
+		t.Fatalf("err = %v, want usage error", err)
+	}
+	if !strings.Contains(err.Error(), "router") {
+		t.Errorf("error %q does not list the valid roles", err)
+	}
+}
+
+// TestMetricsPrometheusNegotiation covers the /metrics content
+// negotiation on the local role: JSON by default, Prometheus text with
+// ?format=prometheus or an Accept header preferring text/plain.
+func TestMetricsPrometheusNegotiation(t *testing.T) {
+	mux, _ := testMux(t)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("default content type %q", ct)
+	}
+	if !strings.Contains(string(body), `"submitted"`) {
+		t.Fatalf("JSON metrics body: %q", body)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("prometheus content type %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE hackserved_submitted_total counter",
+		"hackserved_ttft_seconds{quantile=\"0.99\"}",
+		"# TYPE hackserved_draining gauge",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("prometheus body missing %q:\n%s", want, body)
+		}
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "hackserved_submitted_total") {
+		t.Errorf("Accept: text/plain did not negotiate prometheus:\n%s", body)
+	}
+}
+
+// bootRole starts one daemon role in a goroutine and returns the
+// addresses it announced plus its exit channel.
+func bootRole(t *testing.T, args ...string) (wire, httpBase string, out *syncBuffer, done chan error) {
+	t.Helper()
+	out = &syncBuffer{}
+	done = make(chan error, 1)
+	go func() {
+		var stderr syncBuffer
+		done <- run(args, out, &stderr)
+	}()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon %v never announced itself; stdout=%q", args, out.String())
+		}
+		s := out.String()
+		if i := strings.Index(s, "wire="); i >= 0 {
+			wire = strings.Fields(s[i+len("wire="):])[0]
+		}
+		if i := strings.Index(s, "http://"); i >= 0 {
+			httpBase = strings.Fields(s[i:])[0]
+		}
+		if httpBase != "" && (wire != "" || !strings.Contains(strings.Join(args, " "), "-wire")) {
+			return wire, httpBase, out, done
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDisaggDaemonThreeRoles boots the whole disaggregated deployment
+// through the real CLI — one router, one prefill node, two decode
+// replicas, four in-process daemons — streams a generation through the
+// router's HTTP API, checks the deployment metrics, and drains
+// everything with one SIGTERM.
+func TestDisaggDaemonThreeRoles(t *testing.T) {
+	const maxNew = 5
+	common := []string{"-addr", "127.0.0.1:0", "-wire", "127.0.0.1:0",
+		"-prefill-workers", "1", "-decode-par", "1", "-max-new", fmt.Sprint(maxNew)}
+
+	preWire, preHTTP, _, preDone := bootRole(t, append([]string{"-role", "prefill"}, common...)...)
+	dec1Wire, _, _, dec1Done := bootRole(t, append([]string{"-role", "decode"}, common...)...)
+	dec2Wire, _, _, dec2Done := bootRole(t, append([]string{"-role", "decode"}, common...)...)
+	_, routerHTTP, routerOut, routerDone := bootRole(t,
+		"-role", "router", "-addr", "127.0.0.1:0",
+		"-peer-prefills", preWire,
+		"-peer-decodes", dec1Wire+","+dec2Wire,
+		"-max-new", fmt.Sprint(maxNew))
+
+	// One generation through the whole pipeline.
+	resp, err := http.Post(routerHTTP+"/v1/generate", "application/json",
+		strings.NewReader(`{"prompt":[5,6,7,8],"max_new_tokens":5,"seed":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tokens int
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line struct {
+			Index *int   `json:"index"`
+			Done  bool   `json:"done"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if line.Done {
+			if line.Error != "" {
+				t.Fatalf("stream trailer error: %s", line.Error)
+			}
+			break
+		}
+		if line.Index == nil || *line.Index != tokens {
+			t.Fatalf("line %q: want index %d", sc.Text(), tokens)
+		}
+		tokens++
+	}
+	resp.Body.Close()
+	if tokens != maxNew {
+		t.Fatalf("streamed %d tokens, want %d", tokens, maxNew)
+	}
+
+	// The deployment view shows the KV bytes that crossed each link.
+	resp, err = http.Get(routerHTTP + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep hack.DisaggReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rep.Completed != 1 || len(rep.LinkKVBytes) < 2 || len(rep.Replicas) != 2 {
+		t.Fatalf("router report: %+v", rep)
+	}
+	resp, err = http.Get(routerHTTP + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), "hackserved_router_completed_total 1") {
+		t.Fatalf("router prometheus metrics: %s", b)
+	}
+
+	// The prefill node's own endpoint counts its work.
+	resp, err = http.Get(preHTTP + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), "hackserved_prefill_prefills_total 1") {
+		t.Fatalf("prefill prometheus metrics: %s", b)
+	}
+
+	// One SIGTERM reaches every in-process daemon; all must drain.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for name, done := range map[string]chan error{
+		"prefill": preDone, "decode1": dec1Done, "decode2": dec2Done, "router": routerDone,
+	} {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("%s exit: %v", name, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("%s did not drain after SIGTERM", name)
+		}
+	}
+	if out := routerOut.String(); !strings.Contains(out, "router drained") {
+		t.Errorf("router drain message missing:\n%s", out)
 	}
 }

@@ -1,0 +1,310 @@
+package hack
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/hackkv/hack/internal/disagg"
+	"github.com/hackkv/hack/internal/netsim"
+	"github.com/hackkv/hack/internal/serve"
+)
+
+// Role names a process's job in a disaggregated deployment. A local
+// engine (RoleLocal, the zero value) serves prefill and decode in one
+// process via Listen; the other roles split them across a real TCP wire
+// via ListenDisagg.
+type Role string
+
+// The disaggregated serving roles.
+const (
+	// RoleLocal is the single-process runtime (Engine.Listen).
+	RoleLocal Role = "local"
+	// RolePrefill runs kernel prefills and ships quantized KV caches.
+	RolePrefill Role = "prefill"
+	// RoleDecode adopts shipped KV caches into the continuous-batching
+	// decode loop.
+	RoleDecode Role = "decode"
+	// RoleRouter fronts the deployment: it drives prefill, places each
+	// decode on the least-loaded healthy replica, and proxies tokens.
+	RoleRouter Role = "router"
+)
+
+// Roles lists the valid role names.
+func Roles() []string {
+	return []string{string(RoleLocal), string(RolePrefill), string(RoleDecode), string(RoleRouter)}
+}
+
+// ParseRole resolves a role by name ("" means local).
+func ParseRole(s string) (Role, error) {
+	switch Role(s) {
+	case RoleLocal, RolePrefill, RoleDecode, RoleRouter:
+		return Role(s), nil
+	case "":
+		return RoleLocal, nil
+	}
+	return "", fmt.Errorf("hack: unknown role %q (valid: local, prefill, decode, router)", s)
+}
+
+// WithRole assigns the engine's disaggregated serving role, used by
+// ListenDisagg. The default is RoleLocal.
+func WithRole(r Role) Option {
+	return func(e *Engine) error {
+		if _, err := ParseRole(string(r)); err != nil {
+			return err
+		}
+		if r == "" {
+			r = RoleLocal
+		}
+		e.role = r
+		return nil
+	}
+}
+
+// WithPeers names the deployment's peer wire addresses: the prefill
+// nodes and decode replicas a router fronts. Only RoleRouter uses them.
+func WithPeers(prefills, decodes []string) Option {
+	return func(e *Engine) error {
+		e.peerPrefills = append([]string(nil), prefills...)
+		e.peerDecodes = append([]string(nil), decodes...)
+		return nil
+	}
+}
+
+// DisaggConfig sizes the wire-facing side of a disaggregated node. The
+// zero value of every field selects a default.
+type DisaggConfig struct {
+	// WireAddr is the TCP listen address for the KV wire protocol
+	// (prefill and decode roles; default 127.0.0.1:0).
+	WireAddr string
+	// HTTPAddr serves the node's /healthz and /metrics; empty disables
+	// it (the router polls decode replicas' endpoints for health).
+	HTTPAddr string
+	// NodeID names the node in handshakes (default: the wire address).
+	NodeID string
+	// MaxConcurrentPrefills bounds simultaneous prefill executions on a
+	// prefill node (default 2).
+	MaxConcurrentPrefills int
+	// HealthInterval is the router's /healthz polling period (default
+	// 500ms); DialTimeout bounds each dial+handshake (default 2s).
+	HealthInterval time.Duration
+	DialTimeout    time.Duration
+	// RetryMax is the router's decode retry budget after the first
+	// attempt (default 2); RetryBackoff the initial backoff, doubling
+	// per retry (default 50ms).
+	RetryMax     int
+	RetryBackoff time.Duration
+}
+
+// WithDisaggConfig sizes the node started by ListenDisagg.
+func WithDisaggConfig(dc DisaggConfig) Option {
+	return func(e *Engine) error {
+		if dc.MaxConcurrentPrefills < 0 || dc.RetryMax < 0 {
+			return fmt.Errorf("disagg config fields must be >= 0 (%+v)", dc)
+		}
+		e.disaggCfg = dc
+		return nil
+	}
+}
+
+// Disaggregated-serving types re-exported from the internal subsystem.
+type (
+	// RoutedRequest is one generation job submitted through a router.
+	RoutedRequest = disagg.Request
+	// RoutedStream delivers a routed request's tokens in order; Err()
+	// reports how it ended once the channel closes.
+	RoutedStream = disagg.Stream
+	// DisaggReport is the router's live deployment view: request and
+	// retry counters, per-link KV bytes, transfer latency percentiles,
+	// and per-replica occupancy.
+	DisaggReport = disagg.Report
+	// ReplicaStatus is one decode replica's row in a DisaggReport.
+	ReplicaStatus = disagg.ReplicaStatus
+)
+
+// Disaggregated-serving sentinel errors.
+var (
+	// ErrNoPrefill means no healthy prefill node could be reached.
+	ErrNoPrefill = disagg.ErrNoPrefill
+	// ErrNoReplicas means no healthy, non-draining decode replica was
+	// available for placement.
+	ErrNoReplicas = disagg.ErrNoReplicas
+	// ErrTransferFailed means a KV transfer failed on every retry.
+	ErrTransferFailed = disagg.ErrTransferFailed
+	// ErrHandshakeRefused means a peer rejected the wire handshake —
+	// mismatched method, model spec, or model seed — so the nodes
+	// belong to incompatible deployments.
+	ErrHandshakeRefused = netsim.ErrHandshakeRefused
+)
+
+// DisaggServer is one running node of a disaggregated deployment,
+// started by Engine.ListenDisagg. Its useful surface depends on the
+// role: every role has WireAddr/HTTPAddr/Close; routers additionally
+// submit requests and report deployment state; decode nodes drain.
+type DisaggServer struct {
+	role    Role
+	prefill *disagg.PrefillNode
+	decode  *disagg.DecodeNode
+	router  *disagg.Router
+}
+
+// ListenDisagg starts the engine's disaggregated role (see WithRole):
+// a prefill node, a decode replica, or a router over the peers named by
+// WithPeers. The deployment's method, model spec, and model seed are
+// carried in the wire handshake, so mismatched nodes refuse to pair.
+// Cancelling ctx closes the node in the background.
+func (e *Engine) ListenDisagg(ctx context.Context) (*DisaggServer, error) {
+	dc := e.disaggCfg
+	if dc.WireAddr == "" {
+		dc.WireAddr = "127.0.0.1:0"
+	}
+	sc := e.serveCfg
+	ds := &DisaggServer{role: e.role}
+	var err error
+	switch e.role {
+	case RolePrefill:
+		ds.prefill, err = disagg.NewPrefillNode(disagg.PrefillConfig{
+			Addr: dc.WireAddr, HTTPAddr: dc.HTTPAddr, NodeID: dc.NodeID,
+			Spec: sc.Model, ModelSeed: sc.ModelSeed,
+			Backend:       serve.BackendForMethod(e.method, e.kernelPar),
+			MethodName:    e.method.Name,
+			MaxConcurrent: dc.MaxConcurrentPrefills,
+		})
+	case RoleDecode:
+		ds.decode, err = disagg.NewDecodeNode(disagg.DecodeConfig{
+			Addr: dc.WireAddr, HTTPAddr: dc.HTTPAddr, NodeID: dc.NodeID,
+			MethodName: e.method.Name,
+			Serve: serve.Config{
+				Spec:              sc.Model,
+				ModelSeed:         sc.ModelSeed,
+				Backend:           serve.BackendForMethod(e.method, e.kernelPar),
+				Scheduler:         e.scheduler,
+				PrefillWorkers:    sc.PrefillWorkers,
+				MaxBatch:          sc.MaxBatch,
+				QueueCap:          sc.QueueCap,
+				MaxNewTokens:      sc.MaxNewTokens,
+				DecodeParallelism: sc.DecodeParallelism,
+			},
+		})
+	case RoleRouter:
+		ds.router, err = disagg.NewRouter(disagg.RouterConfig{
+			Prefills: e.peerPrefills, Decodes: e.peerDecodes,
+			NodeID: dc.NodeID, HTTPAddr: dc.HTTPAddr,
+			Spec: sc.Model, ModelSeed: sc.ModelSeed, MethodName: e.method.Name,
+			DialTimeout: dc.DialTimeout, HealthInterval: dc.HealthInterval,
+			RetryMax: dc.RetryMax, RetryBackoff: dc.RetryBackoff,
+		})
+	default:
+		return nil, fmt.Errorf("hack: engine role %q is not disaggregated; use Listen", e.role)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("hack: %w", err)
+	}
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			<-ctx.Done()
+			_ = ds.Close()
+		}()
+	}
+	return ds, nil
+}
+
+// Role returns the node's role.
+func (s *DisaggServer) Role() Role { return s.role }
+
+// WireAddr returns the node's KV wire address ("" for routers, which
+// initiate connections rather than accept them).
+func (s *DisaggServer) WireAddr() string {
+	switch s.role {
+	case RolePrefill:
+		return s.prefill.Addr()
+	case RoleDecode:
+		return s.decode.Addr()
+	}
+	return ""
+}
+
+// HTTPAddr returns the node's health/metrics address ("" if disabled).
+func (s *DisaggServer) HTTPAddr() string {
+	switch s.role {
+	case RolePrefill:
+		return s.prefill.HTTPAddr()
+	case RoleDecode:
+		return s.decode.HTTPAddr()
+	case RoleRouter:
+		return s.router.HTTPAddr()
+	}
+	return ""
+}
+
+// Submit routes one generation request through the disaggregated
+// pipeline (router role only): prefill on a prefill node, KV transfer,
+// load-aware placement on a decode replica, token proxying with
+// failover. The stream is live immediately.
+func (s *DisaggServer) Submit(ctx context.Context, req RoutedRequest) (*RoutedStream, error) {
+	if s.role != RoleRouter {
+		return nil, fmt.Errorf("hack: role %q cannot submit requests", s.role)
+	}
+	return s.router.Submit(ctx, req)
+}
+
+// Report returns the router's deployment view (router role only; other
+// roles return the zero report).
+func (s *DisaggServer) Report() DisaggReport {
+	if s.role != RoleRouter {
+		return DisaggReport{}
+	}
+	return s.router.Report()
+}
+
+// WritePrometheus renders the node's metrics in Prometheus text format
+// (router role only; prefill and decode nodes expose theirs on their
+// own HTTP endpoints).
+func (s *DisaggServer) WritePrometheus(w io.Writer) error {
+	if s.role != RoleRouter {
+		return fmt.Errorf("hack: role %q has no router metrics", s.role)
+	}
+	return s.router.WritePrometheus(w)
+}
+
+// AddReplica registers a decode replica with the router at runtime.
+func (s *DisaggServer) AddReplica(addr string) error {
+	if s.role != RoleRouter {
+		return fmt.Errorf("hack: role %q has no replica set", s.role)
+	}
+	return s.router.AddReplica(addr)
+}
+
+// RemoveReplica deregisters a decode replica from the router.
+func (s *DisaggServer) RemoveReplica(addr string) error {
+	if s.role != RoleRouter {
+		return fmt.Errorf("hack: role %q has no replica set", s.role)
+	}
+	s.router.RemoveReplica(addr)
+	return nil
+}
+
+// Drain begins a graceful drain (decode role only): /healthz flips to
+// 503, routers stop placing work here, and in-flight requests finish.
+func (s *DisaggServer) Drain() error {
+	if s.role != RoleDecode {
+		return fmt.Errorf("hack: role %q does not drain", s.role)
+	}
+	s.decode.Drain()
+	return nil
+}
+
+// Close stops the node. For decode replicas it drains the wrapped
+// runtime; for routers it waits for in-flight submissions.
+func (s *DisaggServer) Close() error {
+	switch s.role {
+	case RolePrefill:
+		return s.prefill.Close()
+	case RoleDecode:
+		return s.decode.Close()
+	case RoleRouter:
+		return s.router.Close()
+	}
+	return nil
+}

@@ -67,6 +67,32 @@
 // HTTP daemon (streamed POST /v1/generate, GET /metrics, GET /healthz,
 // SIGTERM graceful drain); see examples/served for the library form.
 //
+// # Disaggregated serving
+//
+// WithRole splits that runtime across real processes over a TCP KV
+// wire, reproducing the paper's disaggregated deployment shape:
+// RolePrefill nodes run kernel prefills and ship each head's quantized
+// KV pages as CRC-checked wire frames (plus the quantizer's RNG draw
+// counts, so the receiver replays the exact stream state); RoleDecode
+// replicas reconstruct the cache into the continuous-batching loop;
+// a RoleRouter fronts the deployment with load-aware placement
+// (pending KV bytes + in-flight, the simulator's LoadAware signals),
+// /healthz health polling, drain awareness, and retry/failover that
+// replays a buffered KV transfer on a fresh replica without
+// duplicating or dropping tokens:
+//
+//	router, err := eng.ListenDisagg(ctx) // eng built with WithRole(hack.RoleRouter),
+//	                                     // WithPeers(prefills, decodes)
+//	st, err := router.Submit(ctx, hack.RoutedRequest{Prompt: []int{1, 2, 3}, MaxNewTokens: 8})
+//	for tok := range st.Tokens() { ... } // byte-identical to the local runtime
+//	rep := router.Report()               // per-replica occupancy, link KV bytes, retries
+//
+// The handshake carries method, model spec and seed, so mismatched
+// nodes refuse to pair (ErrHandshakeRefused) rather than silently
+// diverge. WithDisaggConfig sizes addresses, concurrency and the
+// retry budget; cmd/hackserved exposes the same roles as a daemon
+// (-role prefill|decode|router).
+//
 // # Sweeps
 //
 // RunSweep executes a declarative grid of Engine configurations — the

@@ -115,6 +115,10 @@ type Engine struct {
 	admitMethods      []Method
 	probe             func(ProbeEvent)
 	serveCfg          ServeConfig
+	role              Role
+	peerPrefills      []string
+	peerDecodes       []string
+	disaggCfg         DisaggConfig
 
 	cm *cluster.CostModel
 }
@@ -140,6 +144,7 @@ func New(opts ...Option) (*Engine, error) {
 		maxBatch:   256,
 		memCapFrac: 0.95,
 		scheduler:  ShortestQueue,
+		role:       RoleLocal,
 	}
 	for _, opt := range opts {
 		if err := opt(e); err != nil {

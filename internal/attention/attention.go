@@ -418,9 +418,39 @@ func (b *HACKBackend) Name() string {
 	return name
 }
 
+// countingSource wraps the quantizer RNG source and counts state
+// advances. Every Rand method consumes exactly one source call per
+// draw, so the count is the head's position in the seed's stream: a
+// decode instance can fast-forward a fresh source by the same count and
+// continue the stream bit-identically (the disaggregated handoff).
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(s int64) { c.src.Seed(s) }
+
+// newCountingRand builds the per-head quantizer RNG: the deterministic
+// seeded source behind a draw counter. The wrapper is pass-through, so
+// sequences are bit-identical to an unwrapped source.
+func newCountingRand(seed int64) (*rand.Rand, *countingSource) {
+	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return rand.New(src), src
+}
+
 // NewHead implements Backend.
 func (b *HACKBackend) NewHead(headDim int) (Head, error) {
-	rng := rand.New(rand.NewSource(b.cfg.Seed))
+	rng, cnt := newCountingRand(b.cfg.Seed)
 	c, err := kvcache.New(kvcache.Config{
 		HeadDim: headDim, Pi: b.cfg.Pi, KVBits: b.cfg.KVBits,
 		Rounding: b.cfg.Rounding, RNG: rng,
@@ -429,7 +459,36 @@ func (b *HACKBackend) NewHead(headDim int) (Head, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &hackHead{cfg: b.cfg, c: c, rng: rng,
+	return &hackHead{cfg: b.cfg, c: c, rng: rng, cnt: cnt,
+		s: &tensor.Matrix{}, pFull: &tensor.Matrix{}, pvOut: &tensor.Matrix{},
+		pTail: &tensor.Matrix{}, tailOut: &tensor.Matrix{}, out: &tensor.Matrix{}}, nil
+}
+
+// RestoreHead rebuilds per-sequence head state on a decode instance from
+// shipped cache contents: the quantized K and V (complete partitions),
+// the FP16 RQE tail, and the prefill instance's RNG draw count. The
+// restored head's quantizer RNG is fast-forwarded to the shipped count,
+// so subsequent Decode calls produce bit-identical output to a head that
+// ran the prefill locally.
+func (b *HACKBackend) RestoreHead(headDim int, k, v *quant.Tensor, tail *tensor.Matrix, rngDraws uint64) (Head, error) {
+	if !b.cfg.RequantizationElimination {
+		return nil, fmt.Errorf("attention: restore requires RQE (the quantized-tail ablation does not ship)")
+	}
+	if b.cfg.EvictBudgetTokens > 0 {
+		return nil, fmt.Errorf("attention: restore with eviction enabled would lose the score state")
+	}
+	rng, cnt := newCountingRand(b.cfg.Seed)
+	for i := uint64(0); i < rngDraws; i++ {
+		cnt.Int63()
+	}
+	c, err := kvcache.Restore(kvcache.Config{
+		HeadDim: headDim, Pi: b.cfg.Pi, KVBits: b.cfg.KVBits,
+		Rounding: b.cfg.Rounding, RNG: rng, RQE: true,
+	}, k, v, tail)
+	if err != nil {
+		return nil, err
+	}
+	return &hackHead{cfg: b.cfg, c: c, rng: rng, cnt: cnt,
 		s: &tensor.Matrix{}, pFull: &tensor.Matrix{}, pvOut: &tensor.Matrix{},
 		pTail: &tensor.Matrix{}, tailOut: &tensor.Matrix{}, out: &tensor.Matrix{}}, nil
 }
@@ -438,6 +497,7 @@ type hackHead struct {
 	cfg HACKConfig
 	c   *kvcache.Cache
 	rng *rand.Rand
+	cnt *countingSource
 	// scores accumulates each cached token's received attention mass
 	// for the eviction policy; Evictions counts dropped blocks.
 	scores    []float64
@@ -551,3 +611,27 @@ func (h *hackHead) Decode(q, k, v *tensor.Matrix) (*tensor.Matrix, Stats, error)
 func (h *hackHead) Len() int                  { return h.c.Len() }
 func (h *hackHead) CacheUsage() kvcache.Usage { return h.c.Usage() }
 func (h *hackHead) WireSize() int             { return h.c.WireSize() }
+
+// WireExporter is implemented by heads whose cache state can be shipped
+// to a decode instance (⑦ in Fig. 5). Only the HACK backend exports:
+// the baselines ship raw FP16 (netsim prices that path analytically) and
+// are not served disaggregated by this runtime.
+type WireExporter interface {
+	// ExportWire returns the cache contents in wire form — quantized K
+	// (token-major), quantized V (complete partitions), the FP16 RQE
+	// tail, and the quantizer RNG draw count a restored head must fast-
+	// forward past. The tensors are owned by the head: frame them before
+	// the next Decode call mutates the cache.
+	ExportWire() (k, v *quant.Tensor, tail *tensor.Matrix, rngDraws uint64, err error)
+}
+
+// ExportWire implements WireExporter.
+func (h *hackHead) ExportWire() (*quant.Tensor, *quant.Tensor, *tensor.Matrix, uint64, error) {
+	if !h.cfg.RequantizationElimination {
+		return nil, nil, nil, 0, fmt.Errorf("attention: export requires RQE (the quantized-tail ablation does not ship)")
+	}
+	if h.cfg.EvictBudgetTokens > 0 {
+		return nil, nil, nil, 0, fmt.Errorf("attention: export with eviction enabled would lose the score state")
+	}
+	return h.c.K, h.c.VFull, h.c.VTail, h.cnt.n, nil
+}

@@ -1,0 +1,131 @@
+// Package disagg executes the paper's actual deployment scenario: true
+// disaggregated serving, with prefill and decode running in different
+// processes connected by a real TCP wire. Where package sim prices the
+// prefill→decode KV transfer and package serve batches both phases in
+// one process, disagg splits them:
+//
+//   - A PrefillNode runs the kernel prefill over the real numeric
+//     transformer and ships each head's quantized KV cache as netsim
+//     KVFrames — the same codec the simulator prices — over a
+//     length-prefixed, CRC-trailed message stream with a versioned
+//     handshake.
+//   - A DecodeNode reconstructs the cache (quant.FromWire, RNG
+//     fast-forward) and feeds the request into serve's continuous-
+//     batching decode loop via SubmitPrefilled, so remote requests batch
+//     with local ones.
+//   - A Router fronts N decode replicas with FlowKV-style load-aware
+//     placement (the same drain/pending-KV signals sim's schedulers
+//     score), tracks replica health via /healthz heartbeats and
+//     connection-level failures, removes draining replicas from
+//     placement, and retries an in-flight KV transfer on replica death
+//     with bounded backoff.
+//
+// Because the prefill side counts its quantizer RNG draws and ships them
+// in v2 frames, a disaggregated deployment streams tokens byte-identical
+// to the single-process runtime for the same (prompt, seed) — stochastic
+// rounding included. That identity is the package's core invariant and
+// is what the loopback integration tests assert.
+package disagg
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"github.com/hackkv/hack/internal/netsim"
+)
+
+// Typed terminal errors a router surfaces to clients.
+var (
+	// ErrNoPrefill means no healthy prefill node could be reached.
+	ErrNoPrefill = errors.New("disagg: no healthy prefill node")
+	// ErrNoReplicas means no healthy, non-draining decode replica was
+	// available for placement.
+	ErrNoReplicas = errors.New("disagg: no healthy decode replica")
+	// ErrTransferFailed means the KV transfer (or the decode stream after
+	// it) failed on every retry attempt.
+	ErrTransferFailed = errors.New("disagg: transfer failed after retries")
+)
+
+// PrefillJob asks a prefill node to run one request's prefill and ship
+// the resulting KV cache (MsgPrefill payload).
+type PrefillJob struct {
+	RequestID uint64 `json:"request_id"`
+	Prompt    []int  `json:"prompt"`
+	Seed      int64  `json:"seed"`
+}
+
+// DecodeJob asks a decode replica to adopt a shipped KV cache and run
+// the decode phase (MsgDecode payload). The frames that follow carry the
+// cache itself plus the prefill-stage first token.
+type DecodeJob struct {
+	RequestID uint64 `json:"request_id"`
+	PromptLen int    `json:"prompt_len"`
+	Seed      int64  `json:"seed"`
+	MaxNew    int    `json:"max_new_tokens,omitempty"`
+	EOS       int    `json:"eos,omitempty"`
+}
+
+// TokenMsg is one streamed token (MsgToken payload).
+type TokenMsg struct {
+	Index int `json:"index"`
+	ID    int `json:"id"`
+}
+
+// DoneMsg terminates a request's stream (MsgDone payload). Err is empty
+// for a natural finish; Kind classifies failures so the router can map
+// them back to typed errors ("queue_full", "draining", "failed").
+type DoneMsg struct {
+	Tokens int    `json:"tokens"`
+	Err    string `json:"err,omitempty"`
+	Kind   string `json:"kind,omitempty"`
+}
+
+// writeJSON frames one JSON-payload message.
+func writeJSON(w io.Writer, t netsim.MsgType, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return netsim.WriteMessage(w, t, payload)
+}
+
+// readExpect reads one message and requires the given type, answering
+// keepalive pings transparently.
+func readExpect(rw io.ReadWriter, want netsim.MsgType) ([]byte, error) {
+	for {
+		t, payload, err := netsim.ReadMessage(rw)
+		if err != nil {
+			return nil, err
+		}
+		if t == netsim.MsgPing {
+			if err := netsim.WriteMessage(rw, netsim.MsgPong, nil); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if t != want {
+			return nil, fmt.Errorf("disagg: got %v, want %v", t, want)
+		}
+		return payload, nil
+	}
+}
+
+// dial connects with a deadline and runs the initiator handshake.
+func dial(addr string, self netsim.Hello, timeout time.Duration) (net.Conn, netsim.Hello, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, netsim.Hello{}, err
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	peer, err := netsim.Handshake(conn, self)
+	if err != nil {
+		conn.Close()
+		return nil, netsim.Hello{}, err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return conn, peer, nil
+}

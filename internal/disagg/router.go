@@ -1,0 +1,682 @@
+package disagg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hackkv/hack/internal/metrics"
+	"github.com/hackkv/hack/internal/model"
+	"github.com/hackkv/hack/internal/netsim"
+)
+
+// RouterConfig parameterizes a router.
+type RouterConfig struct {
+	// Prefills and Decodes are the initial peer wire addresses. At least
+	// one prefill is required; decode replicas may also be added and
+	// removed later (AddReplica/RemoveReplica).
+	Prefills []string
+	Decodes  []string
+	// NodeID names the router in handshakes (default "router").
+	NodeID string
+	// HTTPAddr serves the router's own /healthz and /metrics (the
+	// DisaggReport); empty disables it.
+	HTTPAddr string
+	// Spec/ModelSeed/MethodName describe the deployment; they must match
+	// every peer, which the handshake enforces. The zero Spec selects
+	// model.Toy().
+	Spec       model.Spec
+	ModelSeed  int64
+	MethodName string
+	// DialTimeout bounds each dial+handshake (default 2s).
+	DialTimeout time.Duration
+	// HealthInterval is the /healthz polling period (default 500ms).
+	HealthInterval time.Duration
+	// RetryMax is the number of decode retries after the first attempt
+	// (default 2); RetryBackoff is the initial backoff, doubling per
+	// retry (default 50ms).
+	RetryMax     int
+	RetryBackoff time.Duration
+}
+
+// Request is one generation job submitted to the router.
+type Request struct {
+	Prompt       []int
+	MaxNewTokens int
+	EOS          int
+	Seed         int64
+}
+
+// Stream delivers one routed request's tokens, mirroring serve.Stream:
+// Tokens() yields them in order and closes when the request finishes;
+// Err() reports why (nil, ErrNoPrefill, ErrNoReplicas, ErrTransferFailed,
+// or the context error).
+type Stream struct {
+	tokens chan TokenMsg
+	closed chan struct{}
+	err    error
+	once   sync.Once
+}
+
+// Tokens returns the ordered token channel. It is buffered to the
+// request's token budget, so a slow consumer never stalls a failover.
+func (s *Stream) Tokens() <-chan TokenMsg { return s.tokens }
+
+// Err reports the request's terminal error; it blocks until the stream
+// has been sealed.
+func (s *Stream) Err() error {
+	<-s.closed
+	return s.err
+}
+
+func (s *Stream) finish(err error) {
+	s.once.Do(func() {
+		s.err = err
+		close(s.tokens)
+		close(s.closed)
+	})
+}
+
+// replica tracks one decode peer's health and load. The load signals
+// mirror the simulator's LoadAware scoring: pending KV bytes in flight
+// to the replica plus its in-flight request count.
+type replica struct {
+	addr     string
+	httpAddr atomic.Value // string
+	healthy  atomic.Bool
+	draining atomic.Bool
+
+	inflight  atomic.Int64
+	pendingKV atomic.Int64
+	requests  atomic.Int64
+}
+
+func (rep *replica) httpAddrStr() string {
+	if v, ok := rep.httpAddr.Load().(string); ok {
+		return v
+	}
+	return ""
+}
+
+// ReplicaStatus is one decode replica's row in a Report.
+type ReplicaStatus struct {
+	Addr           string `json:"addr"`
+	Healthy        bool   `json:"healthy"`
+	Draining       bool   `json:"draining"`
+	Inflight       int64  `json:"inflight"`
+	PendingKVBytes int64  `json:"pending_kv_bytes"`
+	Requests       int64  `json:"requests"`
+}
+
+// Report is the router's live view of the disaggregated deployment.
+type Report struct {
+	Requests  int64 `json:"requests"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Retries   int64 `json:"retries"`
+	Failovers int64 `json:"failovers"`
+	// LinkKVBytes counts framed KV bytes per link, keyed
+	// "prefill→router <addr>" and "router→decode <addr>".
+	LinkKVBytes map[string]int64 `json:"link_kv_bytes"`
+	// TransferSeconds summarizes KV transfer latencies (prefill pull +
+	// decode push legs as separate samples).
+	TransferSeconds metrics.PercentileSummary `json:"transfer_seconds"`
+	Replicas        []ReplicaStatus           `json:"replicas"`
+}
+
+// Router fronts N decode replicas behind one submission API: it drives
+// prefill on a prefill node, buffers the KV frames (what makes failover
+// possible), places the decode on the least-loaded healthy replica, and
+// proxies the token stream back, deduplicating by token index across
+// retries.
+type Router struct {
+	cfg   RouterConfig
+	hello netsim.Hello
+
+	mu       sync.Mutex
+	prefills []string
+	replicas []*replica
+	nextPre  int
+
+	reqID     atomic.Uint64
+	requests  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	retries   atomic.Int64
+	failovers atomic.Int64
+
+	linkMu    sync.Mutex
+	linkBytes map[string]int64
+	transferS []float64
+
+	http   *nodeHTTP
+	hc     *http.Client
+	closed chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+}
+
+// NewRouter validates the config, probes the initial decode replicas,
+// and starts the health monitor.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Prefills) == 0 {
+		return nil, errors.New("disagg: router needs at least one prefill address")
+	}
+	if cfg.Spec.Layers == 0 && cfg.Spec.Hidden == 0 {
+		cfg.Spec = model.Toy()
+	}
+	if cfg.NodeID == "" {
+		cfg.NodeID = "router"
+	}
+	if cfg.MethodName == "" {
+		cfg.MethodName = "hack"
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 500 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 2
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	r := &Router{
+		cfg:       cfg,
+		prefills:  append([]string(nil), cfg.Prefills...),
+		linkBytes: make(map[string]int64),
+		hc:        &http.Client{Timeout: cfg.DialTimeout},
+		closed:    make(chan struct{}),
+	}
+	r.hello = netsim.Hello{
+		Role: "router", NodeID: cfg.NodeID, Method: cfg.MethodName,
+		ModelSeed: cfg.ModelSeed, SpecName: cfg.Spec.Name, Vocab: cfg.Spec.Vocab,
+	}
+	for _, addr := range cfg.Decodes {
+		if err := r.AddReplica(addr); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.HTTPAddr != "" {
+		h, err := newNodeHTTP(cfg.HTTPAddr, func() any { return r.Report() },
+			r.writeProm, func() bool { return false })
+		if err != nil {
+			return nil, err
+		}
+		r.http = h
+	}
+	r.wg.Add(1)
+	go r.healthLoop()
+	return r, nil
+}
+
+// HTTPAddr returns the router's metrics address ("" when disabled).
+func (r *Router) HTTPAddr() string {
+	if r.http == nil {
+		return ""
+	}
+	return r.http.Addr()
+}
+
+// AddReplica registers a decode replica and probes it once. A peer that
+// answers the handshake with mismatched deployment parameters is
+// refused; one that is merely unreachable is registered unhealthy and
+// picked up by the health monitor when it appears.
+func (r *Router) AddReplica(addr string) error {
+	rep := &replica{addr: addr}
+	conn, peer, err := dial(addr, r.hello, r.cfg.DialTimeout)
+	if err == nil {
+		conn.Close()
+		rep.healthy.Store(true)
+		if peer.HTTPAddr != "" {
+			rep.httpAddr.Store(peer.HTTPAddr)
+		}
+	} else if errors.Is(err, netsim.ErrHandshakeRefused) {
+		return fmt.Errorf("disagg: replica %s: %w", addr, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, have := range r.replicas {
+		if have.addr == addr {
+			return fmt.Errorf("disagg: replica %s already registered", addr)
+		}
+	}
+	r.replicas = append(r.replicas, rep)
+	return nil
+}
+
+// RemoveReplica deregisters a decode replica. In-flight streams on it
+// are unaffected; new placements stop immediately. Pair with the decode
+// node's Drain for a drain-aware removal.
+func (r *Router) RemoveReplica(addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, rep := range r.replicas {
+		if rep.addr == addr {
+			r.replicas = append(r.replicas[:i], r.replicas[i+1:]...)
+			return
+		}
+	}
+}
+
+// isRetryable reports whether err is a transport-level failure (dial
+// refused, reset, timeout, a peer dying mid-stream) where trying
+// another node can help, rather than a protocol-level refusal.
+func isRetryable(err error) bool {
+	if errors.Is(err, netsim.ErrHandshakeRefused) {
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe)
+}
+
+// Close stops the health monitor and waits for in-flight submissions.
+func (r *Router) Close() error {
+	r.once.Do(func() { close(r.closed) })
+	if r.http != nil {
+		r.http.Close()
+	}
+	r.wg.Wait()
+	return nil
+}
+
+// Report snapshots the router's counters, per-link KV bytes, transfer
+// latency percentiles, and per-replica occupancy.
+func (r *Router) Report() Report {
+	out := Report{
+		Requests:  r.requests.Load(),
+		Completed: r.completed.Load(),
+		Failed:    r.failed.Load(),
+		Retries:   r.retries.Load(),
+		Failovers: r.failovers.Load(),
+	}
+	r.linkMu.Lock()
+	out.LinkKVBytes = make(map[string]int64, len(r.linkBytes))
+	for k, v := range r.linkBytes {
+		out.LinkKVBytes[k] = v
+	}
+	samples := append([]float64(nil), r.transferS...)
+	r.linkMu.Unlock()
+	out.TransferSeconds = metrics.Summarize(samples)
+	r.mu.Lock()
+	reps := append([]*replica(nil), r.replicas...)
+	r.mu.Unlock()
+	for _, rep := range reps {
+		out.Replicas = append(out.Replicas, ReplicaStatus{
+			Addr:           rep.addr,
+			Healthy:        rep.healthy.Load(),
+			Draining:       rep.draining.Load(),
+			Inflight:       rep.inflight.Load(),
+			PendingKVBytes: rep.pendingKV.Load(),
+			Requests:       rep.requests.Load(),
+		})
+	}
+	sort.Slice(out.Replicas, func(i, j int) bool { return out.Replicas[i].Addr < out.Replicas[j].Addr })
+	return out
+}
+
+// WritePrometheus renders the router counters in Prometheus text
+// format (exposition format 0.0.4).
+func (r *Router) WritePrometheus(w io.Writer) error { return r.writeProm(w) }
+
+// writeProm renders the router counters in Prometheus text format.
+func (r *Router) writeProm(w io.Writer) error {
+	rep := r.Report()
+	var err error
+	emit := func(name, help string, v int64) {
+		if err == nil {
+			_, err = fmt.Fprintf(w,
+				"# HELP hackserved_router_%s %s\n# TYPE hackserved_router_%s counter\nhackserved_router_%s %d\n",
+				name, help, name, name, v)
+		}
+	}
+	emit("requests_total", "Requests submitted.", rep.Requests)
+	emit("completed_total", "Requests completed.", rep.Completed)
+	emit("failed_total", "Requests failed.", rep.Failed)
+	emit("retries_total", "Decode attempts retried.", rep.Retries)
+	emit("failovers_total", "Transfers failed over to another replica.", rep.Failovers)
+	return err
+}
+
+// healthLoop polls every replica's /healthz: 200 marks it healthy, 503
+// marks it draining (kept for visibility, skipped for placement), and a
+// transport error marks it unhealthy. Replicas without a known HTTP
+// address are probed over the wire instead.
+func (r *Router) healthLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.closed:
+			return
+		case <-t.C:
+		}
+		r.mu.Lock()
+		reps := append([]*replica(nil), r.replicas...)
+		r.mu.Unlock()
+		for _, rep := range reps {
+			r.probe(rep)
+		}
+	}
+}
+
+func (r *Router) probe(rep *replica) {
+	if ha := rep.httpAddrStr(); ha != "" {
+		resp, err := r.hc.Get("http://" + ha + "/healthz")
+		if err != nil {
+			rep.healthy.Store(false)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			rep.healthy.Store(true)
+			rep.draining.Store(false)
+		case http.StatusServiceUnavailable:
+			rep.healthy.Store(true)
+			rep.draining.Store(true)
+		default:
+			rep.healthy.Store(false)
+		}
+		return
+	}
+	conn, peer, err := dial(rep.addr, r.hello, r.cfg.DialTimeout)
+	if err != nil {
+		rep.healthy.Store(false)
+		return
+	}
+	conn.Close()
+	rep.healthy.Store(true)
+	if peer.HTTPAddr != "" {
+		rep.httpAddr.Store(peer.HTTPAddr)
+	}
+}
+
+// pick returns the healthy, non-draining replica with the lowest load
+// score — pending KV bytes plus an in-flight-request penalty, the wire
+// analogue of the simulator's LoadAware drain estimate.
+func (r *Router) pick() *replica {
+	r.mu.Lock()
+	reps := append([]*replica(nil), r.replicas...)
+	r.mu.Unlock()
+	const inflightPenalty = 1 << 20
+	var best *replica
+	var bestScore int64
+	for _, rep := range reps {
+		if !rep.healthy.Load() || rep.draining.Load() {
+			continue
+		}
+		score := rep.pendingKV.Load() + inflightPenalty*rep.inflight.Load()
+		if best == nil || score < bestScore {
+			best, bestScore = rep, score
+		}
+	}
+	return best
+}
+
+// Submit routes one request through the disaggregated pipeline. The
+// returned stream is live immediately; prefill, transfer, placement,
+// and failover all happen behind it.
+func (r *Router) Submit(ctx context.Context, req Request) (*Stream, error) {
+	if len(req.Prompt) == 0 {
+		return nil, errors.New("disagg: empty prompt")
+	}
+	select {
+	case <-r.closed:
+		return nil, errors.New("disagg: router closed")
+	default:
+	}
+	buf := req.MaxNewTokens
+	if buf <= 0 || buf > 4096 {
+		buf = 4096
+	}
+	st := &Stream{tokens: make(chan TokenMsg, buf+1), closed: make(chan struct{})}
+	r.requests.Add(1)
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		err := r.run(ctx, req, st)
+		if err != nil {
+			r.failed.Add(1)
+		} else {
+			r.completed.Add(1)
+		}
+		st.finish(err)
+	}()
+	return st, nil
+}
+
+func (r *Router) run(ctx context.Context, req Request, st *Stream) error {
+	id := r.reqID.Add(1)
+	frames, err := r.runPrefill(ctx, id, req)
+	if err != nil {
+		return err
+	}
+	return r.runDecode(ctx, id, req, frames, st)
+}
+
+// runPrefill drives the prefill leg on the first reachable prefill node
+// (round-robin start) and buffers every KV frame. The buffered frames
+// are the failover capital: a decode retry re-ships them without
+// touching the prefill tier again.
+func (r *Router) runPrefill(ctx context.Context, id uint64, req Request) ([][]byte, error) {
+	r.mu.Lock()
+	addrs := append([]string(nil), r.prefills...)
+	start := r.nextPre
+	r.nextPre = (r.nextPre + 1) % len(r.prefills)
+	r.mu.Unlock()
+
+	var lastErr error
+	for i := range addrs {
+		addr := addrs[(start+i)%len(addrs)]
+		frames, err := r.pullPrefill(ctx, addr, id, req)
+		if err == nil {
+			return frames, nil
+		}
+		lastErr = err
+		if !isRetryable(err) {
+			return nil, err // protocol-level refusal: retrying elsewhere won't help
+		}
+	}
+	return nil, fmt.Errorf("%w: %v", ErrNoPrefill, lastErr)
+}
+
+func (r *Router) pullPrefill(ctx context.Context, addr string, id uint64, req Request) ([][]byte, error) {
+	conn, _, err := dial(addr, r.hello, r.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	start := time.Now()
+	if err := writeJSON(conn, netsim.MsgPrefill, PrefillJob{RequestID: id, Prompt: req.Prompt, Seed: req.Seed}); err != nil {
+		return nil, err
+	}
+	var frames [][]byte
+	var total int64
+	for {
+		t, payload, err := netsim.ReadMessage(conn)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, err
+		}
+		switch t {
+		case netsim.MsgFrame:
+			frames = append(frames, payload)
+			total += int64(len(payload))
+		case netsim.MsgTransferEnd:
+			r.recordTransfer("prefill→router "+addr, total, time.Since(start).Seconds())
+			return frames, nil
+		case netsim.MsgDone:
+			var d DoneMsg
+			if err := jsonUnmarshal(payload, &d); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("disagg: prefill %s: %s (%s)", addr, d.Err, d.Kind)
+		default:
+			return nil, fmt.Errorf("disagg: unexpected %v during prefill transfer", t)
+		}
+	}
+}
+
+func (r *Router) recordTransfer(link string, bytes int64, seconds float64) {
+	r.linkMu.Lock()
+	r.linkBytes[link] += bytes
+	r.transferS = append(r.transferS, seconds)
+	r.linkMu.Unlock()
+}
+
+// runDecode places the buffered transfer on a replica and proxies the
+// token stream, retrying with bounded exponential backoff on replica
+// death. Tokens are deduplicated by index, so a stream that failed over
+// mid-flight still delivers each token exactly once, in order.
+func (r *Router) runDecode(ctx context.Context, id uint64, req Request, frames [][]byte, st *Stream) error {
+	backoff := r.cfg.RetryBackoff
+	lastDelivered := -1
+	var lastErr error
+	sawReplica := false
+	for attempt := 0; attempt <= r.cfg.RetryMax; attempt++ {
+		if attempt > 0 {
+			r.retries.Add(1)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			backoff *= 2
+		}
+		rep := r.pick()
+		if rep == nil {
+			lastErr = ErrNoReplicas
+			continue
+		}
+		sawReplica = true
+		err, terminal := r.tryDecode(ctx, rep, id, req, frames, st, &lastDelivered)
+		if err == nil {
+			return nil
+		}
+		if terminal {
+			return err
+		}
+		lastErr = err
+		if lastDelivered >= 0 {
+			r.failovers.Add(1) // died mid-stream; the next attempt resumes it
+		}
+	}
+	if !sawReplica {
+		return ErrNoReplicas
+	}
+	return fmt.Errorf("%w: %v", ErrTransferFailed, lastErr)
+}
+
+// tryDecode runs one decode attempt on one replica. The bool result
+// distinguishes terminal failures (bad request, context cancellation)
+// from retryable ones (replica death, drain, queue pressure).
+func (r *Router) tryDecode(ctx context.Context, rep *replica, id uint64, req Request, frames [][]byte, st *Stream, lastDelivered *int) (err error, terminal bool) {
+	rep.inflight.Add(1)
+	defer rep.inflight.Add(-1)
+	var total int64
+	for _, f := range frames {
+		total += int64(len(f))
+	}
+	rep.pendingKV.Add(total)
+	defer rep.pendingKV.Add(-total)
+
+	conn, _, err := dial(rep.addr, r.hello, r.cfg.DialTimeout)
+	if err != nil {
+		rep.healthy.Store(false)
+		return err, false
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	fail := func(e error) (error, bool) {
+		if ctx.Err() != nil {
+			return ctx.Err(), true
+		}
+		rep.healthy.Store(false)
+		return e, false
+	}
+
+	start := time.Now()
+	job := DecodeJob{RequestID: id, PromptLen: len(req.Prompt), Seed: req.Seed,
+		MaxNew: req.MaxNewTokens, EOS: req.EOS}
+	if err := writeJSON(conn, netsim.MsgDecode, job); err != nil {
+		return fail(err)
+	}
+	for _, f := range frames {
+		if err := netsim.WriteMessage(conn, netsim.MsgFrame, f); err != nil {
+			return fail(err)
+		}
+	}
+	if err := netsim.WriteMessage(conn, netsim.MsgTransferEnd, nil); err != nil {
+		return fail(err)
+	}
+	r.recordTransfer("router→decode "+rep.addr, total, time.Since(start).Seconds())
+	rep.requests.Add(1)
+
+	for {
+		t, payload, err := netsim.ReadMessage(conn)
+		if err != nil {
+			return fail(err)
+		}
+		switch t {
+		case netsim.MsgPing:
+			if err := netsim.WriteMessage(conn, netsim.MsgPong, nil); err != nil {
+				return fail(err)
+			}
+		case netsim.MsgToken:
+			var tok TokenMsg
+			if err := jsonUnmarshal(payload, &tok); err != nil {
+				return fail(err)
+			}
+			if tok.Index > *lastDelivered {
+				st.tokens <- tok
+				*lastDelivered = tok.Index
+			}
+		case netsim.MsgDone:
+			var d DoneMsg
+			if err := jsonUnmarshal(payload, &d); err != nil {
+				return fail(err)
+			}
+			if d.Err == "" {
+				return nil, false
+			}
+			e := fmt.Errorf("disagg: decode %s: %s (%s)", rep.addr, d.Err, d.Kind)
+			switch d.Kind {
+			case "draining":
+				rep.draining.Store(true)
+				return e, false
+			case "queue_full":
+				return e, false
+			default:
+				return e, true
+			}
+		default:
+			return fmt.Errorf("disagg: unexpected %v in token stream", t), true
+		}
+	}
+}

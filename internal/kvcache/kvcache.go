@@ -140,6 +140,43 @@ func New(cfg Config) (*Cache, error) {
 	return c, nil
 }
 
+// Restore builds a cache around contents received from a prefill
+// instance: the quantized K (token-major), the quantized V (complete
+// partitions only), and the FP16 RQE tail. The cache takes ownership of
+// all three. Every shape came off the wire, so all of them are checked
+// against the configuration; only RQE caches restore (the ablation's
+// requantized tail has no wire form).
+func Restore(cfg Config, k, v *quant.Tensor, tail *tensor.Matrix) (*Cache, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.RQE {
+		return nil, fmt.Errorf("kvcache: restore requires RQE")
+	}
+	if k == nil || v == nil || tail == nil {
+		return nil, fmt.Errorf("kvcache: restore with nil contents")
+	}
+	if k.Axis != quant.AlongCols || k.Cols != cfg.HeadDim || k.Bits != cfg.KVBits || k.Pi != cfg.Pi {
+		return nil, fmt.Errorf("kvcache: restored K layout %v %dx%d bits=%d pi=%d vs config d_h=%d bits=%d pi=%d",
+			k.Axis, k.Rows, k.Cols, k.Bits, k.Pi, cfg.HeadDim, cfg.KVBits, cfg.Pi)
+	}
+	if v.Axis != quant.AlongRows || v.Cols != cfg.HeadDim || v.Bits != cfg.KVBits || v.Pi != cfg.Pi {
+		return nil, fmt.Errorf("kvcache: restored V layout %v %dx%d bits=%d pi=%d vs config d_h=%d bits=%d pi=%d",
+			v.Axis, v.Rows, v.Cols, v.Bits, v.Pi, cfg.HeadDim, cfg.KVBits, cfg.Pi)
+	}
+	if v.Rows%cfg.Pi != 0 {
+		return nil, fmt.Errorf("kvcache: restored V rows %d not a multiple of partition %d", v.Rows, cfg.Pi)
+	}
+	if tail.Cols != cfg.HeadDim || tail.Rows < 0 || tail.Rows >= cfg.Pi {
+		return nil, fmt.Errorf("kvcache: restored tail %dx%d vs d_h=%d pi=%d",
+			tail.Rows, tail.Cols, cfg.HeadDim, cfg.Pi)
+	}
+	if k.Rows != v.Rows+tail.Rows {
+		return nil, fmt.Errorf("kvcache: restored token counts K %d vs V %d+%d", k.Rows, v.Rows, tail.Rows)
+	}
+	return &Cache{cfg: cfg, K: k, VFull: v, VTail: tail}, nil
+}
+
 // MustNew is New for configurations known to be valid.
 func MustNew(cfg Config) *Cache {
 	c, err := New(cfg)

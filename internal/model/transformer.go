@@ -120,6 +120,31 @@ func (m *Transformer) NewSession(b attention.Backend) (*Session, error) {
 	return s, nil
 }
 
+// RestoreSession rebuilds a sequence's inference state from per-(layer,
+// head) attention heads reconstructed elsewhere — the decode instance's
+// entry point after a disaggregated KV transfer. heads must be indexed
+// [layer][head] and match the architecture exactly.
+func (m *Transformer) RestoreSession(b attention.Backend, heads [][]attention.Head) (*Session, error) {
+	if len(heads) != m.spec.Layers {
+		return nil, fmt.Errorf("model: restore with %d layers, want %d", len(heads), m.spec.Layers)
+	}
+	for l, row := range heads {
+		if len(row) != m.spec.Heads {
+			return nil, fmt.Errorf("model: restore layer %d with %d heads, want %d", l, len(row), m.spec.Heads)
+		}
+		for h, head := range row {
+			if head == nil {
+				return nil, fmt.Errorf("model: restore layer %d head %d is nil", l, h)
+			}
+		}
+	}
+	return &Session{m: m, backend: b, heads: heads}, nil
+}
+
+// Head returns the attention state of one (layer, head) — the prefill
+// instance reads cache contents through this for the KV transfer.
+func (s *Session) Head(layer, head int) attention.Head { return s.heads[layer][head] }
+
 // forward runs the transformer over x (L×hidden), using Prefill on each
 // head when prefill is true and Decode otherwise, and returns the final
 // hidden states.

@@ -5,7 +5,6 @@ import (
 	"net"
 	"testing"
 
-	"github.com/hackkv/hack/internal/fp16"
 	"github.com/hackkv/hack/internal/hack"
 	"github.com/hackkv/hack/internal/kvcache"
 	"github.com/hackkv/hack/internal/quant"
@@ -13,80 +12,23 @@ import (
 )
 
 // reconstructCache rebuilds a decode-side HACK cache from a received
-// frame: unpack codes, restore FP16 metadata, recompute the SE sums
-// (they are not shipped — the decode side derives them once, §5.3), and
-// reload the FP16 tail.
+// frame via the production wire path (KVFrame.Tensors → quant.FromWire),
+// which recomputes the SE sums from the codes (they are not shipped —
+// the decode side derives them once, §5.3) and reloads the FP16 tail.
 func reconstructCache(t *testing.T, f *KVFrame) *kvcache.Cache {
 	t.Helper()
-	dh := int(f.Cols)
+	k, v, tail, err := f.Tensors()
+	if err != nil {
+		t.Fatal(err)
+	}
 	c := kvcache.MustNew(kvcache.Config{
-		HeadDim: dh, Pi: int(f.Pi), KVBits: int(f.Bits),
+		HeadDim: int(f.Cols), Pi: int(f.Pi), KVBits: int(f.Bits),
 		Rounding: quant.NearestRounding, RQE: true,
 	})
-
-	kCodes, err := quant.Unpack(f.KCodes, int(f.KRows)*dh, int(f.Bits))
-	if err != nil {
-		t.Fatal(err)
-	}
-	vCodes, err := quant.Unpack(f.VCodes, int(f.VRows)*dh, int(f.Bits))
-	if err != nil {
-		t.Fatal(err)
-	}
-	nbK := (dh + int(f.Pi) - 1) / int(f.Pi)
-	k := &quant.Tensor{
-		Rows: int(f.KRows), Cols: dh, Axis: quant.AlongCols,
-		Bits: int(f.Bits), Pi: int(f.Pi), NBlocks: nbK,
-		Codes: kCodes,
-		Min:   fp16.ToFloat32Slice(nil, f.KMin), Scale: fp16.ToFloat32Slice(nil, f.KScale),
-		Sums: recomputeRowSums(kCodes, int(f.KRows), dh, int(f.Pi)),
-	}
-	nbV := int(f.VRows) / int(f.Pi)
-	v := &quant.Tensor{
-		Rows: int(f.VRows), Cols: dh, Axis: quant.AlongRows,
-		Bits: int(f.Bits), Pi: int(f.Pi), NBlocks: nbV,
-		Codes: vCodes,
-		Min:   fp16.ToFloat32Slice(nil, f.VMin), Scale: fp16.ToFloat32Slice(nil, f.VScale),
-		Sums: recomputeColSums(vCodes, int(f.VRows), dh, int(f.Pi)),
-	}
 	c.K = k
 	c.VFull = v
-	tail := tensor.New(int(f.TailRows), dh)
-	copy(tail.Data, fp16.ToFloat32Slice(nil, f.Tail))
 	c.VTail = tail
 	return c
-}
-
-func recomputeRowSums(codes []uint8, rows, cols, pi int) []int32 {
-	nb := (cols + pi - 1) / pi
-	sums := make([]int32, rows*nb)
-	for r := 0; r < rows; r++ {
-		for b := 0; b < nb; b++ {
-			lo := b * pi
-			hi := lo + pi
-			if hi > cols {
-				hi = cols
-			}
-			var s int32
-			for j := lo; j < hi; j++ {
-				s += int32(codes[r*cols+j])
-			}
-			sums[r*nb+b] = s
-		}
-	}
-	return sums
-}
-
-func recomputeColSums(codes []uint8, rows, cols, pi int) []int32 {
-	nb := rows / pi
-	sums := make([]int32, cols*nb)
-	for b := 0; b < nb; b++ {
-		for r := b * pi; r < (b+1)*pi; r++ {
-			for j := 0; j < cols; j++ {
-				sums[j*nb+b] += int32(codes[r*cols+j])
-			}
-		}
-	}
-	return sums
 }
 
 // TestEndToEndPrefillShipDecode is the full Fig. 5 pipeline: a prefill-

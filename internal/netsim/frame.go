@@ -19,12 +19,17 @@ import (
 
 	"github.com/hackkv/hack/internal/fp16"
 	"github.com/hackkv/hack/internal/quant"
+	"github.com/hackkv/hack/internal/tensor"
 )
 
-// Frame magic and version for the KV transfer protocol.
+// Frame magic and versions for the KV transfer protocol. Version 2
+// extends version 1 with a per-head RNG draw count (RNGDraws) so a
+// decode instance can fast-forward its stochastic-rounding RNG to the
+// prefill instance's state; version-1 frames still decode (RNGDraws 0).
 const (
-	frameMagic   = 0x48414B56 // "HAKV"
-	frameVersion = 1
+	frameMagic     = 0x48414B56 // "HAKV"
+	frameVersionV1 = 1
+	frameVersionV2 = 2
 	// maxFrameSize bounds a single frame's payload (1 GiB) to fail fast
 	// on corrupted length fields.
 	maxFrameSize = 1 << 30
@@ -34,11 +39,20 @@ const (
 // quantized codes, the FP16 min/scale metadata, the first generated
 // token, and the RQE FP16 tail.
 type KVFrame struct {
+	// Version is the wire version the frame was decoded from (or will be
+	// encoded as): 1 or 2. The zero value encodes as the current version
+	// (2); ReadFrom records what it actually parsed so accepted frames
+	// re-serialize canonically.
+	Version uint32
 	// RequestID and Layer/Head locate the payload.
 	RequestID   uint64
 	Layer, Head uint16
 	// FirstToken is the prefill-stage output token.
 	FirstToken uint32
+	// RNGDraws counts the quantizer RNG draws the prefill side consumed
+	// for this head, so the decode side can replay them and continue the
+	// stream bit-identically (version ≥ 2 only; zero on v1 frames).
+	RNGDraws uint64
 	// Bits and Pi describe the quantization layout; Rows/Cols the K
 	// shape (token-major).
 	Bits, Pi    uint8
@@ -77,6 +91,17 @@ func fp16FromBytes(b []byte) ([]fp16.Bits, error) {
 // number of payload bytes written (the wire size the transfer model
 // prices).
 func (f *KVFrame) WriteTo(w io.Writer) (int64, error) {
+	version := f.Version
+	switch version {
+	case 0:
+		version = frameVersionV2
+	case frameVersionV1, frameVersionV2:
+	default:
+		return 0, fmt.Errorf("netsim: cannot encode frame version %d", version)
+	}
+	if version == frameVersionV1 && f.RNGDraws != 0 {
+		return 0, errors.New("netsim: RNG draw count needs frame version 2")
+	}
 	var body []byte
 	{
 		hdr := make([]byte, 0, 64)
@@ -97,6 +122,10 @@ func (f *KVFrame) WriteTo(w io.Writer) (int64, error) {
 		put32(f.Cols)
 		put32(f.VRows)
 		put32(f.TailRows)
+		if version >= frameVersionV2 {
+			binary.LittleEndian.PutUint64(tmp, f.RNGDraws)
+			hdr = append(hdr, tmp[:8]...)
+		}
 		body = hdr
 	}
 	for _, chunk := range [][]byte{
@@ -113,7 +142,7 @@ func (f *KVFrame) WriteTo(w io.Writer) (int64, error) {
 
 	var head [12]byte
 	binary.LittleEndian.PutUint32(head[0:], frameMagic)
-	binary.LittleEndian.PutUint32(head[4:], frameVersion)
+	binary.LittleEndian.PutUint32(head[4:], version)
 	binary.LittleEndian.PutUint32(head[8:], uint32(len(body)))
 	if _, err := w.Write(head[:]); err != nil {
 		return 0, err
@@ -130,6 +159,9 @@ func (f *KVFrame) WriteTo(w io.Writer) (int64, error) {
 }
 
 // ReadFrom parses one frame, verifying magic, version and checksum.
+// Both wire versions decode: version-1 frames (no RNG draw count) yield
+// RNGDraws 0. The parsed version is recorded in f.Version, so an
+// accepted frame re-serializes to the exact bytes it came from.
 func (f *KVFrame) ReadFrom(r io.Reader) (int64, error) {
 	var head [12]byte
 	if _, err := io.ReadFull(r, head[:]); err != nil {
@@ -138,8 +170,9 @@ func (f *KVFrame) ReadFrom(r io.Reader) (int64, error) {
 	if binary.LittleEndian.Uint32(head[0:]) != frameMagic {
 		return 0, errors.New("netsim: bad magic")
 	}
-	if v := binary.LittleEndian.Uint32(head[4:]); v != frameVersion {
-		return 0, fmt.Errorf("netsim: unsupported version %d", v)
+	version := binary.LittleEndian.Uint32(head[4:])
+	if version != frameVersionV1 && version != frameVersionV2 {
+		return 0, fmt.Errorf("netsim: unsupported version %d", version)
 	}
 	n := binary.LittleEndian.Uint32(head[8:])
 	if n > maxFrameSize {
@@ -157,9 +190,10 @@ func (f *KVFrame) ReadFrom(r io.Reader) (int64, error) {
 		return 0, errors.New("netsim: checksum mismatch")
 	}
 
-	if len(body) < 30 {
+	if len(body) < 34 {
 		return 0, errors.New("netsim: truncated header")
 	}
+	f.Version = version
 	f.RequestID = binary.LittleEndian.Uint64(body[0:])
 	f.Layer = binary.LittleEndian.Uint16(body[8:])
 	f.Head = binary.LittleEndian.Uint16(body[10:])
@@ -169,11 +203,16 @@ func (f *KVFrame) ReadFrom(r io.Reader) (int64, error) {
 	f.KRows = binary.LittleEndian.Uint32(body[18:])
 	f.Cols = binary.LittleEndian.Uint32(body[22:])
 	f.VRows = binary.LittleEndian.Uint32(body[26:])
-	if len(body) < 34 {
-		return 0, errors.New("netsim: truncated header")
-	}
 	f.TailRows = binary.LittleEndian.Uint32(body[30:])
 	rest := body[34:]
+	f.RNGDraws = 0
+	if version >= frameVersionV2 {
+		if len(rest) < 8 {
+			return 0, errors.New("netsim: truncated header")
+		}
+		f.RNGDraws = binary.LittleEndian.Uint64(rest)
+		rest = rest[8:]
+	}
 	chunks := make([][]byte, 7)
 	for i := range chunks {
 		if len(rest) < 4 {
@@ -236,4 +275,36 @@ func FrameFromTensors(reqID uint64, layer, head int, firstToken int,
 		f.Tail = toFP16(tail)
 	}
 	return f, nil
+}
+
+// Tensors reconstructs the decode-side cache contents from a received
+// frame: the quantized K (token-major) and V (complete partitions only)
+// with their SE sums recomputed from the codes, plus the FP16 RQE tail.
+// Every shape comes off the wire, so all of them are validated.
+func (f *KVFrame) Tensors() (k, v *quant.Tensor, tail *tensor.Matrix, err error) {
+	dh := int(f.Cols)
+	if dh <= 0 {
+		return nil, nil, nil, fmt.Errorf("netsim: frame head dim %d", dh)
+	}
+	k, err = quant.FromWire(quant.AlongCols, int(f.KRows), dh, int(f.Bits), int(f.Pi),
+		f.KCodes, fp16.ToFloat32Slice(nil, f.KMin), fp16.ToFloat32Slice(nil, f.KScale))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("netsim: frame K: %w", err)
+	}
+	v, err = quant.FromWire(quant.AlongRows, int(f.VRows), dh, int(f.Bits), int(f.Pi),
+		f.VCodes, fp16.ToFloat32Slice(nil, f.VMin), fp16.ToFloat32Slice(nil, f.VScale))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("netsim: frame V: %w", err)
+	}
+	if int(f.TailRows)*dh != len(f.Tail) {
+		return nil, nil, nil, fmt.Errorf("netsim: frame tail %d values for %d rows of %d",
+			len(f.Tail), f.TailRows, dh)
+	}
+	tail = tensor.New(int(f.TailRows), dh)
+	copy(tail.Data, fp16.ToFloat32Slice(nil, f.Tail))
+	if int(f.VRows)+tail.Rows != int(f.KRows) {
+		return nil, nil, nil, fmt.Errorf("netsim: frame token counts K %d vs V %d+%d",
+			f.KRows, f.VRows, f.TailRows)
+	}
+	return k, v, tail, nil
 }

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"bytes"
+	"encoding/json"
 	"math/rand"
 	"testing"
 
@@ -67,6 +68,63 @@ func FuzzFrameReadFrom(f *testing.F) {
 		}
 		if m != n || !bytes.Equal(out.Bytes(), data[:n]) {
 			t.Fatalf("accepted frame is not canonical: read %d bytes, rewrote %d different ones", n, m)
+		}
+	})
+}
+
+// FuzzWireReadMessage asserts the conn-framing decoder's contract on
+// arbitrary bytes: malformed messages (bad type, oversized length,
+// corrupt CRC, truncation) must error, never panic, and any message it
+// accepts must re-frame to the exact bytes it was parsed from.
+func FuzzWireReadMessage(f *testing.F) {
+	var seed bytes.Buffer
+	hello := Hello{Role: "prefill", NodeID: "p0", Method: "hack-pi64",
+		ModelSeed: 7, SpecName: "toy", Vocab: 128, HTTPAddr: "127.0.0.1:1"}
+	helloJSON, err := json.Marshal(hello.seal())
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteMessage(&seed, MsgHello, helloJSON); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), seed.Bytes()...))
+	frameMsg := fuzzSeedFrame(f)
+	seed.Reset()
+	if err := WriteMessage(&seed, MsgFrame, frameMsg); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), seed.Bytes()...))
+	seed.Reset()
+	if err := WriteMessage(&seed, MsgPing, nil); err != nil {
+		f.Fatal(err)
+	}
+	valid := append([]byte(nil), seed.Bytes()...)
+	f.Add(valid)
+	f.Add(valid[:3])
+	for _, off := range []int{0, 1, 4, len(valid) - 1} {
+		mut := append([]byte(nil), valid...)
+		mut[off] ^= 0xff
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x07}, 32))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		typ, payload, err := ReadMessage(r)
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		consumed := len(data) - r.Len()
+		var out bytes.Buffer
+		if err := WriteMessage(&out, typ, payload); err != nil {
+			t.Fatalf("re-framing an accepted message failed: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:consumed]) {
+			t.Fatalf("accepted message is not canonical (%d bytes consumed)", consumed)
+		}
+		if typ == MsgHello || typ == MsgHelloAck {
+			_, _ = ParseHello(payload) // must not panic either way
 		}
 	})
 }

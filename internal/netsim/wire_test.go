@@ -1,0 +1,240 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+)
+
+func TestWireMessageRoundTrip(t *testing.T) {
+	payloads := map[MsgType][]byte{
+		MsgPrefill:     []byte(`{"request_id":1}`),
+		MsgFrame:       bytes.Repeat([]byte{0xab}, 1000),
+		MsgTransferEnd: nil,
+		MsgPing:        nil,
+	}
+	var buf bytes.Buffer
+	for typ, p := range payloads {
+		buf.Reset()
+		if err := WriteMessage(&buf, typ, p); err != nil {
+			t.Fatalf("%v: %v", typ, err)
+		}
+		got, payload, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("%v: %v", typ, err)
+		}
+		if got != typ || !bytes.Equal(payload, p) {
+			t.Fatalf("%v round-trip: got %v with %d bytes", typ, got, len(payload))
+		}
+	}
+}
+
+func TestWireMessageRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, MsgToken, []byte(`{"id":42}`)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Flip one payload byte: the CRC trailer must catch it.
+	mut := append([]byte(nil), raw...)
+	mut[7] ^= 0x01
+	if _, _, err := ReadMessage(bytes.NewReader(mut)); err == nil ||
+		!strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupt payload accepted: %v", err)
+	}
+
+	// Flip the type byte: either an unknown type or a checksum failure.
+	mut = append([]byte(nil), raw...)
+	mut[0] = 0xee
+	if _, _, err := ReadMessage(bytes.NewReader(mut)); err == nil {
+		t.Fatal("corrupt type accepted")
+	}
+
+	// Oversized length field fails before allocating.
+	var head [5]byte
+	head[0] = byte(MsgFrame)
+	head[1], head[2], head[3], head[4] = 0xff, 0xff, 0xff, 0xff
+	if _, _, err := ReadMessage(bytes.NewReader(head[:])); err == nil ||
+		!strings.Contains(err.Error(), "limit") {
+		t.Fatalf("oversized length accepted: %v", err)
+	}
+
+	// Truncation surfaces an io error, not a panic.
+	if _, _, err := ReadMessage(bytes.NewReader(raw[:len(raw)-2])); err == nil {
+		t.Fatal("truncated message accepted")
+	}
+	if _, _, err := ReadMessage(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty stream: %v", err)
+	}
+}
+
+func TestWireMessageRejectsInvalidType(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, msgTypeEnd, nil); err == nil {
+		t.Fatal("sent a message past the valid type range")
+	}
+	if err := WriteMessage(&buf, 0, nil); err == nil {
+		t.Fatal("sent message type 0")
+	}
+}
+
+func TestHandshake(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	initiator := Hello{Role: "router", NodeID: "r0", Method: "hack-pi64",
+		ModelSeed: 7, SpecName: "toy", Vocab: 128}
+	responder := Hello{Role: "decode", NodeID: "d0", Method: "hack-pi64",
+		ModelSeed: 7, SpecName: "toy", Vocab: 128, HTTPAddr: "127.0.0.1:9999"}
+
+	done := make(chan error, 1)
+	var gotPeer Hello
+	go func() {
+		peer, err := AcceptHandshake(server, responder, func(h Hello) error {
+			if h.Method != responder.Method {
+				return errors.New("method mismatch")
+			}
+			return nil
+		})
+		gotPeer = peer
+		done <- err
+	}()
+	peer, err := Handshake(client, initiator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if peer.Role != "decode" || peer.NodeID != "d0" || peer.HTTPAddr != "127.0.0.1:9999" {
+		t.Fatalf("initiator saw peer %+v", peer)
+	}
+	if gotPeer.Role != "router" || gotPeer.NodeID != "r0" {
+		t.Fatalf("responder saw peer %+v", gotPeer)
+	}
+
+	// Keepalive after the handshake.
+	pingDone := make(chan error, 1)
+	go func() {
+		typ, _, err := ReadMessage(server)
+		if err == nil && typ != MsgPing {
+			err = errors.New("expected ping")
+		}
+		if err == nil {
+			err = WriteMessage(server, MsgPong, nil)
+		}
+		pingDone <- err
+	}()
+	if err := Ping(client); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-pingDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandshakeRejectsMismatch(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	initErr := make(chan error, 1)
+	go func() {
+		_, err := Handshake(client, Hello{Role: "router", Method: "fp16"})
+		initErr <- err
+	}()
+	_, err := AcceptHandshake(server, Hello{Role: "decode", Method: "hack-pi64"},
+		func(h Hello) error {
+			if h.Method != "hack-pi64" {
+				return errors.New("method mismatch: " + h.Method)
+			}
+			return nil
+		})
+	if err == nil || !strings.Contains(err.Error(), "method mismatch") {
+		t.Fatalf("mismatched handshake accepted: %v", err)
+	}
+	// The initiator learns it was refused (not that the peer died), with
+	// the responder's reason attached.
+	if err := <-initErr; !errors.Is(err, ErrHandshakeRefused) ||
+		!strings.Contains(err.Error(), "method mismatch") {
+		t.Fatalf("initiator saw %v, want ErrHandshakeRefused with reason", err)
+	}
+}
+
+func TestParseHelloRejectsBadVersionAndMagic(t *testing.T) {
+	if _, err := ParseHello([]byte(`{"magic":1,"version":1}`)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := ParseHello([]byte(`{"magic":1212236619,"version":99}`)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	if _, err := ParseHello([]byte(`not json`)); err == nil {
+		t.Fatal("non-JSON hello accepted")
+	}
+}
+
+// TestFrameVersionCompat covers the v1↔v2 frame codec split: default
+// frames encode as v2 carrying RNGDraws; explicit v1 frames encode the
+// legacy layout and decode with RNGDraws 0; RNGDraws on a v1 frame is a
+// refusal, not silent truncation.
+func TestFrameVersionCompat(t *testing.T) {
+	base := KVFrame{
+		RequestID: 3, Layer: 1, Head: 0, FirstToken: 55,
+		Bits: 2, Pi: 4, KRows: 4, Cols: 4, VRows: 4,
+		KCodes: []byte{1, 2, 3, 4}, VCodes: []byte{5, 6, 7, 8},
+	}
+
+	v2 := base
+	v2.RNGDraws = 123456
+	var buf bytes.Buffer
+	if _, err := v2.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got KVFrame
+	if _, err := got.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 2 || got.RNGDraws != 123456 {
+		t.Fatalf("v2 round-trip: version %d draws %d", got.Version, got.RNGDraws)
+	}
+
+	v1 := base
+	v1.Version = 1
+	buf.Reset()
+	if _, err := v1.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v1bytes := append([]byte(nil), buf.Bytes()...)
+	got = KVFrame{RNGDraws: 999} // stale state must be cleared by decode
+	if _, err := got.ReadFrom(bytes.NewReader(v1bytes)); err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 1 || got.RNGDraws != 0 {
+		t.Fatalf("v1 decode: version %d draws %d", got.Version, got.RNGDraws)
+	}
+	// A decoded v1 frame re-serializes canonically (stays v1).
+	buf.Reset()
+	if _, err := got.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), v1bytes) {
+		t.Fatal("v1 frame did not re-serialize canonically")
+	}
+
+	bad := base
+	bad.Version = 1
+	bad.RNGDraws = 1
+	if _, err := bad.WriteTo(io.Discard); err == nil {
+		t.Fatal("v1 frame with RNG draws encoded silently")
+	}
+	bad = base
+	bad.Version = 9
+	if _, err := bad.WriteTo(io.Discard); err == nil {
+		t.Fatal("unknown version encoded silently")
+	}
+}

@@ -33,15 +33,16 @@ func (r *ring) snapshot() []float64 { return append([]float64(nil), r.xs...) }
 // the hot paths, and mutex-guarded bounded reservoirs for the latency
 // percentiles.
 type recorder struct {
-	submitted     atomic.Int64
-	rejectedFull  atomic.Int64
-	rejectedDrain atomic.Int64
-	completed     atomic.Int64
-	canceled      atomic.Int64
-	failed        atomic.Int64
-	tokens        atomic.Int64
-	steps         atomic.Int64
-	batchSizeSum  atomic.Int64
+	submitted      atomic.Int64
+	rejectedFull   atomic.Int64
+	rejectedDrain  atomic.Int64
+	completed      atomic.Int64
+	canceled       atomic.Int64
+	failed         atomic.Int64
+	tokens         atomic.Int64
+	remotePrefills atomic.Int64
+	steps          atomic.Int64
+	batchSizeSum   atomic.Int64
 
 	batchNow atomic.Int64
 	kvNow    atomic.Int64
@@ -100,6 +101,9 @@ type Snapshot struct {
 	Canceled         int64 `json:"canceled"`
 	Failed           int64 `json:"failed"`
 	TokensStreamed   int64 `json:"tokens_streamed"`
+	// RemotePrefills counts requests admitted via SubmitPrefilled — the
+	// disaggregated path where prefill ran on another instance.
+	RemotePrefills int64 `json:"remote_prefills"`
 
 	// Continuous-batching state.
 	DecodeSteps    int64   `json:"decode_steps"`
@@ -129,6 +133,7 @@ func (s *Server) Metrics() Snapshot {
 		Canceled:         r.canceled.Load(),
 		Failed:           r.failed.Load(),
 		TokensStreamed:   r.tokens.Load(),
+		RemotePrefills:   r.remotePrefills.Load(),
 		DecodeSteps:      r.steps.Load(),
 		BatchNow:         int(r.batchNow.Load()),
 		QueueDepth:       s.queueDepth(),

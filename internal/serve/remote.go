@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/hackkv/hack/internal/model"
+)
+
+// SubmitPrefilled admits a request whose prefill already ran on a remote
+// prefill instance — the decode half of the disaggregated split. sess is
+// the session restored from the shipped KV cache (model.RestoreSession
+// over heads rebuilt by the attention backend), and firstTok is the
+// prefill-stage token the remote instance produced. The token is emitted
+// on the returned stream immediately and the request enters the decode
+// batch directly, bypassing the prefill workers; the same continuous-
+// batching loop then steps it alongside locally-prefilled requests.
+//
+// The call blocks while the decode batch is saturated (the admit
+// channel's backpressure), which is what bounds a router's in-flight
+// transfers to this replica.
+func (s *Server) SubmitPrefilled(ctx context.Context, req Request, sess *model.Session, firstTok int) (*Stream, error) {
+	if sess == nil {
+		return nil, fmt.Errorf("serve: prefilled submission without a session")
+	}
+	if firstTok < 0 || firstTok >= s.cfg.Spec.Vocab {
+		return nil, fmt.Errorf("serve: prefilled first token %d outside vocab [0, %d)", firstTok, s.cfg.Spec.Vocab)
+	}
+	if req.MaxNewTokens < 0 {
+		return nil, fmt.Errorf("serve: max new tokens %d must be >= 0", req.MaxNewTokens)
+	}
+	maxNew := req.MaxNewTokens
+	if maxNew == 0 || maxNew > s.cfg.MaxNewTokens {
+		maxNew = s.cfg.MaxNewTokens
+	}
+	a := &active{
+		req:    req,
+		ctx:    ctx,
+		maxNew: maxNew,
+		sess:   sess,
+		stream: &Stream{tokens: make(chan Token, maxNew), closed: make(chan struct{})},
+	}
+
+	// The remoteWG handoff keeps Shutdown from closing the admit channel
+	// underneath a submission that already passed the draining check.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.rec.rejectedDrain.Add(1)
+		return nil, ErrDraining
+	}
+	s.remoteWG.Add(1)
+	s.mu.Unlock()
+	defer s.remoteWG.Done()
+
+	s.rec.submitted.Add(1)
+	s.rec.remotePrefills.Add(1)
+	a.emit(firstTok, &s.rec)
+	if a.n >= a.maxNew || (req.EOS > 0 && firstTok == req.EOS) {
+		s.finishRequest(a, nil)
+		return a.stream, nil
+	}
+	select {
+	case s.admit <- a:
+		return a.stream, nil
+	case <-ctx.Done():
+		s.finishRequest(a, ctx.Err())
+		return a.stream, ctx.Err()
+	case <-s.forceCtx.Done():
+		s.finishRequest(a, ErrDrained)
+		return a.stream, ErrDrained
+	}
+}

@@ -199,6 +199,10 @@ type Server struct {
 
 	prefillWG sync.WaitGroup
 	batchWG   sync.WaitGroup
+	// remoteWG tracks SubmitPrefilled calls that passed the draining
+	// check but have not yet entered the admit channel, so Shutdown
+	// cannot close the channel underneath them.
+	remoteWG sync.WaitGroup
 
 	rec recorder
 }
@@ -269,6 +273,16 @@ func validScheduler(sc sim.Scheduler) bool {
 
 // Spec returns the served numeric architecture.
 func (s *Server) Spec() model.Spec { return s.cfg.Spec }
+
+// Model returns the served transformer. Disaggregated nodes prefill
+// against it and restore shipped sessions onto it; both sides hold the
+// same (spec, seed) weights by construction.
+func (s *Server) Model() *model.Transformer { return s.m }
+
+// BackendFor builds the per-request attention backend for a quantizer
+// seed — the same factory the prefill workers use, exposed so a decode
+// node can restore heads under an identical configuration.
+func (s *Server) BackendFor(seed int64) (attention.Backend, error) { return s.backend(seed) }
 
 // Done returns a channel closed once the runtime has fully drained:
 // every queue empty, every stream sealed, every goroutine exited.
@@ -356,6 +370,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.prefillWG.Wait()
+		s.remoteWG.Wait()
 		if !already {
 			close(s.admit)
 		}
