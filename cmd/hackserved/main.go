@@ -14,7 +14,12 @@
 //	                    (or an Accept header preferring text/plain)
 //	GET  /healthz       {"status":"ok"}, or 503 {"status":"draining"}
 //
-// The default role serves prefill and decode in one process. With
+// The default role serves prefill and decode in one process. Adding
+// -prefix-cache-bytes N there enables the shared-prefix KV cache:
+// quantized KV pages from completed prefills are kept under an N-byte
+// budget, and a request sharing a cached prompt prefix skips prefill
+// over the matched span (hit/miss/bytes-saved counters appear under
+// "prefix_cache" in /metrics). With
 // -role the daemon becomes one node of a true disaggregated deployment
 // connected over the KV wire protocol:
 //
@@ -101,6 +106,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		maxNew    = fs.Int("max-new", 32, "per-request generated-token cap")
 		decodePar = fs.Int("decode-par", 0, "decode-step goroutine fan-out (0 = size to batch, 1 = serial)")
 		seed      = fs.Int64("seed", 1, "model weight seed")
+		prefixB   = fs.Int64("prefix-cache-bytes", 0, "shared-prefix KV cache budget in bytes (0 disables; local role only)")
 		drainFor  = fs.Duration("drain-timeout", 30*time.Second, "graceful-drain budget after SIGTERM")
 		role      = fs.String("role", "local", "serving role: "+strings.Join(hack.Roles(), ", "))
 		wire      = fs.String("wire", "127.0.0.1:0", "KV wire listen address (prefill/decode roles)")
@@ -122,7 +128,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return usageError{err: err}
 	}
-	if *workers < 0 || *batch < 0 || *queueCap < 0 || *maxNew < 0 || *decodePar < 0 {
+	if *workers < 0 || *batch < 0 || *queueCap < 0 || *maxNew < 0 || *decodePar < 0 || *prefixB < 0 {
 		return usageError{err: fmt.Errorf("sizing flags must be >= 0")}
 	}
 	if *drainFor <= 0 {
@@ -131,6 +137,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	r, err := hack.ParseRole(*role)
 	if err != nil {
 		return usageError{err: err}
+	}
+	if *prefixB > 0 && r != hack.RoleLocal {
+		return usageError{err: fmt.Errorf("-prefix-cache-bytes requires the local role (prefix pages do not ship over the disaggregated KV wire)")}
 	}
 
 	opts := []hack.Option{
@@ -143,6 +152,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			QueueCap:          *queueCap,
 			MaxNewTokens:      *maxNew,
 			DecodeParallelism: *decodePar,
+			PrefixCacheBytes:  *prefixB,
 		}),
 	}
 	if r != hack.RoleLocal {

@@ -161,6 +161,18 @@ func main() {
 			Rounding: quant.StochasticRounding, Seed: 12, WireFactor: 0.9})
 	}, attnL)))
 
+	// Shared-prefix prefill skip: a cold prefill over the whole prompt
+	// versus restoring the leading 3/4 from cached pages and resuming
+	// over the suffix. Caching a fixed fraction keeps the ratio
+	// comparable between -quick and full operand sizes.
+	{
+		cached := attnL / 4 * 3
+		coldR, warmR := benchPrefixPrefill(attnL, cached)
+		cold := add(coldR)
+		warm := add(warmR)
+		rep.Speedups["prefix_warm_prefill"] = cold.NsPerOp / warm.NsPerOp
+	}
+
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
@@ -177,6 +189,88 @@ func main() {
 		rep.Speedups["decode_pi128"], rep.Speedups["decode_pi32"],
 		rep.Speedups["prefill_pi128"], rep.Speedups["prefill_pi32"])
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// benchPrefixPrefill measures the shared-prefix warm path against the
+// cold one at the head level: cold prefills all l tokens; warm restores
+// the first cached tokens from exported pages and resumes over the
+// suffix. Both use the same prefix-shareable backend, so the ratio is
+// the per-head TTFT saving a cache hit buys.
+func benchPrefixPrefill(l, cached int) (cold, warm Result) {
+	mk := func() attention.Head {
+		cfg := attention.DefaultHACKConfig(13)
+		cfg.PrefixShareable = true
+		backend, err := attention.NewHACK(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := backend.NewHead(128)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return h
+	}
+	rng := rand.New(rand.NewSource(5))
+	q := tensor.RandNormal(rng, l, 128, 1)
+	k := tensor.RandNormal(rng, l, 128, 1)
+	v := tensor.RandNormal(rng, l, 128, 1)
+
+	cold = measure(fmt.Sprintf("PrefixPrefill/cold_L%d/pi64", l), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := mk().Prefill(q.Clone(), k.Clone(), v.Clone()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	donor := mk()
+	if _, _, err := donor.Prefill(q.Clone(), k.Clone(), v.Clone()); err != nil {
+		log.Fatal(err)
+	}
+	pk, pv, err := donor.(attention.PrefixPageExporter).ExportPrefixPages(0, cached)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := attention.DefaultHACKConfig(13)
+	cfg.PrefixShareable = true
+	backend, err := attention.NewHACK(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sq, sk, sv := sliceRows(q, cached, l), sliceRows(k, cached, l), sliceRows(v, cached, l)
+	warm = measure(fmt.Sprintf("PrefixPrefill/warm_L%d_cached%d/pi64", l, cached), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// Restore consumes its page tensors (resume appends to
+			// them), so clone per iteration — exactly what a real hit
+			// does when it decodes wire frames into fresh tensors.
+			ck, err := pk.SliceRows(0, pk.Rows)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cv, err := pv.SliceRows(0, pv.Rows)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h, err := backend.RestorePrefixHead(128, ck, cv)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := h.(attention.PrefixResumer).ResumePrefill(sq.Clone(), sk.Clone(), sv.Clone()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return cold, warm
+}
+
+func sliceRows(m *tensor.Matrix, lo, hi int) *tensor.Matrix {
+	out := tensor.New(hi-lo, m.Cols)
+	for i := lo; i < hi; i++ {
+		copy(out.Row(i-lo), m.Row(i))
+	}
+	return out
 }
 
 // benchAttention returns a benchmark body running one-token decode steps

@@ -160,6 +160,12 @@ func (e *Engine) ListenDisagg(ctx context.Context) (*DisaggServer, error) {
 		dc.WireAddr = "127.0.0.1:0"
 	}
 	sc := e.serveCfg
+	if sc.PrefixCacheBytes > 0 || e.prefixBytes > 0 {
+		// Prefix-shareable heads keep per-operand stream positions and
+		// refuse the classic single-stream wire export the KV transfer
+		// protocol ships, so the two features cannot share a backend.
+		return nil, fmt.Errorf("hack: the shared-prefix cache is not supported in disaggregated roles (prefix-shareable backends do not speak the classic KV wire)")
+	}
 	ds := &DisaggServer{role: e.role}
 	var err error
 	switch e.role {

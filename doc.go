@@ -67,6 +67,17 @@
 // HTTP daemon (streamed POST /v1/generate, GET /metrics, GET /healthz,
 // SIGTERM graceful drain); see examples/served for the library form.
 //
+// WithPrefixCache (or ServeConfig.PrefixCacheBytes; -prefix-cache-bytes
+// on the daemon) enables the shared-prefix KV tier: quantized Π-aligned
+// KV pages from completed prefills are indexed by prompt prefix, and a
+// request sharing a cached prefix restores them and skips prefill over
+// the matched span — streaming tokens byte-identical to its own cold
+// run. Eviction is ref-counted LRU under the byte budget; the hit /
+// miss / tokens-reused / bytes-saved counters appear as
+// Snapshot.PrefixCache. Requires a homomorphic method with
+// requantization elimination, and composes with the local role only
+// (prefix pages do not ship over the disaggregated KV wire).
+//
 // # Disaggregated serving
 //
 // WithRole splits that runtime across real processes over a TCP KV

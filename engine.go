@@ -115,6 +115,7 @@ type Engine struct {
 	admitMethods      []Method
 	probe             func(ProbeEvent)
 	serveCfg          ServeConfig
+	prefixBytes       int64
 	role              Role
 	peerPrefills      []string
 	peerDecodes       []string

@@ -375,6 +375,29 @@ type HACKConfig struct {
 	// like the sweep pool, 1 forces serial. Outputs are bit-identical at
 	// every setting.
 	Parallelism int
+	// PrefixShareable switches the head to the shared-prefix
+	// quantization discipline: counted stochastic rounding (exactly one
+	// RNG draw per element) over four independent per-operand streams
+	// (K, V, Q, P) derived from Seed, so every draw's stream position
+	// is a pure function of the token position it encodes rather than
+	// of the whole prompt's length. Heads in this mode can export
+	// Π-aligned KV pages and be restored from cached pages with
+	// bit-identical downstream output (RestorePrefixHead /
+	// PrefixResumer). They do not interoperate with the classic
+	// single-stream wire export used by disaggregated handoff, and
+	// require RQE with eviction disabled.
+	PrefixShareable bool
+}
+
+// rounding returns the quantizer rounding mode the configuration
+// actually runs: prefix-shareable heads promote plain stochastic
+// rounding to the counted discipline (NearestRounding, being
+// deterministic and draw-free, passes through).
+func (c HACKConfig) rounding() quant.Rounding {
+	if c.PrefixShareable && c.Rounding == quant.StochasticRounding {
+		return quant.CountedStochasticRounding
+	}
+	return c.Rounding
 }
 
 // DefaultHACKConfig returns the paper's shipping configuration:
@@ -399,6 +422,14 @@ func NewHACK(cfg HACKConfig) (*HACKBackend, error) {
 	}
 	if cfg.QBits < 1 || cfg.QBits > 8 || cfg.KVBits < 1 || cfg.KVBits > 8 {
 		return nil, fmt.Errorf("attention: hack bits q=%d kv=%d", cfg.QBits, cfg.KVBits)
+	}
+	if cfg.PrefixShareable {
+		if !cfg.RequantizationElimination {
+			return nil, fmt.Errorf("attention: prefix sharing requires RQE (pages hold complete partitions only)")
+		}
+		if cfg.EvictBudgetTokens > 0 {
+			return nil, fmt.Errorf("attention: prefix sharing with eviction enabled would desynchronize cached pages")
+		}
 	}
 	return &HACKBackend{cfg: cfg}, nil
 }
@@ -450,6 +481,9 @@ func newCountingRand(seed int64) (*rand.Rand, *countingSource) {
 
 // NewHead implements Backend.
 func (b *HACKBackend) NewHead(headDim int) (Head, error) {
+	if b.cfg.PrefixShareable {
+		return b.newPrefixHead(headDim, nil, nil)
+	}
 	rng, cnt := newCountingRand(b.cfg.Seed)
 	c, err := kvcache.New(kvcache.Config{
 		HeadDim: headDim, Pi: b.cfg.Pi, KVBits: b.cfg.KVBits,
@@ -471,6 +505,9 @@ func (b *HACKBackend) NewHead(headDim int) (Head, error) {
 // so subsequent Decode calls produce bit-identical output to a head that
 // ran the prefill locally.
 func (b *HACKBackend) RestoreHead(headDim int, k, v *quant.Tensor, tail *tensor.Matrix, rngDraws uint64) (Head, error) {
+	if b.cfg.PrefixShareable {
+		return nil, fmt.Errorf("attention: prefix-shareable backends restore pages (RestorePrefixHead), not the single-stream wire form")
+	}
 	if !b.cfg.RequantizationElimination {
 		return nil, fmt.Errorf("attention: restore requires RQE (the quantized-tail ablation does not ship)")
 	}
@@ -498,6 +535,15 @@ type hackHead struct {
 	c   *kvcache.Cache
 	rng *rand.Rand
 	cnt *countingSource
+	// pf holds the four per-operand quantizer streams of a
+	// prefix-shareable head (nil in classic mode, where rng/cnt drive a
+	// single shared stream).
+	pf *prefixStreams
+	// resumeRows is the cached token count of an in-progress
+	// ResumePrefill: attend skips that many rows' worth of Q and P
+	// draws so the suffix lands on the cold path's stream positions.
+	// Zero outside a resume.
+	resumeRows int
 	// scores accumulates each cached token's received attention mass
 	// for the eviction policy; Evictions counts dropped blocks.
 	scores    []float64
@@ -517,6 +563,23 @@ func (h *hackHead) qCfg() quant.Config {
 	return quant.Config{Bits: h.cfg.QBits, Partition: h.cfg.Pi, Rounding: h.cfg.Rounding, RNG: h.rng}
 }
 
+// qCfgQ and qCfgP select the quantizer configuration for the Q and P
+// operands: the dedicated per-operand stream under prefix sharing, the
+// classic shared stream otherwise.
+func (h *hackHead) qCfgQ() quant.Config {
+	if h.pf != nil {
+		return quant.Config{Bits: h.cfg.QBits, Partition: h.cfg.Pi, Rounding: h.cfg.rounding(), RNG: h.pf.q}
+	}
+	return h.qCfg()
+}
+
+func (h *hackHead) qCfgP() quant.Config {
+	if h.pf != nil {
+		return quant.Config{Bits: h.cfg.QBits, Partition: h.cfg.Pi, Rounding: h.cfg.rounding(), RNG: h.pf.p}
+	}
+	return h.qCfg()
+}
+
 func (h *hackHead) opts() hack.Options {
 	return hack.Options{ReuseSums: h.cfg.SummationElimination, Parallelism: h.cfg.Parallelism}
 }
@@ -526,7 +589,13 @@ func (h *hackHead) opts() hack.Options {
 // maskOffset < 0 skips it (decode attends to everything).
 func (h *hackHead) attend(q *tensor.Matrix, maskOffset int, st *Stats) (*tensor.Matrix, error) {
 	dh := q.Cols
-	qq, err := quant.QuantizeInto(h.qq, q, quant.AlongCols, h.qCfg())
+	if h.resumeRows > 0 && h.pf != nil {
+		// The cold path quantized Q for every prompt row; a resumed
+		// prefill only quantizes the suffix. Skip the cached rows' draws
+		// so the suffix rows encode at the cold path's stream positions.
+		skipDraws(h.pf.q, h.resumeRows*dh)
+	}
+	qq, err := quant.QuantizeInto(h.qq, q, quant.AlongCols, h.qCfgQ())
 	if err != nil {
 		return nil, err
 	}
@@ -553,8 +622,13 @@ func (h *hackHead) attend(q *tensor.Matrix, maskOffset int, st *Stats) (*tensor.
 	nFull := h.c.VFull.Rows
 	out := h.out.Reset(q.Rows, dh)
 	if nFull > 0 {
+		if h.resumeRows > 0 && h.pf != nil {
+			// Same skip for P: the cold path quantized one nFull-wide P
+			// row per cached prompt row before reaching the suffix rows.
+			skipDraws(h.pf.p, h.resumeRows*nFull)
+		}
 		pFull := s.SliceColsInto(h.pFull, 0, nFull)
-		pq, err := quant.QuantizeInto(h.pq, pFull, quant.AlongCols, h.qCfg())
+		pq, err := quant.QuantizeInto(h.pq, pFull, quant.AlongCols, h.qCfgP())
 		if err != nil {
 			return nil, err
 		}
@@ -627,6 +701,9 @@ type WireExporter interface {
 
 // ExportWire implements WireExporter.
 func (h *hackHead) ExportWire() (*quant.Tensor, *quant.Tensor, *tensor.Matrix, uint64, error) {
+	if h.pf != nil {
+		return nil, nil, nil, 0, fmt.Errorf("attention: prefix-shareable heads export pages (ExportPrefixPages), not the single-stream wire form")
+	}
 	if !h.cfg.RequantizationElimination {
 		return nil, nil, nil, 0, fmt.Errorf("attention: export requires RQE (the quantized-tail ablation does not ship)")
 	}

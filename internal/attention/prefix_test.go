@@ -1,0 +1,205 @@
+package attention
+
+import (
+	"testing"
+
+	"github.com/hackkv/hack/internal/quant"
+	"github.com/hackkv/hack/internal/tensor"
+)
+
+func prefixCfg(seed int64) HACKConfig {
+	cfg := DefaultHACKConfig(seed)
+	cfg.Pi = 8 // small Π keeps multi-block scenarios cheap
+	cfg.PrefixShareable = true
+	return cfg
+}
+
+func slice(m *tensor.Matrix, lo, hi int) *tensor.Matrix {
+	out := tensor.New(hi-lo, m.Cols)
+	for i := lo; i < hi; i++ {
+		copy(out.Row(i-lo), m.Row(i))
+	}
+	return out
+}
+
+func mustEqual(t *testing.T, tag string, a, b *tensor.Matrix) {
+	t.Helper()
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", tag, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("%s: element %d diverged: %v vs %v", tag, i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+// TestPrefixWarmColdByteIdentity is the tentpole property end to end at
+// the head level: export Π-aligned pages from one head, restore them
+// into a fresh head, resume the prefill over the remaining suffix —
+// every attention output for the suffix rows and every subsequent
+// decode step must be bit-identical to a cold head that prefilled the
+// whole prompt itself.
+func TestPrefixWarmColdByteIdentity(t *testing.T) {
+	const total, cached = 21, 16 // cached is a Π multiple; 5 suffix rows
+	b, err := NewHACK(prefixCfg(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, k, v := randQKV(5, total)
+
+	cold, err := b.NewHead(dh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldOut, _, err := cold.Prefill(q.Clone(), k.Clone(), v.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldSuffix := slice(coldOut, cached, total)
+
+	// A second cold head (same seed) donates the pages, exporting in
+	// two spans to exercise multi-block assembly downstream.
+	donor, err := b.NewHead(dh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := donor.Prefill(q.Clone(), k.Clone(), v.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	exp := donor.(PrefixPageExporter)
+	k1, v1, err := exp.ExportPrefixPages(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, v2, err := exp.ExportPrefixPages(8, cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k1.AppendRows(k2); err != nil {
+		t.Fatal(err)
+	}
+	if err := v1.AppendRowBlocks(v2); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := b.RestorePrefixHead(dh, k1, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Len() != cached {
+		t.Fatalf("restored head holds %d tokens, want %d", warm.Len(), cached)
+	}
+	warmOut, _, err := warm.(PrefixResumer).ResumePrefill(
+		slice(q, cached, total), slice(k, cached, total), slice(v, cached, total))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqual(t, "resumed suffix", warmOut, coldSuffix)
+
+	// Decode steps must stay locked together.
+	for step := 0; step < 6; step++ {
+		dq, dk, dv := randQKV(int64(1000+step), 1)
+		co, _, err := cold.Decode(dq.Clone(), dk.Clone(), dv.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wo, _, err := warm.Decode(dq, dk, dv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqual(t, "decode step", wo, co)
+		if warm.Len() != cold.Len() {
+			t.Fatalf("length diverged: %d vs %d", warm.Len(), cold.Len())
+		}
+	}
+}
+
+// TestPrefixSeedIsolation checks that pages are seed-specific: a head
+// restored under a different seed produces different outputs than the
+// donor's cold path (the serving tier namespaces its index by seed for
+// exactly this reason).
+func TestPrefixSeedIsolation(t *testing.T) {
+	const total, cached = 20, 16
+	q, k, v := randQKV(6, total)
+	run := func(seed int64) *tensor.Matrix {
+		b, err := NewHACK(prefixCfg(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := b.NewHead(dh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _, err := h.Prefill(q.Clone(), k.Clone(), v.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Clone()
+	}
+	a, b := run(1), run(2)
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical stochastic outputs")
+	}
+}
+
+// TestPrefixGates pins the mode boundaries: prefix sharing requires RQE
+// and no eviction; classic heads expose no page machinery; prefix heads
+// refuse the classic single-stream wire export.
+func TestPrefixGates(t *testing.T) {
+	bad := prefixCfg(1)
+	bad.RequantizationElimination = false
+	if _, err := NewHACK(bad); err == nil {
+		t.Fatal("prefix sharing without RQE accepted")
+	}
+	bad = prefixCfg(1)
+	bad.EvictBudgetTokens = 64
+	if _, err := NewHACK(bad); err == nil {
+		t.Fatal("prefix sharing with eviction accepted")
+	}
+	bad = prefixCfg(1)
+	bad.Rounding = quant.NearestRounding
+	if _, err := NewHACK(bad); err != nil {
+		t.Fatalf("nearest rounding (draw-free) should be shareable: %v", err)
+	}
+
+	classic, err := NewHACK(DefaultHACKConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := classic.PrefixLayout(); err == nil {
+		t.Fatal("classic backend advertised a prefix layout")
+	}
+	if _, err := classic.RestorePrefixHead(dh, nil, nil); err == nil {
+		t.Fatal("classic backend restored prefix pages")
+	}
+
+	pb, err := NewHACK(prefixCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := pb.NewHead(dh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, k, v := randQKV(7, 16)
+	if _, _, err := h.Prefill(q, k, v); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, _, err := h.(WireExporter).ExportWire(); err == nil {
+		t.Fatal("prefix head exported a classic single-stream wire cache")
+	}
+	if _, _, err := h.(PrefixPageExporter).ExportPrefixPages(3, 11); err == nil {
+		t.Fatal("misaligned page span exported")
+	}
+	if _, err := pb.RestorePrefixHead(dh, nil, nil); err == nil {
+		t.Fatal("nil pages restored")
+	}
+}

@@ -1,0 +1,109 @@
+package kvcache
+
+import (
+	"testing"
+)
+
+// FuzzPagedAllocator drives the allocator with an arbitrary byte script
+// (each byte is one operation: allocate, append, free, admission check)
+// and asserts page conservation after every step: no page lost, none
+// double-owned, token accounting consistent with table sizes.
+func FuzzPagedAllocator(f *testing.F) {
+	f.Add([]byte{0x05, 0x21, 0x40, 0x80, 0x01})
+	f.Add([]byte{0x00, 0xff, 0x41, 0x42, 0x43, 0x81})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		a, err := NewPagedAllocator(32*8*4, 8, 4) // 32 pages of 8 tokens
+		if err != nil {
+			t.Fatal(err)
+		}
+		var seqs []int
+		for _, op := range script {
+			switch op >> 6 {
+			case 0: // allocate 0..63 tokens (0 must be rejected, not crash)
+				tokens := int(op & 0x3f)
+				if seq, err := a.Allocate(tokens); err == nil {
+					if tokens <= 0 {
+						t.Fatalf("Allocate(%d) accepted", tokens)
+					}
+					seqs = append(seqs, seq)
+				}
+			case 1: // append one token to a live sequence
+				if len(seqs) > 0 {
+					_ = a.AppendToken(seqs[int(op&0x3f)%len(seqs)])
+				}
+			case 2: // free a live sequence
+				if len(seqs) > 0 {
+					i := int(op&0x3f) % len(seqs)
+					if err := a.Free(seqs[i]); err != nil {
+						t.Fatal(err)
+					}
+					seqs = append(seqs[:i], seqs[i+1:]...)
+				}
+			case 3: // admission probe, including degenerate counts
+				_ = a.CanAdmit(int(op&0x3f) - 8)
+			}
+			if err := a.CheckConservation(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}
+
+// FuzzPrefixIndex drives the prefix index with an arbitrary operation
+// script — inserts, pinned lookups, releases — over a budget small
+// enough to exercise eviction, and asserts the structural invariants
+// after every step: allocator conservation, one page sequence per
+// resident node, non-negative refcounts, consistent trie links.
+func FuzzPrefixIndex(f *testing.F) {
+	f.Add([]byte{0x10, 0x50, 0x91, 0x12, 0xd0})
+	f.Add([]byte{0x00, 0x01, 0x02, 0x40, 0x41, 0x80, 0x81, 0xc0})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		ix, err := NewPrefixIndex(6*4*8, 4, 4, 8) // 6 blocks of 4 tokens
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pinned []*PrefixMatch
+		defer func() {
+			for _, m := range pinned {
+				m.Release()
+			}
+		}()
+		for _, op := range script {
+			ns := int64(op >> 5 & 1)     // two namespaces
+			p := prompt(int(op>>2&7), 8) // eight distinct prompts
+			switch op >> 6 {
+			case 0: // insert up to a block boundary
+				upTo := 4 * (1 + int(op&3))
+				if upTo > len(p) {
+					upTo = len(p)
+				}
+				if _, err := ix.Insert(ns, p, upTo, func(lo, hi int) (any, error) {
+					return [2]int{lo, hi}, nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+			case 1: // lookup and hold the pin
+				if m := ix.Lookup(ns, p, len(p)); m != nil {
+					if m.Tokens%4 != 0 || m.Tokens <= 0 {
+						t.Fatalf("match of %d tokens", m.Tokens)
+					}
+					pinned = append(pinned, m)
+				}
+			case 2: // release an outstanding pin
+				if len(pinned) > 0 {
+					i := int(op&0x3f) % len(pinned)
+					pinned[i].Release()
+					pinned = append(pinned[:i], pinned[i+1:]...)
+				}
+			case 3: // stats probe
+				st := ix.Stats()
+				if st.BytesUsed > st.BytesBudget {
+					t.Fatalf("resident %d bytes over budget %d", st.BytesUsed, st.BytesBudget)
+				}
+			}
+			if err := ix.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}

@@ -61,14 +61,44 @@ type Config struct {
 	// Rounding and RNG configure the quantizer.
 	Rounding quant.Rounding
 	RNG      *rand.Rand
+	// KRNG and VRNG optionally split the quantizer randomness into
+	// separate per-operand streams (K rows vs V partitions), each
+	// falling back to RNG when nil. Prefix-shareable heads use the
+	// split: under counted rounding each stream's position is then a
+	// pure function of the token position it encodes, independent of
+	// how much of the *other* operand has been quantized — the property
+	// that lets cached pages restore bit-identically mid-stream.
+	KRNG, VRNG *rand.Rand
 	// RQE enables requantization elimination for the trailing V block.
 	// When false the partial block is requantized on every append,
 	// reproducing the HACK/RQE ablation's extra cost and error.
 	RQE bool
 }
 
+func (c Config) kRNG() *rand.Rand {
+	if c.KRNG != nil {
+		return c.KRNG
+	}
+	return c.RNG
+}
+
+func (c Config) vRNG() *rand.Rand {
+	if c.VRNG != nil {
+		return c.VRNG
+	}
+	return c.RNG
+}
+
 func (c Config) quantCfg() quant.Config {
 	return quant.Config{Bits: c.KVBits, Partition: c.Pi, Rounding: c.Rounding, RNG: c.RNG}
+}
+
+func (c Config) kQuantCfg() quant.Config {
+	return quant.Config{Bits: c.KVBits, Partition: c.Pi, Rounding: c.Rounding, RNG: c.kRNG()}
+}
+
+func (c Config) vQuantCfg() quant.Config {
+	return quant.Config{Bits: c.KVBits, Partition: c.Pi, Rounding: c.Rounding, RNG: c.vRNG()}
 }
 
 func (c Config) validate() error {
@@ -81,7 +111,8 @@ func (c Config) validate() error {
 	if c.KVBits < 1 || c.KVBits > 8 {
 		return fmt.Errorf("kvcache: kv bits %d", c.KVBits)
 	}
-	if c.Rounding == quant.StochasticRounding && c.RNG == nil {
+	stochastic := c.Rounding == quant.StochasticRounding || c.Rounding == quant.CountedStochasticRounding
+	if stochastic && (c.kRNG() == nil || c.vRNG() == nil) {
 		return fmt.Errorf("kvcache: stochastic rounding requires an RNG")
 	}
 	return nil
@@ -216,7 +247,7 @@ func (c *Cache) AppendPrefill(k, v *tensor.Matrix) error {
 		return fmt.Errorf("kvcache: prefill shapes K %dx%d V %dx%d, head dim %d",
 			k.Rows, k.Cols, v.Rows, v.Cols, c.cfg.HeadDim)
 	}
-	kq, err := quant.Quantize(k, quant.AlongCols, c.cfg.quantCfg())
+	kq, err := quant.Quantize(k, quant.AlongCols, c.cfg.kQuantCfg())
 	if err != nil {
 		return err
 	}
@@ -238,7 +269,7 @@ func (c *Cache) AppendToken(kRow, vRow []float32) error {
 		return fmt.Errorf("kvcache: token rows %d/%d, head dim %d", len(kRow), len(vRow), c.cfg.HeadDim)
 	}
 	km := c.rowMatrix(kRow)
-	kq, err := quant.QuantizeInto(c.kRowQ, km, quant.AlongCols, c.cfg.quantCfg())
+	kq, err := quant.QuantizeInto(c.kRowQ, km, quant.AlongCols, c.cfg.kQuantCfg())
 	if err != nil {
 		return err
 	}
@@ -259,7 +290,7 @@ func (c *Cache) appendVRow(vRow []float32) error {
 		rounded := c.roundedRow(vRow)
 		c.VTail = tensor.AppendRows(c.VTail, c.rowMatrix(rounded))
 		if c.VTail.Rows == c.cfg.Pi {
-			blk, err := quant.QuantizeInto(c.vBlockQ, c.VTail, quant.AlongRows, c.cfg.quantCfg())
+			blk, err := quant.QuantizeInto(c.vBlockQ, c.VTail, quant.AlongRows, c.cfg.vQuantCfg())
 			if err != nil {
 				return err
 			}
@@ -286,7 +317,7 @@ func (c *Cache) appendVRow(vRow []float32) error {
 	}
 	rounded := c.roundedRow(vRow)
 	block = tensor.AppendRows(block, c.rowMatrix(rounded))
-	bq, err := quant.Quantize(block, quant.AlongRows, c.cfg.quantCfg())
+	bq, err := quant.Quantize(block, quant.AlongRows, c.cfg.vQuantCfg())
 	if err != nil {
 		return err
 	}

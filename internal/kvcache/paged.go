@@ -3,6 +3,7 @@ package kvcache
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // PagedAllocator is the vLLM-style block allocator underneath the KV
@@ -12,9 +13,15 @@ import (
 // allocator tracks free pages, per-sequence tables and fragmentation —
 // the machinery that makes the Table 5 peak-memory numbers real at the
 // engine level rather than assumed.
+//
+// All methods are safe for concurrent use: the prefix-cache tier shares
+// one allocator across every prefill worker, so the allocator owns its
+// own mutex rather than leaning on a single-owner convention.
 type PagedAllocator struct {
+	mu sync.Mutex
 	// pageTokens is the page granularity in tokens (Π-aligned so HACK's
-	// quantization partitions never straddle pages).
+	// quantization partitions never straddle pages; PrefixIndex enforces
+	// the alignment at construction with a PageAlignmentError).
 	pageTokens int
 	// pageBytes is the byte size of one page for the configured method.
 	pageBytes  int
@@ -55,7 +62,11 @@ func NewPagedAllocator(capacityBytes int64, pageTokens int, bytesPerToken int) (
 func (a *PagedAllocator) PageTokens() int { return a.pageTokens }
 
 // FreePages returns the number of unallocated pages.
-func (a *PagedAllocator) FreePages() int { return len(a.freeList) }
+func (a *PagedAllocator) FreePages() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.freeList)
+}
 
 // TotalPages returns the pool size.
 func (a *PagedAllocator) TotalPages() int { return a.totalPages }
@@ -67,14 +78,28 @@ func (a *PagedAllocator) pagesFor(tokens int) int {
 
 // CanAdmit reports whether a sequence of the given final length fits in
 // the currently free pages — the admission check the simulator's decode
-// replicas perform.
+// replicas perform. Non-positive lengths are never admissible: they
+// describe no sequence, and Allocate rejects them.
 func (a *PagedAllocator) CanAdmit(tokens int) bool {
+	if tokens <= 0 {
+		return false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	return a.pagesFor(tokens) <= len(a.freeList)
 }
 
 // Allocate creates a sequence with an initial token count (the prefilled
-// prompt) and returns its id.
+// prompt) and returns its id. The count must be positive: pagesFor
+// rounds a non-positive count to zero pages, which would register a
+// live sequence with no backing pages and a negative token balance,
+// silently corrupting InternalFragmentation and CanAdmit.
 func (a *PagedAllocator) Allocate(tokens int) (int, error) {
+	if tokens <= 0 {
+		return 0, fmt.Errorf("kvcache: allocate %d tokens (must be positive)", tokens)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	need := a.pagesFor(tokens)
 	if need > len(a.freeList) {
 		return 0, fmt.Errorf("kvcache: need %d pages, %d free", need, len(a.freeList))
@@ -94,11 +119,18 @@ func (a *PagedAllocator) Allocate(tokens int) (int, error) {
 // AppendToken grows a sequence by one token, taking a new page when the
 // last one fills. This is the decode-step path.
 func (a *PagedAllocator) AppendToken(seq int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	pages, ok := a.tables[seq]
 	if !ok {
 		return fmt.Errorf("kvcache: unknown sequence %d", seq)
 	}
 	n := a.tokens[seq]
+	if n <= 0 {
+		// Allocate rejects non-positive counts, so this can only mean
+		// internal corruption; fail loudly rather than compound it.
+		return fmt.Errorf("kvcache: sequence %d has invalid token count %d", seq, n)
+	}
 	if a.pagesFor(n+1) > len(pages) {
 		if len(a.freeList) == 0 {
 			return fmt.Errorf("kvcache: out of pages growing sequence %d", seq)
@@ -113,6 +145,8 @@ func (a *PagedAllocator) AppendToken(seq int) error {
 
 // Free releases a sequence's pages.
 func (a *PagedAllocator) Free(seq int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	pages, ok := a.tables[seq]
 	if !ok {
 		return fmt.Errorf("kvcache: unknown sequence %d", seq)
@@ -126,6 +160,8 @@ func (a *PagedAllocator) Free(seq int) error {
 // PageTable returns a copy of the sequence's physical page ids in
 // logical order.
 func (a *PagedAllocator) PageTable(seq int) ([]int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	pages, ok := a.tables[seq]
 	if !ok {
 		return nil, fmt.Errorf("kvcache: unknown sequence %d", seq)
@@ -135,6 +171,8 @@ func (a *PagedAllocator) PageTable(seq int) ([]int, error) {
 
 // SeqTokens returns a sequence's token count.
 func (a *PagedAllocator) SeqTokens(seq int) (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	n, ok := a.tokens[seq]
 	if !ok {
 		return 0, fmt.Errorf("kvcache: unknown sequence %d", seq)
@@ -144,13 +182,22 @@ func (a *PagedAllocator) SeqTokens(seq int) (int, error) {
 
 // UsedBytes returns the bytes held by allocated pages.
 func (a *PagedAllocator) UsedBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	return int64(a.totalPages-len(a.freeList)) * int64(a.pageBytes)
+}
+
+// CapacityBytes returns the pool's total byte capacity.
+func (a *PagedAllocator) CapacityBytes() int64 {
+	return int64(a.totalPages) * int64(a.pageBytes)
 }
 
 // InternalFragmentation returns the fraction of allocated page bytes not
 // backed by tokens — the cost of page-granularity allocation that the
 // paged design bounds to < one page per sequence.
 func (a *PagedAllocator) InternalFragmentation() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	allocPages := a.totalPages - len(a.freeList)
 	if allocPages == 0 {
 		return 0
@@ -165,15 +212,64 @@ func (a *PagedAllocator) InternalFragmentation() float64 {
 
 // Utilization returns the fraction of the pool's pages in use.
 func (a *PagedAllocator) Utilization() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	return float64(a.totalPages-len(a.freeList)) / float64(a.totalPages)
 }
 
 // Sequences returns the live sequence ids in ascending order.
 func (a *PagedAllocator) Sequences() []int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	out := make([]int, 0, len(a.tables))
 	for id := range a.tables {
 		out = append(out, id)
 	}
 	sort.Ints(out)
 	return out
+}
+
+// CheckConservation verifies the pool's bookkeeping: every physical page
+// appears exactly once (in the free list or in exactly one page table),
+// token counts are positive and consistent with each table's size, and
+// the page total balances. It is the property the fuzz harness pins.
+func (a *PagedAllocator) CheckConservation() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	seen := make(map[int]int, a.totalPages)
+	for _, p := range a.freeList {
+		seen[p]++
+	}
+	total := len(a.freeList)
+	for id, pages := range a.tables {
+		total += len(pages)
+		for _, p := range pages {
+			seen[p]++
+		}
+		n, ok := a.tokens[id]
+		if !ok {
+			return fmt.Errorf("kvcache: sequence %d has a table but no token count", id)
+		}
+		if n <= 0 {
+			return fmt.Errorf("kvcache: sequence %d has token count %d", id, n)
+		}
+		if a.pagesFor(n) != len(pages) {
+			return fmt.Errorf("kvcache: sequence %d holds %d pages for %d tokens", id, len(pages), n)
+		}
+	}
+	if len(a.tokens) != len(a.tables) {
+		return fmt.Errorf("kvcache: %d token counts for %d tables", len(a.tokens), len(a.tables))
+	}
+	if total != a.totalPages {
+		return fmt.Errorf("kvcache: %d pages accounted for, pool holds %d", total, a.totalPages)
+	}
+	for p, n := range seen {
+		if p < 0 || p >= a.totalPages {
+			return fmt.Errorf("kvcache: page id %d outside pool [0,%d)", p, a.totalPages)
+		}
+		if n != 1 {
+			return fmt.Errorf("kvcache: page %d appears %d times", p, n)
+		}
+	}
+	return nil
 }

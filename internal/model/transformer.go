@@ -145,10 +145,21 @@ func (m *Transformer) RestoreSession(b attention.Backend, heads [][]attention.He
 // instance reads cache contents through this for the KV transfer.
 func (s *Session) Head(layer, head int) attention.Head { return s.heads[layer][head] }
 
-// forward runs the transformer over x (L×hidden), using Prefill on each
-// head when prefill is true and Decode otherwise, and returns the final
-// hidden states.
-func (s *Session) forward(x *tensor.Matrix, prefill bool) (*tensor.Matrix, error) {
+// pass selects which per-head attention entry point a forward run uses.
+type pass int
+
+const (
+	passPrefill pass = iota
+	passDecode
+	// passResume continues a prefill over restored prefix pages: x holds
+	// only the prompt suffix's hidden states, and each head must
+	// implement attention.PrefixResumer.
+	passResume
+)
+
+// forward runs the transformer over x (L×hidden) through the selected
+// pass and returns the final hidden states.
+func (s *Session) forward(x *tensor.Matrix, p pass) (*tensor.Matrix, error) {
 	spec := s.m.spec
 	for l, w := range s.m.layers {
 		xn := rmsNorm(x)
@@ -175,9 +186,16 @@ func (s *Session) forward(x *tensor.Matrix, prefill bool) (*tensor.Matrix, error
 				st  attention.Stats
 				err error
 			)
-			if prefill {
+			switch p {
+			case passPrefill:
 				oh, st, err = s.heads[l][h].Prefill(qh, kh, vh)
-			} else {
+			case passResume:
+				r, ok := s.heads[l][h].(attention.PrefixResumer)
+				if !ok {
+					return nil, fmt.Errorf("layer %d head %d: backend cannot resume a prefill", l, h)
+				}
+				oh, st, err = r.ResumePrefill(qh, kh, vh)
+			default:
 				oh, st, err = s.heads[l][h].Decode(qh, kh, vh)
 			}
 			if err != nil {
@@ -224,11 +242,47 @@ func (s *Session) PrefillLogits(prompt []int) ([]float32, error) {
 		}
 		copy(x.Row(i), s.m.Embed.Row(tok))
 	}
-	out, err := s.forward(x, true)
+	out, err := s.forward(x, passPrefill)
 	if err != nil {
 		return nil, err
 	}
 	return s.logits(out), nil
+}
+
+// ResumePrefillLogits continues a prefill whose first cached prompt
+// tokens already sit in every head's restored KV cache (the shared-
+// prefix warm path): only prompt[cached:] is embedded and forwarded,
+// and the returned next-token logits are bit-identical to a cold
+// PrefillLogits over the whole prompt for the same backend seed.
+// Requires 0 < cached < len(prompt) and heads that implement
+// attention.PrefixResumer.
+func (s *Session) ResumePrefillLogits(prompt []int, cached int) ([]float32, error) {
+	if cached <= 0 || cached >= len(prompt) {
+		return nil, fmt.Errorf("model: resume with %d cached of %d prompt tokens", cached, len(prompt))
+	}
+	suffix := prompt[cached:]
+	x := tensor.New(len(suffix), s.m.spec.Hidden)
+	for i, tok := range suffix {
+		if tok < 0 || tok >= s.m.spec.Vocab {
+			return nil, fmt.Errorf("model: token %d out of vocab %d", tok, s.m.spec.Vocab)
+		}
+		copy(x.Row(i), s.m.Embed.Row(tok))
+	}
+	out, err := s.forward(x, passResume)
+	if err != nil {
+		return nil, err
+	}
+	return s.logits(out), nil
+}
+
+// ResumePrefill continues a prefill over restored prefix pages (see
+// ResumePrefillLogits) and returns the first generated token.
+func (s *Session) ResumePrefill(prompt []int, cached int) (int, error) {
+	lg, err := s.ResumePrefillLogits(prompt, cached)
+	if err != nil {
+		return 0, err
+	}
+	return argmax(lg), nil
 }
 
 // DecodeLogits feeds one token and returns the next-token logits.
@@ -238,7 +292,7 @@ func (s *Session) DecodeLogits(tok int) ([]float32, error) {
 	}
 	x := tensor.New(1, s.m.spec.Hidden)
 	copy(x.Row(0), s.m.Embed.Row(tok))
-	out, err := s.forward(x, false)
+	out, err := s.forward(x, passDecode)
 	if err != nil {
 		return nil, err
 	}

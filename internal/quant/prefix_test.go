@@ -1,0 +1,145 @@
+package quant
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/hackkv/hack/internal/tensor"
+)
+
+// skip advances rng by exactly n Int63 draws, mirroring how the
+// prefix-sharing attention layer fast-forwards an operand stream.
+func skip(rng *rand.Rand, n int) {
+	for i := 0; i < n; i++ {
+		rng.Int63()
+	}
+}
+
+// TestCountedRoundingPositionStable pins the property the shared-prefix
+// tier is built on: under CountedStochasticRounding every element
+// consumes exactly one RNG draw, so quantizing only a row suffix with a
+// fast-forwarded stream reproduces the full quantization's codes for
+// those rows — draw positions depend on element position, not on how
+// much data precedes the call.
+func TestCountedRoundingPositionStable(t *testing.T) {
+	const rows, cols, pi, lo = 12, 16, 8, 5
+	m := tensor.RandNormal(rand.New(rand.NewSource(1)), rows, cols, 1)
+
+	cfg := Config{Bits: 2, Partition: pi, Rounding: CountedStochasticRounding,
+		RNG: rand.New(rand.NewSource(42))}
+	full, err := Quantize(m, AlongCols, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	suffix := tensor.New(rows-lo, cols)
+	for i := 0; i < rows-lo; i++ {
+		copy(suffix.Row(i), m.Row(lo+i))
+	}
+	rng := rand.New(rand.NewSource(42))
+	skip(rng, lo*cols) // one draw per element in rows [0, lo)
+	cfg.RNG = rng
+	part, err := Quantize(suffix, AlongCols, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < part.Rows*cols; i++ {
+		if part.Codes[i] != full.Codes[lo*cols+i] {
+			t.Fatalf("code %d: suffix quantization %d, full %d", i, part.Codes[i], full.Codes[lo*cols+i])
+		}
+	}
+}
+
+// TestCountedRoundingDegenerateConsumesDraws checks that degenerate
+// partitions (zero scale: all values equal) still consume one draw per
+// element, keeping later draw positions aligned. Classic stochastic
+// rounding skips those draws, which is exactly why it cannot share
+// pages.
+func TestCountedRoundingDegenerateConsumesDraws(t *testing.T) {
+	const cols, pi = 8, 8
+	a := tensor.New(2, cols) // row 0 constant (degenerate), row 1 varied
+	b := tensor.New(2, cols) // row 0 varied, row 1 identical to a's
+	for j := 0; j < cols; j++ {
+		a.Row(0)[j] = 3
+		b.Row(0)[j] = float32(j)
+		v := float32(j)*0.25 - 1
+		a.Row(1)[j] = v
+		b.Row(1)[j] = v
+	}
+	enc := func(m *tensor.Matrix) *Tensor {
+		t.Helper()
+		q, err := Quantize(m, AlongCols, Config{Bits: 2, Partition: pi,
+			Rounding: CountedStochasticRounding, RNG: rand.New(rand.NewSource(7))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	qa, qb := enc(a), enc(b)
+	for j := 0; j < cols; j++ {
+		if qa.Codes[cols+j] != qb.Codes[cols+j] {
+			t.Fatalf("row 1 code %d diverged (%d vs %d): degenerate row 0 consumed a different draw count",
+				j, qa.Codes[cols+j], qb.Codes[cols+j])
+		}
+	}
+}
+
+// TestSliceRowsRoundTrip checks that slicing and re-appending aligned
+// row spans reconstructs the original tensor exactly, for both the K
+// layout (along columns) and the V layout (along rows).
+func TestSliceRowsRoundTrip(t *testing.T) {
+	const rows, cols, pi, cut = 24, 16, 8, 16
+	m := tensor.RandNormal(rand.New(rand.NewSource(3)), rows, cols, 1)
+	for _, axis := range []Axis{AlongCols, AlongRows} {
+		q, err := Quantize(m, axis, Config{Bits: 2, Partition: pi, Rounding: NearestRounding})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := q.SliceRows(0, cut)
+		if err != nil {
+			t.Fatalf("axis %v: %v", axis, err)
+		}
+		b, err := q.SliceRows(cut, rows)
+		if err != nil {
+			t.Fatalf("axis %v: %v", axis, err)
+		}
+		if axis == AlongCols {
+			err = a.AppendRows(b)
+		} else {
+			err = a.AppendRowBlocks(b)
+		}
+		if err != nil {
+			t.Fatalf("axis %v: %v", axis, err)
+		}
+		if a.Rows != q.Rows || a.NBlocks != q.NBlocks {
+			t.Fatalf("axis %v: rejoined %d rows / %d blocks, want %d / %d", axis, a.Rows, a.NBlocks, q.Rows, q.NBlocks)
+		}
+		for i := range q.Codes {
+			if a.Codes[i] != q.Codes[i] {
+				t.Fatalf("axis %v: code %d diverged", axis, i)
+			}
+		}
+		for i := range q.Min {
+			if a.Min[i] != q.Min[i] || a.Scale[i] != q.Scale[i] {
+				t.Fatalf("axis %v: meta %d diverged", axis, i)
+			}
+		}
+	}
+}
+
+// TestSliceRowsRejectsMisaligned pins the V-layout alignment guard:
+// slicing along-rows tensors off partition boundaries must fail rather
+// than split a quantized partition.
+func TestSliceRowsRejectsMisaligned(t *testing.T) {
+	m := tensor.RandNormal(rand.New(rand.NewSource(4)), 16, 8, 1)
+	q, err := Quantize(m, AlongRows, Config{Bits: 2, Partition: 8, Rounding: NearestRounding})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.SliceRows(4, 12); err == nil {
+		t.Fatal("misaligned along-rows slice accepted")
+	}
+	if _, err := q.SliceRows(-8, 8); err == nil {
+		t.Fatal("negative slice bound accepted")
+	}
+}

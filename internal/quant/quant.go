@@ -56,6 +56,19 @@ const (
 	// NearestRounding rounds to the nearest integer; deterministic,
 	// used by tests and by the KVQuant-style baseline.
 	NearestRounding
+	// CountedStochasticRounding is stochastic rounding under a fixed
+	// draw discipline: encoding consumes exactly one RNG draw per
+	// element, unconditionally — including elements of degenerate
+	// (zero-scale) blocks and elements whose fractional part is zero,
+	// both of which plain StochasticRounding skips. The stream position
+	// after encoding n elements is therefore always exactly n, making
+	// the quantizer's randomness a pure function of element position.
+	// This is the discipline behind shared-prefix KV reuse: a Π-aligned
+	// page quantized while serving one request is bit-identical to the
+	// same tokens quantized under any other request with the same
+	// stream, because both draw the same uniforms at the same
+	// positions.
+	CountedStochasticRounding
 )
 
 // Config parameterizes a quantization pass.
@@ -79,7 +92,7 @@ func (c Config) validate() error {
 	if c.Partition <= 0 {
 		return fmt.Errorf("quant: partition size %d must be positive", c.Partition)
 	}
-	if c.Rounding == StochasticRounding && c.RNG == nil {
+	if (c.Rounding == StochasticRounding || c.Rounding == CountedStochasticRounding) && c.RNG == nil {
 		return fmt.Errorf("quant: stochastic rounding requires an RNG")
 	}
 	return nil
@@ -264,6 +277,33 @@ func quantizeBlock(t *Tensor, m *tensor.Matrix, v, b int, cfg Config) {
 
 // encodeValue maps one value onto the block's code grid.
 func encodeValue(x, minV, scale float32, maxCode float64, cfg Config) uint8 {
+	if cfg.Rounding == CountedStochasticRounding {
+		// Exactly one source advance per element, drawn before any early
+		// return so the stream position stays a pure function of element
+		// count. Int63 rather than Float64: Float64's rare resample loop
+		// can consume a second draw, which would break the accounting.
+		u := float64(cfg.RNG.Int63()) / (1 << 63)
+		if !(scale > 0) { // degenerate or non-finite block → code 0
+			return 0
+		}
+		q := float64(x-minV) / float64(scale)
+		if q < 0 {
+			q = 0
+		}
+		if q > maxCode {
+			q = maxCode
+		}
+		fl := math.Floor(q)
+		// Round up with probability q−⌊q⌋ (u is uniform on [0,1)), the
+		// same zero-mean error law as StochasticRounding.
+		if u < q-fl {
+			fl++
+		}
+		if fl > maxCode {
+			fl = maxCode
+		}
+		return uint8(fl)
+	}
 	if !(scale > 0) { // degenerate or non-finite block → code 0
 		return 0
 	}

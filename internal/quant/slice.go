@@ -1,0 +1,46 @@
+package quant
+
+import "fmt"
+
+// SliceRows returns a deep copy of rows [lo, hi) of t as a standalone
+// tensor with the same layout, bit width and partition size. For
+// along-cols tensors (K/Q) any row range works: each row carries its own
+// partitions. For along-rows tensors (V) the range must be Π-aligned on
+// both ends so partitions never straddle the cut — the invariant the
+// shared-prefix page cache is built on. The slice shares no storage with
+// t, so callers may cache it beyond t's lifetime; re-joining slices with
+// AppendRows / AppendRowBlocks reproduces the original bytes exactly.
+func (t *Tensor) SliceRows(lo, hi int) (*Tensor, error) {
+	if lo < 0 || hi < lo || hi > t.Rows {
+		return nil, fmt.Errorf("quant: SliceRows range [%d,%d) out of %d rows", lo, hi, t.Rows)
+	}
+	s := &Tensor{
+		Rows: hi - lo, Cols: t.Cols,
+		Axis: t.Axis, Bits: t.Bits, Pi: t.Pi,
+	}
+	s.Codes = append([]uint8(nil), t.Codes[lo*t.Cols:hi*t.Cols]...)
+	if t.Axis == AlongCols {
+		s.NBlocks = t.NBlocks
+		s.Min = append([]float32(nil), t.Min[lo*t.NBlocks:hi*t.NBlocks]...)
+		s.Scale = append([]float32(nil), t.Scale[lo*t.NBlocks:hi*t.NBlocks]...)
+		s.Sums = append([]int32(nil), t.Sums[lo*t.NBlocks:hi*t.NBlocks]...)
+		return s, nil
+	}
+	if t.Pi <= 0 || lo%t.Pi != 0 || hi%t.Pi != 0 {
+		return nil, fmt.Errorf("quant: along-rows SliceRows [%d,%d) not aligned to Π=%d", lo, hi, t.Pi)
+	}
+	b0, b1 := lo/t.Pi, hi/t.Pi
+	nb := b1 - b0
+	s.NBlocks = nb
+	s.Min = make([]float32, t.Cols*nb)
+	s.Scale = make([]float32, t.Cols*nb)
+	s.Sums = make([]int32, t.Cols*nb)
+	// Per-column metadata is interleaved by block index; gather the
+	// [b0,b1) window of each column into the slice's tighter layout.
+	for v := 0; v < t.Cols; v++ {
+		copy(s.Min[v*nb:], t.Min[v*t.NBlocks+b0:v*t.NBlocks+b1])
+		copy(s.Scale[v*nb:], t.Scale[v*t.NBlocks+b0:v*t.NBlocks+b1])
+		copy(s.Sums[v*nb:], t.Sums[v*t.NBlocks+b0:v*t.NBlocks+b1])
+	}
+	return s, nil
+}

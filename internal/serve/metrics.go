@@ -48,6 +48,10 @@ type recorder struct {
 	kvNow    atomic.Int64
 	kvPeak   atomic.Int64
 
+	// prefixErrors counts shared-prefix tier failures the server
+	// absorbed by falling back to a cold prefill.
+	prefixErrors atomic.Int64
+
 	mu      sync.Mutex
 	ttfts   ring
 	tbts    ring
@@ -113,6 +117,10 @@ type Snapshot struct {
 	KVBytesNow     int64   `json:"kv_bytes_now"`
 	KVBytesPeak    int64   `json:"kv_bytes_peak"`
 
+	// PrefixCache reports the shared-prefix KV tier, nil when the tier
+	// is disabled (so existing JSON consumers see no new field).
+	PrefixCache *PrefixCacheStats `json:"prefix_cache,omitempty"`
+
 	// Latency percentiles, in seconds.
 	TTFT       metrics.PercentileSummary `json:"ttft_s"`
 	TBT        metrics.PercentileSummary `json:"tbt_s"`
@@ -143,6 +151,14 @@ func (s *Server) Metrics() Snapshot {
 	}
 	if out.DecodeSteps > 0 {
 		out.BatchOccupancy = float64(r.batchSizeSum.Load()) / float64(out.DecodeSteps)
+	}
+	if s.prefix != nil {
+		st, err := s.prefix.backend.Stats()
+		if err != nil {
+			r.prefixErrors.Add(1)
+		}
+		st.Errors = r.prefixErrors.Load()
+		out.PrefixCache = &st
 	}
 	r.mu.Lock()
 	ttfts, tbts, qds := r.ttfts.snapshot(), r.tbts.snapshot(), r.queueDs.snapshot()

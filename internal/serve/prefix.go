@@ -1,0 +1,363 @@
+package serve
+
+import (
+	"fmt"
+
+	"github.com/hackkv/hack/internal/attention"
+	"github.com/hackkv/hack/internal/kvcache"
+	"github.com/hackkv/hack/internal/model"
+	"github.com/hackkv/hack/internal/netsim"
+	"github.com/hackkv/hack/internal/quant"
+)
+
+// This file is the serving half of the shared-prefix KV tier: requests
+// whose prompts share a block-aligned token prefix reuse the quantized
+// KV pages a previous request already produced, skipping prefill over
+// the matched span. The index side lives in kvcache.PrefixIndex (a trie
+// over Π-aligned blocks with ref-counted LRU eviction under a byte
+// budget); the numeric side in attention's prefix-shareable heads,
+// whose counted per-operand quantizer streams make a restored page
+// bit-identical to the cold path for the same (prompt, seed).
+//
+// Pages cross the tier boundary as netsim KV frames — the same framing
+// the disaggregated wire uses — so the in-process backend and the
+// remote cache-node stub store exactly the bytes a network tier would.
+
+// PrefixCacheStats is the tier's counter snapshot, surfaced in
+// Snapshot.PrefixCache and the Prometheus exposition.
+type PrefixCacheStats struct {
+	// Hits counts lookups that matched at least one block; Misses the
+	// rest.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Inserts counts blocks cached; InsertRejected blocks skipped
+	// because no budget room could be made; Evictions blocks freed.
+	Inserts        int64 `json:"inserts"`
+	InsertRejected int64 `json:"insert_rejected"`
+	Evictions      int64 `json:"evictions"`
+	// TokensReused is the total prefill tokens skipped across hits;
+	// BytesSaved the KV bytes that did not have to be recomputed.
+	TokensReused int64 `json:"tokens_reused"`
+	BytesSaved   int64 `json:"bytes_saved"`
+	// Nodes / BytesUsed / BytesBudget describe residency.
+	Nodes       int   `json:"nodes"`
+	BytesUsed   int64 `json:"bytes_used"`
+	BytesBudget int64 `json:"bytes_budget"`
+	// Errors counts tier failures the server absorbed by falling back
+	// to a cold prefill (the tier degrades, requests never fail on it).
+	Errors int64 `json:"errors"`
+}
+
+// PrefixMatch is one lookup's result: the longest cached block-aligned
+// prefix, as per-block frame sets (one frame per (layer, head), with
+// the frame's RequestID field carrying the block's start token index).
+// Callers must Release the match once the pages are restored; until
+// then the backing blocks are pinned against eviction.
+type PrefixMatch struct {
+	// Tokens is the matched token count, a multiple of the page size.
+	Tokens int
+	// Blocks holds each matched block's frames, shallowest first.
+	Blocks [][]*netsim.KVFrame
+
+	release func()
+}
+
+// Release unpins the match. Idempotent and nil-safe.
+func (m *PrefixMatch) Release() {
+	if m == nil || m.release == nil {
+		return
+	}
+	m.release()
+	m.release = nil
+}
+
+// PrefixCacheBackend is the storage tier behind the shared-prefix
+// cache. The in-process default (NewPrefixCache) indexes pages in
+// memory; NewRemotePrefixCache speaks the same contract to a shared
+// cache node over the netsim wire. Implementations must be safe for
+// concurrent use; seed namespaces isolate quantizer streams.
+type PrefixCacheBackend interface {
+	// Lookup returns the longest cached block-aligned prefix of prompt
+	// in the seed's namespace, capped at maxTokens, or (nil, nil) on a
+	// complete miss.
+	Lookup(seed int64, prompt []int, maxTokens int) (*PrefixMatch, error)
+	// Insert caches prompt[:upTo]'s block-aligned prefix, calling build
+	// once per block not already cached. It returns the blocks added;
+	// blocks that don't fit the budget are skipped, not errors.
+	Insert(seed int64, prompt []int, upTo int, build func(lo, hi int) ([]*netsim.KVFrame, error)) (int, error)
+	// Stats snapshots the tier's counters.
+	Stats() (PrefixCacheStats, error)
+	// Close releases the tier's resources.
+	Close() error
+}
+
+// prefixBytesPerToken is the budget-accounting cost of one cached
+// token: the framed wire size of its quantized K and V rows (codes
+// plus FP16 min/scale metadata) summed over every (layer, head).
+func prefixBytesPerToken(spec model.Spec, pi, kvBits, pageTokens int) int {
+	dh := spec.HeadDim
+	kMetaBlocks := pageTokens * ((dh + pi - 1) / pi)        // K: per-row partitions
+	vMetaBlocks := dh * (pageTokens / pi)                   // V: per-column partitions
+	perHead := 2*quant.PackedBytes(pageTokens*dh, kvBits) + // K + V codes
+		4*(kMetaBlocks+vMetaBlocks) // fp16 min+scale per partition
+	perBlock := perHead * spec.Layers * spec.Heads
+	return (perBlock + pageTokens - 1) / pageTokens
+}
+
+// localPrefixCache is the in-process backend: a kvcache.PrefixIndex
+// whose payloads are per-block frame sets.
+type localPrefixCache struct {
+	ix *kvcache.PrefixIndex
+}
+
+// NewPrefixCache builds the in-process prefix tier: resident pages are
+// bounded by budgetBytes, in pages of pageTokens tokens (which must be
+// a positive multiple of the quantization partition pi — the typed
+// kvcache.PageAlignmentError otherwise) at bytesPerToken each.
+func NewPrefixCache(budgetBytes int64, pageTokens, pi, bytesPerToken int) (PrefixCacheBackend, error) {
+	ix, err := kvcache.NewPrefixIndex(budgetBytes, pageTokens, pi, bytesPerToken)
+	if err != nil {
+		return nil, err
+	}
+	return &localPrefixCache{ix: ix}, nil
+}
+
+func (c *localPrefixCache) Lookup(seed int64, prompt []int, maxTokens int) (*PrefixMatch, error) {
+	m := c.ix.Lookup(seed, prompt, maxTokens)
+	if m == nil {
+		return nil, nil
+	}
+	out := &PrefixMatch{Tokens: m.Tokens, release: m.Release}
+	for _, p := range m.Payloads {
+		blk, ok := p.([]*netsim.KVFrame)
+		if !ok {
+			m.Release()
+			return nil, fmt.Errorf("serve: prefix payload holds %T, want KV frames", p)
+		}
+		out.Blocks = append(out.Blocks, blk)
+	}
+	return out, nil
+}
+
+func (c *localPrefixCache) Insert(seed int64, prompt []int, upTo int, build func(lo, hi int) ([]*netsim.KVFrame, error)) (int, error) {
+	return c.ix.Insert(seed, prompt, upTo, func(lo, hi int) (any, error) {
+		return build(lo, hi)
+	})
+}
+
+func (c *localPrefixCache) Stats() (PrefixCacheStats, error) {
+	st := c.ix.Stats()
+	return PrefixCacheStats{
+		Hits: st.Hits, Misses: st.Misses,
+		Inserts: st.Inserts, InsertRejected: st.InsertRejected, Evictions: st.Evictions,
+		TokensReused: st.ReusedTokens, BytesSaved: st.BytesSaved,
+		Nodes: st.Nodes, BytesUsed: st.BytesUsed, BytesBudget: st.BytesBudget,
+	}, nil
+}
+
+func (c *localPrefixCache) Close() error { return nil }
+
+// prefixTier is the server's view of an enabled prefix cache.
+type prefixTier struct {
+	backend    PrefixCacheBackend
+	owned      bool // Close on Shutdown only if the server built it
+	pageTokens int
+	pi         int
+}
+
+// newPrefixTier validates the serving configuration's prefix-cache
+// settings against the attention backend and builds the tier. The
+// backend factory must produce prefix-shareable backends
+// (attention.PrefixBackend); the page granularity must be a positive
+// multiple of the backend's partition Π.
+func newPrefixTier(cfg Config) (*prefixTier, error) {
+	probe, err := cfg.Backend(0)
+	if err != nil {
+		return nil, fmt.Errorf("serve: prefix cache backend probe: %w", err)
+	}
+	pb, ok := probe.(attention.PrefixBackend)
+	if !ok {
+		return nil, fmt.Errorf("serve: prefix cache requires a prefix-shareable attention backend; %s exports no pages", probe.Name())
+	}
+	pi, kvBits, err := pb.PrefixLayout()
+	if err != nil {
+		return nil, fmt.Errorf("serve: prefix cache: %w", err)
+	}
+	pageTokens := cfg.PrefixCachePageTokens
+	if pageTokens == 0 {
+		pageTokens = pi
+	}
+	if pageTokens < 0 || pageTokens%pi != 0 {
+		return nil, &kvcache.PageAlignmentError{PageTokens: pageTokens, Pi: pi}
+	}
+	t := &prefixTier{pageTokens: pageTokens, pi: pi}
+	if cfg.PrefixCache != nil {
+		t.backend = cfg.PrefixCache
+		return t, nil
+	}
+	bpt := prefixBytesPerToken(cfg.Spec, pi, kvBits, pageTokens)
+	be, err := NewPrefixCache(cfg.PrefixCacheBytes, pageTokens, pi, bpt)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	t.backend = be
+	t.owned = true
+	return t, nil
+}
+
+// insertable returns the block-aligned token count of prompt that may
+// be cached: the last prompt position is never cached (its logits are
+// what prefill produces, so at least one suffix token must remain to
+// resume over).
+func (t *prefixTier) insertable(promptLen int) int {
+	return ((promptLen - 1) / t.pageTokens) * t.pageTokens
+}
+
+// tryPrefixPrefill attempts the warm path for one request: look up the
+// longest cached prefix, restore its pages into a fresh session, and
+// resume prefill over the remaining suffix. It reports (firstToken,
+// true) on success. Any tier failure is counted and absorbed — the
+// caller falls back to a cold prefill, so a degraded tier can never
+// fail a request.
+func (s *Server) tryPrefixPrefill(a *active, backend attention.Backend) (int, bool) {
+	t := s.prefix
+	max := t.insertable(len(a.req.Prompt))
+	if max <= 0 {
+		return 0, false
+	}
+	match, err := t.backend.Lookup(a.req.Seed, a.req.Prompt, max)
+	if err != nil {
+		s.rec.prefixErrors.Add(1)
+		return 0, false
+	}
+	if match == nil || match.Tokens <= 0 {
+		return 0, false
+	}
+	defer match.Release()
+	sess, err := s.restorePrefixSession(backend, match)
+	var tok int
+	if err == nil {
+		tok, err = sess.ResumePrefill(a.req.Prompt, match.Tokens)
+	}
+	if err != nil {
+		s.rec.prefixErrors.Add(1)
+		return 0, false
+	}
+	a.sess = sess
+	// Extend the cached prefix past the matched blocks (the index
+	// builds only the blocks it is missing).
+	s.insertPrefix(a)
+	return tok, true
+}
+
+// restorePrefixSession rebuilds a session whose first match.Tokens
+// prompt positions are already quantized: each block's frames are
+// decoded and concatenated per (layer, head), then restored into
+// prefix-shareable attention heads.
+func (s *Server) restorePrefixSession(backend attention.Backend, match *PrefixMatch) (*model.Session, error) {
+	pb, ok := backend.(attention.PrefixBackend)
+	if !ok {
+		return nil, fmt.Errorf("serve: backend %s cannot restore prefix pages", backend.Name())
+	}
+	spec := s.cfg.Spec
+	type cell struct{ k, v *quant.Tensor }
+	grid := make([][]cell, spec.Layers)
+	for l := range grid {
+		grid[l] = make([]cell, spec.Heads)
+	}
+	for bi, blk := range match.Blocks {
+		if len(blk) != spec.Layers*spec.Heads {
+			return nil, fmt.Errorf("serve: prefix block %d carries %d frames, want %d",
+				bi, len(blk), spec.Layers*spec.Heads)
+		}
+		for _, f := range blk {
+			l, h := int(f.Layer), int(f.Head)
+			if l >= spec.Layers || h >= spec.Heads {
+				return nil, fmt.Errorf("serve: prefix frame for (layer %d, head %d) outside %d×%d",
+					l, h, spec.Layers, spec.Heads)
+			}
+			k, v, tail, err := f.Tensors()
+			if err != nil {
+				return nil, err
+			}
+			if tail.Rows != 0 {
+				return nil, fmt.Errorf("serve: prefix page with a %d-row FP16 tail", tail.Rows)
+			}
+			c := &grid[l][h]
+			if c.k == nil {
+				c.k, c.v = k, v
+				continue
+			}
+			if err := c.k.AppendRows(k); err != nil {
+				return nil, err
+			}
+			if err := c.v.AppendRowBlocks(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	heads := make([][]attention.Head, spec.Layers)
+	for l := range heads {
+		row := make([]attention.Head, spec.Heads)
+		for h := range row {
+			c := grid[l][h]
+			if c.k == nil || c.k.Rows != match.Tokens {
+				rows := 0
+				if c.k != nil {
+					rows = c.k.Rows
+				}
+				return nil, fmt.Errorf("serve: prefix pages cover %d of %d tokens for (layer %d, head %d)",
+					rows, match.Tokens, l, h)
+			}
+			hd, err := pb.RestorePrefixHead(spec.HeadDim, c.k, c.v)
+			if err != nil {
+				return nil, err
+			}
+			row[h] = hd
+		}
+		heads[l] = row
+	}
+	return s.m.RestoreSession(backend, heads)
+}
+
+// insertPrefix offers a freshly prefilled (or resumed) session's pages
+// to the tier. The build callback exports each missing block's
+// Π-aligned page span from every head; failures are counted, never
+// propagated to the request.
+func (s *Server) insertPrefix(a *active) {
+	t := s.prefix
+	if t == nil || a.sess == nil {
+		return
+	}
+	upTo := t.insertable(len(a.req.Prompt))
+	if upTo <= 0 {
+		return
+	}
+	spec := s.cfg.Spec
+	_, err := t.backend.Insert(a.req.Seed, a.req.Prompt, upTo, func(lo, hi int) ([]*netsim.KVFrame, error) {
+		frames := make([]*netsim.KVFrame, 0, spec.Layers*spec.Heads)
+		for l := 0; l < spec.Layers; l++ {
+			for h := 0; h < spec.Heads; h++ {
+				exp, ok := a.sess.Head(l, h).(attention.PrefixPageExporter)
+				if !ok {
+					return nil, fmt.Errorf("serve: head (%d,%d) cannot export prefix pages", l, h)
+				}
+				k, v, err := exp.ExportPrefixPages(lo, hi)
+				if err != nil {
+					return nil, err
+				}
+				// RequestID carries the block's start token index so
+				// every receiver can place the page without context.
+				f, err := netsim.FrameFromTensors(uint64(lo), l, h, 0, k, v, nil)
+				if err != nil {
+					return nil, err
+				}
+				frames = append(frames, f)
+			}
+		}
+		return frames, nil
+	})
+	if err != nil {
+		s.rec.prefixErrors.Add(1)
+	}
+}

@@ -1,0 +1,440 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/hackkv/hack/internal/netsim"
+)
+
+// The wire-framed prefix-tier stub: a PrefixCacheServer exposes any
+// PrefixCacheBackend (normally the in-process index) over the netsim
+// wire protocol, and NewRemotePrefixCache is the client side — a
+// PrefixCacheBackend a serving runtime plugs into Config.PrefixCache
+// so several replicas share one cache node. Pages cross the link as
+// the same KV frames the disaggregated handoff ships.
+//
+// Protocol (after the standard netsim handshake):
+//
+//	Lookup: client MsgPrefixLookup{seed, prompt, max} →
+//	        server MsgPrefixHit{tokens, frames},
+//	        then the matched frames as MsgFrame messages (block-major,
+//	        ascending block), then MsgTransferEnd.
+//	Insert: client MsgPrefixInsert{seed, prompt, upTo} →
+//	        server one MsgPrefixNeed{lo, hi} per missing block, each
+//	        answered by the client with that block's frames as
+//	        MsgFrame messages + MsgTransferEnd (zero frames aborts);
+//	        server closes with MsgPrefixDone{added, err}.
+//	Stats:  client MsgPrefixStats (empty) →
+//	        server MsgPrefixStats carrying a PrefixCacheStats JSON.
+//
+// This is a stub, deliberately simple: exchanges on one connection are
+// strictly sequential, and an Insert's need/answer round-trips run
+// inside the backing index's critical section — network I/O under the
+// index lock serializes concurrent inserts across connections. A
+// production tier would pipeline and shard; the contract and the
+// framing are what this fixes.
+
+// prefixLookupMsg is the MsgPrefixLookup payload.
+type prefixLookupMsg struct {
+	Seed      int64 `json:"seed"`
+	Prompt    []int `json:"prompt"`
+	MaxTokens int   `json:"max_tokens"`
+}
+
+// prefixHitMsg is the MsgPrefixHit payload. Tokens 0 is a miss (no
+// frames follow).
+type prefixHitMsg struct {
+	Tokens int `json:"tokens"`
+	Frames int `json:"frames"`
+}
+
+// prefixInsertMsg is the MsgPrefixInsert payload.
+type prefixInsertMsg struct {
+	Seed   int64 `json:"seed"`
+	Prompt []int `json:"prompt"`
+	UpTo   int   `json:"up_to"`
+}
+
+// prefixNeedMsg asks the client for one missing block's frames.
+type prefixNeedMsg struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// prefixDoneMsg closes an insert exchange.
+type prefixDoneMsg struct {
+	Added int    `json:"added"`
+	Err   string `json:"err,omitempty"`
+}
+
+func writeJSON(w io.Writer, t netsim.MsgType, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return netsim.WriteMessage(w, t, payload)
+}
+
+func writeFrame(w io.Writer, f *netsim.KVFrame) error {
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		return err
+	}
+	return netsim.WriteMessage(w, netsim.MsgFrame, buf.Bytes())
+}
+
+// readFrames consumes MsgFrame messages until MsgTransferEnd.
+func readFrames(r io.Reader) ([]*netsim.KVFrame, error) {
+	var frames []*netsim.KVFrame
+	for {
+		t, payload, err := netsim.ReadMessage(r)
+		if err != nil {
+			return nil, err
+		}
+		switch t {
+		case netsim.MsgFrame:
+			f := &netsim.KVFrame{}
+			if _, err := f.ReadFrom(bytes.NewReader(payload)); err != nil {
+				return nil, err
+			}
+			frames = append(frames, f)
+		case netsim.MsgTransferEnd:
+			return frames, nil
+		default:
+			return nil, fmt.Errorf("serve: prefix transfer got %v", t)
+		}
+	}
+}
+
+// PrefixCacheServer serves one PrefixCacheBackend over the netsim wire.
+type PrefixCacheServer struct {
+	backend PrefixCacheBackend
+	self    netsim.Hello
+	ln      net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ServePrefixCache starts a cache node on ln. Its handshake identity is
+// self (Role is forced to "prefix-cache"); connecting clients must
+// advertise a matching deployment (method, model seed, spec, vocab) or
+// are refused. Each connection gets its own handler goroutine — see
+// the stub note in the file comment for what stays serialized.
+func ServePrefixCache(ln net.Listener, backend PrefixCacheBackend, self netsim.Hello) *PrefixCacheServer {
+	self.Role = "prefix-cache"
+	if self.NodeID == "" {
+		self.NodeID = ln.Addr().String()
+	}
+	s := &PrefixCacheServer{backend: backend, self: self, ln: ln, conns: map[net.Conn]struct{}{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *PrefixCacheServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting, drops every active connection, and waits for
+// the handler goroutines to exit. The backing cache is not closed (the
+// server does not own it).
+func (s *PrefixCacheServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *PrefixCacheServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+			_ = conn.Close()
+		}()
+	}
+}
+
+// checkPeer refuses clients from a different deployment: pages are only
+// bit-compatible between runtimes serving the same model with the same
+// method configuration.
+func (s *PrefixCacheServer) checkPeer(peer netsim.Hello) error {
+	if peer.Method != s.self.Method || peer.ModelSeed != s.self.ModelSeed ||
+		peer.SpecName != s.self.SpecName || peer.Vocab != s.self.Vocab {
+		return fmt.Errorf("serve: prefix cache serves (%s, %s, seed %d, vocab %d), client wants (%s, %s, seed %d, vocab %d)",
+			s.self.Method, s.self.SpecName, s.self.ModelSeed, s.self.Vocab,
+			peer.Method, peer.SpecName, peer.ModelSeed, peer.Vocab)
+	}
+	return nil
+}
+
+func (s *PrefixCacheServer) handleConn(conn net.Conn) {
+	if _, err := netsim.AcceptHandshake(conn, s.self, s.checkPeer); err != nil {
+		return
+	}
+	for {
+		t, payload, err := netsim.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		switch t {
+		case netsim.MsgPing:
+			err = netsim.WriteMessage(conn, netsim.MsgPong, nil)
+		case netsim.MsgPrefixLookup:
+			err = s.handleLookup(conn, payload)
+		case netsim.MsgPrefixInsert:
+			err = s.handleInsert(conn, payload)
+		case netsim.MsgPrefixStats:
+			err = s.handleStats(conn)
+		default:
+			err = fmt.Errorf("serve: prefix cache got %v", t)
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (s *PrefixCacheServer) handleLookup(conn net.Conn, payload []byte) error {
+	var req prefixLookupMsg
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return err
+	}
+	match, err := s.backend.Lookup(req.Seed, req.Prompt, req.MaxTokens)
+	if err != nil || match == nil {
+		return writeJSON(conn, netsim.MsgPrefixHit, prefixHitMsg{})
+	}
+	defer match.Release()
+	n := 0
+	for _, blk := range match.Blocks {
+		n += len(blk)
+	}
+	if err := writeJSON(conn, netsim.MsgPrefixHit, prefixHitMsg{Tokens: match.Tokens, Frames: n}); err != nil {
+		return err
+	}
+	for _, blk := range match.Blocks {
+		for _, f := range blk {
+			if err := writeFrame(conn, f); err != nil {
+				return err
+			}
+		}
+	}
+	return netsim.WriteMessage(conn, netsim.MsgTransferEnd, nil)
+}
+
+func (s *PrefixCacheServer) handleInsert(conn net.Conn, payload []byte) error {
+	var req prefixInsertMsg
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return err
+	}
+	var connErr error
+	added, insErr := s.backend.Insert(req.Seed, req.Prompt, req.UpTo, func(lo, hi int) ([]*netsim.KVFrame, error) {
+		if connErr != nil {
+			return nil, connErr
+		}
+		if connErr = writeJSON(conn, netsim.MsgPrefixNeed, prefixNeedMsg{Lo: lo, Hi: hi}); connErr != nil {
+			return nil, connErr
+		}
+		frames, err := readFrames(conn)
+		if err != nil {
+			connErr = err
+			return nil, err
+		}
+		if len(frames) == 0 {
+			return nil, errors.New("serve: client aborted block transfer")
+		}
+		return frames, nil
+	})
+	if connErr != nil {
+		return connErr
+	}
+	done := prefixDoneMsg{Added: added}
+	if insErr != nil {
+		done.Err = insErr.Error()
+	}
+	return writeJSON(conn, netsim.MsgPrefixDone, done)
+}
+
+func (s *PrefixCacheServer) handleStats(conn net.Conn) error {
+	st, err := s.backend.Stats()
+	if err != nil {
+		return err
+	}
+	return writeJSON(conn, netsim.MsgPrefixStats, st)
+}
+
+// remotePrefixCache is the client side: a PrefixCacheBackend over one
+// wire connection, serialized by a mutex (one exchange in flight).
+type remotePrefixCache struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewRemotePrefixCache attaches to a prefix cache node over conn,
+// running the handshake with self as this runtime's identity (Role is
+// forced to "serve"). The returned backend serializes exchanges, so it
+// is safe for concurrent use by the prefill workers; Close closes the
+// connection.
+func NewRemotePrefixCache(conn net.Conn, self netsim.Hello) (PrefixCacheBackend, error) {
+	self.Role = "serve"
+	peer, err := netsim.Handshake(conn, self)
+	if err != nil {
+		return nil, err
+	}
+	if peer.Role != "prefix-cache" {
+		return nil, fmt.Errorf("serve: peer role %q, want prefix-cache", peer.Role)
+	}
+	return &remotePrefixCache{conn: conn}, nil
+}
+
+func (c *remotePrefixCache) Lookup(seed int64, prompt []int, maxTokens int) (*PrefixMatch, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeJSON(c.conn, netsim.MsgPrefixLookup, prefixLookupMsg{Seed: seed, Prompt: prompt, MaxTokens: maxTokens}); err != nil {
+		return nil, err
+	}
+	t, payload, err := netsim.ReadMessage(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if t != netsim.MsgPrefixHit {
+		return nil, fmt.Errorf("serve: prefix lookup answered with %v", t)
+	}
+	var hit prefixHitMsg
+	if err := json.Unmarshal(payload, &hit); err != nil {
+		return nil, err
+	}
+	if hit.Tokens == 0 {
+		return nil, nil
+	}
+	frames, err := readFrames(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if len(frames) != hit.Frames {
+		return nil, fmt.Errorf("serve: prefix lookup streamed %d frames, announced %d", len(frames), hit.Frames)
+	}
+	// Re-group block-major: the frame's RequestID carries its block's
+	// start token index, and the server streams blocks in ascending
+	// order.
+	m := &PrefixMatch{Tokens: hit.Tokens}
+	for _, f := range frames {
+		if n := len(m.Blocks); n == 0 || m.Blocks[n-1][0].RequestID != f.RequestID {
+			m.Blocks = append(m.Blocks, nil)
+		}
+		m.Blocks[len(m.Blocks)-1] = append(m.Blocks[len(m.Blocks)-1], f)
+	}
+	// The frames are private copies; nothing remote stays pinned.
+	return m, nil
+}
+
+func (c *remotePrefixCache) Insert(seed int64, prompt []int, upTo int, build func(lo, hi int) ([]*netsim.KVFrame, error)) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeJSON(c.conn, netsim.MsgPrefixInsert, prefixInsertMsg{Seed: seed, Prompt: prompt, UpTo: upTo}); err != nil {
+		return 0, err
+	}
+	var buildErr error
+	for {
+		t, payload, err := netsim.ReadMessage(c.conn)
+		if err != nil {
+			return 0, err
+		}
+		switch t {
+		case netsim.MsgPrefixNeed:
+			var need prefixNeedMsg
+			if err := json.Unmarshal(payload, &need); err != nil {
+				return 0, err
+			}
+			frames, err := build(need.Lo, need.Hi)
+			if err != nil {
+				// Zero frames before MsgTransferEnd tells the server to
+				// abort this insert.
+				buildErr = err
+				frames = nil
+			}
+			for _, f := range frames {
+				if err := writeFrame(c.conn, f); err != nil {
+					return 0, err
+				}
+			}
+			if err := netsim.WriteMessage(c.conn, netsim.MsgTransferEnd, nil); err != nil {
+				return 0, err
+			}
+		case netsim.MsgPrefixDone:
+			var done prefixDoneMsg
+			if err := json.Unmarshal(payload, &done); err != nil {
+				return 0, err
+			}
+			if buildErr != nil {
+				return done.Added, buildErr
+			}
+			if done.Err != "" {
+				return done.Added, errors.New(done.Err)
+			}
+			return done.Added, nil
+		default:
+			return 0, fmt.Errorf("serve: prefix insert got %v", t)
+		}
+	}
+}
+
+func (c *remotePrefixCache) Stats() (PrefixCacheStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := netsim.WriteMessage(c.conn, netsim.MsgPrefixStats, nil); err != nil {
+		return PrefixCacheStats{}, err
+	}
+	t, payload, err := netsim.ReadMessage(c.conn)
+	if err != nil {
+		return PrefixCacheStats{}, err
+	}
+	if t != netsim.MsgPrefixStats {
+		return PrefixCacheStats{}, fmt.Errorf("serve: prefix stats answered with %v", t)
+	}
+	var st PrefixCacheStats
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return PrefixCacheStats{}, err
+	}
+	return st, nil
+}
+
+func (c *remotePrefixCache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}

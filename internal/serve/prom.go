@@ -52,6 +52,19 @@ func (s Snapshot) WritePrometheus(w io.Writer, prefix string) error {
 	gauge("batch_occupancy", "Mean decode batch size over all steps.", num(s.BatchOccupancy))
 	gauge("kv_bytes", "Resident KV-cache bytes across the decode batch.", strconv.FormatInt(s.KVBytesNow, 10))
 	gauge("kv_bytes_peak", "Peak resident KV-cache bytes.", strconv.FormatInt(s.KVBytesPeak, 10))
+	if pc := s.PrefixCache; pc != nil {
+		counter("prefix_hits_total", "Prefix-cache lookups matching at least one block.", pc.Hits)
+		counter("prefix_misses_total", "Prefix-cache lookups matching nothing.", pc.Misses)
+		counter("prefix_inserts_total", "Prefix-cache blocks inserted.", pc.Inserts)
+		counter("prefix_insert_rejected_total", "Prefix-cache blocks rejected for lack of budget.", pc.InsertRejected)
+		counter("prefix_evictions_total", "Prefix-cache blocks evicted.", pc.Evictions)
+		counter("prefix_tokens_reused_total", "Prompt tokens whose prefill was skipped.", pc.TokensReused)
+		counter("prefix_bytes_saved_total", "KV bytes restored instead of recomputed.", pc.BytesSaved)
+		counter("prefix_errors_total", "Prefix-tier failures absorbed by cold fallback.", pc.Errors)
+		gauge("prefix_nodes", "Resident prefix-cache blocks.", strconv.Itoa(pc.Nodes))
+		gauge("prefix_bytes", "Resident prefix-cache bytes.", strconv.FormatInt(pc.BytesUsed, 10))
+		gauge("prefix_bytes_budget", "Prefix-cache byte budget.", strconv.FormatInt(pc.BytesBudget, 10))
+	}
 	summary("ttft_seconds", "Time to first token.", s.TTFT)
 	summary("tbt_seconds", "Mean time between tokens.", s.TBT)
 	summary("queue_delay_seconds", "Admission queue delay.", s.QueueDelay)

@@ -77,6 +77,29 @@ type Config struct {
 	// identical at every setting). 0 sizes to the batch, 1 steps
 	// serially — the deterministic single-worker mode.
 	DecodeParallelism int
+
+	// PrefixCacheBytes > 0 enables the shared-prefix KV tier with that
+	// byte budget: requests whose prompts share a block-aligned prefix
+	// (within one quantizer seed) reuse the cached quantized pages and
+	// skip prefill over the matched span, streaming tokens that are
+	// byte-identical to a cold prefill of the same (prompt, seed). The
+	// attention backend must be prefix-shareable (the nil-Backend
+	// default switches to the PrefixShareable HACK configuration when
+	// the tier is enabled); note the prefix-shareable quantizer
+	// discipline draws different stochastic-rounding streams than the
+	// classic one, so enabling the tier changes token streams relative
+	// to a classic server at the same seed (but stays deterministic
+	// per (prompt, seed) and identical warm vs cold).
+	PrefixCacheBytes int64
+	// PrefixCachePageTokens is the tier's block granularity in tokens;
+	// it must be a positive multiple of the backend's partition Π.
+	// 0 selects Π itself.
+	PrefixCachePageTokens int
+	// PrefixCache plugs in an external tier backend (e.g. a remote
+	// cache node via NewRemotePrefixCache) instead of the in-process
+	// index; it is not closed on Shutdown. Setting it enables the tier
+	// regardless of PrefixCacheBytes.
+	PrefixCache PrefixCacheBackend
 }
 
 // Request is one generation job.
@@ -197,6 +220,9 @@ type Server struct {
 	forceCancel context.CancelFunc
 	done        chan struct{} // closed when the runtime has fully drained
 
+	// prefix is the shared-prefix KV tier, nil when disabled.
+	prefix *prefixTier
+
 	prefillWG sync.WaitGroup
 	batchWG   sync.WaitGroup
 	// remoteWG tracks SubmitPrefilled calls that passed the draining
@@ -234,9 +260,25 @@ func New(cfg Config) (*Server, error) {
 	if !validScheduler(cfg.Scheduler) {
 		return nil, fmt.Errorf("serve: unknown scheduler %d", cfg.Scheduler)
 	}
+	if cfg.PrefixCacheBytes < 0 || cfg.PrefixCachePageTokens < 0 {
+		return nil, fmt.Errorf("serve: negative prefix cache config (bytes %d page %d)",
+			cfg.PrefixCacheBytes, cfg.PrefixCachePageTokens)
+	}
+	usePrefix := cfg.PrefixCacheBytes > 0 || cfg.PrefixCache != nil
 	if cfg.Backend == nil {
 		cfg.Backend = func(seed int64) (attention.Backend, error) {
-			return attention.NewHACK(attention.DefaultHACKConfig(seed))
+			c := attention.DefaultHACKConfig(seed)
+			// The tier needs the shared-prefix quantization discipline
+			// (position-stable per-operand rounding streams).
+			c.PrefixShareable = usePrefix
+			return attention.NewHACK(c)
+		}
+	}
+	var prefix *prefixTier
+	if usePrefix {
+		var err error
+		if prefix, err = newPrefixTier(cfg); err != nil {
+			return nil, err
 		}
 	}
 	m, err := model.NewTransformer(cfg.Spec, cfg.ModelSeed)
@@ -247,6 +289,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		m:       m,
 		backend: cfg.Backend,
+		prefix:  prefix,
 		admit:   make(chan *active, cfg.MaxBatch),
 		done:    make(chan struct{}),
 	}
@@ -375,6 +418,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			close(s.admit)
 		}
 		s.batchWG.Wait()
+		if !already && s.prefix != nil && s.prefix.owned {
+			_ = s.prefix.backend.Close()
+		}
 		close(done)
 	}()
 	select {

@@ -106,12 +106,22 @@ func (s *Server) prefillOne(a *active) {
 	s.rec.queueDelay(a.started.Sub(a.submitted).Seconds())
 
 	backend, err := s.backend(a.req.Seed)
-	if err == nil {
-		a.sess, err = s.m.NewSession(backend)
-	}
 	var tok int
-	if err == nil {
-		tok, err = a.sess.Prefill(a.req.Prompt)
+	var warm bool
+	if err == nil && s.prefix != nil {
+		// Warm path: restore the longest cached prompt prefix and
+		// resume prefill over the suffix only. Tier failures fall
+		// through to the cold path below.
+		tok, warm = s.tryPrefixPrefill(a, backend)
+	}
+	if err == nil && !warm {
+		a.sess, err = s.m.NewSession(backend)
+		if err == nil {
+			tok, err = a.sess.Prefill(a.req.Prompt)
+		}
+		if err == nil {
+			s.insertPrefix(a)
+		}
 	}
 	if err != nil {
 		s.rec.failed.Add(1)

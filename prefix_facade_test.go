@@ -1,0 +1,114 @@
+package hack_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hackkv/hack"
+)
+
+// prefixEngine builds a prefix-cache-enabled engine over a HACK variant
+// with a small partition size so short prompts span several cache pages.
+func prefixEngine(t *testing.T) *hack.Engine {
+	t.Helper()
+	m, err := hack.MethodNamed("HACK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Pi = 8
+	eng, err := hack.New(
+		hack.WithMethodProfile(m),
+		hack.WithPrefixCache(1<<20),
+		hack.WithServeConfig(hack.ServeConfig{
+			PrefillWorkers: 1, DecodeParallelism: 1, MaxBatch: 4, MaxNewTokens: 6,
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestListenPrefixCacheWarmColdIdentity runs the shared-prefix tier end
+// to end through the facade: the second generation of the same prompt
+// hits the cache, skips prefill over the matched span, and streams the
+// same tokens as the cold run.
+func TestListenPrefixCacheWarmColdIdentity(t *testing.T) {
+	srv, err := prefixEngine(t).Listen(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	prompt := make([]int, 21)
+	for i := range prompt {
+		prompt[i] = (7*i + 3) % srv.Model().Vocab
+	}
+	cold, err := srv.Generate(context.Background(), hack.GenRequest{Prompt: prompt, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := srv.Generate(context.Background(), hack.GenRequest{Prompt: prompt, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(cold) != fmt.Sprint(warm) {
+		t.Fatalf("warm stream %v diverged from cold %v", warm, cold)
+	}
+	pc := srv.Metrics().PrefixCache
+	if pc == nil {
+		t.Fatal("prefix tier enabled but snapshot carries no stats")
+	}
+	if pc.Hits != 1 || pc.Misses != 1 || pc.TokensReused != 16 {
+		t.Fatalf("prefix stats %+v, want 1 hit reusing 16 tokens", pc)
+	}
+}
+
+// TestListenPrefixCacheRequiresHomomorphic pins the facade-level guard:
+// only homomorphic methods can restore quantized pages.
+func TestListenPrefixCacheRequiresHomomorphic(t *testing.T) {
+	eng, err := hack.New(
+		hack.WithMethod("Baseline"),
+		hack.WithPrefixCache(1<<20),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Listen(context.Background()); err == nil {
+		t.Fatal("baseline method accepted for prefix caching")
+	}
+}
+
+// TestListenDisaggRejectsPrefixCache pins the incompatibility between
+// the shared-prefix tier and the disaggregated KV wire.
+func TestListenDisaggRejectsPrefixCache(t *testing.T) {
+	eng, err := hack.New(
+		hack.WithRole(hack.RolePrefill),
+		hack.WithPrefixCache(1<<20),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.ListenDisagg(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "prefix") {
+		t.Fatalf("disaggregated role accepted a prefix cache: %v", err)
+	}
+}
+
+// TestWithPrefixCacheValidation rejects non-positive budgets at option
+// time.
+func TestWithPrefixCacheValidation(t *testing.T) {
+	if _, err := hack.New(hack.WithPrefixCache(0)); err == nil {
+		t.Fatal("zero prefix cache budget accepted")
+	}
+	if _, err := hack.New(hack.WithPrefixCache(-5)); err == nil {
+		t.Fatal("negative prefix cache budget accepted")
+	}
+}

@@ -62,16 +62,45 @@ type ServeConfig struct {
 	// decode batch; outputs are identical at every setting (default:
 	// size to the batch; 1 steps serially).
 	DecodeParallelism int
+	// PrefixCacheBytes, when positive, enables the shared-prefix KV
+	// cache tier under that byte budget: quantized Π-aligned KV pages
+	// from completed prefills are indexed by prompt prefix, and a later
+	// request sharing a cached prefix skips prefill over the matched
+	// span while streaming tokens byte-identical to its cold path.
+	// Requires a homomorphic engine method with requantization
+	// elimination; Listen reports an error otherwise. Note that
+	// enabling the tier selects the position-stable rounding mode, so
+	// token streams differ from a prefix-disabled deployment at the
+	// same seed (each mode stays deterministic per prompt and seed).
+	PrefixCacheBytes int64
+	// PrefixCachePageTokens is the cache page granularity in tokens; it
+	// must be a positive multiple of the method's partition size Π
+	// (default: Π itself).
+	PrefixCachePageTokens int
 }
 
 // WithServeConfig sizes the live runtime started by Engine.Listen.
 func WithServeConfig(sc ServeConfig) Option {
 	return func(e *Engine) error {
 		if sc.PrefillWorkers < 0 || sc.MaxBatch < 0 || sc.QueueCap < 0 ||
-			sc.MaxNewTokens < 0 || sc.DecodeParallelism < 0 {
+			sc.MaxNewTokens < 0 || sc.DecodeParallelism < 0 ||
+			sc.PrefixCacheBytes < 0 || sc.PrefixCachePageTokens < 0 {
 			return fmt.Errorf("serve config fields must be >= 0 (%+v)", sc)
 		}
 		e.serveCfg = sc
+		return nil
+	}
+}
+
+// WithPrefixCache enables the shared-prefix KV cache tier under the
+// given byte budget (see ServeConfig.PrefixCacheBytes); it composes
+// with WithServeConfig regardless of option order.
+func WithPrefixCache(budgetBytes int64) Option {
+	return func(e *Engine) error {
+		if budgetBytes <= 0 {
+			return fmt.Errorf("prefix cache budget %d must be positive", budgetBytes)
+		}
+		e.prefixBytes = budgetBytes
 		return nil
 	}
 }
@@ -93,16 +122,28 @@ type Server struct {
 // the server in the background; call Shutdown for a graceful drain.
 func (e *Engine) Listen(ctx context.Context) (*Server, error) {
 	sc := e.serveCfg
+	if e.prefixBytes > 0 && sc.PrefixCacheBytes == 0 {
+		sc.PrefixCacheBytes = e.prefixBytes
+	}
+	backend := serve.BackendForMethod(e.method, e.kernelPar)
+	if sc.PrefixCacheBytes > 0 {
+		var err error
+		if backend, err = serve.PrefixBackendForMethod(e.method, e.kernelPar); err != nil {
+			return nil, fmt.Errorf("hack: %w", err)
+		}
+	}
 	rt, err := serve.New(serve.Config{
-		Spec:              sc.Model,
-		ModelSeed:         sc.ModelSeed,
-		Backend:           serve.BackendForMethod(e.method, e.kernelPar),
-		Scheduler:         e.scheduler,
-		PrefillWorkers:    sc.PrefillWorkers,
-		MaxBatch:          sc.MaxBatch,
-		QueueCap:          sc.QueueCap,
-		MaxNewTokens:      sc.MaxNewTokens,
-		DecodeParallelism: sc.DecodeParallelism,
+		Spec:                  sc.Model,
+		ModelSeed:             sc.ModelSeed,
+		Backend:               backend,
+		Scheduler:             e.scheduler,
+		PrefillWorkers:        sc.PrefillWorkers,
+		MaxBatch:              sc.MaxBatch,
+		QueueCap:              sc.QueueCap,
+		MaxNewTokens:          sc.MaxNewTokens,
+		DecodeParallelism:     sc.DecodeParallelism,
+		PrefixCacheBytes:      sc.PrefixCacheBytes,
+		PrefixCachePageTokens: sc.PrefixCachePageTokens,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("hack: %w", err)
