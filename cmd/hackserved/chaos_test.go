@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestChaosScriptFlagValidation(t *testing.T) {
+	// Unknown script names are usage errors and list the registry.
+	_, _, err := exec(t, "-role", "router", "-peer-prefills", "x", "-peer-decodes", "y",
+		"-chaos-script", "nope")
+	var ue usageError
+	if err == nil || !errors.As(err, &ue) {
+		t.Fatalf("unknown script: err = %v, want usage error", err)
+	}
+	for _, name := range []string{"kill-decode", "degrade-kv-link", "partition-heal", "corrupt-frame"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list script %q", err, name)
+		}
+	}
+
+	// The flag only makes sense where the faults are injected: the router.
+	for _, role := range []string{"local", "prefill", "decode"} {
+		args := []string{"-chaos-script", "kill-decode"}
+		if role != "local" {
+			args = append(args, "-role", role, "-wire", "127.0.0.1:0")
+		}
+		_, _, err := exec(t, args...)
+		if err == nil || !errors.As(err, &ue) {
+			t.Fatalf("role %s: err = %v, want usage error", role, err)
+		}
+		if !strings.Contains(err.Error(), "router") {
+			t.Errorf("role %s: error %q does not point at the router role", role, err)
+		}
+	}
+}
+
+// streamGenerate posts one generation to the router's NDJSON API and
+// returns the token stream, failing on any trailer error or index gap.
+func streamGenerate(t *testing.T, routerHTTP, body string) []int {
+	t.Helper()
+	resp, err := http.Post(routerHTTP+"/v1/generate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tokens []int
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line struct {
+			Index *int   `json:"index"`
+			Token int    `json:"token"`
+			Done  bool   `json:"done"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if line.Done {
+			if line.Error != "" {
+				t.Fatalf("stream trailer error: %s", line.Error)
+			}
+			return tokens
+		}
+		if line.Index == nil || *line.Index != len(tokens) {
+			t.Fatalf("line %q: want index %d (dropped or duplicated token)", sc.Text(), len(tokens))
+		}
+		tokens = append(tokens, line.Token)
+	}
+	t.Fatalf("stream ended without a done trailer: %v", sc.Err())
+	return nil
+}
+
+// TestChaosScriptThroughDaemon boots the full four-daemon deployment
+// with -chaos-script degrade-kv-link on the router and streams the same
+// generation during and after the fault window: every stream must carry
+// the full token count, all must be byte-identical, and the injector's
+// counters must surface on the router's Prometheus endpoint.
+func TestChaosScriptThroughDaemon(t *testing.T) {
+	const maxNew = 5
+	common := []string{"-addr", "127.0.0.1:0", "-wire", "127.0.0.1:0",
+		"-prefill-workers", "1", "-decode-par", "1", "-max-new", "5"}
+
+	preWire, _, _, preDone := bootRole(t, append([]string{"-role", "prefill"}, common...)...)
+	decWire, _, _, decDone := bootRole(t, append([]string{"-role", "decode"}, common...)...)
+	_, routerHTTP, routerOut, routerDone := bootRole(t,
+		"-role", "router", "-addr", "127.0.0.1:0",
+		"-peer-prefills", preWire,
+		"-peer-decodes", decWire,
+		"-max-new", "5",
+		"-chaos-script", "degrade-kv-link", "-chaos-seed", "7")
+
+	if out := routerOut.String(); !strings.Contains(out, `chaos script "degrade-kv-link"`) {
+		t.Fatalf("router did not announce the chaos script:\n%s", out)
+	}
+
+	const body = `{"prompt":[5,6,7,8],"max_new_tokens":5,"seed":3}`
+	var streams [][]int
+	// Two rounds inside the fault window (the script degrades every link
+	// from t=0), then one after the 500ms heal.
+	streams = append(streams, streamGenerate(t, routerHTTP, body))
+	streams = append(streams, streamGenerate(t, routerHTTP, body))
+	time.Sleep(600 * time.Millisecond)
+	streams = append(streams, streamGenerate(t, routerHTTP, body))
+
+	for i, s := range streams {
+		if len(s) != maxNew {
+			t.Fatalf("stream %d: %d tokens, want %d", i, len(s), maxNew)
+		}
+		for j := range s {
+			if s[j] != streams[0][j] {
+				t.Fatalf("stream %d token %d = %d diverged from stream 0 (%v vs %v)",
+					i, j, s[j], streams[i], streams[0])
+			}
+		}
+	}
+
+	// The injector's counters ride the router's Prometheus endpoint.
+	resp, err := http.Get(routerHTTP + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, series := range []string{"chaos_dials_total", "chaos_ops_delayed_total", "breaker_state{replica="} {
+		if !strings.Contains(string(b), series) {
+			t.Fatalf("router /metrics missing %q:\n%s", series, b)
+		}
+	}
+	// The in-window rounds crossed degraded links, so the latency
+	// counter must have moved.
+	if strings.Contains(string(b), "chaos_ops_delayed_total 0\n") {
+		t.Fatalf("no operations were delayed during the fault window:\n%s", b)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for name, done := range map[string]chan error{
+		"prefill": preDone, "decode": decDone, "router": routerDone,
+	} {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("%s exit: %v", name, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("%s did not drain after SIGTERM", name)
+		}
+	}
+}

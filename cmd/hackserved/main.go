@@ -33,7 +33,25 @@
 // /healthz + /metrics on -addr; the router serves the same HTTP API as
 // the local role on -addr (NDJSON /v1/generate proxied over the wire,
 // /metrics reporting the deployment view) and places each request on
-// the least-loaded healthy decode replica.
+// the least-loaded healthy decode replica. The router retries transient
+// wire faults (connection loss, corrupt frames, missed frame deadlines)
+// under a jittered-backoff retry budget and trips a per-replica circuit
+// breaker on repeated failures; breaker state and trip counters appear
+// in /metrics.
+//
+// Adding -chaos-script NAME to the router replays a named fault script
+// against the router's own links — a self-contained chaos drill for
+// staging deployments. Scripts inject latency, bandwidth caps, frame
+// corruption, and partitions (a scripted "kill" is modeled as
+// partitioning that replica's link, since the router cannot stop a
+// remote process), then heal; -chaos-seed makes the injected faults
+// reproducible. Streams must still complete exactly — the injector's
+// chaos_* counters surface on the router's /metrics alongside the
+// breaker series:
+//
+//	hackserved -role router -peer-prefills 127.0.0.1:9101 \
+//	    -peer-decodes 127.0.0.1:9201,127.0.0.1:9202 \
+//	    -chaos-script degrade-kv-link -addr 127.0.0.1:8080
 //
 // SIGINT/SIGTERM begin a graceful drain: new work is rejected (429/503
 // responses), in-flight streams run to completion (bounded by
@@ -112,6 +130,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		wire      = fs.String("wire", "127.0.0.1:0", "KV wire listen address (prefill/decode roles)")
 		peerPre   = fs.String("peer-prefills", "", "comma-separated prefill wire addresses (router role)")
 		peerDec   = fs.String("peer-decodes", "", "comma-separated decode wire addresses (router role)")
+		chaosSc   = fs.String("chaos-script", "",
+			"replay a named fault-injection script against the router's links (router role, dev/chaos drills): "+
+				strings.Join(hack.ChaosScripts(), ", "))
+		chaosSeed = fs.Int64("chaos-seed", 1, "deterministic seed for -chaos-script fault injection")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -141,6 +163,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *prefixB > 0 && r != hack.RoleLocal {
 		return usageError{err: fmt.Errorf("-prefix-cache-bytes requires the local role (prefix pages do not ship over the disaggregated KV wire)")}
 	}
+	if *chaosSc != "" {
+		if r != hack.RoleRouter {
+			return usageError{err: fmt.Errorf("-chaos-script requires the router role (faults are injected on the router's links)")}
+		}
+		valid := false
+		for _, n := range hack.ChaosScripts() {
+			valid = valid || n == *chaosSc
+		}
+		if !valid {
+			return usageError{err: fmt.Errorf("unknown chaos script %q (valid: %s)",
+				*chaosSc, strings.Join(hack.ChaosScripts(), ", "))}
+		}
+	}
 
 	opts := []hack.Option{
 		hack.WithMethod(*method),
@@ -160,7 +195,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			hack.WithRole(r),
 			hack.WithPeers(splitPeers(*peerPre), splitPeers(*peerDec)),
 		)
-		return runRole(r, *addr, *wire, *drainFor, opts, stdout)
+		return runRole(r, *addr, *wire, *drainFor, *chaosSc, *chaosSeed, opts, stdout)
 	}
 
 	eng, err := hack.New(opts...)
@@ -333,8 +368,8 @@ func splitPeers(s string) []string {
 // health/metrics HTTP endpoint on httpAddr; the router serves the
 // daemon's HTTP API on httpAddr and initiates wire connections to its
 // peers.
-func runRole(role hack.Role, httpAddr, wireAddr string, drainFor time.Duration, opts []hack.Option, stdout io.Writer) error {
-	dc := hack.DisaggConfig{WireAddr: wireAddr}
+func runRole(role hack.Role, httpAddr, wireAddr string, drainFor time.Duration, chaosScript string, chaosSeed int64, opts []hack.Option, stdout io.Writer) error {
+	dc := hack.DisaggConfig{WireAddr: wireAddr, ChaosScript: chaosScript, ChaosSeed: chaosSeed}
 	if role != hack.RoleRouter {
 		// The node serves its own /healthz and /metrics on the daemon's
 		// HTTP address.
@@ -370,6 +405,10 @@ func runRole(role hack.Role, httpAddr, wireAddr string, drainFor time.Duration, 
 	}
 	fmt.Fprintf(stdout, "hackserved: router listening on http://%s (%d decode replicas)\n",
 		ln.Addr(), len(ds.Report().Replicas))
+	if chaosScript != "" {
+		fmt.Fprintf(stdout, "hackserved: chaos script %q replaying against the router's links (seed %d)\n",
+			chaosScript, chaosSeed)
+	}
 	httpSrv := &http.Server{Handler: newRouterMux(ds), ReadHeaderTimeout: 10 * time.Second}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()

@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"github.com/hackkv/hack/internal/chaos"
 	"github.com/hackkv/hack/internal/disagg"
 	"github.com/hackkv/hack/internal/netsim"
 	"github.com/hackkv/hack/internal/serve"
@@ -90,18 +91,49 @@ type DisaggConfig struct {
 	// 500ms); DialTimeout bounds each dial+handshake (default 2s).
 	HealthInterval time.Duration
 	DialTimeout    time.Duration
-	// RetryMax is the router's decode retry budget after the first
-	// attempt (default 2); RetryBackoff the initial backoff, doubling
-	// per retry (default 50ms).
+	// RetryMax caps the router's decode retries after the first attempt
+	// (default 2; negative means budget-only, no count cap);
+	// RetryBackoff is the initial backoff, doubling per retry with
+	// ±RetryJitter/2 jitter (defaults 50ms, 0.2), all under the
+	// wall-clock RetryBudget (default 5s).
 	RetryMax     int
 	RetryBackoff time.Duration
+	RetryBudget  time.Duration
+	RetryJitter  float64
+	// FrameTimeout bounds each framed read/write inside a KV transfer or
+	// token stream (default 10s) so a half-open peer surfaces as a
+	// retryable timeout; negative disables the deadline.
+	FrameTimeout time.Duration
+	// Each decode replica sits behind a circuit breaker that opens after
+	// BreakerThreshold consecutive transport failures (default 3) and
+	// half-opens after BreakerCooldown (default 500ms). An open breaker
+	// removes the replica from placement even while /healthz answers.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// ChaosScript names a fault-injection script (see ChaosScripts) the
+	// router replays against its own links after startup — a chaos-testing
+	// knob for drills against a live deployment. Kill actions are modeled
+	// as partitions of the target replica's link, since a router cannot
+	// kill a remote process. Empty disables injection. ChaosSeed drives
+	// the injector's deterministic corruption (default 1).
+	ChaosScript string
+	ChaosSeed   int64
 }
+
+// ChaosScripts lists the named fault-injection scripts a router role can
+// replay via DisaggConfig.ChaosScript, sorted.
+func ChaosScripts() []string { return chaos.Scripts() }
 
 // WithDisaggConfig sizes the node started by ListenDisagg.
 func WithDisaggConfig(dc DisaggConfig) Option {
 	return func(e *Engine) error {
-		if dc.MaxConcurrentPrefills < 0 || dc.RetryMax < 0 {
+		if dc.MaxConcurrentPrefills < 0 {
 			return fmt.Errorf("disagg config fields must be >= 0 (%+v)", dc)
+		}
+		if dc.ChaosScript != "" {
+			if _, err := chaos.ScriptNamed(dc.ChaosScript); err != nil {
+				return err
+			}
 		}
 		e.disaggCfg = dc
 		return nil
@@ -147,6 +179,8 @@ type DisaggServer struct {
 	prefill *disagg.PrefillNode
 	decode  *disagg.DecodeNode
 	router  *disagg.Router
+	// chaosStop cancels a ChaosScript replay in flight (router role).
+	chaosStop context.CancelFunc
 }
 
 // ListenDisagg starts the engine's disaggregated role (see WithRole):
@@ -194,13 +228,37 @@ func (e *Engine) ListenDisagg(ctx context.Context) (*DisaggServer, error) {
 			},
 		})
 	case RoleRouter:
+		var inj *chaos.Injector
+		if dc.ChaosScript != "" {
+			seed := dc.ChaosSeed
+			if seed == 0 {
+				seed = 1
+			}
+			inj = chaos.NewInjector(seed)
+		}
 		ds.router, err = disagg.NewRouter(disagg.RouterConfig{
 			Prefills: e.peerPrefills, Decodes: e.peerDecodes,
 			NodeID: dc.NodeID, HTTPAddr: dc.HTTPAddr,
 			Spec: sc.Model, ModelSeed: sc.ModelSeed, MethodName: e.method.Name,
 			DialTimeout: dc.DialTimeout, HealthInterval: dc.HealthInterval,
-			RetryMax: dc.RetryMax, RetryBackoff: dc.RetryBackoff,
+			FrameTimeout: dc.FrameTimeout,
+			RetryMax:     dc.RetryMax, RetryBackoff: dc.RetryBackoff,
+			RetryBudget: dc.RetryBudget, RetryJitter: dc.RetryJitter,
+			BreakerThreshold: dc.BreakerThreshold, BreakerCooldown: dc.BreakerCooldown,
+			Chaos: inj,
 		})
+		if err == nil && inj != nil {
+			script, serr := chaos.ScriptNamed(dc.ChaosScript)
+			if serr != nil {
+				ds.router.Close()
+				return nil, fmt.Errorf("hack: %w", serr)
+			}
+			pctx, cancel := context.WithCancel(context.Background())
+			ds.chaosStop = cancel
+			go func() {
+				_ = script.Play(pctx, routerChaosApply(inj, e.peerPrefills, e.peerDecodes))
+			}()
+		}
 	default:
 		return nil, fmt.Errorf("hack: engine role %q is not disaggregated; use Listen", e.role)
 	}
@@ -301,9 +359,46 @@ func (s *DisaggServer) Drain() error {
 	return nil
 }
 
+// routerChaosApply maps script actions onto a router-attached injector.
+// The router owns only its side of each link, so kill actions become
+// partitions of the target replica's link; everything else applies the
+// event's plan to the addressed links (-1 targets all of them).
+func routerChaosApply(inj *chaos.Injector, prefills, decodes []string) func(chaos.Action) {
+	links := func(target int) []string {
+		if target < 0 {
+			return append(append([]string{}, prefills...), decodes...)
+		}
+		if target < len(decodes) {
+			return []string{decodes[target]}
+		}
+		return nil
+	}
+	return func(a chaos.Action) {
+		switch a.Kind {
+		case chaos.ActKillDecode, chaos.ActPartition:
+			for _, addr := range links(a.Target) {
+				inj.SetPlan(addr, chaos.Plan{Partition: true})
+			}
+		case chaos.ActDegradeLink, chaos.ActCorruptFrame:
+			if a.Target < 0 {
+				inj.SetDefaultPlan(a.Plan)
+				return
+			}
+			for _, addr := range links(a.Target) {
+				inj.SetPlan(addr, a.Plan)
+			}
+		case chaos.ActHeal:
+			inj.Heal()
+		}
+	}
+}
+
 // Close stops the node. For decode replicas it drains the wrapped
 // runtime; for routers it waits for in-flight submissions.
 func (s *DisaggServer) Close() error {
+	if s.chaosStop != nil {
+		s.chaosStop()
+	}
 	switch s.role {
 	case RolePrefill:
 		return s.prefill.Close()

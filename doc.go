@@ -101,8 +101,37 @@
 // The handshake carries method, model spec and seed, so mismatched
 // nodes refuse to pair (ErrHandshakeRefused) rather than silently
 // diverge. WithDisaggConfig sizes addresses, concurrency and the
-// retry budget; cmd/hackserved exposes the same roles as a daemon
-// (-role prefill|decode|router).
+// fault-tolerance posture; cmd/hackserved exposes the same roles as a
+// daemon (-role prefill|decode|router).
+//
+// # Fault tolerance and chaos testing
+//
+// The wire treats the network as hostile. A corrupt frame surfaces as
+// a typed checksum error and a missed per-frame deadline
+// (DisaggConfig.FrameTimeout) as a typed wire timeout; both are link
+// faults, so the router retries them — under jittered exponential
+// backoff (RetryBackoff, RetryJitter) bounded by an attempt cap
+// (RetryMax; negative means budget-only) and a wall-clock budget
+// (RetryBudget) — replaying the buffered KV transfer on another
+// replica with token streams deduplicated by index. Repeated link
+// failures trip a per-replica circuit breaker
+// (BreakerThreshold consecutive failures open it; after BreakerCooldown
+// a half-open probe decides) that steers placement away until the
+// health monitor's out-of-band probe re-closes it; breaker state rides
+// DisaggReport.Replicas and the router's Prometheus metrics. The
+// serve-side remote prefix cache carries the same breaker (internal
+// serve.Config's PrefixBreakerThreshold and PrefixBreakerCooldown),
+// degrading to local prefill while its backend link is sick.
+//
+// DisaggConfig.ChaosScript (the -chaos-script router flag) replays a
+// named fault script — ChaosScripts() lists kill-decode,
+// degrade-kv-link, partition-heal, corrupt-frame — against the
+// router's own links through a deterministic, seed-driven injector
+// (ChaosSeed): latency, bandwidth caps, bit flips, resets, half-open
+// stalls, partitions, then heal. Scripted kills are modeled as
+// partitions (a router cannot stop a remote process). Streams must
+// still complete byte-identically; the injector's chaos_* counters
+// join the router's /metrics.
 //
 // # Sweeps
 //

@@ -1,0 +1,158 @@
+package chaos
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+// The breaker states.
+const (
+	// BreakerClosed passes traffic; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen refuses traffic until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one probe through; its outcome
+	// decides between closing and re-opening.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerStatus is a snapshot for reports and metrics.
+type BreakerStatus struct {
+	State            string `json:"state"`
+	ConsecutiveFails int    `json:"consecutive_fails"`
+	Trips            int64  `json:"trips"`
+	Probes           int64  `json:"probes"`
+	Refusals         int64  `json:"refusals"`
+}
+
+// Breaker is a per-peer circuit breaker: it opens after Threshold
+// consecutive failures, refuses traffic for Cooldown, then half-opens
+// and admits a single probe whose outcome closes or re-opens it. Safe
+// for concurrent use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+	trips    int64
+	probes   int64
+	refusals int64
+}
+
+// NewBreaker builds a breaker that opens after threshold consecutive
+// failures and half-opens after cooldown. Non-positive arguments select
+// defaults (3 failures, 500ms cooldown).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 500 * time.Millisecond
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a call may proceed. In the open state it flips
+// to half-open once the cooldown elapses and grants the single probe
+// slot; further calls are refused until the probe resolves via Success
+// or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			b.refusals++
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		b.probes++
+		return true
+	default: // half-open
+		if b.probing {
+			b.refusals++
+			return false
+		}
+		b.probing = true
+		b.probes++
+		return true
+	}
+}
+
+// Success records a successful call: it closes a half-open breaker and
+// resets the failure streak.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// Cancel releases a held half-open probe slot without judging the peer
+// — for callers whose attempt ended for reasons unrelated to the peer's
+// health (their own cancellation, backpressure). No-op otherwise.
+func (b *Breaker) Cancel() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
+// Failure records a failed call: a half-open probe failure re-opens the
+// breaker immediately; in the closed state the Threshold-th consecutive
+// failure trips it.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.state == BreakerHalfOpen || (b.state == BreakerClosed && b.fails >= b.threshold) {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+		b.trips++
+	}
+}
+
+// State returns the current position (open flips to half-open only on
+// the next Allow, so reports can show "open" during the cooldown).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Status snapshots the breaker for reports and metrics.
+func (b *Breaker) Status() BreakerStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStatus{
+		State:            b.state.String(),
+		ConsecutiveFails: b.fails,
+		Trips:            b.trips,
+		Probes:           b.probes,
+		Refusals:         b.refusals,
+	}
+}

@@ -1,0 +1,411 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipePair returns a connected in-memory conn pair.
+func pipePair() (net.Conn, net.Conn) { return net.Pipe() }
+
+func TestZeroPlanPassesThrough(t *testing.T) {
+	in := NewInjector(1)
+	a, b := pipePair()
+	wrapped := in.Wrap(a, "peer")
+	defer wrapped.Close()
+	defer b.Close()
+
+	msg := []byte("hello fabric")
+	go func() { wrapped.Write(msg) }()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q want %q", got, msg)
+	}
+	if st := in.Stats(); st != (Stats{}) {
+		t.Fatalf("zero plan injected faults: %+v", st)
+	}
+}
+
+func TestCorruptionDeterministicPerSeed(t *testing.T) {
+	payload := make([]byte, 16<<10)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	run := func(seed int64) []byte {
+		in := NewInjector(seed)
+		in.SetPlan("peer", Plan{CorruptEvery: 1024})
+		a, b := pipePair()
+		w := in.Wrap(a, "peer")
+		defer w.Close()
+		defer b.Close()
+		go func() {
+			w.Write(payload)
+			w.Close()
+		}()
+		got, err := io.ReadAll(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	one, two := run(7), run(7)
+	if !bytes.Equal(one, two) {
+		t.Fatal("same seed produced different corruption")
+	}
+	if bytes.Equal(one, payload) {
+		t.Fatal("no corruption injected")
+	}
+	diff := 0
+	for i := range one {
+		if one[i] != payload[i] {
+			diff++
+		}
+	}
+	if want := len(payload) / 1024; diff != want {
+		t.Fatalf("corrupted %d bytes, want %d", diff, want)
+	}
+	other := run(8)
+	if bytes.Equal(one, other) {
+		t.Fatal("different seeds produced identical corruption")
+	}
+}
+
+func TestResetAfterBytes(t *testing.T) {
+	in := NewInjector(1)
+	in.SetPlan("peer", Plan{ResetAfterBytes: 64})
+	a, b := pipePair()
+	w := in.Wrap(a, "peer")
+	defer b.Close()
+	go io.Copy(io.Discard, b)
+
+	buf := make([]byte, 32)
+	var err error
+	for i := 0; i < 10; i++ {
+		if _, err = w.Write(buf); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("write survived the reset threshold")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) {
+		t.Fatalf("reset error %T is not a net.Error", err)
+	}
+	if in.Stats().ConnsReset != 1 {
+		t.Fatalf("stats: %+v", in.Stats())
+	}
+	// The connection is dead for the peer too.
+	if _, err := w.Write(buf); err == nil {
+		t.Fatal("write after reset succeeded")
+	}
+}
+
+func TestStallHonorsReadDeadline(t *testing.T) {
+	in := NewInjector(1)
+	in.SetPlan("peer", Plan{StallAfterBytes: 1})
+	a, b := pipePair()
+	w := in.Wrap(a, "peer")
+	defer w.Close()
+	defer b.Close()
+
+	go func() { b.Write([]byte("xx")) }()
+	one := make([]byte, 1)
+	if _, err := io.ReadFull(w, one); err != nil {
+		t.Fatal(err)
+	}
+	w.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	start := time.Now()
+	_, err := w.Read(one)
+	if err == nil {
+		t.Fatal("stalled read returned data")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("stall error %v is not a timeout net.Error", err)
+	}
+	if since := time.Since(start); since < 40*time.Millisecond || since > 2*time.Second {
+		t.Fatalf("stall resolved after %v, want ~50ms", since)
+	}
+	if in.Stats().ReadsStalled == 0 {
+		t.Fatal("stall not counted")
+	}
+}
+
+func TestPartitionRefusesDialsAndSeversLiveConns(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c)
+		}
+	}()
+	addr := ln.Addr().String()
+
+	in := NewInjector(1)
+	dial := in.Dialer(nil)
+	conn, err := dial("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	in.SetPlan(addr, Plan{Partition: true})
+	if _, err := dial("tcp", addr, time.Second); err == nil {
+		t.Fatal("partitioned dial succeeded")
+	} else {
+		var ne net.Error
+		if !errors.As(err, &ne) {
+			t.Fatalf("partition error %T is not a net.Error", err)
+		}
+	}
+	// The live connection was severed by the partition.
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("severed conn still readable")
+	}
+
+	in.Heal()
+	c2, err := dial("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatalf("healed dial failed: %v", err)
+	}
+	c2.Close()
+
+	st := in.Stats()
+	if st.DialsRefused != 1 || st.ConnsSevered != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestLatencyInjected(t *testing.T) {
+	in := NewInjector(1)
+	in.SetPlan("peer", Plan{Latency: 20 * time.Millisecond})
+	a, b := pipePair()
+	w := in.Wrap(a, "peer")
+	defer w.Close()
+	defer b.Close()
+	go func() {
+		buf := make([]byte, 4)
+		io.ReadFull(b, buf)
+	}()
+	start := time.Now()
+	if _, err := w.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if since := time.Since(start); since < 20*time.Millisecond {
+		t.Fatalf("write returned in %v, want >= 20ms", since)
+	}
+	if in.Stats().OpsDelayed == 0 {
+		t.Fatal("delay not counted")
+	}
+}
+
+func TestInjectorPrometheus(t *testing.T) {
+	in := NewInjector(1)
+	in.SetPlan("x", Plan{Partition: true})
+	if _, err := in.Dialer(nil)("tcp", "x", time.Second); err == nil {
+		t.Fatal("expected refused dial")
+	}
+	var buf bytes.Buffer
+	if err := in.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"chaos_dials_total 1", "chaos_dials_refused_total 1", "# TYPE chaos_bytes_corrupted_total counter"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBackoffBudgetAndJitterDeterminism(t *testing.T) {
+	mk := func(seed int64) *Backoff {
+		b := NewBackoff(10*time.Millisecond, 80*time.Millisecond, 0.2, time.Second, seed)
+		return b
+	}
+	// Deterministic: same seed, same schedule.
+	var one, two []time.Duration
+	a, b := mk(3), mk(3)
+	for i := 0; i < 6; i++ {
+		d1, ok1 := a.Next()
+		d2, ok2 := b.Next()
+		if !ok1 || !ok2 {
+			t.Fatal("budget exhausted unexpectedly (no sleeping happened)")
+		}
+		one = append(one, d1)
+		two = append(two, d2)
+	}
+	for i := range one {
+		if one[i] != two[i] {
+			t.Fatalf("schedules diverge at %d: %v vs %v", i, one, two)
+		}
+	}
+	// Delays are jittered around the doubling curve and capped.
+	base := 10 * time.Millisecond
+	for i, d := range one {
+		lo := time.Duration(float64(base) * 0.9)
+		hi := time.Duration(float64(base) * 1.1)
+		if d < lo || d > hi {
+			t.Fatalf("delay %d = %v outside [%v, %v]", i, d, lo, hi)
+		}
+		if base < 80*time.Millisecond {
+			base *= 2
+		}
+	}
+
+	// Budget: a fake clock past the budget stops the schedule.
+	bo := mk(1)
+	bo.now = func() time.Time { return time.Unix(0, 0) }
+	if _, ok := bo.Next(); !ok {
+		t.Fatal("first attempt refused")
+	}
+	bo.now = func() time.Time { return time.Unix(10, 0) }
+	if _, ok := bo.Next(); ok {
+		t.Fatal("budget not enforced")
+	}
+	if bo.Remaining() != 0 {
+		t.Fatalf("remaining %v after exhaustion", bo.Remaining())
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	br := NewBreaker(3, time.Second)
+	br.now = func() time.Time { return clock }
+
+	if !br.Allow() {
+		t.Fatal("closed breaker refused")
+	}
+	br.Failure()
+	br.Failure()
+	if br.State() != BreakerClosed {
+		t.Fatalf("tripped below threshold: %v", br.State())
+	}
+	br.Failure() // third consecutive: trips
+	if br.State() != BreakerOpen {
+		t.Fatalf("state %v, want open", br.State())
+	}
+	if br.Allow() {
+		t.Fatal("open breaker allowed traffic inside cooldown")
+	}
+
+	clock = clock.Add(2 * time.Second)
+	if !br.Allow() {
+		t.Fatal("half-open probe refused after cooldown")
+	}
+	if br.State() != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", br.State())
+	}
+	if br.Allow() {
+		t.Fatal("second concurrent probe allowed")
+	}
+	br.Failure() // probe failed: re-open immediately
+	if br.State() != BreakerOpen {
+		t.Fatalf("state %v, want open after failed probe", br.State())
+	}
+
+	clock = clock.Add(2 * time.Second)
+	if !br.Allow() {
+		t.Fatal("probe refused after second cooldown")
+	}
+	br.Success()
+	if br.State() != BreakerClosed {
+		t.Fatalf("state %v, want closed after successful probe", br.State())
+	}
+	if !br.Allow() {
+		t.Fatal("closed breaker refused after recovery")
+	}
+
+	st := br.Status()
+	if st.Trips != 2 || st.Probes != 2 || st.Refusals != 2 || st.State != "closed" {
+		t.Fatalf("status: %+v", st)
+	}
+}
+
+func TestBreakerConcurrentProbeSingleFlight(t *testing.T) {
+	clock := time.Unix(0, 0)
+	var mu sync.Mutex
+	br := NewBreaker(1, time.Millisecond)
+	br.now = func() time.Time { mu.Lock(); defer mu.Unlock(); return clock }
+	br.Failure()
+	mu.Lock()
+	clock = clock.Add(time.Second)
+	mu.Unlock()
+
+	var wg sync.WaitGroup
+	var allowed int64
+	var amu sync.Mutex
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if br.Allow() {
+				amu.Lock()
+				allowed++
+				amu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if allowed != 1 {
+		t.Fatalf("%d probes allowed, want exactly 1", allowed)
+	}
+}
+
+func TestScriptRegistryAndPlay(t *testing.T) {
+	names := Scripts()
+	want := []string{"corrupt-frame", "degrade-kv-link", "kill-decode", "partition-heal"}
+	if len(names) != len(want) {
+		t.Fatalf("scripts %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("scripts %v, want %v", names, want)
+		}
+	}
+	if _, err := ScriptNamed("nope"); err == nil || !strings.Contains(err.Error(), "kill-decode") {
+		t.Fatalf("unknown script error should list valid names: %v", err)
+	}
+
+	s, err := ScriptNamed("partition-heal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = Script{Name: s.Name, Events: []Event{ // compress offsets for the test
+		{At: 0, Action: Action{Kind: ActPartition, Target: 0}},
+		{At: 10 * time.Millisecond, Action: Action{Kind: ActHeal}},
+	}}
+	var got []ActionKind
+	if err := s.Play(t.Context(), func(a Action) { got = append(got, a.Kind) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != ActPartition || got[1] != ActHeal {
+		t.Fatalf("played %v", got)
+	}
+
+	// Stretch scales offsets.
+	st := s.Stretch(3)
+	if st.Events[1].At != 30*time.Millisecond {
+		t.Fatalf("stretched offset %v", st.Events[1].At)
+	}
+	if s.Events[1].At != 10*time.Millisecond {
+		t.Fatal("stretch mutated the original")
+	}
+}

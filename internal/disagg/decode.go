@@ -33,6 +33,11 @@ type DecodeConfig struct {
 	// DrainTimeout bounds the graceful Shutdown wait in Close and Drain
 	// (default 30s).
 	DrainTimeout time.Duration
+	// FrameTimeout bounds each framed read inside a KV transfer and each
+	// token write (default 10s) so a half-open router cannot wedge a
+	// handler goroutine; the idle between-jobs read stays unbounded
+	// because router connections are long-lived. Negative disables it.
+	FrameTimeout time.Duration
 }
 
 // DecodeNode wraps a serve.Server behind the wire protocol: it adopts
@@ -64,6 +69,9 @@ func NewDecodeNode(cfg DecodeConfig) (*DecodeNode, error) {
 	}
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 30 * time.Second
+	}
+	if cfg.FrameTimeout == 0 {
+		cfg.FrameTimeout = defaultFrameTimeout
 	}
 	rt, err := serve.New(cfg.Serve)
 	if err != nil {
@@ -245,6 +253,13 @@ func doneKind(err error) string {
 		return "queue_full"
 	case errors.Is(err, serve.ErrDraining), errors.Is(err, serve.ErrDrained):
 		return "draining"
+	case errors.Is(err, netsim.ErrChecksum), errors.Is(err, netsim.ErrWireTimeout),
+		errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+		// The KV transfer itself broke — corrupt frames, a missed frame
+		// deadline, a severed link. The request is fine, the link is not;
+		// reporting "failed" here would terminally fail a request the
+		// router could still serve through another replica.
+		return "transfer"
 	default:
 		return "failed"
 	}
@@ -269,7 +284,7 @@ func (d *DecodeNode) runJob(conn net.Conn, job DecodeJob) error {
 	}
 	n := 0
 	for tok := range st.Tokens() {
-		if err := writeJSON(conn, netsim.MsgToken, TokenMsg{Index: tok.Index, ID: tok.ID}); err != nil {
+		if err := writeJSONTimeout(conn, d.cfg.FrameTimeout, netsim.MsgToken, TokenMsg{Index: tok.Index, ID: tok.ID}); err != nil {
 			return err
 		}
 		n++
@@ -301,7 +316,7 @@ func (d *DecodeNode) adoptCache(conn net.Conn, job DecodeJob) (sess *model.Sessi
 	got, want := 0, spec.Layers*spec.Heads
 	first := -1
 	for got < want {
-		payload, err := readExpect(conn, netsim.MsgFrame)
+		payload, err := readExpectTimeout(conn, d.cfg.FrameTimeout, netsim.MsgFrame)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -334,7 +349,7 @@ func (d *DecodeNode) adoptCache(conn net.Conn, job DecodeJob) (sess *model.Sessi
 		}
 		got++
 	}
-	if _, err := readExpect(conn, netsim.MsgTransferEnd); err != nil {
+	if _, err := readExpectTimeout(conn, d.cfg.FrameTimeout, netsim.MsgTransferEnd); err != nil {
 		return nil, 0, err
 	}
 	s, err := d.rt.Model().RestoreSession(backend, heads)

@@ -35,8 +35,15 @@ import (
 	"net"
 	"time"
 
+	"github.com/hackkv/hack/internal/chaos"
 	"github.com/hackkv/hack/internal/netsim"
 )
+
+// defaultFrameTimeout bounds one framed read or write inside a transfer
+// or token stream when the config leaves FrameTimeout zero. It is the
+// half-open-peer guard: without it a peer that stops mid-frame wedges
+// the transfer goroutine forever.
+const defaultFrameTimeout = 10 * time.Second
 
 // Typed terminal errors a router surfaces to clients.
 var (
@@ -93,6 +100,15 @@ func writeJSON(w io.Writer, t netsim.MsgType, v any) error {
 	return netsim.WriteMessage(w, t, payload)
 }
 
+// writeJSONTimeout is writeJSON under a per-frame write deadline.
+func writeJSONTimeout(conn net.Conn, d time.Duration, t netsim.MsgType, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return netsim.WriteMessageTimeout(conn, d, t, payload)
+}
+
 // readExpect reads one message and requires the given type, answering
 // keepalive pings transparently.
 func readExpect(rw io.ReadWriter, want netsim.MsgType) ([]byte, error) {
@@ -114,9 +130,43 @@ func readExpect(rw io.ReadWriter, want netsim.MsgType) ([]byte, error) {
 	}
 }
 
+// readExpectTimeout is readExpect with each framed read bounded by d —
+// used inside transfers, where the peer owes the next frame promptly
+// and a stall means the link or peer is wedged.
+func readExpectTimeout(conn net.Conn, d time.Duration, want netsim.MsgType) ([]byte, error) {
+	for {
+		t, payload, err := netsim.ReadMessageTimeout(conn, d)
+		if err != nil {
+			return nil, err
+		}
+		if t == netsim.MsgPing {
+			if err := netsim.WriteMessage(conn, netsim.MsgPong, nil); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if t != want {
+			return nil, fmt.Errorf("disagg: got %v, want %v", t, want)
+		}
+		return payload, nil
+	}
+}
+
 // dial connects with a deadline and runs the initiator handshake.
 func dial(addr string, self netsim.Hello, timeout time.Duration) (net.Conn, netsim.Hello, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	return dialWith(nil, addr, self, timeout)
+}
+
+// dialWith is dial through an injectable dialer (nil means the real
+// network) — the hook fault-injection harnesses use to interpose
+// chaos.Conn on every link a node opens.
+func dialWith(dialer chaos.Dialer, addr string, self netsim.Hello, timeout time.Duration) (net.Conn, netsim.Hello, error) {
+	if dialer == nil {
+		dialer = func(network, a string, t time.Duration) (net.Conn, error) {
+			return net.DialTimeout(network, a, t)
+		}
+	}
+	conn, err := dialer("tcp", addr, timeout)
 	if err != nil {
 		return nil, netsim.Hello{}, err
 	}

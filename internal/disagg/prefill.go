@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/hackkv/hack/internal/attention"
 	"github.com/hackkv/hack/internal/model"
@@ -39,6 +40,10 @@ type PrefillConfig struct {
 	MethodName string
 	// MaxConcurrent bounds simultaneous prefill executions (default 2).
 	MaxConcurrent int
+	// FrameTimeout bounds each KV frame write (default 10s) so a
+	// half-open router cannot wedge a prefill handler goroutine; the
+	// idle between-jobs read stays unbounded. Negative disables it.
+	FrameTimeout time.Duration
 }
 
 // PrefillStats counts a prefill node's work.
@@ -87,6 +92,9 @@ func NewPrefillNode(cfg PrefillConfig) (*PrefillNode, error) {
 	}
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 2
+	}
+	if cfg.FrameTimeout == 0 {
+		cfg.FrameTimeout = defaultFrameTimeout
 	}
 	m, err := model.NewTransformer(cfg.Spec, cfg.ModelSeed)
 	if err != nil {
@@ -290,14 +298,14 @@ func (p *PrefillNode) runJob(conn net.Conn, job PrefillJob) error {
 			if _, err := fr.WriteTo(&buf); err != nil {
 				return err
 			}
-			if err := netsim.WriteMessage(conn, netsim.MsgFrame, buf.b); err != nil {
+			if err := netsim.WriteMessageTimeout(conn, p.cfg.FrameTimeout, netsim.MsgFrame, buf.b); err != nil {
 				return err
 			}
 			p.frames.Add(1)
 			p.kvBytes.Add(int64(len(buf.b)))
 		}
 	}
-	return netsim.WriteMessage(conn, netsim.MsgTransferEnd, nil)
+	return netsim.WriteMessageTimeout(conn, p.cfg.FrameTimeout, netsim.MsgTransferEnd, nil)
 }
 
 // frameBuffer is a minimal io.Writer collecting a frame's bytes.

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/hackkv/hack/internal/chaos"
 	"github.com/hackkv/hack/internal/metrics"
 	"github.com/hackkv/hack/internal/model"
 	"github.com/hackkv/hack/internal/netsim"
@@ -37,13 +38,38 @@ type RouterConfig struct {
 	MethodName string
 	// DialTimeout bounds each dial+handshake (default 2s).
 	DialTimeout time.Duration
+	// FrameTimeout bounds each framed read/write inside a KV transfer or
+	// token stream (default 10s), so a half-open peer surfaces as a
+	// retryable timeout instead of wedging the request forever. Negative
+	// disables the deadline.
+	FrameTimeout time.Duration
 	// HealthInterval is the /healthz polling period (default 500ms).
 	HealthInterval time.Duration
-	// RetryMax is the number of decode retries after the first attempt
-	// (default 2); RetryBackoff is the initial backoff, doubling per
-	// retry (default 50ms).
+	// Decode retries run under a wall-clock RetryBudget (default 5s)
+	// with jittered exponential backoff starting at RetryBackoff
+	// (default 50ms, doubling, jittered by ±RetryJitter/2 — default
+	// 0.2). RetryMax additionally caps the retry count: 0 selects the
+	// default cap (2, the pre-budget behavior), negative means
+	// budget-only (no count cap).
 	RetryMax     int
 	RetryBackoff time.Duration
+	RetryBudget  time.Duration
+	RetryJitter  float64
+	// Each decode replica sits behind a circuit breaker that opens after
+	// BreakerThreshold consecutive transport failures (default 3) and
+	// half-opens after BreakerCooldown (default 500ms), admitting one
+	// probe. An open breaker removes the replica from placement even
+	// while /healthz still answers — the half-open-link case health
+	// polling cannot see.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Dialer replaces the network dialer on every link the router opens
+	// (nil means the real network). Chaos, if set, is the fault injector
+	// whose stats join the Report and /metrics; when Dialer is nil it
+	// also provides the dialer, so every router link crosses the
+	// injector's fault plans.
+	Dialer chaos.Dialer
+	Chaos  *chaos.Injector
 }
 
 // Request is one generation job submitted to the router.
@@ -92,6 +118,7 @@ type replica struct {
 	httpAddr atomic.Value // string
 	healthy  atomic.Bool
 	draining atomic.Bool
+	breaker  *chaos.Breaker
 
 	inflight  atomic.Int64
 	pendingKV atomic.Int64
@@ -107,12 +134,13 @@ func (rep *replica) httpAddrStr() string {
 
 // ReplicaStatus is one decode replica's row in a Report.
 type ReplicaStatus struct {
-	Addr           string `json:"addr"`
-	Healthy        bool   `json:"healthy"`
-	Draining       bool   `json:"draining"`
-	Inflight       int64  `json:"inflight"`
-	PendingKVBytes int64  `json:"pending_kv_bytes"`
-	Requests       int64  `json:"requests"`
+	Addr           string              `json:"addr"`
+	Healthy        bool                `json:"healthy"`
+	Draining       bool                `json:"draining"`
+	Inflight       int64               `json:"inflight"`
+	PendingKVBytes int64               `json:"pending_kv_bytes"`
+	Requests       int64               `json:"requests"`
+	Breaker        chaos.BreakerStatus `json:"breaker"`
 }
 
 // Report is the router's live view of the disaggregated deployment.
@@ -129,6 +157,8 @@ type Report struct {
 	// decode push legs as separate samples).
 	TransferSeconds metrics.PercentileSummary `json:"transfer_seconds"`
 	Replicas        []ReplicaStatus           `json:"replicas"`
+	// Chaos is the fault injector's activity when one is attached.
+	Chaos *chaos.Stats `json:"chaos,omitempty"`
 }
 
 // Router fronts N decode replicas behind one submission API: it drives
@@ -181,14 +211,23 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 2 * time.Second
 	}
+	if cfg.FrameTimeout == 0 {
+		cfg.FrameTimeout = defaultFrameTimeout
+	}
 	if cfg.HealthInterval <= 0 {
 		cfg.HealthInterval = 500 * time.Millisecond
 	}
-	if cfg.RetryMax <= 0 {
+	if cfg.RetryMax == 0 {
 		cfg.RetryMax = 2
 	}
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 5 * time.Second
+	}
+	if cfg.Dialer == nil && cfg.Chaos != nil {
+		cfg.Dialer = cfg.Chaos.Dialer(nil)
 	}
 	r := &Router{
 		cfg:       cfg,
@@ -227,13 +266,20 @@ func (r *Router) HTTPAddr() string {
 	return r.http.Addr()
 }
 
+// dial opens a link through the router's (possibly fault-injected)
+// dialer and runs the handshake.
+func (r *Router) dial(addr string) (net.Conn, netsim.Hello, error) {
+	return dialWith(r.cfg.Dialer, addr, r.hello, r.cfg.DialTimeout)
+}
+
 // AddReplica registers a decode replica and probes it once. A peer that
 // answers the handshake with mismatched deployment parameters is
 // refused; one that is merely unreachable is registered unhealthy and
 // picked up by the health monitor when it appears.
 func (r *Router) AddReplica(addr string) error {
-	rep := &replica{addr: addr}
-	conn, peer, err := dial(addr, r.hello, r.cfg.DialTimeout)
+	rep := &replica{addr: addr,
+		breaker: chaos.NewBreaker(r.cfg.BreakerThreshold, r.cfg.BreakerCooldown)}
+	conn, peer, err := r.dial(addr)
 	if err == nil {
 		conn.Close()
 		rep.healthy.Store(true)
@@ -278,6 +324,11 @@ func isRetryable(err error) bool {
 	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 		return true
 	}
+	// Wire-level garbage and missed frame deadlines: the link (or peer)
+	// is broken, not the request — another node can still serve it.
+	if errors.Is(err, netsim.ErrChecksum) || errors.Is(err, netsim.ErrWireTimeout) {
+		return true
+	}
 	var ne net.Error
 	if errors.As(err, &ne) {
 		return true
@@ -288,7 +339,11 @@ func isRetryable(err error) bool {
 
 // Close stops the health monitor and waits for in-flight submissions.
 func (r *Router) Close() error {
-	r.once.Do(func() { close(r.closed) })
+	r.once.Do(func() {
+		r.mu.Lock() // serialize with Submit's closed-check + wg.Add
+		close(r.closed)
+		r.mu.Unlock()
+	})
 	if r.http != nil {
 		r.http.Close()
 	}
@@ -325,7 +380,12 @@ func (r *Router) Report() Report {
 			Inflight:       rep.inflight.Load(),
 			PendingKVBytes: rep.pendingKV.Load(),
 			Requests:       rep.requests.Load(),
+			Breaker:        rep.breaker.Status(),
 		})
+	}
+	if r.cfg.Chaos != nil {
+		st := r.cfg.Chaos.Stats()
+		out.Chaos = &st
 	}
 	sort.Slice(out.Replicas, func(i, j int) bool { return out.Replicas[i].Addr < out.Replicas[j].Addr })
 	return out
@@ -351,6 +411,48 @@ func (r *Router) writeProm(w io.Writer) error {
 	emit("failed_total", "Requests failed.", rep.Failed)
 	emit("retries_total", "Decode attempts retried.", rep.Retries)
 	emit("failovers_total", "Transfers failed over to another replica.", rep.Failovers)
+	if err != nil {
+		return err
+	}
+
+	// Per-replica breaker state (0 closed, 1 open, 2 half-open) plus
+	// aggregated breaker counters.
+	var trips, probes, refusals, open int64
+	_, err = fmt.Fprintf(w, "# HELP breaker_state Circuit breaker position per decode replica (0=closed, 1=open, 2=half-open).\n# TYPE breaker_state gauge\n")
+	for _, rs := range rep.Replicas {
+		state := int64(0)
+		switch rs.Breaker.State {
+		case "open":
+			state = 1
+			open++
+		case "half-open":
+			state = 2
+			open++
+		}
+		if err == nil {
+			_, err = fmt.Fprintf(w, "breaker_state{replica=%q} %d\n", rs.Addr, state)
+		}
+		trips += rs.Breaker.Trips
+		probes += rs.Breaker.Probes
+		refusals += rs.Breaker.Refusals
+	}
+	emit2 := func(name, help string, v int64) {
+		if err == nil {
+			_, err = fmt.Fprintf(w,
+				"# HELP breaker_%s %s\n# TYPE breaker_%s counter\nbreaker_%s %d\n",
+				name, help, name, name, v)
+		}
+	}
+	emit2("trips_total", "Breaker open transitions across replicas.", trips)
+	emit2("probes_total", "Half-open probes granted across replicas.", probes)
+	emit2("refusals_total", "Placements refused by open breakers.", refusals)
+	if err == nil {
+		_, err = fmt.Fprintf(w,
+			"# HELP breaker_open Replicas currently open or half-open.\n# TYPE breaker_open gauge\nbreaker_open %d\n", open)
+	}
+	if err == nil && r.cfg.Chaos != nil {
+		err = r.cfg.Chaos.WritePrometheus(w)
+	}
 	return err
 }
 
@@ -373,8 +475,32 @@ func (r *Router) healthLoop() {
 		r.mu.Unlock()
 		for _, rep := range reps {
 			r.probe(rep)
+			r.probeBreaker(rep)
 		}
 	}
+}
+
+// probeBreaker runs the half-open probe out of band. pick only risks a
+// request-carrying probe when no closed-breaker replica exists, so with
+// one healthy peer absorbing all placements a tripped breaker would
+// otherwise stay open forever and the healed replica never rejoin. A
+// dial+handshake through the router's own dialer exercises the same
+// wire path that tripped the breaker — recovery re-admits the replica
+// without gambling a live request on it.
+func (r *Router) probeBreaker(rep *replica) {
+	if rep.breaker.State() == chaos.BreakerClosed {
+		return
+	}
+	if !rep.breaker.Allow() {
+		return // still cooling down, or a probe is already in flight
+	}
+	conn, _, err := r.dial(rep.addr)
+	if err != nil {
+		rep.breaker.Failure()
+		return
+	}
+	conn.Close()
+	rep.breaker.Success()
 }
 
 func (r *Router) probe(rep *replica) {
@@ -398,7 +524,7 @@ func (r *Router) probe(rep *replica) {
 		}
 		return
 	}
-	conn, peer, err := dial(rep.addr, r.hello, r.cfg.DialTimeout)
+	conn, peer, err := r.dial(rep.addr)
 	if err != nil {
 		rep.healthy.Store(false)
 		return
@@ -412,8 +538,30 @@ func (r *Router) probe(rep *replica) {
 
 // pick returns the healthy, non-draining replica with the lowest load
 // score — pending KV bytes plus an in-flight-request penalty, the wire
-// analogue of the simulator's LoadAware drain estimate.
-func (r *Router) pick() *replica {
+// analogue of the simulator's LoadAware drain estimate. Replicas with a
+// tripped circuit breaker are skipped: the breaker covers the failure
+// mode /healthz cannot see, a replica whose HTTP side answers while its
+// wire side drops or corrupts every transfer. When every candidate's
+// breaker is tripped, pick offers the half-open probe slot to one of
+// them so a recovered replica can re-admit itself.
+//
+// avoid is the replica whose last attempt for this request just failed:
+// before its breaker has accumulated enough failures to trip, load-score
+// ties would otherwise re-place every retry on the same broken link
+// while a clean replica sits idle. It is only a preference — when no
+// other candidate exists (single replica, everyone else down), the
+// failed replica is offered again.
+func (r *Router) pick(avoid *replica) *replica {
+	if rep := r.pickExcluding(avoid); rep != nil {
+		return rep
+	}
+	if avoid != nil {
+		return r.pickExcluding(nil)
+	}
+	return nil
+}
+
+func (r *Router) pickExcluding(avoid *replica) *replica {
 	r.mu.Lock()
 	reps := append([]*replica(nil), r.replicas...)
 	r.mu.Unlock()
@@ -421,7 +569,10 @@ func (r *Router) pick() *replica {
 	var best *replica
 	var bestScore int64
 	for _, rep := range reps {
-		if !rep.healthy.Load() || rep.draining.Load() {
+		if rep == avoid || !rep.healthy.Load() || rep.draining.Load() {
+			continue
+		}
+		if rep.breaker.State() != chaos.BreakerClosed {
 			continue
 		}
 		score := rep.pendingKV.Load() + inflightPenalty*rep.inflight.Load()
@@ -429,7 +580,18 @@ func (r *Router) pick() *replica {
 			best, bestScore = rep, score
 		}
 	}
-	return best
+	if best != nil {
+		return best
+	}
+	for _, rep := range reps {
+		if rep == avoid || !rep.healthy.Load() || rep.draining.Load() {
+			continue
+		}
+		if rep.breaker.Allow() {
+			return rep
+		}
+	}
+	return nil
 }
 
 // Submit routes one request through the disaggregated pipeline. The
@@ -439,18 +601,24 @@ func (r *Router) Submit(ctx context.Context, req Request) (*Stream, error) {
 	if len(req.Prompt) == 0 {
 		return nil, errors.New("disagg: empty prompt")
 	}
+	// The closed-check and wg.Add must be atomic with respect to Close:
+	// otherwise Submit can pass the check, Close can finish wg.Wait, and
+	// the late wg.Add races the waitgroup's reuse.
+	r.mu.Lock()
 	select {
 	case <-r.closed:
+		r.mu.Unlock()
 		return nil, errors.New("disagg: router closed")
 	default:
 	}
+	r.wg.Add(1)
+	r.mu.Unlock()
 	buf := req.MaxNewTokens
 	if buf <= 0 || buf > 4096 {
 		buf = 4096
 	}
 	st := &Stream{tokens: make(chan TokenMsg, buf+1), closed: make(chan struct{})}
 	r.requests.Add(1)
-	r.wg.Add(1)
 	go func() {
 		defer r.wg.Done()
 		err := r.run(ctx, req, st)
@@ -500,7 +668,7 @@ func (r *Router) runPrefill(ctx context.Context, id uint64, req Request) ([][]by
 }
 
 func (r *Router) pullPrefill(ctx context.Context, addr string, id uint64, req Request) ([][]byte, error) {
-	conn, _, err := dial(addr, r.hello, r.cfg.DialTimeout)
+	conn, _, err := r.dial(addr)
 	if err != nil {
 		return nil, err
 	}
@@ -509,13 +677,13 @@ func (r *Router) pullPrefill(ctx context.Context, addr string, id uint64, req Re
 	defer stop()
 
 	start := time.Now()
-	if err := writeJSON(conn, netsim.MsgPrefill, PrefillJob{RequestID: id, Prompt: req.Prompt, Seed: req.Seed}); err != nil {
+	if err := writeJSONTimeout(conn, r.cfg.FrameTimeout, netsim.MsgPrefill, PrefillJob{RequestID: id, Prompt: req.Prompt, Seed: req.Seed}); err != nil {
 		return nil, err
 	}
 	var frames [][]byte
 	var total int64
 	for {
-		t, payload, err := netsim.ReadMessage(conn)
+		t, payload, err := netsim.ReadMessageTimeout(conn, r.cfg.FrameTimeout)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
@@ -549,25 +717,36 @@ func (r *Router) recordTransfer(link string, bytes int64, seconds float64) {
 }
 
 // runDecode places the buffered transfer on a replica and proxies the
-// token stream, retrying with bounded exponential backoff on replica
-// death. Tokens are deduplicated by index, so a stream that failed over
+// token stream, retrying on replica death under a wall-clock budget
+// with jittered exponential backoff (and the optional RetryMax count
+// cap). Tokens are deduplicated by index, so a stream that failed over
 // mid-flight still delivers each token exactly once, in order.
 func (r *Router) runDecode(ctx context.Context, id uint64, req Request, frames [][]byte, st *Stream) error {
-	backoff := r.cfg.RetryBackoff
+	// Jitter is seeded per request, so concurrent failovers desynchronize
+	// instead of thundering back in lockstep, yet a replayed request
+	// reproduces its exact retry schedule.
+	bo := chaos.NewBackoff(r.cfg.RetryBackoff, 0, r.cfg.RetryJitter, r.cfg.RetryBudget, int64(id))
 	lastDelivered := -1
 	var lastErr error
+	var lastFailed *replica
 	sawReplica := false
-	for attempt := 0; attempt <= r.cfg.RetryMax; attempt++ {
+	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
+			if r.cfg.RetryMax >= 0 && attempt > r.cfg.RetryMax {
+				break
+			}
+			d, ok := bo.Next()
+			if !ok {
+				break // retry budget exhausted
+			}
 			r.retries.Add(1)
 			select {
-			case <-time.After(backoff):
+			case <-time.After(d):
 			case <-ctx.Done():
 				return ctx.Err()
 			}
-			backoff *= 2
 		}
-		rep := r.pick()
+		rep := r.pick(lastFailed)
 		if rep == nil {
 			lastErr = ErrNoReplicas
 			continue
@@ -581,6 +760,7 @@ func (r *Router) runDecode(ctx context.Context, id uint64, req Request, frames [
 			return err
 		}
 		lastErr = err
+		lastFailed = rep
 		if lastDelivered >= 0 {
 			r.failovers.Add(1) // died mid-stream; the next attempt resumes it
 		}
@@ -604,42 +784,62 @@ func (r *Router) tryDecode(ctx context.Context, rep *replica, id uint64, req Req
 	rep.pendingKV.Add(total)
 	defer rep.pendingKV.Add(-total)
 
-	conn, _, err := dial(rep.addr, r.hello, r.cfg.DialTimeout)
+	// Every exit resolves the breaker exactly once: transport faults feed
+	// Failure, a clean stream feeds Success, and everything else (our own
+	// cancellation, backpressure) releases a held half-open probe slot
+	// without judging the replica.
+	verdict := 0
+	defer func() {
+		switch {
+		case verdict < 0:
+			rep.breaker.Failure()
+		case verdict > 0:
+			rep.breaker.Success()
+		default:
+			rep.breaker.Cancel()
+		}
+	}()
+
+	conn, _, err := r.dial(rep.addr)
 	if err != nil {
 		rep.healthy.Store(false)
+		verdict = -1
 		return err, false
 	}
 	defer conn.Close()
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
 
+	// fail classifies a transport failure: it marks the replica down and
+	// feeds its breaker, unless the real cause was our own cancellation.
 	fail := func(e error) (error, bool) {
 		if ctx.Err() != nil {
 			return ctx.Err(), true
 		}
 		rep.healthy.Store(false)
+		verdict = -1
 		return e, false
 	}
 
 	start := time.Now()
 	job := DecodeJob{RequestID: id, PromptLen: len(req.Prompt), Seed: req.Seed,
 		MaxNew: req.MaxNewTokens, EOS: req.EOS}
-	if err := writeJSON(conn, netsim.MsgDecode, job); err != nil {
+	if err := writeJSONTimeout(conn, r.cfg.FrameTimeout, netsim.MsgDecode, job); err != nil {
 		return fail(err)
 	}
 	for _, f := range frames {
-		if err := netsim.WriteMessage(conn, netsim.MsgFrame, f); err != nil {
+		if err := netsim.WriteMessageTimeout(conn, r.cfg.FrameTimeout, netsim.MsgFrame, f); err != nil {
 			return fail(err)
 		}
 	}
-	if err := netsim.WriteMessage(conn, netsim.MsgTransferEnd, nil); err != nil {
+	if err := netsim.WriteMessageTimeout(conn, r.cfg.FrameTimeout, netsim.MsgTransferEnd, nil); err != nil {
 		return fail(err)
 	}
 	r.recordTransfer("router→decode "+rep.addr, total, time.Since(start).Seconds())
 	rep.requests.Add(1)
 
 	for {
-		t, payload, err := netsim.ReadMessage(conn)
+		t, payload, err := netsim.ReadMessageTimeout(conn, r.cfg.FrameTimeout)
 		if err != nil {
 			return fail(err)
 		}
@@ -654,7 +854,14 @@ func (r *Router) tryDecode(ctx context.Context, rep *replica, id uint64, req Req
 				return fail(err)
 			}
 			if tok.Index > *lastDelivered {
-				st.tokens <- tok
+				// The buffer is sized for the request's budget, but never
+				// bet the goroutine on that: a blocked send must still
+				// observe cancellation.
+				select {
+				case st.tokens <- tok:
+				case <-ctx.Done():
+					return ctx.Err(), true
+				}
 				*lastDelivered = tok.Index
 			}
 		case netsim.MsgDone:
@@ -663,6 +870,7 @@ func (r *Router) tryDecode(ctx context.Context, rep *replica, id uint64, req Req
 				return fail(err)
 			}
 			if d.Err == "" {
+				verdict = 1
 				return nil, false
 			}
 			e := fmt.Errorf("disagg: decode %s: %s (%s)", rep.addr, d.Err, d.Kind)
@@ -671,6 +879,14 @@ func (r *Router) tryDecode(ctx context.Context, rep *replica, id uint64, req Req
 				rep.draining.Store(true)
 				return e, false
 			case "queue_full":
+				// Backpressure, not a fault: the replica is alive and
+				// answering, so the breaker stays out of it.
+				return e, false
+			case "transfer":
+				// The replica saw our transfer break (corruption, frame
+				// timeout): a link fault, charged to this link's breaker
+				// and retried elsewhere.
+				verdict = -1
 				return e, false
 			default:
 				return e, true

@@ -161,10 +161,15 @@ func ReadMessage(r io.Reader) (MsgType, []byte, error) {
 	_, _ = crc.Write(head[:1])
 	_, _ = crc.Write(payload)
 	if crc.Sum32() != binary.LittleEndian.Uint32(trailer[:]) {
-		return 0, nil, errors.New("netsim: message checksum mismatch")
+		return 0, nil, ErrChecksum
 	}
 	return t, payload, nil
 }
+
+// ErrChecksum means a message arrived with a CRC mismatch — the link is
+// corrupting bytes. The stream cannot be resynced (framing is lost), so
+// callers must drop the connection; retrying over a fresh one can help.
+var ErrChecksum = errors.New("netsim: message checksum mismatch")
 
 // Hello is the handshake payload both ends exchange before any other
 // message. The responder validates compatibility (version, model,

@@ -1,0 +1,59 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// ErrWireTimeout means a framed read or write missed its deadline — the
+// peer is half-open (alive at the TCP level but not making protocol
+// progress). Callers should treat the connection as dead: a frame may
+// have been consumed partially, so the stream can no longer be resynced.
+var ErrWireTimeout = errors.New("netsim: wire timeout")
+
+// ReadMessageTimeout is ReadMessage with a per-frame deadline: it arms
+// conn's read deadline, parses one message, and disarms the deadline
+// before returning. A missed deadline surfaces as an error wrapping
+// ErrWireTimeout. d <= 0 reads without a deadline.
+//
+// This is the half-open-peer guard: a bare ReadMessage on a peer that
+// stops sending mid-frame blocks forever, wedging the goroutine that
+// owns the transfer.
+func ReadMessageTimeout(conn net.Conn, d time.Duration) (MsgType, []byte, error) {
+	if d <= 0 {
+		return ReadMessage(conn)
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(d)); err != nil {
+		return 0, nil, err
+	}
+	t, payload, err := ReadMessage(conn)
+	_ = conn.SetReadDeadline(time.Time{})
+	if err != nil && isTimeout(err) {
+		return 0, nil, fmt.Errorf("%w: read %v after %v: %v", ErrWireTimeout, t, d, err)
+	}
+	return t, payload, err
+}
+
+// WriteMessageTimeout is WriteMessage with a per-frame deadline; see
+// ReadMessageTimeout. d <= 0 writes without a deadline.
+func WriteMessageTimeout(conn net.Conn, d time.Duration, t MsgType, payload []byte) error {
+	if d <= 0 {
+		return WriteMessage(conn, t, payload)
+	}
+	if err := conn.SetWriteDeadline(time.Now().Add(d)); err != nil {
+		return err
+	}
+	err := WriteMessage(conn, t, payload)
+	_ = conn.SetWriteDeadline(time.Time{})
+	if err != nil && isTimeout(err) {
+		return fmt.Errorf("%w: write %v after %v: %v", ErrWireTimeout, t, d, err)
+	}
+	return err
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

@@ -1,0 +1,94 @@
+package netsim
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestReadMessageTimeoutHalfOpenPeer is the half-open regression: a peer
+// that sends part of a frame and then goes silent must not block the
+// reader forever.
+func TestReadMessageTimeoutHalfOpenPeer(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	go func() {
+		// Half a header, then silence: the reader is mid-frame.
+		b.Write([]byte{byte(MsgFrame), 0xff})
+	}()
+
+	start := time.Now()
+	_, _, err := ReadMessageTimeout(a, 50*time.Millisecond)
+	if err == nil {
+		t.Fatal("read of half-open peer succeeded")
+	}
+	if !errors.Is(err, ErrWireTimeout) {
+		t.Fatalf("error %v does not wrap ErrWireTimeout", err)
+	}
+	if since := time.Since(start); since < 40*time.Millisecond || since > 5*time.Second {
+		t.Fatalf("timed out after %v, want ~50ms", since)
+	}
+}
+
+func TestReadMessageTimeoutPassesCleanFrames(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	payload := []byte("prompt bytes")
+	go func() {
+		if err := WriteMessageTimeout(b, time.Second, MsgToken, payload); err != nil {
+			t.Error(err)
+		}
+	}()
+	mt, got, err := ReadMessageTimeout(a, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != MsgToken || string(got) != string(payload) {
+		t.Fatalf("got (%v, %q)", mt, got)
+	}
+
+	// After a successful framed read the deadline must be disarmed:
+	// an idle wait longer than the frame deadline still succeeds.
+	go func() {
+		time.Sleep(80 * time.Millisecond)
+		WriteMessage(b, MsgPing, nil)
+	}()
+	if mt, _, err = ReadMessage(a); err != nil || mt != MsgPing {
+		t.Fatalf("idle read after framed read: (%v, %v) — deadline left armed?", mt, err)
+	}
+}
+
+func TestWriteMessageTimeoutStalledPeer(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	// net.Pipe is unbuffered: a write with no reader stalls immediately.
+	err := WriteMessageTimeout(a, 50*time.Millisecond, MsgFrame, make([]byte, 1024))
+	if err == nil {
+		t.Fatal("write to stalled peer succeeded")
+	}
+	if !errors.Is(err, ErrWireTimeout) {
+		t.Fatalf("error %v does not wrap ErrWireTimeout", err)
+	}
+}
+
+func TestMessageTimeoutZeroMeansNoDeadline(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		WriteMessage(b, MsgPong, nil)
+	}()
+	mt, _, err := ReadMessageTimeout(a, 0)
+	if err != nil || mt != MsgPong {
+		t.Fatalf("got (%v, %v)", mt, err)
+	}
+}

@@ -2,8 +2,10 @@ package serve
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/hackkv/hack/internal/attention"
+	"github.com/hackkv/hack/internal/chaos"
 	"github.com/hackkv/hack/internal/kvcache"
 	"github.com/hackkv/hack/internal/model"
 	"github.com/hackkv/hack/internal/netsim"
@@ -46,6 +48,13 @@ type PrefixCacheStats struct {
 	// Errors counts tier failures the server absorbed by falling back
 	// to a cold prefill (the tier degrades, requests never fail on it).
 	Errors int64 `json:"errors"`
+	// ColdFallbacks counts requests that skipped the tier because its
+	// circuit breaker was open — degraded-but-serving requests that
+	// paid a cold prefill without even attempting the backend.
+	ColdFallbacks int64 `json:"cold_fallbacks"`
+	// Breaker is this runtime's view of the tier breaker (zero from a
+	// raw backend; the serving snapshot fills it in).
+	Breaker chaos.BreakerStatus `json:"breaker"`
 }
 
 // PrefixMatch is one lookup's result: the longest cached block-aligned
@@ -157,12 +166,16 @@ func (c *localPrefixCache) Stats() (PrefixCacheStats, error) {
 
 func (c *localPrefixCache) Close() error { return nil }
 
-// prefixTier is the server's view of an enabled prefix cache.
+// prefixTier is the server's view of an enabled prefix cache. Every
+// backend call routes through the breaker: when the tier is failing
+// (dead cache node, poisoned link), the breaker opens and requests
+// take the cold path without touching the backend at all.
 type prefixTier struct {
 	backend    PrefixCacheBackend
 	owned      bool // Close on Shutdown only if the server built it
 	pageTokens int
 	pi         int
+	breaker    *chaos.Breaker
 }
 
 // newPrefixTier validates the serving configuration's prefix-cache
@@ -190,7 +203,12 @@ func newPrefixTier(cfg Config) (*prefixTier, error) {
 	if pageTokens < 0 || pageTokens%pi != 0 {
 		return nil, &kvcache.PageAlignmentError{PageTokens: pageTokens, Pi: pi}
 	}
-	t := &prefixTier{pageTokens: pageTokens, pi: pi}
+	cooldown := cfg.PrefixBreakerCooldown
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	t := &prefixTier{pageTokens: pageTokens, pi: pi,
+		breaker: chaos.NewBreaker(cfg.PrefixBreakerThreshold, cooldown)}
 	if cfg.PrefixCache != nil {
 		t.backend = cfg.PrefixCache
 		return t, nil
@@ -225,12 +243,20 @@ func (s *Server) tryPrefixPrefill(a *active, backend attention.Backend) (int, bo
 	if max <= 0 {
 		return 0, false
 	}
+	if !t.breaker.Allow() {
+		// Tier breaker open: degrade to cold without touching the
+		// backend — no lookup, and (for a remote tier) no dial.
+		s.rec.prefixSkips.Add(1)
+		return 0, false
+	}
 	match, err := t.backend.Lookup(a.req.Seed, a.req.Prompt, max)
 	if err != nil {
 		s.rec.prefixErrors.Add(1)
+		t.breaker.Failure()
 		return 0, false
 	}
 	if match == nil || match.Tokens <= 0 {
+		t.breaker.Success() // a miss is still a healthy tier answering
 		return 0, false
 	}
 	defer match.Release()
@@ -241,8 +267,10 @@ func (s *Server) tryPrefixPrefill(a *active, backend attention.Backend) (int, bo
 	}
 	if err != nil {
 		s.rec.prefixErrors.Add(1)
+		t.breaker.Failure()
 		return 0, false
 	}
+	t.breaker.Success()
 	a.sess = sess
 	// Extend the cached prefix past the matched blocks (the index
 	// builds only the blocks it is missing).
@@ -333,6 +361,10 @@ func (s *Server) insertPrefix(a *active) {
 	if upTo <= 0 {
 		return
 	}
+	if !t.breaker.Allow() {
+		s.rec.prefixSkips.Add(1)
+		return
+	}
 	spec := s.cfg.Spec
 	_, err := t.backend.Insert(a.req.Seed, a.req.Prompt, upTo, func(lo, hi int) ([]*netsim.KVFrame, error) {
 		frames := make([]*netsim.KVFrame, 0, spec.Layers*spec.Heads)
@@ -359,5 +391,8 @@ func (s *Server) insertPrefix(a *active) {
 	})
 	if err != nil {
 		s.rec.prefixErrors.Add(1)
+		t.breaker.Failure()
+		return
 	}
+	t.breaker.Success()
 }

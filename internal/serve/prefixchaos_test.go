@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hackkv/hack/internal/chaos"
+	"github.com/hackkv/hack/internal/model"
+	"github.com/hackkv/hack/internal/netsim"
+)
+
+// TestRemotePrefixCacheDialerRedials is the regression for the poisoned
+// single-connection client: a cache-node restart must cost one failed
+// exchange, not every exchange forever.
+func TestRemotePrefixCacheDialerRedials(t *testing.T) {
+	spec := model.Toy()
+	hello := netsim.Hello{Method: "HACK", SpecName: "toy", Vocab: spec.Vocab}
+	shared, err := NewPrefixCache(1<<20, 8, 8, prefixBytesPerToken(spec, 8, 2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	node := ServePrefixCache(ln, shared, hello)
+
+	client := NewRemotePrefixCacheDialer(addr, hello, 2*time.Second, nil)
+	defer client.Close()
+	if _, err := client.Stats(); err != nil {
+		t.Fatalf("stats against live node: %v", err)
+	}
+
+	// Kill the node: the next exchange fails (and drops the conn)...
+	node.Close()
+	if _, err := client.Stats(); err == nil {
+		t.Fatal("stats against dead node succeeded")
+	}
+
+	// ...and once the node is back on the same address, the client
+	// redials by itself.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("relisten on %s: %v", addr, err)
+	}
+	node2 := ServePrefixCache(ln2, shared, hello)
+	defer node2.Close()
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatalf("stats after node restart: %v", err)
+	}
+	if st.BytesBudget <= 0 {
+		t.Fatalf("stats after restart look wrong: %+v", st)
+	}
+}
+
+// TestPrefixBreakerColdFallback kills the remote prefix tier outright
+// and requires graceful degradation: every request completes via cold
+// prefill, the tier breaker opens after the threshold, and — the
+// dial-storm bound — the dead node is dialed only until the breaker
+// trips, not once per request.
+func TestPrefixBreakerColdFallback(t *testing.T) {
+	// A dead address: bind a port, then free it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	inj := chaos.NewInjector(1) // zero fault plan: used only to count dials
+	hello := netsim.Hello{Method: "HACK", SpecName: "toy", Vocab: model.Toy().Vocab}
+	cfg := prefixServerConfig(0)
+	cfg.PrefixCache = NewRemotePrefixCacheDialer(deadAddr, hello, 500*time.Millisecond, inj.Dialer(nil))
+	cfg.PrefixBreakerThreshold = 2
+	cfg.PrefixBreakerCooldown = time.Hour // no re-probe inside the test
+	s := newTestServer(t, cfg)
+
+	vocab := s.Spec().Vocab
+	var streams [][]int
+	for i := 0; i < 5; i++ {
+		streams = append(streams, submitOne(t, s, promptFor(i, 21, vocab), int64(i)))
+	}
+	for i, out := range streams {
+		if len(out) == 0 {
+			t.Fatalf("request %d produced no tokens under a dead tier", i)
+		}
+	}
+
+	pc := s.Metrics().PrefixCache
+	if pc == nil {
+		t.Fatal("prefix tier enabled but snapshot carries no stats")
+	}
+	if pc.Breaker.State != "open" {
+		t.Fatalf("breaker %q after a dead tier, want open (%+v)", pc.Breaker.State, pc)
+	}
+	if pc.Errors < 2 {
+		t.Fatalf("tier errors %d, want >= threshold 2 (%+v)", pc.Errors, pc)
+	}
+	if pc.ColdFallbacks == 0 {
+		t.Fatalf("no cold fallbacks recorded after the trip (%+v)", pc)
+	}
+	// Each request makes up to two tier calls (lookup + insert); only
+	// the pre-trip calls may dial. Threshold 2 → exactly 2 dials, not
+	// one per request.
+	if dials := inj.Stats().Dials; dials != 2 {
+		t.Fatalf("dead tier dialed %d times, want 2 (breaker should stop the storm)", dials)
+	}
+
+	// The breaker surfaces in the Prometheus exposition.
+	var b strings.Builder
+	if err := s.Metrics().WritePrometheus(&b, "hackserved"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"hackserved_prefix_breaker_state 1",
+		"hackserved_prefix_breaker_trips_total 1",
+		"hackserved_prefix_cold_fallbacks_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -8,7 +8,9 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
+	"github.com/hackkv/hack/internal/chaos"
 	"github.com/hackkv/hack/internal/netsim"
 )
 
@@ -437,4 +439,127 @@ func (c *remotePrefixCache) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.conn.Close()
+}
+
+// redialPrefixCache wraps the single-connection client with lazy
+// dialing and redial-on-failure: an exchange error closes the (now
+// protocol-desynced) connection and the next exchange dials fresh,
+// so one cache-node restart or network blip does not poison the
+// backend forever the way a raw NewRemotePrefixCache conn does.
+type redialPrefixCache struct {
+	addr    string
+	self    netsim.Hello
+	timeout time.Duration
+	dialer  chaos.Dialer
+
+	mu     sync.Mutex
+	cur    *remotePrefixCache
+	closed bool
+}
+
+// NewRemotePrefixCacheDialer returns a PrefixCacheBackend client for
+// the cache node at addr that dials lazily and redials after failures.
+// timeout bounds each dial+handshake and each exchange (default 5s);
+// dialer replaces the network dialer (nil means the real network — the
+// hook chaos harnesses use to inject link faults). The returned backend
+// serializes exchanges and is safe for concurrent use.
+func NewRemotePrefixCacheDialer(addr string, self netsim.Hello, timeout time.Duration, dialer chaos.Dialer) PrefixCacheBackend {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return &redialPrefixCache{addr: addr, self: self, timeout: timeout, dialer: dialer}
+}
+
+// client returns the live connection, dialing if needed. Caller holds mu.
+func (c *redialPrefixCache) client() (*remotePrefixCache, error) {
+	if c.closed {
+		return nil, errors.New("serve: prefix cache client closed")
+	}
+	if c.cur != nil {
+		return c.cur, nil
+	}
+	dialer := c.dialer
+	if dialer == nil {
+		dialer = func(network, addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout(network, addr, timeout)
+		}
+	}
+	conn, err := dialer("tcp", c.addr, c.timeout)
+	if err != nil {
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Now().Add(c.timeout))
+	cl, err := NewRemotePrefixCache(conn, c.self)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	c.cur = cl.(*remotePrefixCache)
+	return c.cur, nil
+}
+
+// drop discards the connection after a failed exchange (its protocol
+// state is unknown; resyncing mid-stream is not possible). Caller
+// holds mu.
+func (c *redialPrefixCache) drop() {
+	if c.cur != nil {
+		_ = c.cur.conn.Close()
+		c.cur = nil
+	}
+}
+
+// exchange runs one op against the live connection under a deadline,
+// dropping the connection on failure so the next exchange redials.
+func (c *redialPrefixCache) exchange(op func(*remotePrefixCache) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cl, err := c.client()
+	if err != nil {
+		return err
+	}
+	_ = cl.conn.SetDeadline(time.Now().Add(c.timeout))
+	err = op(cl)
+	if err != nil {
+		c.drop()
+		return err
+	}
+	_ = cl.conn.SetDeadline(time.Time{})
+	return nil
+}
+
+func (c *redialPrefixCache) Lookup(seed int64, prompt []int, maxTokens int) (m *PrefixMatch, err error) {
+	err = c.exchange(func(cl *remotePrefixCache) error {
+		m, err = cl.Lookup(seed, prompt, maxTokens)
+		return err
+	})
+	return m, err
+}
+
+func (c *redialPrefixCache) Insert(seed int64, prompt []int, upTo int, build func(lo, hi int) ([]*netsim.KVFrame, error)) (n int, err error) {
+	err = c.exchange(func(cl *remotePrefixCache) error {
+		n, err = cl.Insert(seed, prompt, upTo, build)
+		return err
+	})
+	return n, err
+}
+
+func (c *redialPrefixCache) Stats() (st PrefixCacheStats, err error) {
+	err = c.exchange(func(cl *remotePrefixCache) error {
+		st, err = cl.Stats()
+		return err
+	})
+	return st, err
+}
+
+func (c *redialPrefixCache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.cur != nil {
+		err := c.cur.conn.Close()
+		c.cur = nil
+		return err
+	}
+	return nil
 }

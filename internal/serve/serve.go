@@ -96,10 +96,20 @@ type Config struct {
 	// 0 selects Π itself.
 	PrefixCachePageTokens int
 	// PrefixCache plugs in an external tier backend (e.g. a remote
-	// cache node via NewRemotePrefixCache) instead of the in-process
-	// index; it is not closed on Shutdown. Setting it enables the tier
-	// regardless of PrefixCacheBytes.
+	// cache node via NewRemotePrefixCacheDialer) instead of the
+	// in-process index; it is not closed on Shutdown. Setting it
+	// enables the tier regardless of PrefixCacheBytes.
 	PrefixCache PrefixCacheBackend
+	// The prefix tier sits behind a circuit breaker: after
+	// PrefixBreakerThreshold consecutive tier failures (default 3) the
+	// server stops calling the backend entirely — every request takes
+	// the cold path with no lookup, no insert, and, for a remote tier,
+	// no per-request dial storm — then re-probes with single requests
+	// after PrefixBreakerCooldown (default 1s). Requests never fail on
+	// the tier either way; the breaker only bounds the cost of a dead
+	// or flapping cache node.
+	PrefixBreakerThreshold int
+	PrefixBreakerCooldown  time.Duration
 }
 
 // Request is one generation job.
