@@ -112,6 +112,44 @@ func main() {
 		rep.Speedups[fmt.Sprintf("decode_pi%d", pi)] = scalar.NsPerOp / fast.NsPerOp
 	}
 
+	// Speculative-decoding batched verify: scoring a k-token draft window
+	// in one k-row Q·Kᵀ call versus the k single-row calls sequential
+	// decode would issue over the same cache. The batched call hits the
+	// column-outer verify tiling and the four-row register-blocked MADD
+	// kernel, so each loaded cache row is scored against every pending
+	// draft query. The speedup is per verify window, batch over k singles.
+	{
+		const specK = 8
+		pi := 128
+		rng := rand.New(rand.NewSource(6))
+		qs := quantize(rng, specK, 128, 8, pi, quant.AlongCols)
+		kT := quantize(rng, decodeL, 128, 2, pi, quant.AlongCols)
+		rows := make([]*quant.Tensor, specK)
+		for i := range rows {
+			var err error
+			rows[i], err = qs.SliceRows(i, i+1)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		dst := &tensor.Matrix{}
+		batch := add(measure(fmt.Sprintf("SpecVerify/batch_%dx128x%d/pi%d", specK, decodeL, pi), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				hack.MatMulTransBInto(dst, qs, kT, opt)
+			}
+		}))
+		single := add(measure(fmt.Sprintf("SpecVerify/%dx_single_1x128x%d/pi%d", specK, decodeL, pi), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, q := range rows {
+					hack.MatMulTransBInto(dst, q, kT, opt)
+				}
+			}
+		}))
+		rep.Speedups["spec_decode"] = single.NsPerOp / batch.NsPerOp
+	}
+
 	for _, pi := range []int{32, 128} {
 		rng := rand.New(rand.NewSource(2))
 		p := quantize(rng, prefillM, prefillZ, 8, pi, quant.AlongCols)
@@ -185,9 +223,10 @@ func main() {
 	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nspeedups vs scalar: decode pi128 %.2fx, pi32 %.2fx; prefill pi128 %.2fx, pi32 %.2fx\n",
+	fmt.Printf("\nspeedups vs scalar: decode pi128 %.2fx, pi32 %.2fx; prefill pi128 %.2fx, pi32 %.2fx; spec verify %.2fx\n",
 		rep.Speedups["decode_pi128"], rep.Speedups["decode_pi32"],
-		rep.Speedups["prefill_pi128"], rep.Speedups["prefill_pi32"])
+		rep.Speedups["prefill_pi128"], rep.Speedups["prefill_pi32"],
+		rep.Speedups["spec_decode"])
 	fmt.Printf("wrote %s\n", *out)
 }
 

@@ -449,6 +449,36 @@ func (b *HACKBackend) Name() string {
 	return name
 }
 
+// splitmixSource is the quantizer RNG: a counter-mode generator whose
+// draw i is a pure function of (seed, i) — a splitmix64 finalizer over
+// the draw index. Counter mode is what makes the stream seekable: any
+// absolute draw position can be reached in O(1) by setting the index,
+// which speculative rollback (rewinding a rejected draft suffix out of
+// the stream) and the disaggregated handoff (fast-forwarding a fresh
+// source to the prefill instance's count) both depend on. A sequential
+// generator would force an O(position) replay for either.
+type splitmixSource struct {
+	seed uint64
+	i    uint64 // next draw index
+}
+
+func (s *splitmixSource) Uint64() uint64 {
+	z := s.seed + 0x9e3779b97f4a7c15*(s.i+1)
+	s.i++
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmixSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *splitmixSource) Seed(sd int64) { s.seed = uint64(sd); s.i = 0 }
+
+// seeker is a source that can jump to an absolute draw position.
+type seeker interface{ seek(pos uint64) }
+
+func (s *splitmixSource) seek(pos uint64) { s.i = pos }
+
 // countingSource wraps the quantizer RNG source and counts state
 // advances. Every Rand method consumes exactly one source call per
 // draw, so the count is the head's position in the seed's stream: a
@@ -471,12 +501,26 @@ func (c *countingSource) Uint64() uint64 {
 
 func (c *countingSource) Seed(s int64) { c.src.Seed(s) }
 
+// seek lands the stream at an absolute draw position, forward or
+// backward, and reports whether the underlying source supported it.
+// Safe to call directly on the source: rand.Rand buffers no state for
+// the integer/float methods the quantizers use.
+func (c *countingSource) seek(pos uint64) bool {
+	s, ok := c.src.(seeker)
+	if ok {
+		s.seek(pos)
+		c.n = pos
+	}
+	return ok
+}
+
 // newCountingRand builds the per-head quantizer RNG: the deterministic
-// seeded source behind a draw counter. The wrapper is pass-through, so
-// sequences are bit-identical to an unwrapped source.
+// seekable source behind a draw counter.
 func newCountingRand(seed int64) (*rand.Rand, *countingSource) {
-	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
-	return rand.New(src), src
+	src := &splitmixSource{}
+	src.Seed(seed)
+	cnt := &countingSource{src: src}
+	return rand.New(cnt), cnt
 }
 
 // NewHead implements Backend.
@@ -515,8 +559,10 @@ func (b *HACKBackend) RestoreHead(headDim int, k, v *quant.Tensor, tail *tensor.
 		return nil, fmt.Errorf("attention: restore with eviction enabled would lose the score state")
 	}
 	rng, cnt := newCountingRand(b.cfg.Seed)
-	for i := uint64(0); i < rngDraws; i++ {
-		cnt.Int63()
+	if !cnt.seek(rngDraws) {
+		for i := uint64(0); i < rngDraws; i++ {
+			cnt.Int63()
+		}
 	}
 	c, err := kvcache.Restore(kvcache.Config{
 		HeadDim: headDim, Pi: b.cfg.Pi, KVBits: b.cfg.KVBits,
@@ -593,7 +639,7 @@ func (h *hackHead) attend(q *tensor.Matrix, maskOffset int, st *Stats) (*tensor.
 		// The cold path quantized Q for every prompt row; a resumed
 		// prefill only quantizes the suffix. Skip the cached rows' draws
 		// so the suffix rows encode at the cold path's stream positions.
-		skipDraws(h.pf.q, h.resumeRows*dh)
+		h.pf.skip(streamOpQ, h.resumeRows*dh)
 	}
 	qq, err := quant.QuantizeInto(h.qq, q, quant.AlongCols, h.qCfgQ())
 	if err != nil {
@@ -625,7 +671,7 @@ func (h *hackHead) attend(q *tensor.Matrix, maskOffset int, st *Stats) (*tensor.
 		if h.resumeRows > 0 && h.pf != nil {
 			// Same skip for P: the cold path quantized one nFull-wide P
 			// row per cached prompt row before reaching the suffix rows.
-			skipDraws(h.pf.p, h.resumeRows*nFull)
+			h.pf.skip(streamOpP, h.resumeRows*nFull)
 		}
 		pFull := s.SliceColsInto(h.pFull, 0, nFull)
 		pq, err := quant.QuantizeInto(h.pq, pFull, quant.AlongCols, h.qCfgP())

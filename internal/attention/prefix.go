@@ -70,9 +70,14 @@ type PrefixPageExporter interface {
 }
 
 // prefixStreams holds the four per-operand quantizer streams of a
-// prefix-shareable head.
+// prefix-shareable head. Each stream sits behind a countingSource so the
+// head always knows its absolute draw position — the state speculative
+// decoding's rollback (hackHead.Truncate) rewinds to when a rejected
+// draft suffix must disappear from the stream history.
 type prefixStreams struct {
-	k, v, q, p *rand.Rand
+	k, v, q, p             *rand.Rand
+	kCnt, vCnt, qCnt, pCnt *countingSource
+	seed                   int64
 }
 
 // Operand tags for stream-seed derivation. Fixed constants: changing
@@ -96,16 +101,64 @@ func deriveStreamSeed(seed int64, op uint64) int64 {
 }
 
 func newPrefixStreams(seed int64) *prefixStreams {
-	mk := func(op uint64) *rand.Rand {
-		return rand.New(rand.NewSource(deriveStreamSeed(seed, op)))
-	}
-	return &prefixStreams{k: mk(streamOpK), v: mk(streamOpV), q: mk(streamOpQ), p: mk(streamOpP)}
+	ps := &prefixStreams{seed: seed}
+	ps.k, ps.kCnt = newCountingRand(deriveStreamSeed(seed, streamOpK))
+	ps.v, ps.vCnt = newCountingRand(deriveStreamSeed(seed, streamOpV))
+	ps.q, ps.qCnt = newCountingRand(deriveStreamSeed(seed, streamOpQ))
+	ps.p, ps.pCnt = newCountingRand(deriveStreamSeed(seed, streamOpP))
+	return ps
 }
 
-// skipDraws advances r by exactly n source draws. Counted rounding
+// rewind re-lands one operand stream at an absolute draw position —
+// O(1) on the counter-mode source; the replay fallback reseeds and
+// fast-forwards. Speculation pays it when a draft suffix is rejected,
+// and only for the streams whose positions moved (K, Q, P; the V
+// stream draws nothing inside a clamped verify window). The state
+// changes in place, never by replacing the *rand.Rand: the KV cache
+// captured the K and V stream pointers at construction, so swapping in
+// a fresh object would silently detach it from the stream.
+func (ps *prefixStreams) rewind(op uint64, pos uint64) {
+	var r *rand.Rand
+	var c *countingSource
+	switch op {
+	case streamOpK:
+		r, c = ps.k, ps.kCnt
+	case streamOpV:
+		r, c = ps.v, ps.vCnt
+	case streamOpQ:
+		r, c = ps.q, ps.qCnt
+	case streamOpP:
+		r, c = ps.p, ps.pCnt
+	}
+	if c.seek(pos) {
+		return
+	}
+	r.Seed(deriveStreamSeed(ps.seed, op))
+	c.n = 0
+	for i := uint64(0); i < pos; i++ {
+		r.Int63()
+	}
+}
+
+// skip advances one operand stream by exactly n draws. Counted rounding
 // consumes one Int63 per encoded element, so n element encodes ≡ n
-// draws.
-func skipDraws(r *rand.Rand, n int) {
+// draws. Like rewind, O(1) on the counter-mode source.
+func (ps *prefixStreams) skip(op uint64, n int) {
+	var r *rand.Rand
+	var c *countingSource
+	switch op {
+	case streamOpK:
+		r, c = ps.k, ps.kCnt
+	case streamOpV:
+		r, c = ps.v, ps.vCnt
+	case streamOpQ:
+		r, c = ps.q, ps.qCnt
+	case streamOpP:
+		r, c = ps.p, ps.pCnt
+	}
+	if c.seek(c.n + uint64(n)) {
+		return
+	}
 	for i := 0; i < n; i++ {
 		r.Int63()
 	}
@@ -130,8 +183,8 @@ func (b *HACKBackend) newPrefixHead(headDim int, k, v *quant.Tensor) (Head, erro
 		if err == nil {
 			// The cold path drew d_h uniforms per token per operand for
 			// the restored span; land the streams just past it.
-			skipDraws(pf.k, k.Rows*headDim)
-			skipDraws(pf.v, v.Rows*headDim)
+			pf.skip(streamOpK, k.Rows*headDim)
+			pf.skip(streamOpV, v.Rows*headDim)
 		}
 	}
 	if err != nil {

@@ -1,0 +1,135 @@
+package attention
+
+import (
+	"fmt"
+
+	"github.com/hackkv/hack/internal/quant"
+	"github.com/hackkv/hack/internal/tensor"
+)
+
+// This file implements the head-level primitives of speculative
+// decoding: verifying a window of draft tokens in one batched attention
+// call (DecodeBatch), and rolling a rejected suffix back out of the
+// cache and the quantizer streams (Truncate).
+//
+// The invariant everything below serves: a batched verify over k rows
+// is token-for-token bit-identical to k sequential Decode calls. That
+// holds because, inside a window clamped by VerifyWindow,
+//
+//   - no V-partition flush occurs, so every row sees the same quantized
+//     VFull span (nFull) a sequential step would have seen, and the V
+//     stream draws nothing;
+//   - row i of the k×cache score matrix is the same dot products in the
+//     same order as sequential step i, and the causal mask zeroes row
+//     i's not-yet-appended columns through softmax (exp(-Inf) = 0), so
+//     trailing masked terms cannot perturb any unmasked value;
+//   - counted rounding consumes Q draws row-major (d_h per row) and P
+//     draws row-major (nFull per row) — exactly the positions the
+//     sequential steps would consume, because nFull is constant across
+//     the window.
+//
+// Rolling back is then pure arithmetic: dropping the window's last
+// `drop` rows removes drop·d_h draws from the K and Q streams and
+// drop·nFull from the P stream, and the dropped V rows were still FP16
+// tail rows (no flush happened), so the quantized cache is untouched.
+
+// BatchVerifier is implemented by heads that can verify a window of
+// draft tokens in one batched attention call and roll a rejected suffix
+// back. The prefix-shareable HACK head is the only implementation: the
+// rollback arithmetic requires the position-pure per-operand streams of
+// the shared-prefix discipline.
+type BatchVerifier interface {
+	// CanBatchVerify reports whether this head actually runs the
+	// prefix-shareable discipline (the same concrete type also serves
+	// classic single-stream heads, which cannot batch-verify).
+	CanBatchVerify() bool
+	// VerifyWindow returns the largest window b <= k whose b appended
+	// rows stay inside the open V partition (no flush, the bit-identity
+	// precondition above), possibly 0 when the partition has no spare
+	// slot — callers fall back to a plain Decode for that step.
+	VerifyWindow(k int) int
+	// DecodeBatch appends the b rows of k/v to the cache and attends
+	// the b query rows in one causally-masked call. Row i's output is
+	// bit-identical to the i-th of b sequential Decode calls. b > 1
+	// must respect VerifyWindow.
+	DecodeBatch(q, k, v *tensor.Matrix) (*tensor.Matrix, Stats, error)
+	// Truncate rolls the cache back to n tokens, dropping the most
+	// recently appended rows. The dropped rows must still be FP16 tail
+	// rows and must be the head's most recently attended rows — both
+	// guaranteed when they were appended through a clamped verify
+	// window.
+	Truncate(n int) error
+}
+
+// CanBatchVerify implements BatchVerifier.
+func (h *hackHead) CanBatchVerify() bool { return h.pf != nil }
+
+// VerifyWindow implements BatchVerifier.
+func (h *hackHead) VerifyWindow(k int) int {
+	if h.pf == nil || k < 0 {
+		return 0
+	}
+	if room := h.cfg.Pi - 1 - h.c.TailLen(); k > room {
+		k = room
+	}
+	return k
+}
+
+// DecodeBatch implements BatchVerifier.
+func (h *hackHead) DecodeBatch(q, k, v *tensor.Matrix) (*tensor.Matrix, Stats, error) {
+	var st Stats
+	if h.pf == nil {
+		return nil, st, fmt.Errorf("attention: batched verify requires a prefix-shareable head")
+	}
+	b := q.Rows
+	if b < 1 || k.Rows != b || v.Rows != b {
+		return nil, st, fmt.Errorf("attention: verify window with q=%d k=%d v=%d rows", q.Rows, k.Rows, v.Rows)
+	}
+	if b > 1 && h.c.TailLen()+b > h.cfg.Pi-1 {
+		return nil, st, fmt.Errorf("attention: verify window %d overflows the open partition (%d/%d tail rows); clamp with VerifyWindow",
+			b, h.c.TailLen(), h.cfg.Pi)
+	}
+	lenBefore := h.c.Len()
+	before := h.c.RequantOps
+	for i := 0; i < b; i++ {
+		if err := h.c.AppendToken(k.Row(i), v.Row(i)); err != nil {
+			return nil, st, err
+		}
+	}
+	st.QuantOps += 2 * 2 * int64(b) * int64(k.Cols)
+	// maskOffset = lenBefore: window row i is global row lenBefore+i,
+	// allowed to attend positions 0..lenBefore+i. For b == 1 the mask
+	// allows every column, so the call degenerates to a plain Decode.
+	out, err := h.attend(q, lenBefore, &st)
+	st.RequantOps += h.c.RequantOps - before
+	st.KVBytesRead = int64(h.c.Usage().Total())
+	return out, st, err
+}
+
+// Truncate implements BatchVerifier.
+func (h *hackHead) Truncate(n int) error {
+	if h.pf == nil {
+		return fmt.Errorf("attention: truncate on a non-prefix-shareable head")
+	}
+	drop := h.c.Len() - n
+	if drop < 0 {
+		return fmt.Errorf("attention: truncate to %d tokens with only %d cached", n, h.c.Len())
+	}
+	if drop == 0 {
+		return nil
+	}
+	if err := h.c.TruncateTail(drop); err != nil {
+		return err
+	}
+	if h.cfg.rounding() != quant.CountedStochasticRounding {
+		// Nearest rounding draws nothing; there is no stream state to
+		// rewind.
+		return nil
+	}
+	dh := h.c.Config().HeadDim
+	nFull := h.c.VFull.Rows
+	h.pf.rewind(streamOpK, h.pf.kCnt.n-uint64(drop*dh))
+	h.pf.rewind(streamOpQ, h.pf.qCnt.n-uint64(drop*dh))
+	h.pf.rewind(streamOpP, h.pf.pCnt.n-uint64(drop)*uint64(nFull))
+	return nil
+}

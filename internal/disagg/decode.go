@@ -253,7 +253,8 @@ func doneKind(err error) string {
 		return "queue_full"
 	case errors.Is(err, serve.ErrDraining), errors.Is(err, serve.ErrDrained):
 		return "draining"
-	case errors.Is(err, netsim.ErrChecksum), errors.Is(err, netsim.ErrWireTimeout),
+	case errors.Is(err, netsim.ErrChecksum), errors.Is(err, netsim.ErrFrameCorrupt),
+		errors.Is(err, netsim.ErrWireTimeout),
 		errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
 		// The KV transfer itself broke — corrupt frames, a missed frame
 		// deadline, a severed link. The request is fine, the link is not;

@@ -325,8 +325,11 @@ func isRetryable(err error) bool {
 		return true
 	}
 	// Wire-level garbage and missed frame deadlines: the link (or peer)
-	// is broken, not the request — another node can still serve it.
-	if errors.Is(err, netsim.ErrChecksum) || errors.Is(err, netsim.ErrWireTimeout) {
+	// is broken, not the request — another node can still serve it. Frame
+	// heads sit outside the frame CRC, so a bit-flip there surfaces as
+	// ErrFrameCorrupt instead of ErrChecksum; both are the same link fault.
+	if errors.Is(err, netsim.ErrChecksum) || errors.Is(err, netsim.ErrFrameCorrupt) ||
+		errors.Is(err, netsim.ErrWireTimeout) {
 		return true
 	}
 	var ne net.Error

@@ -32,6 +32,22 @@ func dotU8MADD(u, s *uint8, n int) int32
 //go:noescape
 func dotU8MADDBlocks(u, s *uint8, blocks, bl int, out *int32)
 
+// dotU8MADDBlocks4 is the four-row register-blocked variant: the
+// per-partition dots of four unsigned rows u0..u3 against one shared
+// signed row s in a single call. Block b's four dots land interleaved
+// at out[4b..4b+3] in row order. bl must be a positive multiple of 32.
+//
+//go:noescape
+func dotU8MADDBlocks4(u0, u1, u2, u3, s *uint8, blocks, bl int, out *int32)
+
+// dotU8MADDBlocks8 is the eight-row register-blocked variant over rows
+// laid out contiguously at stride ustride from u (the quantized
+// tensor's natural row layout). Block b's eight dots land interleaved
+// at out[8b..8b+7] in row order. bl must be a positive multiple of 32.
+//
+//go:noescape
+func dotU8MADDBlocks8(u *uint8, ustride int, s *uint8, blocks, bl int, out *int32)
+
 // hasAVX2 reports whether the CPU and OS support the AVX2 fast path.
 var hasAVX2 = detectAVX2()
 

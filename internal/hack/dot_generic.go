@@ -13,3 +13,13 @@ func dotMADD(u, s []uint8) int32 { return dotU8(u, s) }
 func dotU8MADDBlocks(u, s *uint8, blocks, bl int, out *int32) {
 	panic("hack: dotU8MADDBlocks without AVX2")
 }
+
+// dotU8MADDBlocks4 is likewise unreachable off amd64.
+func dotU8MADDBlocks4(u0, u1, u2, u3, s *uint8, blocks, bl int, out *int32) {
+	panic("hack: dotU8MADDBlocks4 without AVX2")
+}
+
+// dotU8MADDBlocks8 is likewise unreachable off amd64.
+func dotU8MADDBlocks8(u *uint8, ustride int, s *uint8, blocks, bl int, out *int32) {
+	panic("hack: dotU8MADDBlocks8 without AVX2")
+}

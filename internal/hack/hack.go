@@ -198,10 +198,24 @@ func packMeta(ks *kernelScratch, min, scale []float32, sums []int32, n, nb int) 
 // kernel handles (its accumulator array lives on the tile's stack).
 const maxBlockedNB = 64
 
+// verifyRowsMax bounds the row count treated as a batch-verify shape
+// (column-outer loop order in blockedTile): beyond it the query rows no
+// longer fit comfortably in L1 and the row-outer prefill order wins.
+const verifyRowsMax = 32
+
 // packMinRows is the output-row count below which MatMul skips the
 // transposed pack of B: packing costs one O(Z·N) pass, so it must be
 // amortized over at least a few rows to win over the row-major sweep.
 const packMinRows = 8
+
+// packAmortRows scales that threshold with the inner dimension: the
+// pack is a cache-hostile column-scatter over the whole Z×N panel, so
+// for long inner dimensions (a verify window's P·V over a deep cache)
+// it dwarfs the SIMD saving unless enough output rows share it.
+// Empirically the pack pays for itself at roughly one output row per
+// 128 columns of Z: an 8-row window over Z=2048 runs faster swept,
+// while a 32-row prefill over Z=256 is ~7× faster packed.
+const packAmortRows = 128
 
 // sweepRows computes an M-row (M < packMinRows) product against B in its
 // original row-major layout: for each partition, the inner rows of B
@@ -294,7 +308,7 @@ func MatMulInto(dst *tensor.Matrix, a, b *quant.Tensor, opt Options) Ops {
 		ops.SumRecomputeOps += int64(z) * int64(n)
 	}
 
-	if m < packMinRows {
+	if m < packMinRows || m*packAmortRows < z {
 		sweepRows(dst, a, ks, b.Codes, b.Min, b.Scale, bSums, m, z, n)
 	} else {
 		// Pack B transposed: column j's codes become the contiguous run
@@ -410,6 +424,32 @@ func blockedTile(dst *tensor.Matrix, a *quant.Tensor, bCodes []uint8,
 	pi := a.Pi
 	blockLen := float32(pi)
 	var accs [maxBlockedNB]int32
+	if rhi-rlo > 1 && rhi-rlo <= verifyRowsMax {
+		// Batch-verify shape: a handful of query rows against a long
+		// cache. The rows are processed in register-blocked groups of
+		// eight, then four, then singles; each group sweeps the columns
+		// in buffered tiles (verifyTile) so every loaded cache row is
+		// scored against the whole resident group and the float
+		// corrections run with the column index innermost. Each output
+		// element accumulates its per-block terms in the same order and
+		// expression as the row-outer path, so both are bit-identical to
+		// the scalar reference.
+		i := rlo
+		for i < rhi {
+			gw := 1
+			if mode == maddBSigned {
+				switch {
+				case rhi-i >= 8:
+					gw = 8
+				case rhi-i >= 4:
+					gw = 4
+				}
+			}
+			verifyTile(dst, a, bCodes, bMin, bScale, bSums, mode, i, gw, clo, chi)
+			i += gw
+		}
+		return
+	}
 	for i := rlo; i < rhi; i++ {
 		aRow := a.Codes[i*z : (i+1)*z]
 		aMin := a.Min[i*nb : (i+1)*nb]
@@ -440,6 +480,88 @@ func blockedTile(dst *tensor.Matrix, a *quant.Tensor, bCodes []uint8,
 					blockLen*ma*mb
 			}
 			oRow[j] = v
+		}
+	}
+}
+
+// verifyTileBuf is the per-call dot buffer of verifyTile in int32s:
+// large enough to keep a useful run of columns per tile (≥ 8 columns at
+// the widest nb·group product of 64·8) while staying a 16 KiB stack
+// frame.
+const verifyTileBuf = 4096
+
+// verifyTile computes one register-blocked row group [i0, i0+gw) of a
+// batch-verify product across columns [clo, chi). Columns are processed
+// in buffered tiles: first the integer dots of the whole tile land in
+// buf — one dotU8MADDBlocks8/4 call per column scores every row of the
+// group against that cache row while its codes sit in registers — then
+// the Eq. (4) corrections sweep the tile row-major, column innermost,
+// so the float pass streams oRow and the per-column metadata
+// contiguously instead of re-deriving them per element. The per-element
+// correction keeps the scalar kernel's exact expression and ascending
+// block order, so the result stays bit-identical to the reference.
+func verifyTile(dst *tensor.Matrix, a *quant.Tensor, bCodes []uint8,
+	bMin, bScale []float32, bSums []int32, mode maddMode, i0, gw, clo, chi int) {
+	z := a.Cols
+	nb := a.NBlocks
+	pi := a.Pi
+	blockLen := float32(pi)
+	var buf [verifyTileBuf]int32
+	stride := nb * gw // one column's dots in buf
+	tj := verifyTileBuf / stride
+	var oRows [8][]float32
+	var aMinR, aScaleR [8][]float32
+	var aSumsR [8][]int32
+	for r := 0; r < gw; r++ {
+		ir := i0 + r
+		oRows[r] = dst.Row(ir)
+		aMinR[r] = a.Min[ir*nb : (ir+1)*nb]
+		aScaleR[r] = a.Scale[ir*nb : (ir+1)*nb]
+		aSumsR[r] = a.Sums[ir*nb : (ir+1)*nb]
+	}
+	for j0 := clo; j0 < chi; j0 += tj {
+		j1 := j0 + tj
+		if j1 > chi {
+			j1 = chi
+		}
+		for jj, j := 0, j0; j < j1; jj, j = jj+1, j+1 {
+			bRow := bCodes[j*z : (j+1)*z]
+			out := &buf[jj*stride]
+			switch gw {
+			case 8:
+				dotU8MADDBlocks8(&a.Codes[i0*z], z, &bRow[0], nb, pi, out)
+			case 4:
+				dotU8MADDBlocks4(&a.Codes[i0*z], &a.Codes[(i0+1)*z],
+					&a.Codes[(i0+2)*z], &a.Codes[(i0+3)*z], &bRow[0], nb, pi, out)
+			default:
+				aRow := a.Codes[i0*z : (i0+1)*z]
+				if mode == maddBSigned {
+					dotU8MADDBlocks(&aRow[0], &bRow[0], nb, pi, out)
+				} else {
+					dotU8MADDBlocks(&bRow[0], &aRow[0], nb, pi, out)
+				}
+			}
+		}
+		// Corrections, column-outer with the rows innermost: the dots of
+		// one (column, block) pair sit contiguously in buf, the column's
+		// metadata loads once for the whole group, and each element still
+		// receives its per-block terms in ascending block order with the
+		// scalar expression, so bit-identity with the reference holds.
+		for jj, j := 0, j0; j < j1; jj, j = jj+1, j+1 {
+			base := jj * stride
+			for g := 0; g < nb; g++ {
+				mb, sb := bMin[j*nb+g], bScale[j*nb+g]
+				bSum := float32(bSums[j*nb+g])
+				dots := buf[base+g*gw : base+(g+1)*gw]
+				for r := 0; r < gw; r++ {
+					ma, sa := aMinR[r][g], aScaleR[r][g]
+					aSum := float32(aSumsR[r][g])
+					oRows[r][j] += sa*sb*float32(dots[r]) +
+						mb*sa*aSum +
+						ma*sb*bSum +
+						blockLen*ma*mb
+				}
+			}
 		}
 	}
 }

@@ -52,6 +52,11 @@ type prefixNode struct {
 	seq      int
 	refs     int
 	lastUse  int64
+	// building marks a reservation: the node holds its allocator sequence
+	// but its payload is still being rendered outside the lock. Lookups
+	// skip building nodes, concurrent inserts stop at them, and eviction
+	// never considers them.
+	building bool
 }
 
 // NewPrefixIndex builds an index whose resident pages are bounded by
@@ -143,7 +148,7 @@ func (ix *PrefixIndex) Lookup(ns int64, prompt []int, maxTokens int) *PrefixMatc
 	var nodes []*prefixNode
 	for b := 0; cur != nil && b < nBlocks; b++ {
 		child := cur.children[blockKey(prompt[b*ix.pageTokens:(b+1)*ix.pageTokens])]
-		if child == nil {
+		if child == nil || child.building {
 			break
 		}
 		nodes = append(nodes, child)
@@ -170,11 +175,17 @@ func (ix *PrefixIndex) Lookup(ns int64, prompt []int, maxTokens int) *PrefixMatc
 // its payload (lo/hi are token indexes into prompt). Missing blocks that
 // don't fit the budget even after evicting every unpinned leaf are
 // skipped (counted as rejected insertions, not errors); a build error
-// aborts the insert and frees the block's reservation. Returns the
-// number of blocks added.
+// aborts the insert and frees the reservations from the failed block
+// down. Returns the number of blocks added.
+//
+// The build callbacks run *outside* the index lock: Insert first
+// reserves every missing block under the lock (allocator sequence held,
+// node marked building), then renders payloads unlocked, then relocks to
+// attach them. Slow builds — the remote cache tier's need/answer wire
+// round-trips — therefore never stall concurrent Lookups or Inserts.
+// Lookups skip building nodes, and a concurrent Insert of the same
+// prefix stops at one rather than double-building it.
 func (ix *PrefixIndex) Insert(ns int64, prompt []int, upTo int, build func(lo, hi int) (any, error)) (int, error) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	if upTo > len(prompt) {
 		upTo = len(prompt)
 	}
@@ -185,52 +196,59 @@ func (ix *PrefixIndex) Insert(ns int64, prompt []int, upTo int, build func(lo, h
 	if nBlocks == 0 {
 		return 0, nil
 	}
+
+	// Phase 1 — reserve under the lock. Pin the descent path: evictions
+	// triggered while making room for a deeper block must not free the
+	// ancestors we are hanging it off (pins also protect our own pending
+	// reservations, which concurrent eviction must never touch).
+	type reservation struct {
+		nd     *prefixNode
+		lo, hi int
+	}
+	ix.mu.Lock()
 	root := ix.roots[ns]
 	if root == nil {
 		root = &prefixNode{children: map[string]*prefixNode{}, seq: -1}
 		ix.roots[ns] = root
 	}
-	// Pin the descent path: evictions triggered while making room for a
-	// deeper block must not free the ancestors we are hanging it off.
 	var pinned []*prefixNode
-	defer func() {
-		for _, nd := range pinned {
-			nd.refs--
-		}
-	}()
-	added := 0
+	var resv []reservation
 	cur := root
 	for b := 0; b < nBlocks; b++ {
 		lo, hi := b*ix.pageTokens, (b+1)*ix.pageTokens
 		key := blockKey(prompt[lo:hi])
 		child := cur.children[key]
+		if child != nil && child.building {
+			// A concurrent insert is rendering this block. Stop here: we
+			// must not double-build it or hang children off an unbuilt node.
+			break
+		}
 		if child == nil {
+			room := true
 			for !ix.alloc.CanAdmit(ix.pageTokens) {
 				if !ix.evictOne() {
-					ix.rejected++
-					return added, nil
+					room = false
+					break
 				}
+			}
+			if !room {
+				ix.rejected++
+				break
 			}
 			seq, err := ix.alloc.Allocate(ix.pageTokens)
 			if err != nil {
 				ix.rejected++
-				return added, nil
-			}
-			payload, err := build(lo, hi)
-			if err != nil {
-				_ = ix.alloc.Free(seq)
-				return added, err
+				break
 			}
 			child = &prefixNode{
 				parent:   cur,
 				key:      key,
 				children: map[string]*prefixNode{},
-				payload:  payload,
 				seq:      seq,
+				building: true,
 			}
 			cur.children[key] = child
-			ix.inserts++
-			added++
+			resv = append(resv, reservation{child, lo, hi})
 		}
 		child.refs++
 		ix.clock++
@@ -238,7 +256,47 @@ func (ix *PrefixIndex) Insert(ns int64, prompt []int, upTo int, build func(lo, h
 		pinned = append(pinned, child)
 		cur = child
 	}
-	return added, nil
+	ix.mu.Unlock()
+
+	// Phase 2 — render payloads with no lock held. For the remote cache
+	// tier this is where the need/answer wire round-trips happen; lookups
+	// and other inserts proceed concurrently.
+	built := make([]any, 0, len(resv))
+	var buildErr error
+	for _, rv := range resv {
+		payload, err := build(rv.lo, rv.hi)
+		if err != nil {
+			buildErr = err
+			break
+		}
+		built = append(built, payload)
+	}
+
+	// Phase 3 — relock to attach. Reservations past a build failure are
+	// unlinked and their sequences freed; the shallowest failure detaches
+	// the whole reserved suffix (reservations form one chain), keeping
+	// cached prefixes contiguous from the root. Nothing else can hold a
+	// reference to a pending node — lookups and inserts never pinned it —
+	// so unlinking here cannot strand a reader.
+	ix.mu.Lock()
+	added := 0
+	for i, rv := range resv {
+		if i < len(built) {
+			rv.nd.payload = built[i]
+			rv.nd.building = false
+			ix.inserts++
+			added++
+			continue
+		}
+		_ = ix.alloc.Free(rv.nd.seq)
+		delete(rv.nd.parent.children, rv.nd.key)
+		rv.nd.parent = nil
+	}
+	for _, nd := range pinned {
+		nd.refs--
+	}
+	ix.mu.Unlock()
+	return added, buildErr
 }
 
 // evictOne frees the least-recently-used evictable node: a payload node
@@ -254,7 +312,7 @@ func (ix *PrefixIndex) evictOne() bool {
 		for _, c := range nd.children {
 			visit(c)
 		}
-		if nd.seq >= 0 && nd.refs == 0 && len(nd.children) == 0 {
+		if nd.seq >= 0 && nd.refs == 0 && len(nd.children) == 0 && !nd.building {
 			if victim == nil || nd.lastUse < victim.lastUse {
 				victim = nd
 			}

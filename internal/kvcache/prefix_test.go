@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestAllocateRejectsNonPositive is the regression test for the
@@ -306,6 +307,87 @@ func TestPrefixIndexConcurrent(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrefixIndexLookupDuringSlowInsert is the lock-scope regression
+// test for the three-phase Insert: the build callback (where the remote
+// tier's wire round-trips happen) runs with no index lock held, so a
+// stalled insert must not block concurrent lookups of already-cached
+// prefixes — nor a concurrent insert of an unrelated prompt. Before the
+// split, Insert held the lock across the wire I/O and this test
+// deadlocks on the timeout.
+func TestPrefixIndexLookupDuringSlowInsert(t *testing.T) {
+	ix, err := NewPrefixIndex(1<<20, 4, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := prompt(1, 8)
+	if _, err := ix.Insert(0, warm, 8, func(lo, hi int) (any, error) {
+		return [2]int{lo, hi}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A slow insert of a different prompt: the build callback blocks
+	// until released, simulating a remote tier's need/answer stall.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	slowDone := make(chan error, 1)
+	go func() {
+		_, err := ix.Insert(0, prompt(2, 8), 8, func(lo, hi int) (any, error) {
+			if lo == 0 {
+				close(entered)
+				<-release
+			}
+			return [2]int{lo, hi}, nil
+		})
+		slowDone <- err
+	}()
+	<-entered
+
+	// With the builder stalled mid-insert, lookups and an unrelated
+	// insert must complete promptly.
+	ok := make(chan struct{})
+	go func() {
+		m := ix.Lookup(0, warm, 8)
+		if m == nil || m.Tokens != 8 {
+			t.Errorf("warm lookup under a stalled insert matched %v, want 8 tokens", m)
+		}
+		if m != nil {
+			m.Release()
+		}
+		if _, err := ix.Insert(0, prompt(3, 4), 4, func(lo, hi int) (any, error) {
+			return [2]int{lo, hi}, nil
+		}); err != nil {
+			t.Errorf("unrelated insert under a stalled insert: %v", err)
+		}
+		// The stalled prompt's own blocks are reserved (building): a
+		// lookup of it must miss rather than surface a half-built node.
+		if m := ix.Lookup(0, prompt(2, 8), 8); m != nil {
+			t.Errorf("lookup matched %d tokens of a block still building", m.Tokens)
+			m.Release()
+		}
+		close(ok)
+	}()
+	select {
+	case <-ok:
+	case <-time.After(5 * time.Second):
+		t.Fatal("lookup/insert blocked behind a stalled insert's wire I/O")
+	}
+
+	close(release)
+	if err := <-slowDone; err != nil {
+		t.Fatal(err)
+	}
+	// Once released, the slow insert's blocks are visible.
+	m := ix.Lookup(0, prompt(2, 8), 8)
+	if m == nil || m.Tokens != 8 {
+		t.Fatalf("completed insert not visible: %v", m)
+	}
+	m.Release()
 	if err := ix.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}

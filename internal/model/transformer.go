@@ -155,6 +155,10 @@ const (
 	// only the prompt suffix's hidden states, and each head must
 	// implement attention.PrefixResumer.
 	passResume
+	// passVerify batch-verifies a speculative window: x holds the
+	// window's hidden states, and each head must implement
+	// attention.BatchVerifier.
+	passVerify
 )
 
 // forward runs the transformer over x (L×hidden) through the selected
@@ -195,6 +199,12 @@ func (s *Session) forward(x *tensor.Matrix, p pass) (*tensor.Matrix, error) {
 					return nil, fmt.Errorf("layer %d head %d: backend cannot resume a prefill", l, h)
 				}
 				oh, st, err = r.ResumePrefill(qh, kh, vh)
+			case passVerify:
+				bv, ok := s.heads[l][h].(attention.BatchVerifier)
+				if !ok {
+					return nil, fmt.Errorf("layer %d head %d: backend cannot batch-verify", l, h)
+				}
+				oh, st, err = bv.DecodeBatch(qh, kh, vh)
 			default:
 				oh, st, err = s.heads[l][h].Decode(qh, kh, vh)
 			}

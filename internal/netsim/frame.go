@@ -158,25 +158,36 @@ func (f *KVFrame) WriteTo(w io.Writer) (int64, error) {
 	return int64(len(head) + len(body) + 4), nil
 }
 
+// ErrFrameCorrupt means a frame or message header failed to parse: a KV
+// frame's 12-byte head (bad magic, unknown version, a length past the
+// limit) or a wire message's 5-byte head (invalid type byte, oversized
+// length). Headers are partly or wholly outside the CRC, so a bit-flip
+// there surfaces here instead of as ErrChecksum; it is the same fault
+// (the link is corrupting bytes) and callers must treat it the same
+// way: drop the connection, retry over a fresh one.
+var ErrFrameCorrupt = errors.New("netsim: frame header corrupt")
+
 // ReadFrom parses one frame, verifying magic, version and checksum.
 // Both wire versions decode: version-1 frames (no RNG draw count) yield
 // RNGDraws 0. The parsed version is recorded in f.Version, so an
 // accepted frame re-serializes to the exact bytes it came from.
+// Head-parse failures wrap ErrFrameCorrupt; a body CRC mismatch wraps
+// ErrChecksum.
 func (f *KVFrame) ReadFrom(r io.Reader) (int64, error) {
 	var head [12]byte
 	if _, err := io.ReadFull(r, head[:]); err != nil {
 		return 0, err
 	}
 	if binary.LittleEndian.Uint32(head[0:]) != frameMagic {
-		return 0, errors.New("netsim: bad magic")
+		return 0, fmt.Errorf("%w: bad magic %#x", ErrFrameCorrupt, binary.LittleEndian.Uint32(head[0:]))
 	}
 	version := binary.LittleEndian.Uint32(head[4:])
 	if version != frameVersionV1 && version != frameVersionV2 {
-		return 0, fmt.Errorf("netsim: unsupported version %d", version)
+		return 0, fmt.Errorf("%w: unsupported version %d", ErrFrameCorrupt, version)
 	}
 	n := binary.LittleEndian.Uint32(head[8:])
 	if n > maxFrameSize {
-		return 0, fmt.Errorf("netsim: frame length %d exceeds limit", n)
+		return 0, fmt.Errorf("%w: frame length %d exceeds limit", ErrFrameCorrupt, n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
@@ -187,7 +198,7 @@ func (f *KVFrame) ReadFrom(r io.Reader) (int64, error) {
 		return 0, err
 	}
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(crc[:]) {
-		return 0, errors.New("netsim: checksum mismatch")
+		return 0, fmt.Errorf("netsim: frame body: %w", ErrChecksum)
 	}
 
 	if len(body) < 34 {

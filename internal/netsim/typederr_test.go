@@ -1,0 +1,140 @@
+package netsim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// The typed-corruption contract: every way a bit-flip can surface —
+// message CRC, message head, KV frame head, KV frame body — must be
+// matchable with errors.Is, because the router's retry classification
+// (and the decode node's done-kind mapping) key on the sentinel, not
+// the message text.
+
+func encodeTestFrame(t *testing.T) []byte {
+	t.Helper()
+	f := KVFrame{
+		RequestID: 7, Layer: 0, Head: 1, FirstToken: 11,
+		Bits: 2, Pi: 4, KRows: 4, Cols: 4, VRows: 4,
+		KCodes: []byte{1, 2, 3, 4}, VCodes: []byte{5, 6, 7, 8},
+	}
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFrameHeaderFlipsAreTypedCorruption flips one bit at every offset
+// of the KV frame's 12-byte head (magic, version, length); each flip
+// must surface as ErrFrameCorrupt, never as an untyped parse error.
+func TestFrameHeaderFlipsAreTypedCorruption(t *testing.T) {
+	raw := encodeTestFrame(t)
+	origLen := binary.LittleEndian.Uint32(raw[8:])
+	for off := 0; off < 12; off++ {
+		for bit := 0; bit < 8; bit++ {
+			if off >= 8 {
+				// Length flips that stay under the 1 GiB bound allocate the
+				// announced body before starving; exercise the small ones
+				// and leave the multi-MiB ones out (same starved-reader
+				// path, just slower).
+				if n := origLen ^ 1<<(bit+8*(off-8)); n > 1<<20 && n <= maxFrameSize {
+					continue
+				}
+			}
+			mut := append([]byte(nil), raw...)
+			mut[off] ^= 1 << bit
+			var f KVFrame
+			_, err := f.ReadFrom(bytes.NewReader(mut))
+			if err == nil {
+				t.Fatalf("offset %d bit %d: header flip accepted", off, bit)
+			}
+			// A length flip within bounds misframes the body: shrinking it
+			// trips the body CRC, growing it starves the reader (an io
+			// error the callers classify as a dead link). Everything else
+			// must be a corruption sentinel.
+			if !errors.Is(err, ErrFrameCorrupt) && !errors.Is(err, ErrChecksum) &&
+				!errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+				t.Fatalf("offset %d bit %d: untyped error %v", off, bit, err)
+			}
+			if off < 8 && !errors.Is(err, ErrFrameCorrupt) {
+				t.Fatalf("magic/version flip at offset %d bit %d surfaced as %v, want ErrFrameCorrupt", off, bit, err)
+			}
+		}
+	}
+}
+
+// TestFrameBodyFlipIsChecksum pins the body side of the split: a flip
+// inside the CRC-covered body is ErrChecksum, not ErrFrameCorrupt.
+func TestFrameBodyFlipIsChecksum(t *testing.T) {
+	raw := encodeTestFrame(t)
+	mut := append([]byte(nil), raw...)
+	mut[20] ^= 0x10 // inside the body
+	var f KVFrame
+	_, err := f.ReadFrom(bytes.NewReader(mut))
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("body flip surfaced as %v, want ErrChecksum", err)
+	}
+	if errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("body flip also matched ErrFrameCorrupt: %v", err)
+	}
+}
+
+// TestMessageHeaderFlipsAreTyped flips bits across a wire message's
+// 5-byte head ([type][len:4]): whichever check fires — invalid type,
+// oversized length, CRC mismatch on the misframed remainder — the error
+// must match one of the two corruption sentinels so the router retries.
+func TestMessageHeaderFlipsAreTyped(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, MsgToken, []byte(`{"index":0,"id":42}`)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	msgLen := binary.LittleEndian.Uint32(raw[1:])
+	for off := 0; off < 5; off++ {
+		for bit := 0; bit < 8; bit++ {
+			if off >= 1 {
+				if n := msgLen ^ 1<<(bit+8*(off-1)); n > 1<<20 && n <= maxWireMessage {
+					continue // see the frame test: skip the multi-MiB allocs
+				}
+			}
+			mut := append([]byte(nil), raw...)
+			mut[off] ^= 1 << bit
+			_, _, err := ReadMessage(bytes.NewReader(mut))
+			switch {
+			case err == nil:
+				t.Fatalf("offset %d bit %d: header flip accepted", off, bit)
+			case errors.Is(err, ErrFrameCorrupt), errors.Is(err, ErrChecksum):
+				// Typed either way: retryable link corruption.
+			case errors.Is(err, io.ErrUnexpectedEOF), errors.Is(err, io.EOF):
+				// A length flip can also leave the reader starved mid-body,
+				// which the callers already classify as a dead link.
+			default:
+				t.Fatalf("offset %d bit %d: untyped error %v", off, bit, err)
+			}
+		}
+	}
+
+	// The oversized-length bound specifically is the header sentinel.
+	var head [5]byte
+	head[0] = byte(MsgFrame)
+	head[1], head[2], head[3], head[4] = 0xff, 0xff, 0xff, 0xff
+	if _, _, err := ReadMessage(bytes.NewReader(head[:])); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("oversized length surfaced as %v, want ErrFrameCorrupt", err)
+	}
+	// So is an invalid type byte.
+	mut := append([]byte(nil), raw...)
+	mut[0] = 0xee
+	if _, _, err := ReadMessage(bytes.NewReader(mut)); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("invalid type byte surfaced as %v, want ErrFrameCorrupt", err)
+	}
+	// And a CRC-trailer flip is the checksum sentinel.
+	mut = append([]byte(nil), raw...)
+	mut[len(mut)-1] ^= 0x01
+	if _, _, err := ReadMessage(bytes.NewReader(mut)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("CRC flip surfaced as %v, want ErrChecksum", err)
+	}
+}

@@ -143,11 +143,17 @@ func ReadMessage(r io.Reader) (MsgType, []byte, error) {
 	}
 	t := MsgType(head[0])
 	if !t.valid() {
-		return 0, nil, fmt.Errorf("netsim: unknown message type %d", head[0])
+		// The type byte is covered by the CRC, but a flip that lands on an
+		// invalid type is detected here first; it is the same link fault as
+		// a checksum mismatch, so it carries the same typed classification.
+		return 0, nil, fmt.Errorf("%w: unknown message type %d", ErrFrameCorrupt, head[0])
 	}
 	n := binary.LittleEndian.Uint32(head[1:])
 	if n > maxWireMessage {
-		return 0, nil, fmt.Errorf("netsim: message length %d exceeds limit", n)
+		// The length field sits outside the CRC: a bit-flip there is only
+		// catchable by this bound (or by the misframed body failing its
+		// CRC), so it must be typed as corruption, not a protocol error.
+		return 0, nil, fmt.Errorf("%w: message length %d exceeds limit", ErrFrameCorrupt, n)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {

@@ -36,11 +36,12 @@ import (
 //	        server MsgPrefixStats carrying a PrefixCacheStats JSON.
 //
 // This is a stub, deliberately simple: exchanges on one connection are
-// strictly sequential, and an Insert's need/answer round-trips run
-// inside the backing index's critical section — network I/O under the
-// index lock serializes concurrent inserts across connections. A
-// production tier would pipeline and shard; the contract and the
-// framing are what this fixes.
+// strictly sequential. An Insert's need/answer round-trips do NOT hold
+// the backing index's lock — the index reserves the missing blocks,
+// releases its lock for the wire I/O, and relocks to attach the pages —
+// so a slow insert on one connection never stalls lookups or inserts on
+// the others. A production tier would additionally pipeline frames and
+// shard the index; the contract and the framing are what this fixes.
 
 // prefixLookupMsg is the MsgPrefixLookup payload.
 type prefixLookupMsg struct {
