@@ -1,0 +1,17 @@
+# Build the hackserved daemon from source. The module is pure stdlib
+# (no go.sum), so the build needs no network access beyond the base
+# images.
+FROM golang:1.22-alpine AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags="-s -w" -o /out/hackserved ./cmd/hackserved
+
+FROM alpine:3.20
+RUN adduser -D -u 10001 hack
+USER hack
+COPY --from=build /out/hackserved /usr/local/bin/hackserved
+# HTTP API (OpenAI-compatible + NDJSON) and the KV wire.
+EXPOSE 8080 9000
+ENTRYPOINT ["hackserved"]
+CMD ["-addr", "0.0.0.0:8080"]

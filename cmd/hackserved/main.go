@@ -4,15 +4,29 @@
 //
 //	hackserved -addr 127.0.0.1:8080 -method HACK -scheduler load-aware
 //
-// Endpoints:
+// Endpoints (the shared handler stack from internal/api, identical on
+// the local and router roles):
 //
-//	POST /v1/generate   {"prompt":[1,2,3],"max_new_tokens":8,"seed":7}
-//	                    → streamed NDJSON, one {"index":i,"id":t} line
-//	                    per token, then a {"done":true} trailer
-//	GET  /metrics       live serving snapshot: JSON by default, or
-//	                    Prometheus text format with ?format=prometheus
-//	                    (or an Accept header preferring text/plain)
-//	GET  /healthz       {"status":"ok"}, or 503 {"status":"draining"}
+//	POST /v1/generate          {"prompt":[1,2,3],"max_new_tokens":8,"seed":7}
+//	                           → streamed NDJSON, one {"index":i,"id":t} line
+//	                           per token, then a {"done":true} trailer
+//	POST /v1/completions       OpenAI-compatible text completion: text
+//	                           prompts via a deterministic tokenizer shim,
+//	                           "stream":true for SSE (data: chunks, usage
+//	                           in the final chunk, data: [DONE])
+//	POST /v1/chat/completions  OpenAI-compatible chat completion, same
+//	                           streaming contract
+//	GET  /v1/models            the served model plus the model/method
+//	                           registries, OpenAI list format
+//	GET  /metrics              live serving snapshot: JSON by default, or
+//	                           Prometheus text format with ?format=prometheus
+//	                           (or an Accept header preferring text/plain)
+//	GET  /healthz              {"status":"ok"}, or 503 {"status":"draining"}
+//
+// OpenAI-format requests produce token streams byte-identical to the
+// equivalent /v1/generate call per (prompt, seed); errors on every
+// route share one OpenAI-style {"error":{"type","message","code"}}
+// envelope (429 queue-full, 503 draining, 400 validation).
 //
 // The default role serves prefill and decode in one process. Adding
 // -prefix-cache-bytes N there enables the shared-prefix KV cache:
@@ -68,7 +82,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -242,7 +255,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "hackserved: listening on http://%s (%s, %s, %d prefill workers, batch %d)\n",
 		ln.Addr(), *method, sched, *workers, *batch)
 
-	httpSrv := &http.Server{Handler: newMux(srv), ReadHeaderTimeout: 10 * time.Second}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	serveErr := make(chan error, 1)
@@ -268,111 +281,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		return nil
 	}
-}
-
-// genRequest is the POST /v1/generate body.
-type genRequest struct {
-	Prompt       []int `json:"prompt"`
-	MaxNewTokens int   `json:"max_new_tokens"`
-	EOS          int   `json:"eos"`
-	Seed         int64 `json:"seed"`
-}
-
-// genTrailer is the stream's final NDJSON line.
-type genTrailer struct {
-	Done   bool   `json:"done"`
-	Tokens int    `json:"tokens"`
-	Error  string `json:"error,omitempty"`
-}
-
-// newMux builds the daemon's HTTP handler over a live server; split out
-// so tests can drive it with httptest.
-func newMux(srv *hack.Server) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/generate", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		var req genRequest
-		body := http.MaxBytesReader(w, r.Body, 1<<20)
-		if err := json.NewDecoder(body).Decode(&req); err != nil {
-			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		st, err := srv.Submit(r.Context(), hack.GenRequest{
-			Prompt: req.Prompt, MaxNewTokens: req.MaxNewTokens, EOS: req.EOS, Seed: req.Seed,
-		})
-		switch {
-		case errors.Is(err, hack.ErrQueueFull):
-			http.Error(w, err.Error(), http.StatusTooManyRequests)
-			return
-		case errors.Is(err, hack.ErrDraining):
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-			return
-		case err != nil:
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		w.WriteHeader(http.StatusOK)
-		fl, _ := w.(http.Flusher)
-		enc := json.NewEncoder(w)
-		n := 0
-		for tok := range st.Tokens() {
-			if enc.Encode(tok) != nil {
-				return // client went away; request ctx cancellation stops the stream
-			}
-			n++
-			if fl != nil {
-				fl.Flush()
-			}
-		}
-		trailer := genTrailer{Done: true, Tokens: n}
-		if err := st.Err(); err != nil {
-			trailer.Error = err.Error()
-		}
-		_ = enc.Encode(trailer)
-		if fl != nil {
-			fl.Flush()
-		}
-	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		if wantsPrometheus(r) {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			_ = srv.Metrics().WritePrometheus(w, "hackserved")
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(srv.Metrics())
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if srv.Draining() {
-			w.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprintln(w, `{"status":"draining"}`)
-			return
-		}
-		fmt.Fprintln(w, `{"status":"ok"}`)
-	})
-	return mux
-}
-
-// wantsPrometheus reports whether /metrics asked for the text
-// exposition format: ?format=prometheus (or "text"), or an Accept
-// header preferring text/plain or OpenMetrics over JSON.
-func wantsPrometheus(r *http.Request) bool {
-	switch r.URL.Query().Get("format") {
-	case "prometheus", "text":
-		return true
-	case "json":
-		return false
-	}
-	accept := r.Header.Get("Accept")
-	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
 }
 
 // splitPeers parses a comma-separated address list, dropping empties.
@@ -432,7 +340,7 @@ func runRole(role hack.Role, httpAddr, wireAddr string, drainFor time.Duration, 
 		fmt.Fprintf(stdout, "hackserved: chaos script %q replaying against the router's links (seed %d)\n",
 			chaosScript, chaosSeed)
 	}
-	httpSrv := &http.Server{Handler: newRouterMux(ds), ReadHeaderTimeout: 10 * time.Second}
+	httpSrv := &http.Server{Handler: ds.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 	select {
@@ -451,69 +359,4 @@ func runRole(role hack.Role, httpAddr, wireAddr string, drainFor time.Duration, 
 			rep.Completed, rep.Failed, rep.Retries)
 		return err
 	}
-}
-
-// newRouterMux builds the router's HTTP handler: the same NDJSON
-// /v1/generate surface as the local role, proxied over the wire, plus
-// the deployment report on /metrics.
-func newRouterMux(ds *hack.DisaggServer) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/generate", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		var req genRequest
-		body := http.MaxBytesReader(w, r.Body, 1<<20)
-		if err := json.NewDecoder(body).Decode(&req); err != nil {
-			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		st, err := ds.Submit(r.Context(), hack.RoutedRequest{
-			Prompt: req.Prompt, MaxNewTokens: req.MaxNewTokens, EOS: req.EOS, Seed: req.Seed,
-		})
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		w.WriteHeader(http.StatusOK)
-		fl, _ := w.(http.Flusher)
-		enc := json.NewEncoder(w)
-		n := 0
-		for tok := range st.Tokens() {
-			if enc.Encode(tok) != nil {
-				return
-			}
-			n++
-			if fl != nil {
-				fl.Flush()
-			}
-		}
-		trailer := genTrailer{Done: true, Tokens: n}
-		if err := st.Err(); err != nil {
-			trailer.Error = err.Error()
-		}
-		_ = enc.Encode(trailer)
-		if fl != nil {
-			fl.Flush()
-		}
-	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		if wantsPrometheus(r) {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			_ = ds.WritePrometheus(w)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(ds.Report())
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintln(w, `{"status":"ok"}`)
-	})
-	return mux
 }

@@ -121,7 +121,7 @@ func testMux(t *testing.T) (http.Handler, *hack.Server) {
 		defer cancel()
 		_ = srv.Shutdown(ctx)
 	})
-	return newMux(srv), srv
+	return srv.Handler(), srv
 }
 
 func TestGenerateStreamsNDJSON(t *testing.T) {
@@ -262,7 +262,7 @@ func TestHTTPConcurrentSoak(t *testing.T) {
 		defer cancel()
 		_ = srv.Shutdown(ctx)
 	})
-	ts := httptest.NewServer(newMux(srv))
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
 	const nReqs, maxNew = 64, 4

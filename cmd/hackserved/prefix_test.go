@@ -48,7 +48,7 @@ func TestPrefixCacheThroughDaemon(t *testing.T) {
 		defer cancel()
 		_ = srv.Shutdown(ctx)
 	})
-	ts := httptest.NewServer(newMux(srv))
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
 	// Longer than one Π=64 partition, so a page is insertable.

@@ -8,6 +8,7 @@ import (
 
 	"github.com/hackkv/hack/internal/chaos"
 	"github.com/hackkv/hack/internal/disagg"
+	"github.com/hackkv/hack/internal/model"
 	"github.com/hackkv/hack/internal/netsim"
 	"github.com/hackkv/hack/internal/serve"
 )
@@ -176,6 +177,7 @@ var (
 // submit requests and report deployment state; decode nodes drain.
 type DisaggServer struct {
 	role    Role
+	spec    ModelSpec
 	prefill *disagg.PrefillNode
 	decode  *disagg.DecodeNode
 	router  *disagg.Router
@@ -200,7 +202,13 @@ func (e *Engine) ListenDisagg(ctx context.Context) (*DisaggServer, error) {
 		// protocol ships, so the two features cannot share a backend.
 		return nil, fmt.Errorf("hack: the shared-prefix cache is not supported in disaggregated roles (prefix-shareable backends do not speak the classic KV wire)")
 	}
-	ds := &DisaggServer{role: e.role}
+	ds := &DisaggServer{role: e.role, spec: sc.Model}
+	if ds.spec.Layers == 0 && ds.spec.Hidden == 0 {
+		// Match the serving runtime's zero-spec default so Model() (and
+		// the HTTP layer's tokenizer shim) sees the architecture the
+		// deployment actually runs.
+		ds.spec = model.Toy()
+	}
 	var err error
 	switch e.role {
 	case RolePrefill:
@@ -276,6 +284,10 @@ func (e *Engine) ListenDisagg(ctx context.Context) (*DisaggServer, error) {
 
 // Role returns the node's role.
 func (s *DisaggServer) Role() Role { return s.role }
+
+// Model returns the numeric architecture the deployment serves (the
+// spec carried in every wire handshake).
+func (s *DisaggServer) Model() ModelSpec { return s.spec }
 
 // WireAddr returns the node's KV wire address ("" for routers, which
 // initiate connections rather than accept them).

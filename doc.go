@@ -67,6 +67,28 @@
 // HTTP daemon (streamed POST /v1/generate, GET /metrics, GET /healthz,
 // SIGTERM graceful drain); see examples/served for the library form.
 //
+// # HTTP serving surface
+//
+// Server.Handler and DisaggServer.Handler mount the same HTTP layer
+// (internal/api) over either role, so the local daemon and the
+// disaggregated router expose one surface: the streamed NDJSON
+// POST /v1/generate, an OpenAI-compatible POST /v1/completions and
+// POST /v1/chat/completions (both supporting "stream":true server-sent
+// events with a data: [DONE] terminator and usage accounting in the
+// final chunk), GET /v1/models fed by the model and method registries,
+// and the shared /metrics (JSON, or Prometheus text under content
+// negotiation) and /healthz routes. Text is mapped into the served
+// model's token-id space by a deterministic tokenizer shim whose
+// round trip is exact, so an OpenAI request's emitted token ids are
+// byte-identical to the equivalent /v1/generate call per (prompt,
+// seed) on every role. Errors share one OpenAI-style envelope
+// ({"error":{"type","message","code"}}): queue-full load sheds are
+// 429, draining and fleet unavailability 503, validation 400. A client
+// disconnecting mid-stream cancels the request context through to the
+// engine's cancellation path. The Dockerfile and docker-compose.yml at
+// the repo root boot the full router+prefill+decode fleet with the
+// router's surface on :8080.
+//
 // WithPrefixCache (or ServeConfig.PrefixCacheBytes; -prefix-cache-bytes
 // on the daemon) enables the shared-prefix KV tier: quantized Π-aligned
 // KV pages from completed prefills are indexed by prompt prefix, and a

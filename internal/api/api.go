@@ -1,0 +1,160 @@
+// Package api is the serving daemon's HTTP layer: one handler stack
+// shared by every role that fronts requests (the local single-process
+// runtime and the disaggregated router), so the two can never drift
+// apart again.
+//
+// The surface has two dialects over the same engine:
+//
+//   - the bespoke NDJSON protocol the daemon has always spoken
+//     (POST /v1/generate: one {"index":i,"id":t} line per token, then a
+//     {"done":true,...} trailer), and
+//   - an OpenAI-compatible surface (POST /v1/completions and
+//     POST /v1/chat/completions, both supporting "stream":true SSE with
+//     a data: [DONE] terminator and usage accounting in the final
+//     chunk, plus GET /v1/models fed by the model and method
+//     registries).
+//
+// OpenAI-format requests carry text, not token IDs, so a small
+// deterministic tokenizer shim (see Tokenizer) maps text into the
+// served model's token-id space and back for streaming deltas. The
+// mapping round-trips exactly (Encode(Decode(ids)) == ids), which makes
+// an OpenAI request's emitted token ids byte-identical to the
+// equivalent /v1/generate call per (prompt, seed) — the property the
+// end-to-end tests pin on both the local and router roles.
+//
+// Both dialects share /metrics (JSON by default, Prometheus text under
+// the WantsPrometheus content negotiation), /healthz, and one
+// OpenAI-style error envelope ({"error":{"type","message","code"}})
+// with typed status mappings: queue-full load sheds map to 429,
+// draining to 503, validation failures to 400 (see WriteError).
+//
+// Everything is parameterized over the narrow Generator interface, so
+// the handler never knows whether tokens come from the in-process
+// continuous-batching runtime or from a prefill/decode fleet across
+// the KV wire.
+package api
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"github.com/hackkv/hack/internal/serve"
+)
+
+// Request is one generation job, shared with the serving runtime: a
+// token-ID prompt, an optional per-request token budget, stop token,
+// and quantizer seed.
+type Request = serve.Request
+
+// Token is one streamed generation event (sequence index + token ID).
+// Its JSON form, {"index":i,"id":t}, is the NDJSON wire format.
+type Token = serve.Token
+
+// Stream delivers one request's tokens in order; Tokens() closes when
+// the request finishes and Err() then reports why (nil for a natural
+// finish). The local runtime's *serve.Stream satisfies it directly.
+type Stream interface {
+	Tokens() <-chan Token
+	Err() error
+}
+
+// Generator is the narrow engine surface the HTTP layer is built over.
+// Both the local serving runtime and the disaggregated router satisfy
+// it (via thin adapters in the root package), so every role mounts the
+// exact same handler stack.
+type Generator interface {
+	// Generate admits one request and returns its live token stream.
+	// Cancelling ctx (the client disconnecting mid-stream) must
+	// propagate to the engine's cancellation path. Typed errors map to
+	// HTTP statuses via WriteError.
+	Generate(ctx context.Context, req Request) (Stream, error)
+	// Draining reports whether shutdown has begun (flips /healthz to
+	// 503).
+	Draining() bool
+	// MetricsJSON returns the role's metrics document for JSON
+	// /metrics.
+	MetricsJSON() any
+	// WritePrometheus renders the role's metrics in Prometheus text
+	// exposition format.
+	WritePrometheus(w io.Writer) error
+	// ModelID names the served model (the default "model" echoed by the
+	// OpenAI surface).
+	ModelID() string
+	// Vocab is the served model's vocabulary size, sizing the tokenizer
+	// shim's id space.
+	Vocab() int
+}
+
+// maxBodyBytes caps request bodies on every POST route.
+const maxBodyBytes = 1 << 20
+
+// Handler is the daemon's full HTTP surface over one Generator. Build
+// it with NewHandler.
+type Handler struct {
+	gen Generator
+	tok *Tokenizer
+	mux *http.ServeMux
+	// seq numbers completion ids ("cmpl-000001", ...) so responses are
+	// deterministic per handler instance; now stamps "created" fields
+	// (overridable for golden tests).
+	seq atomic.Uint64
+	now func() time.Time
+}
+
+// Option customizes a Handler.
+type Option func(*Handler)
+
+// WithNow replaces the clock stamping OpenAI "created" fields; tests
+// pin it for golden output.
+func WithNow(now func() time.Time) Option {
+	return func(h *Handler) { h.now = now }
+}
+
+// NewHandler builds the daemon's HTTP surface over gen: the NDJSON
+// /v1/generate route, the OpenAI-compatible /v1/completions,
+// /v1/chat/completions and /v1/models routes, and the shared /metrics
+// and /healthz endpoints.
+func NewHandler(gen Generator, opts ...Option) *Handler {
+	h := &Handler{
+		gen: gen,
+		tok: NewTokenizer(gen.Vocab()),
+		mux: http.NewServeMux(),
+		now: time.Now,
+	}
+	for _, o := range opts {
+		o(h)
+	}
+	h.mux.HandleFunc("/v1/generate", h.handleGenerate)
+	h.mux.HandleFunc("/v1/completions", h.handleCompletions)
+	h.mux.HandleFunc("/v1/chat/completions", h.handleChatCompletions)
+	h.mux.HandleFunc("/v1/models", h.handleModels)
+	h.mux.HandleFunc("/metrics", h.handleMetrics)
+	h.mux.HandleFunc("/healthz", h.handleHealthz)
+	return h
+}
+
+// ServeHTTP dispatches to the mounted routes.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// nextID formats the next completion id with the given prefix.
+func (h *Handler) nextID(prefix string) string {
+	return prefix + "-" + pad6(h.seq.Add(1))
+}
+
+// pad6 renders n zero-padded to at least six digits.
+func pad6(n uint64) string {
+	s := make([]byte, 0, 8)
+	for n > 0 {
+		s = append([]byte{'0' + byte(n%10)}, s...)
+		n /= 10
+	}
+	for len(s) < 6 {
+		s = append([]byte{'0'}, s...)
+	}
+	return string(s)
+}

@@ -1,0 +1,336 @@
+package api_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hackkv/hack/internal/api"
+	"github.com/hackkv/hack/internal/serve"
+)
+
+// fakeStream is a scripted api.Stream.
+type fakeStream struct {
+	tokens chan api.Token
+	closed chan struct{}
+	err    error
+}
+
+func (s *fakeStream) Tokens() <-chan api.Token { return s.tokens }
+func (s *fakeStream) Err() error {
+	<-s.closed
+	return s.err
+}
+
+// fakeGen is a scripted api.Generator: it streams ids for every
+// request, fails submissions with submitErr, and (optionally) holds
+// the stream open until the request context is cancelled.
+type fakeGen struct {
+	vocab     int
+	modelID   string
+	draining  bool
+	submitErr error
+	streamErr error
+	ids       []int
+	hang      bool // emit ids, then wait for ctx cancellation
+
+	mu       sync.Mutex
+	lastReq  api.Request
+	canceled chan struct{} // closed when a hanging stream sees ctx.Done
+}
+
+func newFakeGen(ids ...int) *fakeGen {
+	return &fakeGen{vocab: 128, modelID: "Toy", ids: ids, canceled: make(chan struct{})}
+}
+
+func (g *fakeGen) Generate(ctx context.Context, req api.Request) (api.Stream, error) {
+	g.mu.Lock()
+	g.lastReq = req
+	g.mu.Unlock()
+	if g.submitErr != nil {
+		return nil, g.submitErr
+	}
+	st := &fakeStream{tokens: make(chan api.Token, len(g.ids)), closed: make(chan struct{})}
+	for i, id := range g.ids {
+		st.tokens <- api.Token{Index: i, ID: id}
+	}
+	if g.hang {
+		go func() {
+			<-ctx.Done()
+			close(g.canceled)
+			st.err = ctx.Err()
+			close(st.tokens)
+			close(st.closed)
+		}()
+		return st, nil
+	}
+	st.err = g.streamErr
+	close(st.tokens)
+	close(st.closed)
+	return st, nil
+}
+
+func (g *fakeGen) last() api.Request {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.lastReq
+}
+
+func (g *fakeGen) Draining() bool   { return g.draining }
+func (g *fakeGen) MetricsJSON() any { return map[string]int{"submitted": len(g.ids)} }
+func (g *fakeGen) WritePrometheus(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "# TYPE fake_submitted_total counter\nfake_submitted_total %d\n", len(g.ids))
+	return err
+}
+func (g *fakeGen) ModelID() string { return g.modelID }
+func (g *fakeGen) Vocab() int      { return g.vocab }
+
+// decodeEnvelope reads one error envelope body.
+func decodeEnvelope(t *testing.T, r io.Reader) api.Error {
+	t.Helper()
+	var env struct {
+		Error api.Error `json:"error"`
+	}
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		t.Fatalf("error envelope: %v", err)
+	}
+	return env.Error
+}
+
+// TestGenerateStatusCodesPinned pins the NDJSON route's historical
+// status codes through the new shared classifier: 405 on GET, 400 on
+// garbage, 429 on queue-full, 503 on draining, 400 on any other
+// submission failure — now all wearing the shared error envelope.
+func TestGenerateStatusCodesPinned(t *testing.T) {
+	cases := []struct {
+		name       string
+		submitErr  error
+		wantStatus int
+		wantCode   string
+	}{
+		{"queue full", serve.ErrQueueFull, http.StatusTooManyRequests, "queue_full"},
+		{"draining", serve.ErrDraining, http.StatusServiceUnavailable, "draining"},
+		{"engine validation", errors.New("serve: empty prompt"), http.StatusBadRequest, "bad_request"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			gen := newFakeGen(1, 2)
+			gen.submitErr = c.submitErr
+			ts := httptest.NewServer(api.NewHandler(gen))
+			defer ts.Close()
+			resp, err := http.Post(ts.URL+"/v1/generate", "application/json",
+				strings.NewReader(`{"prompt":[1,2,3]}`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != c.wantStatus {
+				t.Fatalf("status %d, want %d", resp.StatusCode, c.wantStatus)
+			}
+			if e := decodeEnvelope(t, resp.Body); e.Code != c.wantCode || e.Message == "" {
+				t.Errorf("envelope %+v, want code %q", e, c.wantCode)
+			}
+		})
+	}
+
+	gen := newFakeGen(1)
+	ts := httptest.NewServer(api.NewHandler(gen))
+	defer ts.Close()
+	if resp, err := http.Get(ts.URL + "/v1/generate"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET generate: %d, want 405", resp.StatusCode)
+	}
+	resp, err := http.Post(ts.URL+"/v1/generate", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad body: %d, want 400", resp.StatusCode)
+	}
+	if e := decodeEnvelope(t, resp.Body); e.Type != "invalid_request_error" {
+		t.Errorf("bad-body envelope %+v", e)
+	}
+}
+
+// TestGenerateNDJSONWireShapeUnchanged pins the NDJSON stream format:
+// {"index":i,"id":t} lines and the {"done":true,"tokens":n} trailer.
+func TestGenerateNDJSONWireShapeUnchanged(t *testing.T) {
+	gen := newFakeGen(7, 9, 11)
+	ts := httptest.NewServer(api.NewHandler(gen))
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/generate", "application/json",
+		strings.NewReader(`{"prompt":[1,2],"max_new_tokens":3,"seed":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	want := `{"index":0,"id":7}
+{"index":1,"id":9}
+{"index":2,"id":11}
+{"done":true,"tokens":3}
+`
+	if string(body) != want {
+		t.Fatalf("NDJSON body:\n%s\nwant:\n%s", body, want)
+	}
+	if req := gen.last(); req.Seed != 5 || req.MaxNewTokens != 3 || len(req.Prompt) != 2 {
+		t.Errorf("request seen by engine: %+v", req)
+	}
+}
+
+// TestHealthz covers both states of the shared health route.
+func TestHealthz(t *testing.T) {
+	gen := newFakeGen(1)
+	ts := httptest.NewServer(api.NewHandler(gen))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Errorf("healthz: %d %q", resp.StatusCode, body)
+	}
+	gen.draining = true
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), `"draining"`) {
+		t.Errorf("draining healthz: %d %q", resp.StatusCode, body)
+	}
+}
+
+// TestMetricsNegotiation: JSON by default, Prometheus text under
+// ?format= and Accept-header negotiation — one code path for every
+// role.
+func TestMetricsNegotiation(t *testing.T) {
+	ts := httptest.NewServer(api.NewHandler(newFakeGen(1, 2, 3)))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("default content type %q", ct)
+	}
+	if !strings.Contains(string(body), `"submitted"`) {
+		t.Fatalf("JSON metrics: %q", body)
+	}
+
+	for _, build := range []func() *http.Request{
+		func() *http.Request {
+			r, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics?format=prometheus", nil)
+			return r
+		},
+		func() *http.Request {
+			r, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+			r.Header.Set("Accept", "text/plain")
+			return r
+		},
+	} {
+		resp, err := http.DefaultClient.Do(build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+			t.Fatalf("prometheus content type %q", ct)
+		}
+		if !strings.Contains(string(body), "fake_submitted_total 3") {
+			t.Fatalf("prometheus body %q", body)
+		}
+	}
+}
+
+// TestClassifyUnavailable covers the adapter hook for fleet-level
+// failures.
+func TestClassifyUnavailable(t *testing.T) {
+	err := api.Unavailable("no_replicas", errors.New("disagg: no healthy replica"))
+	status, e := api.Classify(err)
+	if status != http.StatusServiceUnavailable || e.Type != "service_unavailable" || e.Code != "no_replicas" {
+		t.Fatalf("classified %d %+v", status, e)
+	}
+	status, e = api.Classify(context.Canceled)
+	if status != http.StatusRequestTimeout || e.Code != "request_canceled" {
+		t.Fatalf("context.Canceled classified %d %+v", status, e)
+	}
+}
+
+// TestSSEClientCancelPropagates kills the client mid-stream and
+// requires the request context cancellation to reach the generator —
+// the engine-side ctx-cancel path the real runtime uses to stop
+// decoding.
+func TestSSEClientCancelPropagates(t *testing.T) {
+	gen := newFakeGen(1, 2, 3)
+	gen.hang = true
+	ts := httptest.NewServer(api.NewHandler(gen))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/chat/completions",
+		strings.NewReader(`{"messages":[{"role":"user","content":"hi"}],"stream":true}`))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// Read the first streamed chunk, then walk away.
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+
+	select {
+	case <-gen.canceled:
+	case <-time.After(10 * time.Second):
+		t.Fatal("client cancellation never reached the generator")
+	}
+}
+
+// TestOpenAIStreamErrorSurfacesInBand: a stream that dies mid-flight
+// emits the shared envelope as an SSE event before the terminator.
+func TestOpenAIStreamErrorSurfacesInBand(t *testing.T) {
+	gen := newFakeGen(4)
+	gen.streamErr = serve.ErrDrained
+	ts := httptest.NewServer(api.NewHandler(gen))
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/completions", "application/json",
+		strings.NewReader(`{"prompt":"hello","stream":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	s := string(body)
+	if !strings.Contains(s, `"error"`) || !strings.Contains(s, "data: [DONE]") {
+		t.Fatalf("stream error body:\n%s", s)
+	}
+	if strings.Contains(s, `"usage"`) {
+		t.Errorf("failed stream must not report usage:\n%s", s)
+	}
+}
+
+var _ api.Generator = (*fakeGen)(nil)

@@ -1,0 +1,112 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/hackkv/hack/internal/serve"
+)
+
+// Error is the OpenAI-style error body every route shares, wrapped as
+// {"error":{...}} on the wire.
+type Error struct {
+	// Type is the coarse OpenAI-style class ("invalid_request_error",
+	// "rate_limit_exceeded", "service_unavailable", ...).
+	Type string `json:"type"`
+	// Message is the human-readable description.
+	Message string `json:"message"`
+	// Code is the machine-readable cause ("queue_full", "draining",
+	// "model_not_found", ...); empty when the type says it all.
+	Code string `json:"code,omitempty"`
+}
+
+// errorEnvelope is the wire shape of every error response.
+type errorEnvelope struct {
+	Error Error `json:"error"`
+}
+
+// statusError pins an explicit HTTP status, type, and code onto an
+// error so Classify maps it without knowing its origin. The request
+// helpers below build them; the root package's router adapter uses
+// Unavailable for fleet-level failures (no replicas, transfer failed).
+type statusError struct {
+	status int
+	class  string
+	code   string
+	err    error
+}
+
+func (e *statusError) Error() string { return e.err.Error() }
+func (e *statusError) Unwrap() error { return e.err }
+
+// invalidf builds a 400 invalid_request_error with the given code.
+func invalidf(code, format string, args ...any) error {
+	return &statusError{
+		status: http.StatusBadRequest, class: "invalid_request_error", code: code,
+		err: fmt.Errorf(format, args...),
+	}
+}
+
+// notFoundf builds a 404 invalid_request_error (unknown model).
+func notFoundf(code, format string, args ...any) error {
+	return &statusError{
+		status: http.StatusNotFound, class: "invalid_request_error", code: code,
+		err: fmt.Errorf(format, args...),
+	}
+}
+
+// errMethodNotAllowed rejects non-POST calls on the generation routes.
+var errMethodNotAllowed = &statusError{
+	status: http.StatusMethodNotAllowed, class: "invalid_request_error",
+	code: "method_not_allowed", err: errors.New("POST only"),
+}
+
+// Unavailable marks err as a 503 service_unavailable condition with
+// the given code — the adapter hook for deployment-level failures the
+// api package cannot name (e.g. the router's no-healthy-replica and
+// transfer-failed sentinels).
+func Unavailable(code string, err error) error {
+	return &statusError{status: http.StatusServiceUnavailable, class: "service_unavailable", code: code, err: err}
+}
+
+// Classify maps an error onto its HTTP status and shared envelope
+// body. Every route — NDJSON and OpenAI alike — goes through this one
+// classifier:
+//
+//	queue-full load sheds    → 429 rate_limit_exceeded / queue_full
+//	draining rejections      → 503 service_unavailable / draining
+//	statusError (validation,
+//	unknown model, adapter
+//	Unavailable wraps)       → their pinned status
+//	client cancellation      → 408 invalid_request_error / request_canceled
+//	anything else            → 400 invalid_request_error / bad_request
+//
+// The 400 default pins the daemon's historical behavior: engine-side
+// submission failures (empty prompt, out-of-vocab ids) have always
+// been Bad Request.
+func Classify(err error) (int, Error) {
+	var se *statusError
+	switch {
+	case errors.Is(err, serve.ErrQueueFull):
+		return http.StatusTooManyRequests, Error{Type: "rate_limit_exceeded", Message: err.Error(), Code: "queue_full"}
+	case errors.Is(err, serve.ErrDraining):
+		return http.StatusServiceUnavailable, Error{Type: "service_unavailable", Message: err.Error(), Code: "draining"}
+	case errors.As(err, &se):
+		return se.status, Error{Type: se.class, Message: se.err.Error(), Code: se.code}
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout, Error{Type: "invalid_request_error", Message: err.Error(), Code: "request_canceled"}
+	}
+	return http.StatusBadRequest, Error{Type: "invalid_request_error", Message: err.Error(), Code: "bad_request"}
+}
+
+// WriteError classifies err and writes the shared envelope. It must
+// only be called before the response body has started streaming.
+func WriteError(w http.ResponseWriter, err error) {
+	status, e := Classify(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorEnvelope{Error: e})
+}

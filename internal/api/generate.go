@@ -1,0 +1,70 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// genRequest is the POST /v1/generate body — the daemon's original
+// NDJSON dialect, unchanged.
+type genRequest struct {
+	Prompt       []int `json:"prompt"`
+	MaxNewTokens int   `json:"max_new_tokens"`
+	EOS          int   `json:"eos"`
+	Seed         int64 `json:"seed"`
+}
+
+// genTrailer is the stream's final NDJSON line; its wire shape is
+// pinned by regression tests and must not change.
+type genTrailer struct {
+	Done   bool   `json:"done"`
+	Tokens int    `json:"tokens"`
+	Error  string `json:"error,omitempty"`
+}
+
+// handleGenerate streams one generation as NDJSON: one Token line per
+// token, then a genTrailer. Pre-stream failures use the shared error
+// envelope (classified like every other route); mid-stream failures
+// keep the historical in-band trailer error.
+func (h *Handler) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		WriteError(w, errMethodNotAllowed)
+		return
+	}
+	var req genRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		WriteError(w, invalidf("bad_body", "bad request body: %v", err))
+		return
+	}
+	st, err := h.gen.Generate(r.Context(), Request{
+		Prompt: req.Prompt, MaxNewTokens: req.MaxNewTokens, EOS: req.EOS, Seed: req.Seed,
+	})
+	if err != nil {
+		WriteError(w, err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	n := 0
+	for tok := range st.Tokens() {
+		if enc.Encode(tok) != nil {
+			return // client went away; request ctx cancellation stops the stream
+		}
+		n++
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	trailer := genTrailer{Done: true, Tokens: n}
+	if err := st.Err(); err != nil {
+		trailer.Error = err.Error()
+	}
+	_ = enc.Encode(trailer)
+	if fl != nil {
+		fl.Flush()
+	}
+}

@@ -1,0 +1,51 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// WantsPrometheus reports whether a /metrics request asked for the text
+// exposition format: an explicit ?format=prometheus (or "text"), or an
+// Accept header preferring text/plain or OpenMetrics over JSON. This is
+// the one content-negotiation helper every role's metrics endpoint
+// shares.
+func WantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}
+
+// handleMetrics serves the role's metrics: indented JSON by default,
+// Prometheus text under content negotiation — identically on every
+// role.
+func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if WantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = h.gen.WritePrometheus(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(h.gen.MetricsJSON())
+}
+
+// handleHealthz answers {"status":"ok"}, or 503 {"status":"draining"}
+// once shutdown has begun.
+func (h *Handler) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if h.gen.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+		return
+	}
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}

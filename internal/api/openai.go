@@ -1,0 +1,460 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"github.com/hackkv/hack/internal/cluster"
+	"github.com/hackkv/hack/internal/model"
+)
+
+// ChatMessage is one turn of an OpenAI chat request.
+type ChatMessage struct {
+	Role    string `json:"role"`
+	Content string `json:"content"`
+}
+
+// ChatPromptText deterministically flattens a chat transcript into the
+// prompt text the tokenizer shim encodes: one "role: content" line per
+// message. Exported so tests (and clients that care about byte
+// identity) can build the equivalent /v1/generate request.
+func ChatPromptText(messages []ChatMessage) string {
+	lines := make([]string, len(messages))
+	for i, m := range messages {
+		lines[i] = m.Role + ": " + m.Content
+	}
+	return strings.Join(lines, "\n")
+}
+
+// completionRequest is the POST /v1/completions body (the supported
+// subset of the OpenAI schema).
+type completionRequest struct {
+	Model     string          `json:"model"`
+	Prompt    json.RawMessage `json:"prompt"`
+	MaxTokens int             `json:"max_tokens"`
+	Stream    bool            `json:"stream"`
+	Seed      int64           `json:"seed"`
+	Stop      json.RawMessage `json:"stop"`
+}
+
+// chatRequest is the POST /v1/chat/completions body.
+type chatRequest struct {
+	Model     string          `json:"model"`
+	Messages  []ChatMessage   `json:"messages"`
+	MaxTokens int             `json:"max_tokens"`
+	Stream    bool            `json:"stream"`
+	Seed      int64           `json:"seed"`
+	Stop      json.RawMessage `json:"stop"`
+}
+
+// usage is the OpenAI token-accounting block; streaming responses carry
+// it in the final chunk.
+type usage struct {
+	PromptTokens     int `json:"prompt_tokens"`
+	CompletionTokens int `json:"completion_tokens"`
+	TotalTokens      int `json:"total_tokens"`
+}
+
+// completionChoice / completionResponse are the text_completion wire
+// shapes (response and streaming chunk share them; non-final chunks
+// have a null finish_reason).
+type completionChoice struct {
+	Text         string  `json:"text"`
+	Index        int     `json:"index"`
+	FinishReason *string `json:"finish_reason"`
+}
+
+type completionResponse struct {
+	ID      string             `json:"id"`
+	Object  string             `json:"object"`
+	Created int64              `json:"created"`
+	Model   string             `json:"model"`
+	Choices []completionChoice `json:"choices"`
+	Usage   *usage             `json:"usage,omitempty"`
+}
+
+// chatDelta is a streaming chat fragment; the final chunk's delta is
+// empty.
+type chatDelta struct {
+	Role    string  `json:"role,omitempty"`
+	Content *string `json:"content,omitempty"`
+}
+
+type chatChoice struct {
+	Index        int          `json:"index"`
+	Delta        *chatDelta   `json:"delta,omitempty"`
+	Message      *ChatMessage `json:"message,omitempty"`
+	FinishReason *string      `json:"finish_reason"`
+}
+
+type chatResponse struct {
+	ID      string       `json:"id"`
+	Object  string       `json:"object"`
+	Created int64        `json:"created"`
+	Model   string       `json:"model"`
+	Choices []chatChoice `json:"choices"`
+	Usage   *usage       `json:"usage,omitempty"`
+}
+
+// openaiJob is one parsed OpenAI-format request, normalized to the
+// engine's token-id space.
+type openaiJob struct {
+	id      string
+	model   string
+	created int64
+	prompt  []int
+	maxNew  int
+	eos     int
+	seed    int64
+	stream  bool
+	chat    bool
+}
+
+// handleCompletions serves POST /v1/completions: non-streaming JSON or
+// "stream":true SSE, with the completion tokens produced by the exact
+// same engine path as /v1/generate.
+func (h *Handler) handleCompletions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		WriteError(w, errMethodNotAllowed)
+		return
+	}
+	var req completionRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		WriteError(w, invalidf("bad_body", "bad request body: %v", err))
+		return
+	}
+	job, err := h.newJob(req.Model, req.MaxTokens, req.Seed, req.Stream, req.Stop, false)
+	if err != nil {
+		WriteError(w, err)
+		return
+	}
+	if job.prompt, err = h.parsePrompt(req.Prompt); err != nil {
+		WriteError(w, err)
+		return
+	}
+	h.runOpenAI(w, r, job)
+}
+
+// handleChatCompletions serves POST /v1/chat/completions over the same
+// engine path, with the transcript flattened by ChatPromptText.
+func (h *Handler) handleChatCompletions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		WriteError(w, errMethodNotAllowed)
+		return
+	}
+	var req chatRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		WriteError(w, invalidf("bad_body", "bad request body: %v", err))
+		return
+	}
+	if len(req.Messages) == 0 {
+		WriteError(w, invalidf("missing_messages", "chat request needs at least one message"))
+		return
+	}
+	job, err := h.newJob(req.Model, req.MaxTokens, req.Seed, req.Stream, req.Stop, true)
+	if err != nil {
+		WriteError(w, err)
+		return
+	}
+	job.prompt = h.tok.Encode(ChatPromptText(req.Messages))
+	h.runOpenAI(w, r, job)
+}
+
+// newJob validates the request fields every OpenAI route shares and
+// stamps the response identity (id, created, echoed model).
+func (h *Handler) newJob(modelName string, maxTokens int, seed int64, stream bool, stop json.RawMessage, chat bool) (openaiJob, error) {
+	if err := h.checkModel(modelName); err != nil {
+		return openaiJob{}, err
+	}
+	if maxTokens < 0 {
+		return openaiJob{}, invalidf("bad_max_tokens", "max_tokens %d must be >= 0", maxTokens)
+	}
+	eos, err := h.parseStop(stop)
+	if err != nil {
+		return openaiJob{}, err
+	}
+	job := openaiJob{
+		model:   modelName,
+		created: h.now().Unix(),
+		maxNew:  maxTokens,
+		eos:     eos,
+		seed:    seed,
+		stream:  stream,
+		chat:    chat,
+	}
+	if job.model == "" {
+		job.model = h.gen.ModelID()
+	}
+	if chat {
+		job.id = h.nextID("chatcmpl")
+	} else {
+		job.id = h.nextID("cmpl")
+	}
+	return job, nil
+}
+
+// checkModel accepts an empty model, the served model's id, and any
+// name in the model or method registries; everything else is a 404
+// model_not_found like the upstream API.
+func (h *Handler) checkModel(name string) error {
+	if name == "" || strings.EqualFold(name, h.gen.ModelID()) {
+		return nil
+	}
+	if _, err := model.Registry.Lookup(name); err == nil {
+		return nil
+	}
+	if _, err := cluster.MethodRegistry.Lookup(name); err == nil {
+		return nil
+	}
+	return notFoundf("model_not_found", "model %q not found (served: %s; see GET /v1/models)", name, h.gen.ModelID())
+}
+
+// parsePrompt resolves the completions "prompt" field: a string is
+// tokenized, an array of token ids is used verbatim, and a
+// single-element string array is tokenized. Batched prompts are not
+// supported.
+func (h *Handler) parsePrompt(raw json.RawMessage) ([]int, error) {
+	if len(raw) == 0 {
+		return nil, invalidf("missing_prompt", "prompt is required")
+	}
+	var text string
+	if err := json.Unmarshal(raw, &text); err == nil {
+		return h.tok.Encode(text), nil
+	}
+	var ids []int
+	if err := json.Unmarshal(raw, &ids); err == nil {
+		return ids, nil
+	}
+	var texts []string
+	if err := json.Unmarshal(raw, &texts); err == nil {
+		if len(texts) != 1 {
+			return nil, invalidf("bad_prompt", "batched prompts are not supported (got %d)", len(texts))
+		}
+		return h.tok.Encode(texts[0]), nil
+	}
+	return nil, invalidf("bad_prompt", "prompt must be a string, an array of token ids, or a single-element string array")
+}
+
+// parseStop resolves the "stop" field into the engine's EOS token: a
+// stop word (or single-element array) that tokenizes to exactly one id.
+// Absent or null disables the check.
+func (h *Handler) parseStop(raw json.RawMessage) (int, error) {
+	if len(raw) == 0 || string(raw) == "null" {
+		return 0, nil
+	}
+	var word string
+	if err := json.Unmarshal(raw, &word); err != nil {
+		var words []string
+		if err := json.Unmarshal(raw, &words); err != nil || len(words) != 1 {
+			return 0, invalidf("bad_stop", "stop must be a string or a single-element string array")
+		}
+		word = words[0]
+	}
+	ids := h.tok.Encode(word)
+	if len(ids) != 1 {
+		return 0, invalidf("bad_stop", "stop %q must map to exactly one token (got %d)", word, len(ids))
+	}
+	return ids[0], nil
+}
+
+// runOpenAI executes one parsed job through the Generator and renders
+// the response in the requested dialect.
+func (h *Handler) runOpenAI(w http.ResponseWriter, r *http.Request, job openaiJob) {
+	st, err := h.gen.Generate(r.Context(), Request{
+		Prompt: job.prompt, MaxNewTokens: job.maxNew, EOS: job.eos, Seed: job.seed,
+	})
+	if err != nil {
+		WriteError(w, err)
+		return
+	}
+	if job.stream {
+		h.streamOpenAI(w, job, st)
+		return
+	}
+	h.collectOpenAI(w, job, st)
+}
+
+// finishReason reports why generation stopped: "stop" when the
+// requested stop token ended the stream, "length" otherwise (the token
+// budget).
+func finishReason(job openaiJob, ids []int) string {
+	if job.eos > 0 && len(ids) > 0 && ids[len(ids)-1] == job.eos {
+		return "stop"
+	}
+	return "length"
+}
+
+// collectOpenAI drains the stream and writes the non-streaming JSON
+// response.
+func (h *Handler) collectOpenAI(w http.ResponseWriter, job openaiJob, st Stream) {
+	var ids []int
+	for tok := range st.Tokens() {
+		ids = append(ids, tok.ID)
+	}
+	if err := st.Err(); err != nil {
+		WriteError(w, err)
+		return
+	}
+	fr := finishReason(job, ids)
+	u := &usage{PromptTokens: len(job.prompt), CompletionTokens: len(ids), TotalTokens: len(job.prompt) + len(ids)}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if job.chat {
+		_ = enc.Encode(chatResponse{
+			ID: job.id, Object: "chat.completion", Created: job.created, Model: job.model,
+			Choices: []chatChoice{{
+				Message:      &ChatMessage{Role: "assistant", Content: h.tok.Decode(ids)},
+				FinishReason: &fr,
+			}},
+			Usage: u,
+		})
+		return
+	}
+	_ = enc.Encode(completionResponse{
+		ID: job.id, Object: "text_completion", Created: job.created, Model: job.model,
+		Choices: []completionChoice{{Text: h.tok.Decode(ids), FinishReason: &fr}},
+		Usage:   u,
+	})
+}
+
+// streamOpenAI renders the stream as server-sent events: one data:
+// chunk per token, a final chunk carrying finish_reason and usage, and
+// the data: [DONE] terminator. A failed write means the client went
+// away; returning cancels the request context, which propagates to the
+// engine's cancellation path.
+func (h *Handler) streamOpenAI(w http.ResponseWriter, job openaiJob, st Stream) {
+	w.Header().Set("Content-Type", "text/event-stream; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+
+	if job.chat {
+		// The conventional role-announcing first chunk.
+		empty := ""
+		first := chatResponse{
+			ID: job.id, Object: "chat.completion.chunk", Created: job.created, Model: job.model,
+			Choices: []chatChoice{{Delta: &chatDelta{Role: "assistant", Content: &empty}}},
+		}
+		if writeSSE(w, fl, first) != nil {
+			return
+		}
+	}
+
+	var ids []int
+	for tok := range st.Tokens() {
+		delta := h.tok.Delta(tok.ID, len(ids))
+		ids = append(ids, tok.ID)
+		var chunk any
+		if job.chat {
+			chunk = chatResponse{
+				ID: job.id, Object: "chat.completion.chunk", Created: job.created, Model: job.model,
+				Choices: []chatChoice{{Delta: &chatDelta{Content: &delta}}},
+			}
+		} else {
+			chunk = completionResponse{
+				ID: job.id, Object: "text_completion", Created: job.created, Model: job.model,
+				Choices: []completionChoice{{Text: delta}},
+			}
+		}
+		if writeSSE(w, fl, chunk) != nil {
+			return
+		}
+	}
+
+	if err := st.Err(); err != nil {
+		// The request failed mid-stream; surface the classified envelope
+		// as an in-band event, then terminate the stream.
+		_, e := Classify(err)
+		_ = writeSSE(w, fl, errorEnvelope{Error: e})
+		writeSSEDone(w, fl)
+		return
+	}
+
+	fr := finishReason(job, ids)
+	u := &usage{PromptTokens: len(job.prompt), CompletionTokens: len(ids), TotalTokens: len(job.prompt) + len(ids)}
+	var final any
+	if job.chat {
+		final = chatResponse{
+			ID: job.id, Object: "chat.completion.chunk", Created: job.created, Model: job.model,
+			Choices: []chatChoice{{Delta: &chatDelta{}, FinishReason: &fr}},
+			Usage:   u,
+		}
+	} else {
+		final = completionResponse{
+			ID: job.id, Object: "text_completion", Created: job.created, Model: job.model,
+			Choices: []completionChoice{{FinishReason: &fr}},
+			Usage:   u,
+		}
+	}
+	if writeSSE(w, fl, final) != nil {
+		return
+	}
+	writeSSEDone(w, fl)
+}
+
+// writeSSE frames one JSON value as a server-sent event.
+func writeSSE(w http.ResponseWriter, fl http.Flusher, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "data: %s\n\n", b); err != nil {
+		return err
+	}
+	if fl != nil {
+		fl.Flush()
+	}
+	return nil
+}
+
+// writeSSEDone emits the stream terminator.
+func writeSSEDone(w http.ResponseWriter, fl http.Flusher) {
+	_, _ = fmt.Fprint(w, "data: [DONE]\n\n")
+	if fl != nil {
+		fl.Flush()
+	}
+}
+
+// modelEntry / modelList are the GET /v1/models wire shapes.
+type modelEntry struct {
+	ID      string `json:"id"`
+	Object  string `json:"object"`
+	Created int64  `json:"created"`
+	OwnedBy string `json:"owned_by"`
+}
+
+type modelList struct {
+	Object string       `json:"object"`
+	Data   []modelEntry `json:"data"`
+}
+
+// handleModels lists the served model followed by the model and
+// serving-method registries — every name a request's "model" field
+// accepts. Created is 0 everywhere: registry entries have no birthday,
+// and a stable value keeps the listing golden-testable.
+func (h *Handler) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		WriteError(w, errMethodNotAllowed)
+		return
+	}
+	served := h.gen.ModelID()
+	list := modelList{Object: "list", Data: []modelEntry{{ID: served, Object: "model", OwnedBy: "hack"}}}
+	for _, name := range model.Registry.Names() {
+		if strings.EqualFold(name, served) {
+			continue
+		}
+		list.Data = append(list.Data, modelEntry{ID: name, Object: "model", OwnedBy: "hack"})
+	}
+	for _, name := range cluster.MethodRegistry.Names() {
+		list.Data = append(list.Data, modelEntry{ID: name, Object: "model", OwnedBy: "hack-method"})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(list)
+}

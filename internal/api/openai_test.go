@@ -1,0 +1,279 @@
+package api_test
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hackkv/hack/internal/api"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedClock pins the OpenAI "created" field for golden output.
+func fixedClock() time.Time { return time.Unix(1700000000, 0) }
+
+// golden compares got against testdata/<name>, rewriting under
+// -update.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update): %v", path, err)
+	}
+	if got != string(want) {
+		t.Fatalf("golden %s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func post(t *testing.T, ts *httptest.Server, path, body string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(b)
+}
+
+// TestCompletionsSSEGolden pins the full SSE byte stream for a
+// streaming completion: one data: chunk per token, a final chunk with
+// finish_reason and usage, and the [DONE] terminator.
+func TestCompletionsSSEGolden(t *testing.T) {
+	gen := newFakeGen(3, 81, 7)
+	ts := httptest.NewServer(api.NewHandler(gen, api.WithNow(fixedClock)))
+	defer ts.Close()
+
+	resp, body := post(t, ts, "/v1/completions",
+		`{"prompt":"hello world","max_tokens":3,"seed":7,"stream":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("content type %q", ct)
+	}
+	golden(t, "sse_completions.golden", body)
+	if req := gen.last(); req.Seed != 7 || req.MaxNewTokens != 3 || len(req.Prompt) != 2 {
+		t.Errorf("engine request %+v", req)
+	}
+}
+
+// TestChatSSEGolden pins the chat.completion.chunk stream: the
+// role-announcing first chunk, per-token deltas, the final empty delta
+// with finish_reason and usage, and [DONE].
+func TestChatSSEGolden(t *testing.T) {
+	gen := newFakeGen(3, 81, 7)
+	ts := httptest.NewServer(api.NewHandler(gen, api.WithNow(fixedClock)))
+	defer ts.Close()
+
+	resp, body := post(t, ts, "/v1/chat/completions",
+		`{"messages":[{"role":"system","content":"be brief"},{"role":"user","content":"hello"}],"max_tokens":3,"stream":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	golden(t, "sse_chat.golden", body)
+}
+
+// TestModelsGolden pins GET /v1/models: served model first, then the
+// model and serving-method registries.
+func TestModelsGolden(t *testing.T) {
+	ts := httptest.NewServer(api.NewHandler(newFakeGen(1)))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	golden(t, "models.golden", string(b))
+}
+
+// TestCompletionsNonStreaming checks the aggregate JSON dialect: the
+// decoded text round-trips to the emitted ids and usage adds up.
+func TestCompletionsNonStreaming(t *testing.T) {
+	gen := newFakeGen(3, 81, 7)
+	ts := httptest.NewServer(api.NewHandler(gen, api.WithNow(fixedClock)))
+	defer ts.Close()
+
+	resp, body := post(t, ts, "/v1/completions", `{"prompt":[1,2,3,4],"max_tokens":3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		ID      string `json:"id"`
+		Object  string `json:"object"`
+		Created int64  `json:"created"`
+		Model   string `json:"model"`
+		Choices []struct {
+			Text         string  `json:"text"`
+			FinishReason *string `json:"finish_reason"`
+		} `json:"choices"`
+		Usage struct {
+			PromptTokens     int `json:"prompt_tokens"`
+			CompletionTokens int `json:"completion_tokens"`
+			TotalTokens      int `json:"total_tokens"`
+		} `json:"usage"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("decode: %v\n%s", err, body)
+	}
+	if out.ID != "cmpl-000001" || out.Object != "text_completion" || out.Created != 1700000000 || out.Model != "Toy" {
+		t.Errorf("identity fields: %+v", out)
+	}
+	tok := api.NewTokenizer(128)
+	if got := tok.Encode(out.Choices[0].Text); len(got) != 3 || got[0] != 3 || got[1] != 81 || got[2] != 7 {
+		t.Errorf("text %q re-encodes to %v, want [3 81 7]", out.Choices[0].Text, got)
+	}
+	if fr := out.Choices[0].FinishReason; fr == nil || *fr != "length" {
+		t.Errorf("finish_reason %v, want length", fr)
+	}
+	if out.Usage.PromptTokens != 4 || out.Usage.CompletionTokens != 3 || out.Usage.TotalTokens != 7 {
+		t.Errorf("usage %+v", out.Usage)
+	}
+}
+
+// TestChatNonStreaming checks the aggregate chat dialect.
+func TestChatNonStreaming(t *testing.T) {
+	gen := newFakeGen(5, 6)
+	ts := httptest.NewServer(api.NewHandler(gen, api.WithNow(fixedClock)))
+	defer ts.Close()
+	resp, body := post(t, ts, "/v1/chat/completions",
+		`{"messages":[{"role":"user","content":"hi there"}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		ID      string `json:"id"`
+		Object  string `json:"object"`
+		Choices []struct {
+			Message struct {
+				Role    string `json:"role"`
+				Content string `json:"content"`
+			} `json:"message"`
+			FinishReason *string `json:"finish_reason"`
+		} `json:"choices"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("decode: %v\n%s", err, body)
+	}
+	if out.ID != "chatcmpl-000001" || out.Object != "chat.completion" {
+		t.Errorf("identity: %+v", out)
+	}
+	if out.Choices[0].Message.Role != "assistant" {
+		t.Errorf("role %q", out.Choices[0].Message.Role)
+	}
+	// The flattened transcript must match ChatPromptText's encoding.
+	want := api.NewTokenizer(128).Encode(api.ChatPromptText([]api.ChatMessage{{Role: "user", Content: "hi there"}}))
+	got := gen.last().Prompt
+	if len(got) != len(want) {
+		t.Fatalf("prompt %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("prompt %v, want %v", got, want)
+		}
+	}
+}
+
+// TestStopMapsToEOS: a stop word tokenizing to one id reaches the
+// engine as EOS, and a stream ending on it reports finish_reason
+// "stop".
+func TestStopMapsToEOS(t *testing.T) {
+	tok := api.NewTokenizer(128)
+	stopID := 42
+	gen := newFakeGen(9, stopID)
+	ts := httptest.NewServer(api.NewHandler(gen))
+	defer ts.Close()
+
+	body := `{"prompt":"go","stop":"` + tok.Word(stopID) + `"}`
+	resp, out := post(t, ts, "/v1/completions", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	if gen.last().EOS != stopID {
+		t.Fatalf("engine EOS %d, want %d", gen.last().EOS, stopID)
+	}
+	if !strings.Contains(out, `"finish_reason":"stop"`) {
+		t.Fatalf("finish_reason: %s", out)
+	}
+}
+
+// TestOpenAIValidation pins the validation envelope for each rejected
+// shape.
+func TestOpenAIValidation(t *testing.T) {
+	ts := httptest.NewServer(api.NewHandler(newFakeGen(1)))
+	defer ts.Close()
+	cases := []struct {
+		name, path, body string
+		wantStatus       int
+		wantCode         string
+	}{
+		{"unknown model", "/v1/completions", `{"model":"gpt-4","prompt":"x"}`, 404, "model_not_found"},
+		{"missing prompt", "/v1/completions", `{}`, 400, "missing_prompt"},
+		{"batched prompt", "/v1/completions", `{"prompt":["a","b"]}`, 400, "bad_prompt"},
+		{"negative max_tokens", "/v1/completions", `{"prompt":"x","max_tokens":-1}`, 400, "bad_max_tokens"},
+		{"multi-token stop", "/v1/completions", `{"prompt":"x","stop":"two words"}`, 400, "bad_stop"},
+		{"bad stop shape", "/v1/completions", `{"prompt":"x","stop":7}`, 400, "bad_stop"},
+		{"no messages", "/v1/chat/completions", `{"messages":[]}`, 400, "missing_messages"},
+		{"garbage body", "/v1/chat/completions", `{nope`, 400, "bad_body"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, body := post(t, ts, c.path, c.body)
+			if resp.StatusCode != c.wantStatus {
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, c.wantStatus, body)
+			}
+			var env struct {
+				Error api.Error `json:"error"`
+			}
+			if err := json.Unmarshal([]byte(body), &env); err != nil {
+				t.Fatalf("envelope: %v\n%s", err, body)
+			}
+			if env.Error.Code != c.wantCode {
+				t.Errorf("code %q, want %q (%+v)", env.Error.Code, c.wantCode, env.Error)
+			}
+		})
+	}
+
+	// Known registry names are accepted as "model".
+	resp, body := post(t, ts, "/v1/completions", `{"model":"HACK","prompt":"x"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("registry model rejected: %d %s", resp.StatusCode, body)
+	}
+	// GET on an OpenAI route is a 405 in the shared envelope.
+	getResp, err := http.Get(ts.URL + "/v1/completions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET completions: %d", getResp.StatusCode)
+	}
+}

@@ -1,0 +1,142 @@
+package api
+
+import (
+	"hash/fnv"
+	"strings"
+	"unicode"
+)
+
+// The tokenizer's syllable alphabet: every canonical token word is a
+// fixed-width sequence of consonant+vowel syllables, one base-80 digit
+// per syllable. Both strings are sorted so word values are stable
+// forever; changing them would change every served stream.
+const (
+	tokConsonants = "bdfghklmnprstvwz" // 16
+	tokVowels     = "aeiou"            // 5
+	tokBase       = len(tokConsonants) * len(tokVowels)
+)
+
+// Tokenizer deterministically maps text to the served model's token-id
+// space and back. It exists because the toy models speak raw token IDs
+// while the OpenAI surface speaks text; it is a shim, not a learned
+// vocabulary.
+//
+// Decode renders each id as a canonical syllable word ("ba", "pimu",
+// ...), joined by single spaces; Encode lowercases, splits on anything
+// that is not a letter or digit, maps canonical words back to their
+// exact id, and hashes every other word into the id space with FNV-1a.
+// The round trip Encode(Decode(ids)) == ids holds for every id
+// sequence, which is what makes OpenAI-format requests byte-identical
+// (in emitted token ids) to the equivalent /v1/generate call.
+type Tokenizer struct {
+	vocab int
+	nsyl  int // syllables per canonical word: smallest n with 80^n >= vocab
+}
+
+// NewTokenizer builds the shim for a vocabulary of the given size.
+// Sizes below 2 (only possible with a degenerate test double; the
+// serving runtime validates real specs) are clamped to 2.
+func NewTokenizer(vocab int) *Tokenizer {
+	if vocab < 2 {
+		vocab = 2
+	}
+	nsyl, span := 1, tokBase
+	for span < vocab {
+		nsyl++
+		span *= tokBase
+	}
+	return &Tokenizer{vocab: vocab, nsyl: nsyl}
+}
+
+// Vocab returns the tokenizer's id-space size.
+func (t *Tokenizer) Vocab() int { return t.vocab }
+
+// Word renders one token id as its canonical word. Ids outside
+// [0, vocab) are first reduced into range (they cannot be produced by
+// the engine; this only keeps Word total).
+func (t *Tokenizer) Word(id int) string {
+	id = ((id % t.vocab) + t.vocab) % t.vocab
+	b := make([]byte, 2*t.nsyl)
+	for i := t.nsyl - 1; i >= 0; i-- {
+		d := id % tokBase
+		id /= tokBase
+		b[2*i] = tokConsonants[d/len(tokVowels)]
+		b[2*i+1] = tokVowels[d%len(tokVowels)]
+	}
+	return string(b)
+}
+
+// Decode renders a token-id sequence as text: canonical words joined
+// by single spaces.
+func (t *Tokenizer) Decode(ids []int) string {
+	var sb strings.Builder
+	for i, id := range ids {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(t.Word(id))
+	}
+	return sb.String()
+}
+
+// Delta is the streaming text fragment for the token at the given
+// sequence position: Word(id) with the joining space prepended for
+// every position after the first, so concatenated deltas equal
+// Decode of the full sequence.
+func (t *Tokenizer) Delta(id, position int) string {
+	if position == 0 {
+		return t.Word(id)
+	}
+	return " " + t.Word(id)
+}
+
+// Encode maps text into the token-id space: words are lowercased and
+// split on any rune that is not a letter or digit; a word that is a
+// canonical in-range syllable word maps back to its exact id, every
+// other word hashes into [0, vocab) with FNV-1a. Deterministic for all
+// inputs; exact on Decode output.
+func (t *Tokenizer) Encode(text string) []int {
+	words := strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+	if len(words) == 0 {
+		return nil
+	}
+	ids := make([]int, len(words))
+	for i, w := range words {
+		ids[i] = t.wordID(w)
+	}
+	return ids
+}
+
+// wordID resolves one lowercased word: exact canonical parse first,
+// FNV-1a fallback otherwise.
+func (t *Tokenizer) wordID(w string) int {
+	if id, ok := t.parseWord(w); ok {
+		return id
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(w))
+	return int(h.Sum64() % uint64(t.vocab))
+}
+
+// parseWord inverts Word: it succeeds only for a fixed-width canonical
+// syllable word whose value is inside the vocabulary.
+func (t *Tokenizer) parseWord(w string) (int, bool) {
+	if len(w) != 2*t.nsyl {
+		return 0, false
+	}
+	id := 0
+	for i := 0; i < t.nsyl; i++ {
+		ci := strings.IndexByte(tokConsonants, w[2*i])
+		vi := strings.IndexByte(tokVowels, w[2*i+1])
+		if ci < 0 || vi < 0 {
+			return 0, false
+		}
+		id = id*tokBase + ci*len(tokVowels) + vi
+	}
+	if id >= t.vocab {
+		return 0, false
+	}
+	return id, true
+}

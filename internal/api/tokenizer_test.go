@@ -1,0 +1,77 @@
+package api_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hackkv/hack/internal/api"
+)
+
+// TestTokenizerRoundTrip pins the property the OpenAI surface's byte
+// identity rests on: Encode(Decode(ids)) == ids for every id sequence,
+// across vocabulary sizes spanning one, two, and three syllables.
+func TestTokenizerRoundTrip(t *testing.T) {
+	for _, vocab := range []int{2, 79, 80, 128, 6400, 6401} {
+		tok := api.NewTokenizer(vocab)
+		ids := make([]int, 0, 64)
+		for i := 0; i < 64; i++ {
+			ids = append(ids, (i*37+11)%vocab)
+		}
+		text := tok.Decode(ids)
+		got := tok.Encode(text)
+		if len(got) != len(ids) {
+			t.Fatalf("vocab %d: round trip length %d, want %d", vocab, len(got), len(ids))
+		}
+		for i := range ids {
+			if got[i] != ids[i] {
+				t.Fatalf("vocab %d: round trip diverged at %d: %d != %d (text %q)",
+					vocab, i, got[i], ids[i], text)
+			}
+		}
+	}
+}
+
+// TestTokenizerWordInjective: distinct ids render distinct words, and
+// deltas concatenate to Decode.
+func TestTokenizerWordInjective(t *testing.T) {
+	tok := api.NewTokenizer(128)
+	seen := make(map[string]int, 128)
+	for id := 0; id < 128; id++ {
+		w := tok.Word(id)
+		if prev, dup := seen[w]; dup {
+			t.Fatalf("ids %d and %d share word %q", prev, id, w)
+		}
+		seen[w] = id
+	}
+
+	ids := []int{5, 81, 0, 127}
+	var sb strings.Builder
+	for i, id := range ids {
+		sb.WriteString(tok.Delta(id, i))
+	}
+	if sb.String() != tok.Decode(ids) {
+		t.Fatalf("concatenated deltas %q != Decode %q", sb.String(), tok.Decode(ids))
+	}
+}
+
+// TestTokenizerEncodeFallback: arbitrary natural-language words hash
+// deterministically into range, and punctuation/case are normalized.
+func TestTokenizerEncodeFallback(t *testing.T) {
+	tok := api.NewTokenizer(128)
+	a := tok.Encode("Hello, world! How are KV caches today?")
+	b := tok.Encode("hello world how are kv caches today")
+	if len(a) != 7 || len(b) != 7 {
+		t.Fatalf("token counts %d/%d, want 7", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("normalization diverged at %d: %v vs %v", i, a, b)
+		}
+		if a[i] < 0 || a[i] >= 128 {
+			t.Fatalf("id %d out of range", a[i])
+		}
+	}
+	if got := tok.Encode("   \t\n "); got != nil {
+		t.Fatalf("whitespace-only text encoded to %v", got)
+	}
+}

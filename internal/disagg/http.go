@@ -5,32 +5,20 @@ import (
 	"io"
 	"net"
 	"net/http"
-	"strings"
 	"sync"
+
+	"github.com/hackkv/hack/internal/api"
 )
 
 // nodeHTTP is the per-node health/metrics endpoint the router polls:
 // GET /healthz answers 200 ("ok") or 503 ("draining"), and GET /metrics
 // serves the node's snapshot as JSON or, under content negotiation, in
-// Prometheus text format (see wantsPrometheus).
+// Prometheus text format (the same api.WantsPrometheus negotiation as
+// every serving role's /metrics).
 type nodeHTTP struct {
 	ln   net.Listener
 	srv  *http.Server
 	once sync.Once
-}
-
-// wantsPrometheus reports whether the request asked for the text
-// exposition format: an explicit ?format=prometheus, or an Accept header
-// preferring text/plain or OpenMetrics over JSON.
-func wantsPrometheus(r *http.Request) bool {
-	switch r.URL.Query().Get("format") {
-	case "prometheus", "text":
-		return true
-	case "json":
-		return false
-	}
-	accept := r.Header.Get("Accept")
-	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
 }
 
 // newNodeHTTP binds addr and starts serving. snapshot supplies the JSON
@@ -51,7 +39,7 @@ func newNodeHTTP(addr string, snapshot func() any, prom func(io.Writer) error, d
 		io.WriteString(w, "ok\n")
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		if prom != nil && wantsPrometheus(r) {
+		if prom != nil && api.WantsPrometheus(r) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			_ = prom(w)
 			return
